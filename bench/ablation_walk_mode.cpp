@@ -1,0 +1,58 @@
+// Ablation: walk mode (DESIGN.md §5, expander/walk.hpp). The paper's
+// pseudocode literally iterates the forward maps; a "textbook" undirected
+// bipartite walk alternates forward/backward maps — and is catastrophically
+// worse here, because a backward step choosing the same coordinate family
+// as the preceding forward step undoes it up to the small constant.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/quality_streams.hpp"
+#include "stat/battery.hpp"
+#include "stat/diehard.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace hprng;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  (void)cli;
+
+  bench::banner("Ablation — forward-only vs alternating walk",
+                "(design study) the paper iterates f(u, b); we show why "
+                "that is the right reading of the construction",
+                "quick 15-test DIEHARD battery at scale 0.25");
+
+  stat::DiehardConfig quick;
+  quick.scale = 0.25;
+  const auto battery = stat::diehard_battery(quick);
+
+  util::Table t({"mode", "DIEHARD passed", "KS D over p-values"});
+  int forward_passed = 0, alternating_passed = 0;
+  for (auto mode : {expander::WalkMode::kForwardOnly,
+                    expander::WalkMode::kAlternating}) {
+    core::CpuWalkConfig cfg;
+    cfg.mode = mode;
+    auto stream = core::make_hybrid_stream(31, cfg);
+    const auto report = stat::run_battery("diehard", battery, *stream);
+    if (mode == expander::WalkMode::kForwardOnly) {
+      forward_passed = report.num_passed();
+    } else {
+      alternating_passed = report.num_passed();
+    }
+    t.add_row({expander::to_string(mode), report.summary(),
+               util::strf("%.4f", report.ks_d)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nwhy: an alternating pair (forward map k, backward map k') "
+              "with k, k' in the same\ncoordinate family composes to a "
+              "translation by at most 2, so the walk drifts\ninstead of "
+              "mixing; forward-only composes the Margulis-style affine maps "
+              "and mixes.\n");
+
+  const bool shape = forward_passed >= 13 && alternating_passed <= 9;
+  bench::verdict(shape,
+                 "forward-only passes the battery, alternating collapses");
+  return shape ? 0 : 1;
+}

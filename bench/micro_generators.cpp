@@ -1,0 +1,96 @@
+// google-benchmark microbenchmarks of the raw generator kernels: wall-clock
+// cost per draw on this host for every from-scratch generator plus the
+// expander-walk step itself. These are the constants behind the host-side
+// FEED model and the Table I discussion.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "core/cpu_walk_prng.hpp"
+#include "expander/bit_reader.hpp"
+#include "expander/walk.hpp"
+#include "prng/lcg.hpp"
+#include "prng/md5.hpp"
+#include "prng/mt19937.hpp"
+#include "prng/mwc.hpp"
+#include "prng/philox.hpp"
+#include "prng/splitmix64.hpp"
+#include "prng/xorwow.hpp"
+
+namespace {
+
+using namespace hprng;
+
+template <typename G>
+void BM_Generator32(benchmark::State& state) {
+  G g(12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.next_u32());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_Generator32<prng::GlibcLcg>);
+BENCHMARK(BM_Generator32<prng::GlibcRandom>);
+BENCHMARK(BM_Generator32<prng::Minstd>);
+BENCHMARK(BM_Generator32<prng::Mt19937>);
+BENCHMARK(BM_Generator32<prng::Xorwow>);
+BENCHMARK(BM_Generator32<prng::Mwc>);
+BENCHMARK(BM_Generator32<prng::CudppMd5Rng>);
+BENCHMARK(BM_Generator32<prng::Philox4x32>);
+
+void BM_SplitMix64(benchmark::State& state) {
+  prng::SplitMix64 g(1);
+  for (auto _ : state) benchmark::DoNotOptimize(g.next_u64());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SplitMix64);
+
+void BM_Mt19937_64(benchmark::State& state) {
+  prng::Mt19937_64 g(1);
+  for (auto _ : state) benchmark::DoNotOptimize(g.next_u64());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Mt19937_64);
+
+/// One expander-walk step (the GENERATE inner loop body).
+void BM_WalkStep(benchmark::State& state) {
+  std::vector<std::uint32_t> words(4096);
+  prng::SplitMix64 seed(7);
+  for (auto& w : words) w = seed.next_u32();
+  expander::WalkState s{expander::Vertex{1, 2}, expander::Side::X};
+  expander::BitReader bits{std::span<const std::uint32_t>(words)};
+  for (auto _ : state) {
+    if (bits.bits_left() < 3) {
+      bits = expander::BitReader{std::span<const std::uint32_t>(words)};
+    }
+    expander::step(s, bits, expander::NeighborPolicy::kMod7,
+                   expander::WalkMode::kForwardOnly);
+    benchmark::DoNotOptimize(s.v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalkStep);
+
+/// A full hybrid draw at several walk lengths (CPU backend).
+void BM_HybridDraw(benchmark::State& state) {
+  core::CpuWalkConfig cfg;
+  cfg.walk_len = static_cast<int>(state.range(0));
+  core::CpuWalkPrng g(99, cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(g.next_u64());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HybridDraw)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+/// The platform glibc rand() with its internal lock — the Fig. 6 baseline.
+void BM_PlatformRand(benchmark::State& state) {
+  srand(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rand());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlatformRand);
+
+}  // namespace

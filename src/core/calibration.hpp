@@ -1,0 +1,49 @@
+#pragma once
+
+namespace hprng::core {
+
+/// Calibrated cost-model constants.
+///
+/// We cannot measure a Tesla C1060, so per-operation device costs are
+/// calibrated once against the paper's own measurements and then *never*
+/// tuned per experiment — every figure's shape must emerge from the
+/// scheduling algebra, not from per-figure constants. Provenance:
+///
+/// * kWalkStepDeviceOps — effective device issue slots per expander-walk
+///   step (includes the uncoalesced global-memory read of the bit buffer).
+///   Calibrated so that, at the paper's batch size 100, the GENERATE work
+///   unit is slightly cheaper per round than FEED (Fig. 4: GPU ~20% idle,
+///   CPU ~never idle) and aggregate throughput lands at the paper's
+///   0.07 GNumbers/s.
+/// * kMtDeviceOpsPerNumber / kXorwowDeviceOpsPerNumber — per-number device
+///   cost of the SDK Mersenne-Twister sample and the cuRAND device API,
+///   calibrated to Fig. 3's "hybrid outperforms both by a factor of 2 in
+///   most cases".
+/// * kMwcDeviceOpsPerNumber — MWC step cost in the photon kernel [1];
+///   cheap (one 64-bit multiply-add).
+/// * Per-element application costs (list ranking, photon migration) are
+///   declared next to their kernels in listrank/ and photon/.
+inline constexpr double kWalkStepDeviceOps = 126.0;
+inline constexpr double kMtDeviceOpsPerNumber = 9800.0;
+inline constexpr double kXorwowDeviceOpsPerNumber = 10600.0;
+/// CUDPP MD5 counter generator: one 64-round compression per four words;
+/// Table I ranks it between MT and CURAND.
+inline constexpr double kMd5DeviceOpsPerNumber = 10200.0;
+inline constexpr double kMwcDeviceOpsPerNumber = 160.0;
+
+/// Walk step cost when the walk runs *inline inside an application kernel*
+/// (list ranking Flip, photon initialisation): the thread's bin slice is
+/// streamed coalesced and the step itself is a handful of integer ops, so
+/// the uncoalesced-output penalty of the dedicated generator kernel does
+/// not apply. Calibrated jointly with kStoredRandomAccessOps against the
+/// paper's application-level speedups (40% for list ranking, ~20% for
+/// photon migration).
+inline constexpr double kWalkStepInlineOps = 25.0;
+
+/// Cost of round-tripping one pre-generated random number through global
+/// memory (store by the generating kernel + uncoalesced load by the
+/// consumer) — the "memory transaction overhead" the paper's Sec. VI
+/// attributes the photon speedup to.
+inline constexpr double kStoredRandomAccessOps = 1200.0;
+
+}  // namespace hprng::core

@@ -1,0 +1,79 @@
+#include "core/cpu_walk_prng.hpp"
+
+#include "prng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace hprng::core {
+
+using expander::BitReader;
+using expander::Side;
+using expander::Vertex;
+
+CpuWalkPrng::CpuWalkPrng(std::uint64_t seed, CpuWalkConfig cfg)
+    : cfg_(cfg), feeder_(seed) {
+  // Algorithm 1 in miniature: 64 feeder bits pick the start vertex, then an
+  // init-length walk mixes it.
+  const std::uint64_t start =
+      (static_cast<std::uint64_t>(feeder_.next_u32()) << 32) |
+      feeder_.next_u32();
+  state_.v = Vertex::from_id(start);
+  state_.side = Side::X;
+  const auto init_bits = expander::bits_for_walk(
+      static_cast<std::uint64_t>(cfg_.init_walk_len), cfg_.policy);
+  refill(init_bits);
+  expander::walk(state_, bits_, cfg_.init_walk_len, cfg_.policy, cfg_.mode);
+}
+
+void CpuWalkPrng::refill(std::uint64_t bits) {
+  const std::uint64_t words = BitReader::words_needed(bits, 1);
+  HPRNG_CHECK(words <= 32, "CpuWalkPrng feed ring too small for walk length");
+  for (std::uint64_t w = 0; w < words; ++w) {
+    bin_[w] = feeder_.next_u32();
+  }
+  bits_ = BitReader{std::span<const std::uint32_t>(bin_).first(
+      static_cast<std::size_t>(words))};
+}
+
+std::uint64_t CpuWalkPrng::next_u64() {
+  // Fast path for the default configuration (mod-7 forward-only): consume
+  // the feeder words directly, ten 3-bit groups per 31-bit LCG draw. This
+  // is the loop a production rand() replacement would ship.
+  if (cfg_.policy == expander::NeighborPolicy::kMod7 &&
+      cfg_.mode == expander::WalkMode::kForwardOnly) {
+    std::uint32_t x = state_.v.x;
+    std::uint32_t y = state_.v.y;
+    std::uint64_t acc = 0;
+    int avail = 0;
+    for (int i = 0; i < cfg_.walk_len; ++i) {
+      if (avail < 3) {
+        acc |= static_cast<std::uint64_t>(feeder_.next_u32()) << avail;
+        avail += 32;
+      }
+      std::uint32_t b = static_cast<std::uint32_t>(acc) & 7u;
+      acc >>= 3;
+      avail -= 3;
+      if (b >= 7) b -= 7;
+      switch (b) {
+        case 0: break;
+        case 1: y += 2 * x; break;
+        case 2: y += 2 * x + 1; break;
+        case 3: y += 2 * x + 2; break;
+        case 4: x += 2 * y; break;
+        case 5: x += 2 * y + 1; break;
+        default: x += 2 * y + 2; break;
+      }
+    }
+    state_.v = {x, y};
+    const std::uint64_t id = state_.v.id();
+    return cfg_.finalize_output ? prng::splitmix64_mix(id) : id;
+  }
+
+  const auto bits = expander::bits_for_walk(
+      static_cast<std::uint64_t>(cfg_.walk_len), cfg_.policy);
+  if (bits_.bits_left() < bits) refill(bits);
+  expander::walk(state_, bits_, cfg_.walk_len, cfg_.policy, cfg_.mode);
+  const std::uint64_t id = state_.v.id();
+  return cfg_.finalize_output ? prng::splitmix64_mix(id) : id;
+}
+
+}  // namespace hprng::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "expander/bit_reader.hpp"
+#include "expander/walk.hpp"
+#include "prng/lcg.hpp"
+
+namespace hprng::core {
+
+/// Walk parameters of the CPU-only generator (kept independent of
+/// HybridPrngConfig so the CPU variant has no sim dependencies).
+struct CpuWalkConfig {
+  int init_walk_len = 64;
+  int walk_len = 32;
+  expander::NeighborPolicy policy = expander::NeighborPolicy::kMod7;
+  expander::WalkMode mode = expander::WalkMode::kForwardOnly;
+  bool finalize_output = false;
+};
+
+/// The CPU-only variant of the hybrid generator (Sec. IV-A "Comparison with
+/// rand()"): one expander walk whose neighbour choices are fed directly by
+/// an in-process glibc LCG. Thread-safe by construction — every thread owns
+/// its instance, exactly like the OpenMP version in the paper.
+///
+/// Satisfies the prng::Adapter generator shape, so it can run through the
+/// DIEHARD / Crush batteries like any baseline (this is the stream whose
+/// quality Tables II/III report).
+struct CpuWalkPrng {
+  static constexpr const char* kName = "hybrid-prng";
+
+  explicit CpuWalkPrng(std::uint64_t seed, CpuWalkConfig cfg = {});
+
+  std::uint64_t next_u64();
+  std::uint32_t next_u32() {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+
+ private:
+  /// Refill the word buffer from the feeder so `bits` many bits can be read.
+  void refill(std::uint64_t bits);
+
+  CpuWalkConfig cfg_;
+  prng::GlibcLcg feeder_;
+  expander::WalkState state_;
+  // Feed staging: a tiny ring the BitReader consumes from, mirroring the
+  // bin-buffer structure of the device version (Algorithm 2) in miniature.
+  std::uint32_t bin_[32] = {};
+  expander::BitReader bits_;
+};
+
+}  // namespace hprng::core

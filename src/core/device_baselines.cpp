@@ -1,0 +1,131 @@
+#include "core/device_baselines.hpp"
+
+#include <algorithm>
+
+#include "core/calibration.hpp"
+#include "prng/md5.hpp"
+#include "prng/mt19937.hpp"
+#include "prng/mwc.hpp"
+#include "prng/splitmix64.hpp"
+#include "prng/xorwow.hpp"
+#include "util/check.hpp"
+
+namespace hprng::core {
+namespace {
+
+/// Generator-thread pool sizes mirroring the real implementations: the SDK
+/// MT sample ships 4096 pre-parameterised twisters; cuRAND device streams
+/// are per-thread but a C1060-era launch saturates around 8K resident
+/// threads for this kernel.
+constexpr std::uint64_t kMtPool = 4096;
+constexpr std::uint64_t kXorwowPool = 8192;
+constexpr std::uint64_t kMwcPool = 8192;
+constexpr std::uint64_t kMd5Pool = 8192;
+
+}  // namespace
+
+DeviceBatchGenerator::DeviceBatchGenerator(sim::Device& device, Kind kind,
+                                           std::uint64_t seed)
+    : device_(device), kind_(kind), seed_(seed) {}
+
+std::string DeviceBatchGenerator::name() const {
+  switch (kind_) {
+    case Kind::kMersenneTwister: return "mersenne-twister-gpu";
+    case Kind::kCurandXorwow: return "curand-xorwow";
+    case Kind::kMwc: return "mwc-gpu";
+    case Kind::kCudppMd5: return "cudpp-md5-gpu";
+  }
+  return "?";
+}
+
+double DeviceBatchGenerator::generate_device(
+    std::uint64_t n, sim::Buffer<std::uint64_t>& out) {
+  HPRNG_CHECK(n >= 1, "generate_device needs n >= 1");
+  if (out.size() < n) {
+    device_.synchronize();
+    out.resize(n);
+  }
+
+  std::uint64_t pool;
+  double ops_per_number;
+  switch (kind_) {
+    case Kind::kMersenneTwister:
+      pool = kMtPool;
+      ops_per_number = kMtDeviceOpsPerNumber;
+      break;
+    case Kind::kCurandXorwow:
+      pool = kXorwowPool;
+      ops_per_number = kXorwowDeviceOpsPerNumber;
+      break;
+    case Kind::kMwc:
+      pool = kMwcPool;
+      ops_per_number = kMwcDeviceOpsPerNumber;
+      break;
+    case Kind::kCudppMd5:
+    default:
+      pool = kMd5Pool;
+      ops_per_number = kMd5DeviceOpsPerNumber;
+      break;
+  }
+  pool = std::min(pool, n);
+  const std::uint64_t per_thread = (n + pool - 1) / pool;
+
+  const sim::KernelCost cost{ops_per_number * static_cast<double>(per_thread),
+                             8.0 * static_cast<double>(per_thread)};
+  const double sim_start = device_.engine().now();
+  const Kind kind = kind_;
+  const std::uint64_t seed = seed_;
+  device_.launch(
+      stream_, "Generate(batch)", pool, cost,
+      [out_span = out.device_span(), per_thread, n, kind,
+       seed](std::uint64_t tid) {
+        const std::uint64_t begin = tid * per_thread;
+        const std::uint64_t end = std::min(n, begin + per_thread);
+        if (begin >= end) return;
+        const std::uint64_t thread_seed =
+            prng::splitmix64_mix(seed ^ (tid * 0x9E3779B97F4A7C15ull));
+        switch (kind) {
+          case Kind::kMersenneTwister: {
+            prng::Mt19937 g(thread_seed);
+            for (std::uint64_t i = begin; i < end; ++i) {
+              const std::uint64_t hi = g.next_u32();
+              out_span[static_cast<std::size_t>(i)] =
+                  (hi << 32) | g.next_u32();
+            }
+            break;
+          }
+          case Kind::kCurandXorwow: {
+            prng::Xorwow g(thread_seed);
+            for (std::uint64_t i = begin; i < end; ++i) {
+              const std::uint64_t hi = g.next_u32();
+              out_span[static_cast<std::size_t>(i)] =
+                  (hi << 32) | g.next_u32();
+            }
+            break;
+          }
+          case Kind::kMwc: {
+            prng::Mwc g(thread_seed);
+            for (std::uint64_t i = begin; i < end; ++i) {
+              const std::uint64_t hi = g.next_u32();
+              out_span[static_cast<std::size_t>(i)] =
+                  (hi << 32) | g.next_u32();
+            }
+            break;
+          }
+          case Kind::kCudppMd5: {
+            prng::CudppMd5Rng g(seed,
+                                static_cast<std::uint32_t>(tid));
+            for (std::uint64_t i = begin; i < end; ++i) {
+              const std::uint64_t hi = g.next_u32();
+              out_span[static_cast<std::size_t>(i)] =
+                  (hi << 32) | g.next_u32();
+            }
+            break;
+          }
+        }
+      });
+  device_.synchronize();
+  return device_.engine().now() - sim_start;
+}
+
+}  // namespace hprng::core

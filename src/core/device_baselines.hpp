@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/buffer.hpp"
+#include "sim/device.hpp"
+
+namespace hprng::core {
+
+/// The GPU-resident batch generators the paper compares against (Fig. 3):
+/// the CUDA SDK Mersenne-Twister sample and the cuRAND device API (XORWOW),
+/// plus the MWC generator of the photon-migration baseline [1]. Each is a
+/// pure-device one-shot batch generation: a fixed pool of generator threads
+/// produces the whole requested stream with zero host involvement (which is
+/// exactly the resource-efficiency critique of Fig. 1 — the CPU idles).
+class DeviceBatchGenerator {
+ public:
+  enum class Kind {
+    kMersenneTwister,  // SDK sample: 4096 independent twisters
+    kCurandXorwow,     // cuRAND device API default generator
+    kMwc,              // CUDAMCML-style multiply-with-carry
+    kCudppMd5,         // CUDPP rand(): per-thread MD5 counters [29]
+  };
+
+  DeviceBatchGenerator(sim::Device& device, Kind kind, std::uint64_t seed);
+
+  /// Generate n 64-bit numbers into device memory in one launch.
+  /// Returns the simulated seconds of the launch.
+  double generate_device(std::uint64_t n, sim::Buffer<std::uint64_t>& out);
+
+  [[nodiscard]] std::string name() const;
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  sim::Device& device_;
+  Kind kind_;
+  std::uint64_t seed_;
+  sim::Stream stream_;
+};
+
+}  // namespace hprng::core

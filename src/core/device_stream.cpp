@@ -1,0 +1,34 @@
+#include "core/device_stream.hpp"
+
+namespace hprng::core {
+
+DeviceStreamGenerator::DeviceStreamGenerator(HybridPrngConfig cfg,
+                                             std::uint64_t refill_batch,
+                                             std::uint64_t numbers_per_thread)
+    : cfg_(cfg),
+      refill_batch_(refill_batch),
+      numbers_per_thread_(numbers_per_thread),
+      device_(std::make_unique<sim::Device>()),
+      prng_(std::make_unique<HybridPrng>(*device_, cfg)) {}
+
+DeviceStreamGenerator::~DeviceStreamGenerator() = default;
+
+std::uint64_t DeviceStreamGenerator::next_u64_impl() {
+  if (pos_ >= buffer_.size()) refill();
+  return buffer_[pos_++];
+}
+
+void DeviceStreamGenerator::refill() {
+  buffer_ = prng_->generate(refill_batch_, numbers_per_thread_);
+  pos_ = 0;
+}
+
+std::unique_ptr<prng::Generator> DeviceStreamGenerator::clone_reseeded(
+    std::uint64_t seed) const {
+  HybridPrngConfig cfg = cfg_;
+  cfg.seed = seed;
+  return std::make_unique<DeviceStreamGenerator>(cfg, refill_batch_,
+                                                 numbers_per_thread_);
+}
+
+}  // namespace hprng::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/hybrid_prng.hpp"
+#include "prng/generator.hpp"
+
+namespace hprng::core {
+
+/// prng::Generator view over the *device* pipeline: numbers are produced in
+/// batches by HybridPrng::generate() (FEED -> TRANSFER -> GENERATE rounds on
+/// the simulated GPU) and handed out one by one. This is how the statistical
+/// batteries exercise the actual device code path — interleaved multi-thread
+/// output order and all — rather than the single-walk CPU miniature.
+class DeviceStreamGenerator final : public prng::Generator {
+ public:
+  /// Owns its device; `batch` numbers are produced per refill with the
+  /// given numbers-per-thread batch size.
+  explicit DeviceStreamGenerator(HybridPrngConfig cfg = {},
+                                 std::uint64_t refill_batch = 1 << 16,
+                                 std::uint64_t numbers_per_thread = 100);
+
+  ~DeviceStreamGenerator() override;
+
+  std::uint32_t next_u32() override {
+    if (have_half_) {
+      have_half_ = false;
+      return static_cast<std::uint32_t>(pending_);
+    }
+    pending_ = next_u64_impl();
+    have_half_ = true;
+    return static_cast<std::uint32_t>(pending_ >> 32);
+  }
+
+  std::uint64_t next_u64() override {
+    have_half_ = false;
+    return next_u64_impl();
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "hybrid-prng-device";
+  }
+
+  [[nodiscard]] std::unique_ptr<prng::Generator> clone_reseeded(
+      std::uint64_t seed) const override;
+
+ private:
+  std::uint64_t next_u64_impl();
+  void refill();
+
+  HybridPrngConfig cfg_;
+  std::uint64_t refill_batch_;
+  std::uint64_t numbers_per_thread_;
+  std::unique_ptr<sim::Device> device_;
+  std::unique_ptr<HybridPrng> prng_;
+  std::vector<std::uint64_t> buffer_;
+  std::size_t pos_ = 0;
+  std::uint64_t pending_ = 0;
+  bool have_half_ = false;
+};
+
+}  // namespace hprng::core

@@ -1,0 +1,227 @@
+#include "core/hybrid_prng.hpp"
+
+#include <algorithm>
+
+#include "core/calibration.hpp"
+#include "prng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace hprng::core {
+
+using expander::BitReader;
+using expander::GabberGalilFull;
+using expander::Side;
+using expander::Vertex;
+using expander::WalkState;
+
+HybridPrng::HybridPrng(sim::Device& device, HybridPrngConfig cfg)
+    : device_(device),
+      cfg_(cfg),
+      feeder_(device.spec(), cfg.feeder_generator, cfg.seed) {
+  HPRNG_CHECK(cfg_.walk_len >= 1, "walk_len must be at least 1");
+  HPRNG_CHECK(cfg_.init_walk_len >= 0, "init_walk_len must be >= 0");
+}
+
+std::uint64_t HybridPrng::words_per_draw() const {
+  return BitReader::words_needed(
+      1, static_cast<int>(expander::bits_for_walk(
+             static_cast<std::uint64_t>(cfg_.walk_len), cfg_.policy)));
+}
+
+double HybridPrng::device_ops_for_draws(double draws) const {
+  return draws * cfg_.walk_len * kWalkStepDeviceOps;
+}
+
+double HybridPrng::device_ops_for_draws_inline(double draws) const {
+  return draws * cfg_.walk_len * kWalkStepInlineOps;
+}
+
+void HybridPrng::initialize(std::uint64_t threads) {
+  if (threads <= initialized_threads_) return;
+  // Growing the state array may reallocate storage that pending kernels
+  // hold pointers into: flush them first.
+  device_.synchronize();
+  states_.resize(threads);
+
+  // Algorithm 1: the CPU supplies 64 bits per thread for the start vertex
+  // plus the bits for the init_walk_len mixing walk; the transfer is
+  // asynchronous and the device kernel performs the walks.
+  const std::uint64_t init_bits =
+      64 + expander::bits_for_walk(
+               static_cast<std::uint64_t>(cfg_.init_walk_len), cfg_.policy);
+  const std::uint64_t wpt = (init_bits + 31) / 32;
+  const std::uint64_t words = wpt * threads;
+  host_bin_[0].resize(words);
+  device_bin_[0].resize(words);
+
+  const sim::OpId feed = device_.host_task(
+      feed_stream_, "FEED", feeder_.seconds_for_words(words),
+      [this] { feeder_.fill(host_bin_[0]); });
+  sim::Stream xfer;
+  const sim::OpId copy = device_.memcpy_h2d(
+      xfer, std::span<const std::uint32_t>(host_bin_[0]), device_bin_[0],
+      {feed});
+
+  const int init_len = cfg_.init_walk_len;
+  const auto policy = cfg_.policy;
+  const auto mode = cfg_.mode;
+  const sim::KernelCost cost{
+      /*ops_per_thread=*/64 + init_len * kWalkStepDeviceOps,
+      /*bytes_per_thread=*/static_cast<double>(wpt) * 4.0 +
+          sizeof(WalkState)};
+  const sim::OpId kernel = device_.launch(
+      compute_stream_, "Generate(init)", threads, cost,
+      [this, wpt, init_len, policy, mode](std::uint64_t tid) {
+        auto bin = device_bin_[0].device_span().subspan(
+            static_cast<std::size_t>(tid * wpt),
+            static_cast<std::size_t>(wpt));
+        BitReader bits{bin};
+        WalkState s;
+        const std::uint64_t hi = bits.read(24);
+        const std::uint64_t mid = bits.read(24);
+        const std::uint64_t lo = bits.read(16);
+        s.v = Vertex::from_id((hi << 40) | (mid << 16) | lo);
+        s.side = Side::X;
+        expander::walk(s, bits, init_len, policy, mode);
+        states_.device_span()[static_cast<std::size_t>(tid)] = s;
+      },
+      {copy});
+  slot_consumer_[0] = kernel;
+  slot_transfer_[0] = copy;
+  device_.synchronize();
+  initialized_threads_ = threads;
+}
+
+HybridPrng::Round HybridPrng::begin_round(std::uint64_t threads,
+                                          std::uint64_t draws_per_thread) {
+  HPRNG_CHECK(threads >= 1, "begin_round needs at least one thread");
+  HPRNG_CHECK(draws_per_thread >= 1, "begin_round needs at least one draw");
+  initialize(threads);
+
+  const int slot = next_slot_;
+  next_slot_ ^= 1;
+  const std::uint64_t wpt = words_per_draw() * draws_per_thread;
+  const std::uint64_t words = wpt * threads;
+  if (host_bin_[slot].size() < words || device_bin_[slot].size() < words) {
+    // Growth may reallocate storage that pending ops hold spans into:
+    // flush them before touching the buffers. (Shrinking never moves
+    // storage, so the common shrinking-workload case — e.g. list ranking —
+    // keeps the pipeline fully overlapped.)
+    device_.synchronize();
+    host_bin_[slot].resize(words);
+    device_bin_[slot].resize(words);
+  }
+
+  // FEED: may not overwrite the staging buffer until its previous transfer
+  // has read it (the host resource otherwise pipelines freely).
+  std::vector<sim::OpId> feed_deps;
+  if (slot_transfer_[slot] != sim::kNoOp) {
+    feed_deps.push_back(slot_transfer_[slot]);
+  }
+  const sim::OpId feed = device_.host_task(
+      feed_stream_, "FEED",
+      feeder_.seconds_for_words(words) +
+          device_.spec().host_api_call_overhead_us * 1e-6,
+      [this, slot, words] {
+        feeder_.fill(std::span(host_bin_[slot]).first(
+            static_cast<std::size_t>(words)));
+      },
+      feed_deps);
+
+  // TRANSFER: may not overwrite the device bin until the kernel that
+  // consumed it last has finished (double-buffer discipline).
+  std::vector<sim::OpId> copy_deps{feed};
+  if (slot_consumer_[slot] != sim::kNoOp) {
+    copy_deps.push_back(slot_consumer_[slot]);
+  }
+  sim::Stream xfer;
+  const sim::OpId copy = device_.memcpy_h2d(
+      xfer,
+      std::span<const std::uint32_t>(host_bin_[slot])
+          .first(static_cast<std::size_t>(words)),
+      device_bin_[slot], copy_deps);
+  slot_transfer_[slot] = copy;
+  return Round{copy, slot, threads, wpt};
+}
+
+void HybridPrng::end_round(const Round& round, sim::OpId consumer) {
+  slot_consumer_[round.slot] = consumer;
+}
+
+HybridPrng::ThreadRng HybridPrng::thread_rng(const Round& round,
+                                             std::uint64_t tid) {
+  HPRNG_CHECK(tid < round.threads, "thread_rng: tid out of round range");
+  auto bin = device_bin_[round.slot].device_span().subspan(
+      static_cast<std::size_t>(tid * round.words_per_thread),
+      static_cast<std::size_t>(round.words_per_thread));
+  return ThreadRng(&states_.device_span()[static_cast<std::size_t>(tid)],
+                   BitReader{bin}, &cfg_);
+}
+
+std::uint64_t HybridPrng::ThreadRng::next() {
+  HPRNG_CHECK(state_ != nullptr, "next() on an empty ThreadRng");
+  expander::walk(*state_, bits_, cfg_->walk_len, cfg_->policy, cfg_->mode);
+  const std::uint64_t id = state_->v.id();
+  return cfg_->finalize_output ? prng::splitmix64_mix(id) : id;
+}
+
+sim::OpId HybridPrng::enqueue_batch_round(std::uint64_t threads,
+                                          std::uint64_t round_index,
+                                          sim::Buffer<std::uint64_t>& out,
+                                          std::uint64_t out_offset,
+                                          std::uint64_t count) {
+  Round round = begin_round(threads, 1);
+  const sim::KernelCost cost{
+      device_ops_for_draws(1.0),
+      static_cast<double>(round.words_per_thread) * 4.0 + 8.0};
+  const sim::OpId kernel = device_.launch(
+      compute_stream_,
+      round_index == 0 ? "Generate" : "Generate+",  // same 'G' mark
+      count, cost,
+      [this, round, out_span = out.device_span(), out_offset](
+          std::uint64_t tid) mutable {
+        ThreadRng rng = thread_rng(round, tid);
+        out_span[static_cast<std::size_t>(out_offset + tid)] = rng.next();
+      },
+      {round.ready});
+  end_round(round, kernel);
+  return kernel;
+}
+
+double HybridPrng::generate_device(std::uint64_t n, std::uint64_t batch_size,
+                                   sim::Buffer<std::uint64_t>& out) {
+  HPRNG_CHECK(n >= 1, "generate_device needs n >= 1");
+  HPRNG_CHECK(batch_size >= 1, "batch_size must be >= 1");
+  const std::uint64_t threads = (n + batch_size - 1) / batch_size;
+  initialize(threads);  // one-time setup, excluded from the timed window
+  if (out.size() < n) {
+    device_.synchronize();  // pending kernels may hold spans into `out`
+    out.resize(n);
+  }
+
+  device_.engine().fence();  // timed window starts on an idle machine
+  const double sim_start = device_.engine().now();
+  std::uint64_t produced = 0;
+  std::uint64_t round = 0;
+  while (produced < n) {
+    const std::uint64_t count = std::min(threads, n - produced);
+    enqueue_batch_round(threads, round, out, produced, count);
+    produced += count;
+    ++round;
+  }
+  device_.synchronize();
+  return device_.engine().now() - sim_start;
+}
+
+std::vector<std::uint64_t> HybridPrng::generate(std::uint64_t n,
+                                                std::uint64_t batch_size) {
+  sim::Buffer<std::uint64_t> out(n);
+  generate_device(n, batch_size, out);
+  std::vector<std::uint64_t> host(n);
+  sim::Stream s;
+  device_.memcpy_d2h(s, out, std::span<std::uint64_t>(host));
+  device_.synchronize();
+  return host;
+}
+
+}  // namespace hprng::core

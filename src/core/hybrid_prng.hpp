@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expander/bit_reader.hpp"
+#include "expander/gabber_galil.hpp"
+#include "expander/walk.hpp"
+#include "host/bit_feeder.hpp"
+#include "sim/buffer.hpp"
+#include "sim/device.hpp"
+
+namespace hprng::core {
+
+/// Configuration of the hybrid expander-walk PRNG (Sec. III).
+struct HybridPrngConfig {
+  std::uint64_t seed = 0x243F6A8885A308D3ull;
+
+  /// Length of the initialisation walk (Algorithm 1; the paper uses 64).
+  int init_walk_len = 64;
+
+  /// Walk steps per output (Algorithm 2's l): the quality/throughput dial.
+  /// 32 steps consume 96 host bits per 64-bit output — the smallest l at
+  /// which the raw vertex ids pass the BigCrush-scale battery (see
+  /// bench/ablation_walk_length). Applications that only need coin flips
+  /// or seeds run at l = 8.
+  int walk_len = 32;
+
+  expander::NeighborPolicy policy = expander::NeighborPolicy::kMod7;
+  expander::WalkMode mode = expander::WalkMode::kForwardOnly;
+
+  /// Optional SplitMix64 output finaliser (OFF = paper-faithful raw vertex
+  /// ids; see the walk-length ablation for why you might want it at tiny l).
+  bool finalize_output = false;
+
+  /// Device walk count for the on-demand application API (the batched
+  /// generate() chooses its own thread count from the batch size).
+  std::uint64_t num_threads = 7680;  // 30 SMs x 256 resident threads
+
+  /// Host generator that produces the raw feed bits (paper: glibc LCG).
+  std::string feeder_generator = "glibc-lcg";
+};
+// NOTE: configuration changes alter the schedule and the stream; every
+// (policy x mode x walk_len) combination is contract-tested in
+// tests/config_sweep_test.cpp.
+
+/// The paper's on-demand hybrid CPU+GPU pseudo random number generator:
+/// per-thread independent random walks on the 7-regular Gabber-Galil
+/// expander on 2^65 nodes, with neighbour choices driven by a cheap
+/// host-side bit stream delivered asynchronously over PCIe.
+///
+/// Two usage modes:
+///  * Batched: generate(n, batch_size) — the Figure 3/5 driver. Rounds of
+///    one number per thread are pipelined FEED -> TRANSFER -> GENERATE.
+///  * On-demand: an application kernel obtains a ThreadRng per device
+///    thread and calls next() as many times as it likes within the round's
+///    provisioned budget (Algorithms 1/2; used by list ranking & photon).
+class HybridPrng {
+ public:
+  HybridPrng(sim::Device& device, HybridPrngConfig cfg = {});
+
+  /// Algorithm 1: place every walk at a seed vertex and mix with an
+  /// init_walk_len-step walk, with FEED/TRANSFER/GENERATE pipelined.
+  /// Called lazily by the other entry points; idempotent per thread count.
+  void initialize(std::uint64_t threads);
+
+  /// Generate n 64-bit numbers into device memory (throughput path used by
+  /// the figures; results stay on the GPU exactly as in the paper's
+  /// comparison). batch_size is the paper's S: numbers per thread.
+  /// Returns simulated seconds for the whole pipelined run.
+  double generate_device(std::uint64_t n, std::uint64_t batch_size,
+                         sim::Buffer<std::uint64_t>& out);
+
+  /// Convenience: generate n numbers and copy them back to the host.
+  std::vector<std::uint64_t> generate(std::uint64_t n,
+                                      std::uint64_t batch_size = 100);
+
+  // -- On-demand application API ------------------------------------------
+
+  /// One provisioned feed round for an application kernel.
+  struct Round {
+    sim::OpId ready = sim::kNoOp;  // add to the consuming kernel's deps
+    int slot = 0;
+    std::uint64_t threads = 0;
+    std::uint64_t words_per_thread = 0;
+  };
+
+  /// Enqueue FEED (host) + TRANSFER (PCIe) for `draws_per_thread` on-demand
+  /// draws by each of `threads` threads. The kernel that consumes the round
+  /// must list round.ready in its deps and be registered via end_round().
+  Round begin_round(std::uint64_t threads, std::uint64_t draws_per_thread);
+
+  /// Register the kernel op that consumed `round`, freeing its buffer slot
+  /// once that kernel completes (double-buffer discipline).
+  void end_round(const Round& round, sim::OpId consumer);
+
+  /// Device-side per-thread handle; construct inside a kernel body.
+  class ThreadRng {
+   public:
+    /// Empty handle (usable as a placeholder in strategy-switching kernels;
+    /// calling next() on it is a contract violation).
+    ThreadRng() = default;
+
+    /// The paper's GetNextRand(): advance this thread's walk walk_len steps
+    /// and return the reached vertex id.
+    std::uint64_t next();
+
+    /// Uniform double in [0, 1) from the top 53 bits of next().
+    double next_double() {
+      return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+   private:
+    friend class HybridPrng;
+    ThreadRng(expander::WalkState* state, expander::BitReader bits,
+              const HybridPrngConfig* cfg)
+        : state_(state), bits_(bits), cfg_(cfg) {}
+
+    expander::WalkState* state_ = nullptr;
+    expander::BitReader bits_;
+    const HybridPrngConfig* cfg_ = nullptr;
+  };
+
+  /// Handle for thread `tid` over its slice of the round's bit buffer.
+  ThreadRng thread_rng(const Round& round, std::uint64_t tid);
+
+  /// Cost-model entry for application kernels: device ops that `draws`
+  /// on-demand draws cost inside a kernel (for KernelCost accounting).
+  [[nodiscard]] double device_ops_for_draws(double draws) const;
+
+  /// The same for walks inlined in application kernels, whose bin access is
+  /// coalesced (see core/calibration.hpp).
+  [[nodiscard]] double device_ops_for_draws_inline(double draws) const;
+
+  [[nodiscard]] const HybridPrngConfig& config() const { return cfg_; }
+  [[nodiscard]] sim::Device& device() { return device_; }
+
+  /// Words of feed needed per draw (3 bits/step, rejection margin included).
+  [[nodiscard]] std::uint64_t words_per_draw() const;
+
+ private:
+  /// FEED+TRANSFER+walk kernel for one batched round; returns the kernel op.
+  sim::OpId enqueue_batch_round(std::uint64_t threads, std::uint64_t round,
+                                sim::Buffer<std::uint64_t>& out,
+                                std::uint64_t out_offset,
+                                std::uint64_t count);
+
+  sim::Device& device_;
+  HybridPrngConfig cfg_;
+  host::BitFeeder feeder_;
+
+  sim::Buffer<expander::WalkState> states_;
+  std::uint64_t initialized_threads_ = 0;
+
+  // Double-buffered feed path: host staging + device bin, two slots.
+  std::vector<std::uint32_t> host_bin_[2];
+  sim::Buffer<std::uint32_t> device_bin_[2];
+  sim::OpId slot_consumer_[2] = {sim::kNoOp, sim::kNoOp};
+  sim::OpId slot_transfer_[2] = {sim::kNoOp, sim::kNoOp};
+  int next_slot_ = 0;
+  sim::Stream feed_stream_;
+  sim::Stream compute_stream_;
+};
+
+}  // namespace hprng::core

@@ -1,0 +1,134 @@
+#include "core/quality_streams.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <span>
+
+#include "expander/bit_reader.hpp"
+#include "expander/walk.hpp"
+#include "prng/registry.hpp"
+#include "prng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace hprng::core {
+
+namespace {
+
+/// Adapter instantiation for CpuWalkPrng with a custom config (the plain
+/// prng::Adapter only supports seed-only construction).
+class HybridStream final : public prng::Generator {
+ public:
+  HybridStream(std::uint64_t seed, CpuWalkConfig cfg)
+      : cfg_(cfg), g_(seed, cfg) {}
+
+  std::uint32_t next_u32() override { return g_.next_u32(); }
+  std::uint64_t next_u64() override { return g_.next_u64(); }
+
+  [[nodiscard]] std::string name() const override {
+    return CpuWalkPrng::kName;
+  }
+
+  [[nodiscard]] std::unique_ptr<prng::Generator> clone_reseeded(
+      std::uint64_t seed) const override {
+    return std::make_unique<HybridStream>(seed, cfg_);
+  }
+
+ private:
+  CpuWalkConfig cfg_;
+  CpuWalkPrng g_;
+};
+
+/// Walk stream over an arbitrary feeder: the generic (slower) counterpart
+/// of CpuWalkPrng used by the feeder-quality ablation.
+class FeederWalkStream final : public prng::Generator {
+ public:
+  FeederWalkStream(std::uint64_t seed, CpuWalkConfig cfg,
+                   std::string feeder_name)
+      : cfg_(cfg),
+        feeder_name_(std::move(feeder_name)),
+        feeder_(prng::make_by_name(feeder_name_, seed)) {
+    state_.v = expander::Vertex::from_id(feeder_->next_u64());
+    state_.side = expander::Side::X;
+    const auto bits = expander::bits_for_walk(
+        static_cast<std::uint64_t>(cfg_.init_walk_len), cfg_.policy);
+    refill(bits);
+    expander::walk(state_, reader_, cfg_.init_walk_len, cfg_.policy,
+                   cfg_.mode);
+  }
+
+  std::uint32_t next_u32() override {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+
+  std::uint64_t next_u64() override {
+    const auto bits = expander::bits_for_walk(
+        static_cast<std::uint64_t>(cfg_.walk_len), cfg_.policy);
+    if (reader_.bits_left() < bits) refill(bits);
+    expander::walk(state_, reader_, cfg_.walk_len, cfg_.policy, cfg_.mode);
+    const std::uint64_t id = state_.v.id();
+    return cfg_.finalize_output ? prng::splitmix64_mix(id) : id;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "walk-on-" + feeder_name_;
+  }
+
+  [[nodiscard]] std::unique_ptr<prng::Generator> clone_reseeded(
+      std::uint64_t seed) const override {
+    return std::make_unique<FeederWalkStream>(seed, cfg_, feeder_name_);
+  }
+
+ private:
+  void refill(std::uint64_t bits) {
+    const std::uint64_t words = expander::BitReader::words_needed(bits, 1);
+    HPRNG_CHECK(words <= bin_.size(), "walk length exceeds the feed ring");
+    for (std::uint64_t w = 0; w < words; ++w) {
+      bin_[w] = feeder_->next_u32();
+    }
+    reader_ = expander::BitReader{
+        std::span<const std::uint32_t>(bin_.data(),
+                                       static_cast<std::size_t>(words))};
+  }
+
+  CpuWalkConfig cfg_;
+  std::string feeder_name_;
+  std::unique_ptr<prng::Generator> feeder_;
+  expander::WalkState state_;
+  std::array<std::uint32_t, 32> bin_{};
+  expander::BitReader reader_;
+};
+
+}  // namespace
+
+std::unique_ptr<prng::Generator> make_hybrid_stream(std::uint64_t seed,
+                                                    CpuWalkConfig cfg) {
+  return std::make_unique<HybridStream>(seed, cfg);
+}
+
+std::unique_ptr<prng::Generator> make_walk_stream_with_feeder(
+    std::uint64_t seed, CpuWalkConfig cfg, const std::string& feeder_name) {
+  return std::make_unique<FeederWalkStream>(seed, cfg, feeder_name);
+}
+
+std::unique_ptr<prng::Generator> make_quality_generator(
+    const std::string& name, std::uint64_t seed) {
+  if (name == CpuWalkPrng::kName) {
+    return make_hybrid_stream(seed, CpuWalkConfig{});
+  }
+  const std::string prefix = std::string(CpuWalkPrng::kName) + "-l";
+  if (name.rfind(prefix, 0) == 0) {
+    CpuWalkConfig cfg;
+    cfg.walk_len = std::atoi(name.c_str() + prefix.size());
+    HPRNG_CHECK(cfg.walk_len >= 1 && cfg.walk_len <= 128,
+                "hybrid-prng-l<k> needs 1 <= k <= 128");
+    return make_hybrid_stream(seed, cfg);
+  }
+  return prng::make_by_name(name, seed);
+}
+
+std::vector<std::string> table2_generators() {
+  // Table II rows: Hybrid PRNG, CUDPP RAND, M. Twister, CURAND, glibc rand().
+  return {"hybrid-prng", "cudpp-md5", "mt19937", "xorwow", "glibc-rand"};
+}
+
+}  // namespace hprng::core

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cpu_walk_prng.hpp"
+#include "prng/generator.hpp"
+
+namespace hprng::core {
+
+/// Generator factory covering both the prng/ baselines and the hybrid
+/// expander-walk stream, for the quality batteries (Tables II/III).
+/// Accepts every prng::make_by_name() name plus "hybrid-prng" (default
+/// config) and "hybrid-prng-l<k>" (walk length k, e.g. "hybrid-prng-l4").
+std::unique_ptr<prng::Generator> make_quality_generator(
+    const std::string& name, std::uint64_t seed);
+
+/// The same, constructing the hybrid stream with an explicit config.
+std::unique_ptr<prng::Generator> make_hybrid_stream(std::uint64_t seed,
+                                                    CpuWalkConfig cfg);
+
+/// A walk stream fed by an arbitrary registered generator instead of the
+/// default glibc LCG — the Sec. IV-C quality-improvement experiment
+/// ("our technique can be seen as improving the quality of a naive random
+/// number generator"). See bench/ablation_feeder.
+std::unique_ptr<prng::Generator> make_walk_stream_with_feeder(
+    std::uint64_t seed, CpuWalkConfig cfg, const std::string& feeder_name);
+
+/// Generator line-up of Table II, in the paper's row order.
+std::vector<std::string> table2_generators();
+
+}  // namespace hprng::core

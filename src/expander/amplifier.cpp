@@ -1,0 +1,74 @@
+#include "expander/amplifier.hpp"
+
+#include <vector>
+
+#include "expander/bit_reader.hpp"
+#include "expander/gabber_galil.hpp"
+#include "expander/walk.hpp"
+#include "prng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace hprng::expander {
+
+bool in_bad_set(std::uint64_t seed, double beta) {
+  // Threshold a strong mix of the seed: a pseudo-random density-beta set.
+  const double u =
+      static_cast<double>(prng::splitmix64_mix(seed) >> 11) * 0x1.0p-53;
+  return u < beta;
+}
+
+AmplifierResult amplify_independent(prng::Generator& rng, double beta,
+                                    int k, int trials) {
+  HPRNG_CHECK(k >= 1 && trials >= 1, "amplifier needs k, trials >= 1");
+  AmplifierResult r;
+  r.bits_per_trial = 64ull * static_cast<std::uint64_t>(k);
+  std::uint64_t bad_samples = 0;
+  int failures = 0;
+  for (int t = 0; t < trials; ++t) {
+    int bad = 0;
+    for (int i = 0; i < k; ++i) {
+      if (in_bad_set(rng.next_u64(), beta)) ++bad;
+    }
+    bad_samples += static_cast<std::uint64_t>(bad);
+    if (2 * bad > k) ++failures;
+  }
+  r.failure_rate = static_cast<double>(failures) / trials;
+  r.observed_beta = static_cast<double>(bad_samples) /
+                    (static_cast<double>(trials) * k);
+  return r;
+}
+
+AmplifierResult amplify_walk(prng::Generator& rng, double beta, int k,
+                             int steps_per_sample, int trials) {
+  HPRNG_CHECK(k >= 1 && trials >= 1, "amplifier needs k, trials >= 1");
+  HPRNG_CHECK(steps_per_sample >= 1, "need at least one step per sample");
+  AmplifierResult r;
+  const std::uint64_t walk_bits =
+      3ull * static_cast<std::uint64_t>(steps_per_sample) *
+      static_cast<std::uint64_t>(k - 1);
+  r.bits_per_trial = 64 + walk_bits;
+
+  const std::uint64_t words = BitReader::words_needed(walk_bits, 1);
+  std::vector<std::uint32_t> bin(words);
+  std::uint64_t bad_samples = 0;
+  int failures = 0;
+  for (int t = 0; t < trials; ++t) {
+    WalkState s{Vertex::from_id(rng.next_u64()), Side::X};
+    for (auto& w : bin) w = rng.next_u32();
+    BitReader bits{std::span<const std::uint32_t>(bin)};
+    int bad = in_bad_set(s.v.id(), beta) ? 1 : 0;
+    for (int i = 1; i < k; ++i) {
+      walk(s, bits, steps_per_sample, NeighborPolicy::kMod7,
+           WalkMode::kForwardOnly);
+      if (in_bad_set(s.v.id(), beta)) ++bad;
+    }
+    bad_samples += static_cast<std::uint64_t>(bad);
+    if (2 * bad > k) ++failures;
+  }
+  r.failure_rate = static_cast<double>(failures) / trials;
+  r.observed_beta = static_cast<double>(bad_samples) /
+                    (static_cast<double>(trials) * k);
+  return r;
+}
+
+}  // namespace hprng::expander

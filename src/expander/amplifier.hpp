@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "prng/generator.hpp"
+
+namespace hprng::expander {
+
+/// Probability amplification by expander walks (the Sec. IV-C connection,
+/// cf. Motwani & Raghavan [21], Hoory-Linial-Wigderson [11]).
+///
+/// Model: a randomized procedure errs exactly when its 64-bit seed lands in
+/// a "bad set" B of density beta < 1/2 (membership is a pseudo-random
+/// indicator so the experiment is reproducible). Running the procedure k
+/// times and taking a majority vote drives the error down exponentially in
+/// k — but k independent runs need 64 k fresh bits, while k samples read
+/// off one expander walk need 64 + 3 * steps * (k - 1): the walk *recycles*
+/// randomness, which is the theoretical seed of the paper's construction.
+struct AmplifierResult {
+  /// Fraction of trials whose majority vote landed bad.
+  double failure_rate = 0.0;
+  /// Random bits consumed per trial.
+  std::uint64_t bits_per_trial = 0;
+  /// Single-sample bad probability actually observed (sanity: ~beta).
+  double observed_beta = 0.0;
+};
+
+/// Majority over k independent 64-bit seeds.
+AmplifierResult amplify_independent(prng::Generator& rng, double beta,
+                                    int k, int trials);
+
+/// Majority over k positions of one expander walk, `steps_per_sample`
+/// steps apart (3 bits each).
+AmplifierResult amplify_walk(prng::Generator& rng, double beta, int k,
+                             int steps_per_sample, int trials);
+
+/// The pseudo-random bad-set indicator (exposed for tests).
+bool in_bad_set(std::uint64_t seed, double beta);
+
+}  // namespace hprng::expander

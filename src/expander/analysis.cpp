@@ -1,0 +1,129 @@
+#include "expander/analysis.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace hprng::expander {
+
+SmallGraphAnalysis::SmallGraphAnalysis(std::uint32_t m) : g_(m) {
+  HPRNG_CHECK(m >= 2 && m <= 256, "analysis instances must satisfy 2<=m<=256");
+}
+
+void SmallGraphAnalysis::apply_step(const std::vector<double>& in,
+                                    std::vector<double>& out,
+                                    Side from) const {
+  const std::uint64_t n = g_.side_size();
+  out.assign(n, 0.0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (in[i] == 0.0) continue;
+    const double mass = in[i] / GabberGalilSmall::kDegree;
+    const Vertex v = g_.vertex(i);
+    for (int k = 0; k < GabberGalilSmall::kDegree; ++k) {
+      out[g_.index(g_.neighbor(v, k, from))] += mass;
+    }
+  }
+}
+
+double SmallGraphAnalysis::second_singular_value(int iters) const {
+  const std::uint64_t n = g_.side_size();
+  // Power iteration on M = (B^T B)/d^2 where B is the X->Y biadjacency.
+  // M's top eigenvector is all-ones (eigenvalue 1); deflate it and iterate.
+  std::vector<double> v(n), tmp(n), w(n);
+  // Deterministic non-uniform start.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    v[i] = std::sin(0.7 * static_cast<double>(i + 1)) + 1e-3;
+  }
+  auto deflate = [&](std::vector<double>& u) {
+    const double mean =
+        std::accumulate(u.begin(), u.end(), 0.0) / static_cast<double>(n);
+    for (auto& x : u) x -= mean;
+  };
+  auto normalize = [&](std::vector<double>& u) {
+    double norm2 = 0;
+    for (double x : u) norm2 += x * x;
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (auto& x : u) x *= inv;
+    return std::sqrt(norm2);
+  };
+  deflate(v);
+  normalize(v);
+  double lambda = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    apply_step(v, tmp, Side::X);   // tmp = (B/d)   v
+    apply_step(tmp, w, Side::Y);   // w   = (B^T/d) tmp
+    deflate(w);
+    lambda = normalize(w);
+    v.swap(w);
+  }
+  // lambda approximates sigma_2^2; return sigma_2.
+  return std::sqrt(lambda);
+}
+
+double SmallGraphAnalysis::sampled_edge_expansion(prng::Generator& rng,
+                                                  int num_samples) const {
+  const std::uint64_t n_side = g_.side_size();
+  const std::uint64_t n_total = 2 * n_side;
+  double min_ratio = static_cast<double>(GabberGalilSmall::kDegree);
+  // Membership bitmaps: [0, n_side) = side X, [n_side, 2 n_side) = side Y.
+  std::vector<char> in_u(n_total);
+  for (int s = 0; s < num_samples; ++s) {
+    // Random subset size in [1, n_total/2].
+    const std::uint64_t size = 1 + rng.next_below(n_total / 2);
+    std::fill(in_u.begin(), in_u.end(), 0);
+    std::uint64_t placed = 0;
+    while (placed < size) {
+      const std::uint64_t pick = rng.next_below(n_total);
+      if (!in_u[pick]) {
+        in_u[pick] = 1;
+        ++placed;
+      }
+    }
+    // Count boundary edges: iterate over X-side vertices' forward edges
+    // (each undirected edge appears exactly once this way).
+    std::uint64_t cut = 0;
+    for (std::uint64_t i = 0; i < n_side; ++i) {
+      const Vertex v = g_.vertex(i);
+      for (int k = 0; k < GabberGalilSmall::kDegree; ++k) {
+        const std::uint64_t j = n_side + g_.index(g_.neighbor_forward(v, k));
+        if (in_u[i] != in_u[j]) ++cut;
+      }
+    }
+    min_ratio = std::min(
+        min_ratio, static_cast<double>(cut) / static_cast<double>(size));
+  }
+  return min_ratio;
+}
+
+double SmallGraphAnalysis::tv_distance_after(int steps) const {
+  const std::uint64_t n = g_.side_size();
+  std::vector<double> dist(n, 0.0), next;
+  dist[0] = 1.0;  // start at vertex (0,0) on side X
+  Side side = Side::X;
+  for (int s = 0; s < steps; ++s) {
+    apply_step(dist, next, side);
+    dist.swap(next);
+    side = side == Side::X ? Side::Y : Side::X;
+  }
+  const double uniform = 1.0 / static_cast<double>(n);
+  double tv = 0.0;
+  for (double p : dist) tv += std::abs(p - uniform);
+  return tv / 2.0;
+}
+
+bool SmallGraphAnalysis::check_regular_and_invertible() const {
+  const std::uint64_t n = g_.side_size();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Vertex v = g_.vertex(i);
+    for (int k = 0; k < GabberGalilSmall::kDegree; ++k) {
+      const Vertex fwd = g_.neighbor_forward(v, k);
+      const Vertex back = g_.neighbor_backward(fwd, k);
+      if (!(back == v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hprng::expander

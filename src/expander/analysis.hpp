@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "expander/gabber_galil.hpp"
+#include "prng/generator.hpp"
+
+namespace hprng::expander {
+
+/// Analysis utilities on explicit small Gabber-Galil instances. These back
+/// the property tests ("the graph we walk on really is an expander") and the
+/// mixing-time study referenced by DESIGN.md.
+class SmallGraphAnalysis {
+ public:
+  explicit SmallGraphAnalysis(std::uint32_t m);
+
+  /// Number of vertices per side (m^2).
+  [[nodiscard]] std::uint64_t n() const { return g_.side_size(); }
+  [[nodiscard]] const GabberGalilSmall& graph() const { return g_; }
+
+  /// Second singular value of the normalised bipartite adjacency B/d,
+  /// computed by power iteration on (B^T B)/d^2 deflated against the
+  /// all-ones vector. For an expander this is bounded away from 1.
+  [[nodiscard]] double second_singular_value(int iters = 200) const;
+
+  /// Monte-Carlo lower-bound estimate of the edge expansion: samples random
+  /// vertex subsets of each tested size, returns the minimum observed
+  /// |E(U, ~U)| / |U|. (A sampled minimum is an upper bound on alpha(G);
+  /// for the test suite we check it stays above the Gabber-Galil constant.)
+  [[nodiscard]] double sampled_edge_expansion(prng::Generator& rng,
+                                              int num_samples = 200) const;
+
+  /// Total-variation distance between the distribution of an alternating
+  /// walk of length `steps` started at vertex 0 and the uniform distribution
+  /// over the side the walk ends on. Exact (evolves the full distribution).
+  [[nodiscard]] double tv_distance_after(int steps) const;
+
+  /// Degree-regularity check: true iff every vertex has out-degree 7 in the
+  /// forward direction and the backward maps invert the forward maps.
+  [[nodiscard]] bool check_regular_and_invertible() const;
+
+ private:
+  /// Apply one forward transition of the walk operator to a distribution
+  /// over side X (result over side Y), or backward for Y -> X.
+  void apply_step(const std::vector<double>& in, std::vector<double>& out,
+                  Side from) const;
+
+  GabberGalilSmall g_;
+};
+
+}  // namespace hprng::expander

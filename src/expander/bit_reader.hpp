@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/check.hpp"
+
+namespace hprng::expander {
+
+/// Sequential reader of small bit groups from a pre-generated word buffer —
+/// the device-side view of the `bin` stream the host feeds (Algorithms 1/2:
+/// `b(u) = bin(t) & (111 << i*3)`). Words are consumed little-end first.
+class BitReader {
+ public:
+  BitReader() = default;
+  explicit BitReader(std::span<const std::uint32_t> words) : words_(words) {}
+
+  /// Read `n` bits (1..24). Returns them right-aligned. Reading past the end
+  /// of the buffer is a contract violation: the feeder sizing is exact.
+  std::uint32_t read(int n) {
+    HPRNG_CHECK(n >= 1 && n <= 24, "BitReader::read supports 1..24 bits");
+    if (avail_ < n) refill();
+    HPRNG_CHECK(avail_ >= n, "bit stream exhausted");
+    const std::uint32_t v = static_cast<std::uint32_t>(acc_) &
+                            ((1u << n) - 1u);
+    acc_ >>= n;
+    avail_ -= n;
+    return v;
+  }
+
+  /// Bits still readable (buffered plus unconsumed words).
+  [[nodiscard]] std::uint64_t bits_left() const {
+    return static_cast<std::uint64_t>(avail_) +
+           32ull * (words_.size() - pos_);
+  }
+
+  /// Words needed to serve `draws` reads of `bits_per_draw` bits through this
+  /// reader (used by the host feeder to size buffers exactly).
+  static std::uint64_t words_needed(std::uint64_t draws, int bits_per_draw) {
+    return (draws * static_cast<std::uint64_t>(bits_per_draw) + 31) / 32;
+  }
+
+ private:
+  void refill() {
+    while (avail_ <= 32 && pos_ < words_.size()) {
+      acc_ |= static_cast<std::uint64_t>(words_[pos_++]) << avail_;
+      avail_ += 32;
+    }
+  }
+
+  std::span<const std::uint32_t> words_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int avail_ = 0;
+};
+
+}  // namespace hprng::expander

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hprng::expander {
+
+/// A vertex of the Gabber-Galil expander: a pair (x, y) in Z_m x Z_m.
+/// For the full-size graph of the paper m = 2^32, so a vertex is exactly one
+/// 64-bit word — the value the PRNG emits.
+struct Vertex {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+
+  [[nodiscard]] std::uint64_t id() const {
+    return (static_cast<std::uint64_t>(x) << 32) | y;
+  }
+  static Vertex from_id(std::uint64_t id) {
+    return {static_cast<std::uint32_t>(id >> 32),
+            static_cast<std::uint32_t>(id)};
+  }
+  friend bool operator==(const Vertex&, const Vertex&) = default;
+};
+
+/// Which side of the bipartition a walk currently occupies. The Gabber-Galil
+/// construction is bipartite (X -> Y); edge k from X to Y applies the affine
+/// map below, and the step back from Y to X applies its inverse.
+enum class Side : std::uint8_t { X = 0, Y = 1 };
+
+/// The 7-regular Gabber-Galil expander on n = 2 m^2 vertices with m = 2^32
+/// (the paper's n = 2^65 instance). All arithmetic is mod 2^32, i.e. natural
+/// uint32 wraparound, which is why this graph is *implicit*: neighbours are
+/// computed, never stored.
+///
+/// Neighbours of (x, y) in X, per Gabber & Galil (FOCS'79) as quoted in the
+/// paper: (x, y), (x, 2x+y), (x, 2x+y+1), (x, 2x+y+2),
+///        (x+2y, y), (x+2y+1, y), (x+2y+2, y).
+struct GabberGalilFull {
+  static constexpr int kDegree = 7;
+
+  /// k-th neighbour in the forward (X -> Y) direction. Preconditions:
+  /// 0 <= k < 7 (checked in debug by the walk layer, hot path here).
+  static Vertex neighbor_forward(Vertex v, int k) {
+    switch (k) {
+      case 0: return v;
+      case 1: return {v.x, 2 * v.x + v.y};
+      case 2: return {v.x, 2 * v.x + v.y + 1};
+      case 3: return {v.x, 2 * v.x + v.y + 2};
+      case 4: return {v.x + 2 * v.y, v.y};
+      case 5: return {v.x + 2 * v.y + 1, v.y};
+      default: return {v.x + 2 * v.y + 2, v.y};
+    }
+  }
+
+  /// k-th neighbour in the backward (Y -> X) direction: the inverse affine
+  /// maps, so that the alternating walk is a genuine walk on the undirected
+  /// bipartite graph.
+  static Vertex neighbor_backward(Vertex v, int k) {
+    switch (k) {
+      case 0: return v;
+      case 1: return {v.x, v.y - 2 * v.x};
+      case 2: return {v.x, v.y - 2 * v.x - 1};
+      case 3: return {v.x, v.y - 2 * v.x - 2};
+      case 4: return {v.x - 2 * v.y, v.y};
+      case 5: return {v.x - 2 * v.y - 1, v.y};
+      default: return {v.x - 2 * v.y - 2, v.y};
+    }
+  }
+
+  static Vertex neighbor(Vertex v, int k, Side side) {
+    return side == Side::X ? neighbor_forward(v, k) : neighbor_backward(v, k);
+  }
+};
+
+/// The same construction with an explicit small modulus m, used for the
+/// analysis suite (spectral gap, mixing time, degree/expansion tests) where
+/// we need graphs small enough to enumerate.
+class GabberGalilSmall {
+ public:
+  static constexpr int kDegree = 7;
+
+  explicit GabberGalilSmall(std::uint32_t m) : m_(m) {}
+
+  [[nodiscard]] std::uint32_t m() const { return m_; }
+  /// Vertices per side (m^2); the bipartite graph has 2 m^2 vertices total.
+  [[nodiscard]] std::uint64_t side_size() const {
+    return static_cast<std::uint64_t>(m_) * m_;
+  }
+
+  [[nodiscard]] Vertex neighbor_forward(Vertex v, int k) const {
+    const std::uint64_t x = v.x, y = v.y;
+    switch (k) {
+      case 0: return v;
+      case 1: return {v.x, mod(2 * x + y)};
+      case 2: return {v.x, mod(2 * x + y + 1)};
+      case 3: return {v.x, mod(2 * x + y + 2)};
+      case 4: return {mod(x + 2 * y), v.y};
+      case 5: return {mod(x + 2 * y + 1), v.y};
+      default: return {mod(x + 2 * y + 2), v.y};
+    }
+  }
+
+  [[nodiscard]] Vertex neighbor_backward(Vertex v, int k) const {
+    const std::uint64_t x = v.x, y = v.y;
+    const std::uint64_t mm = m_;
+    switch (k) {
+      case 0: return v;
+      case 1: return {v.x, mod(y + 2 * (mm - mod(x)) )};
+      case 2: return {v.x, mod(y + 2 * (mm - mod(x)) + 2 * mm - 1)};
+      case 3: return {v.x, mod(y + 2 * (mm - mod(x)) + 2 * mm - 2)};
+      case 4: return {mod(x + 2 * (mm - mod(y))), v.y};
+      case 5: return {mod(x + 2 * (mm - mod(y)) + 2 * mm - 1), v.y};
+      default: return {mod(x + 2 * (mm - mod(y)) + 2 * mm - 2), v.y};
+    }
+  }
+
+  [[nodiscard]] Vertex neighbor(Vertex v, int k, Side side) const {
+    return side == Side::X ? neighbor_forward(v, k) : neighbor_backward(v, k);
+  }
+
+  /// Linear index of a vertex within one side: x * m + y.
+  [[nodiscard]] std::uint64_t index(Vertex v) const {
+    return static_cast<std::uint64_t>(v.x) * m_ + v.y;
+  }
+  [[nodiscard]] Vertex vertex(std::uint64_t idx) const {
+    return {static_cast<std::uint32_t>(idx / m_),
+            static_cast<std::uint32_t>(idx % m_)};
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t mod(std::uint64_t v) const {
+    return static_cast<std::uint32_t>(v % m_);
+  }
+
+  std::uint32_t m_;
+};
+
+/// Gabber-Galil edge-expansion constant alpha(G) = (2 - sqrt(3)) / 2.
+inline constexpr double kGabberGalilExpansion = 0.1339745962155613;
+
+}  // namespace hprng::expander

@@ -1,0 +1,22 @@
+#include "expander/walk.hpp"
+
+namespace hprng::expander {
+
+const char* to_string(NeighborPolicy p) {
+  switch (p) {
+    case NeighborPolicy::kMod7: return "mod7";
+    case NeighborPolicy::kRejection: return "rejection";
+    case NeighborPolicy::kSevenStays: return "seven-stays";
+  }
+  return "?";
+}
+
+const char* to_string(WalkMode m) {
+  switch (m) {
+    case WalkMode::kAlternating: return "alternating";
+    case WalkMode::kForwardOnly: return "forward-only";
+  }
+  return "?";
+}
+
+}  // namespace hprng::expander

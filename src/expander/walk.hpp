@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+
+#include "expander/bit_reader.hpp"
+#include "expander/gabber_galil.hpp"
+
+namespace hprng::expander {
+
+/// How a 3-bit draw (8 values) selects one of 7 neighbours.
+enum class NeighborPolicy : std::uint8_t {
+  /// k = b mod 7 — the constant-consumption mapping implied by the paper's
+  /// fixed "3 bits per step" budget. Neighbour 0 is selected with
+  /// probability 2/8; the walk still mixes (slightly slower). Default.
+  kMod7 = 0,
+  /// Redraw when b == 7 — exactly uniform, variable bit consumption.
+  kRejection = 1,
+  /// b == 7 means "stay put" (self loop), making the step an exactly uniform
+  /// choice over 8 options on the graph augmented with one more self loop.
+  kSevenStays = 2,
+};
+
+const char* to_string(NeighborPolicy p);
+
+/// How successive steps traverse the bipartite construction.
+enum class WalkMode : std::uint8_t {
+  /// Alternate forward/backward maps: a true walk on the undirected
+  /// bipartite graph. NOT the default for output quality: a backward step
+  /// choosing the same coordinate family as the preceding forward step
+  /// inverts it up to the small additive constant, so consecutive steps
+  /// nearly cancel and the outputs stay correlated. Kept as an ablation
+  /// mode (bench/ablation_walk_mode demonstrates the failure).
+  kAlternating = 0,
+  /// Always apply the forward map, as Algorithm 1/2's pseudocode literally
+  /// iterates f(u, b) — a Margulis-style walk whose composed affine maps
+  /// mix rapidly. Default.
+  kForwardOnly = 1,
+};
+
+const char* to_string(WalkMode m);
+
+/// State of one independent random walk on the full 2^65-node graph —
+/// the entire per-thread state of the hybrid PRNG (8 bytes + side bit).
+struct WalkState {
+  Vertex v;
+  Side side = Side::X;
+};
+
+/// Advance a walk one step, consuming 3 bits (more under kRejection).
+inline void step(WalkState& s, BitReader& bits, NeighborPolicy policy,
+                 WalkMode mode) {
+  std::uint32_t b = bits.read(3);
+  int k;
+  switch (policy) {
+    case NeighborPolicy::kMod7:
+      k = static_cast<int>(b >= 7 ? b - 7 : b);
+      break;
+    case NeighborPolicy::kRejection:
+      // Redraw on 7; if the (overprovisioned) stream still runs dry, fall
+      // back to the mod-7 mapping rather than aborting mid-walk.
+      while (b == 7 && bits.bits_left() >= 3) b = bits.read(3);
+      k = static_cast<int>(b >= 7 ? b - 7 : b);
+      break;
+    case NeighborPolicy::kSevenStays:
+    default:
+      if (b == 7) return;  // self loop: position unchanged
+      k = static_cast<int>(b);
+      break;
+  }
+  if (mode == WalkMode::kAlternating) {
+    s.v = GabberGalilFull::neighbor(s.v, k, s.side);
+    s.side = (s.side == Side::X) ? Side::Y : Side::X;
+  } else {
+    s.v = GabberGalilFull::neighbor_forward(s.v, k);
+  }
+}
+
+/// Advance a walk `len` steps. Under kRejection the redraw budget is the
+/// reader's slack beyond the 3 bits/step floor, so a walk never consumes
+/// more than what bits_for_walk() provisioned — an unlucky redraw tail
+/// degrades to the mod-7 mapping instead of exhausting the stream.
+inline void walk(WalkState& s, BitReader& bits, int len,
+                 NeighborPolicy policy, WalkMode mode) {
+  if (policy == NeighborPolicy::kRejection) {
+    const std::uint64_t floor_bits = 3ull * static_cast<std::uint64_t>(len);
+    std::uint64_t slack =
+        bits.bits_left() > floor_bits ? bits.bits_left() - floor_bits : 0;
+    for (int i = 0; i < len; ++i) {
+      std::uint32_t b = bits.read(3);
+      while (b == 7 && slack >= 3) {
+        b = bits.read(3);
+        slack -= 3;
+      }
+      const int k = static_cast<int>(b >= 7 ? b - 7 : b);
+      if (mode == WalkMode::kAlternating) {
+        s.v = GabberGalilFull::neighbor(s.v, k, s.side);
+        s.side = (s.side == Side::X) ? Side::Y : Side::X;
+      } else {
+        s.v = GabberGalilFull::neighbor_forward(s.v, k);
+      }
+    }
+    return;
+  }
+  for (int i = 0; i < len; ++i) step(s, bits, policy, mode);
+}
+
+/// Exact bit budget of `len` steps under a constant-consumption policy.
+/// (kRejection consumes 24/7 bits per step in expectation; callers using it
+/// must overprovision — words_for_walk applies a 1.5x safety factor.)
+inline std::uint64_t bits_for_walk(std::uint64_t len, NeighborPolicy policy) {
+  const std::uint64_t base = 3 * len;
+  return policy == NeighborPolicy::kRejection ? base + (base + 1) / 2 : base;
+}
+
+}  // namespace hprng::expander

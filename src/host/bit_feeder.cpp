@@ -1,0 +1,22 @@
+#include "host/bit_feeder.hpp"
+
+#include "prng/registry.hpp"
+
+namespace hprng::host {
+
+BitFeeder::BitFeeder(const sim::DeviceSpec& spec,
+                     const std::string& generator_name, std::uint64_t seed)
+    : gen_(prng::make_by_name(generator_name, seed)),
+      name_(generator_name),
+      ns_per_bit_(spec.host_ns_per_random_bit) {}
+
+double BitFeeder::fill(std::span<std::uint32_t> out) {
+  for (auto& w : out) w = gen_->next_u32();
+  return seconds_for_words(out.size());
+}
+
+double BitFeeder::seconds_for_words(std::size_t words) const {
+  return static_cast<double>(words) * 32.0 * ns_per_bit_ * 1e-9;
+}
+
+}  // namespace hprng::host

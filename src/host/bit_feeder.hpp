@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "prng/generator.hpp"
+#include "sim/spec.hpp"
+
+namespace hprng::host {
+
+/// The FEED work unit (Sec. IV-A): the host-side producer of raw random
+/// bits that drive the device walks. The paper uses glibc rand(); any
+/// registered generator can be plugged in (the quality ablation swaps it).
+///
+/// fill() does the real work (the words are genuinely produced here) and
+/// returns the simulated host time the production costs under the spec's
+/// host model, which is what the pipeline charges to the CPU resource.
+class BitFeeder {
+ public:
+  BitFeeder(const sim::DeviceSpec& spec, const std::string& generator_name,
+            std::uint64_t seed);
+
+  /// Produce words of random bits into `out`; returns simulated seconds.
+  double fill(std::span<std::uint32_t> out);
+
+  /// Simulated host seconds to produce `words` 32-bit words.
+  [[nodiscard]] double seconds_for_words(std::size_t words) const;
+
+  [[nodiscard]] const std::string& generator_name() const { return name_; }
+
+ private:
+  std::unique_ptr<prng::Generator> gen_;
+  std::string name_;
+  double ns_per_bit_;
+};
+
+}  // namespace hprng::host

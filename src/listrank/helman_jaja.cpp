@@ -1,0 +1,125 @@
+#include "listrank/helman_jaja.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hprng::listrank {
+namespace {
+
+constexpr double kWalkOpsPerNode = 90.0;   // dependent global loads
+constexpr double kApplyOpsPerNode = 20.0;  // one gather + add + store
+
+}  // namespace
+
+HelmanJajaResult helman_jaja_rank(sim::Device& device, const LinkedList& list,
+                                  prng::Generator& rng,
+                                  std::uint32_t num_splitters) {
+  const std::uint32_t n = list.size();
+  if (num_splitters == 0) {
+    num_splitters = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::sqrt(static_cast<double>(n))));
+  }
+  num_splitters = std::min(num_splitters, n);
+
+  // Choose distinct splitters; the head must be one so every node lands in
+  // exactly one sublist.
+  std::vector<std::uint32_t> splitters;
+  std::vector<char> is_splitter(n, 0);
+  splitters.push_back(list.head);
+  is_splitter[list.head] = 1;
+  while (splitters.size() < num_splitters) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(n));
+    if (!is_splitter[u]) {
+      is_splitter[u] = 1;
+      splitters.push_back(u);
+    }
+  }
+
+  sim::Buffer<std::uint32_t> succ(n), local_rank(n), sublist_of(n);
+  sim::Buffer<std::uint32_t> sublist_next(num_splitters);
+  sim::Buffer<std::uint32_t> sublist_len(num_splitters);
+  {
+    auto s = succ.device_span();
+    for (std::uint32_t i = 0; i < n; ++i) s[i] = list.succ[i];
+  }
+
+  sim::Stream stream;
+  const double sim_start = device.engine().now();
+
+  // Kernel 1: each splitter walks until the next splitter (or the tail),
+  // writing local ranks and its sublist id; records which sublist follows.
+  const std::uint32_t walk_budget = n;  // worst case: one giant sublist
+  device.launch(
+      stream, "Walk", num_splitters,
+      sim::KernelCost{kWalkOpsPerNode * static_cast<double>(walk_budget) /
+                          num_splitters,
+                      12.0 * static_cast<double>(walk_budget) /
+                          num_splitters},
+      [&, s = succ.device_span(), lr = local_rank.device_span(),
+       so = sublist_of.device_span(), nx = sublist_next.device_span(),
+       ln = sublist_len.device_span()](std::uint64_t tid) {
+        const std::uint32_t start = splitters[static_cast<std::size_t>(tid)];
+        std::uint32_t u = start;
+        std::uint32_t r = 0;
+        for (;;) {
+          lr[u] = r++;
+          so[u] = static_cast<std::uint32_t>(tid);
+          const std::uint32_t next = s[u];
+          if (next == kNil || is_splitter[next]) {
+            nx[static_cast<std::size_t>(tid)] =
+                next == kNil ? kNil : next;
+            ln[static_cast<std::size_t>(tid)] = r;
+            break;
+          }
+          u = next;
+        }
+      });
+
+  // Host step: rank the list of sublists (s entries, sequential).
+  std::vector<std::uint32_t> offset(num_splitters, 0);
+  device.host_task(
+      stream, "RankSublists", 50e-9 * num_splitters,
+      [&, nx = sublist_next.device_span(), ln = sublist_len.device_span()] {
+        // Map each splitter node -> its sublist index.
+        std::vector<std::uint32_t> sublist_of_splitter(n, kNil);
+        for (std::uint32_t i = 0; i < num_splitters; ++i) {
+          sublist_of_splitter[splitters[i]] = i;
+        }
+        std::uint32_t cur = 0;  // sublist of the head (splitters[0])
+        std::uint32_t acc = 0;
+        for (std::uint32_t count = 0; count < num_splitters; ++count) {
+          offset[cur] = acc;
+          acc += ln[cur];
+          const std::uint32_t next_node = nx[cur];
+          if (next_node == kNil) break;
+          cur = sublist_of_splitter[next_node];
+        }
+        HPRNG_CHECK(acc == n, "sublists must cover the whole list");
+      });
+
+  // Kernel 2: global rank = sublist offset + local rank.
+  sim::Buffer<std::uint32_t> rank_buf(n);
+  device.launch(stream, "Apply", n, sim::KernelCost{kApplyOpsPerNode, 12.0},
+                [&, lr = local_rank.device_span(),
+                 so = sublist_of.device_span(),
+                 out = rank_buf.device_span()](std::uint64_t tid) {
+                  const auto i = static_cast<std::size_t>(tid);
+                  out[i] = offset[so[i]] + lr[i];
+                });
+  device.synchronize();
+
+  HelmanJajaResult result;
+  result.sim_seconds = device.engine().now() - sim_start;
+  result.num_splitters = num_splitters;
+  {
+    auto ln = sublist_len.device_span();
+    result.max_sublist = *std::max_element(ln.begin(), ln.end());
+  }
+  result.ranks.assign(rank_buf.device_span().begin(),
+                      rank_buf.device_span().end());
+  return result;
+}
+
+}  // namespace hprng::listrank

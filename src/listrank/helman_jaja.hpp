@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "listrank/list.hpp"
+#include "prng/generator.hpp"
+#include "sim/device.hpp"
+
+namespace hprng::listrank {
+
+/// Helman-JaJa list ranking [10]: s random splitters decompose the list
+/// into sublists; each splitter walks its sublist accumulating local ranks;
+/// the (short) list of sublists is ranked sequentially; a final pass adds
+/// the sublist offsets. This is the Phase-II algorithm of [3] and a useful
+/// standalone ranker when n is moderate.
+struct HelmanJajaResult {
+  std::vector<std::uint32_t> ranks;
+  double sim_seconds = 0.0;
+  std::uint32_t num_splitters = 0;
+  /// Length of the longest sublist (the walk kernel's load imbalance).
+  std::uint32_t max_sublist = 0;
+};
+
+/// @param num_splitters 0 = auto (about sqrt(n)).
+HelmanJajaResult helman_jaja_rank(sim::Device& device, const LinkedList& list,
+                                  prng::Generator& rng,
+                                  std::uint32_t num_splitters = 0);
+
+}  // namespace hprng::listrank

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hybrid_prng.hpp"
+#include "listrank/list.hpp"
+#include "sim/device.hpp"
+
+namespace hprng::listrank {
+
+/// Where the FIS coin flips of Algorithm 3 come from — the three series of
+/// Figure 7.
+enum class RngStrategy {
+  /// "Hybrid Time (Our PRNG)": on-demand draws, exactly as many as there
+  /// are surviving nodes each iteration (Algorithm 3, line 6).
+  kOnDemandHybrid,
+  /// "Hybrid Time (glibc rand)": the approach of [3] — the CPU pre-generates
+  /// a conservative upper bound of random words per iteration (it cannot
+  /// know the surviving count without a readback) and ships them over PCIe.
+  kPregenHostGlibc,
+  /// "Pure GPU MT": the whole iteration's randomness is batch-generated on
+  /// the GPU by per-thread Mersenne twisters; the CPU idles.
+  kPregenDeviceMt,
+};
+
+const char* to_string(RngStrategy s);
+
+/// Outcome of the reduction phase (Phase I of the 3-phase algorithm).
+struct ReduceStats {
+  double sim_seconds = 0.0;
+  int iterations = 0;
+  std::uint32_t remaining_nodes = 0;
+  /// Random words actually consumed vs provisioned (the on-demand win).
+  std::uint64_t random_words_used = 0;
+  std::uint64_t random_words_provisioned = 0;
+};
+
+/// Full result of 3-phase hybrid list ranking.
+struct RankResult {
+  std::vector<std::uint32_t> ranks;
+  ReduceStats reduce;         // Phase I
+  double phase2_sim_seconds = 0.0;
+  double phase3_sim_seconds = 0.0;
+  [[nodiscard]] double total_sim_seconds() const {
+    return reduce.sim_seconds + phase2_sim_seconds + phase3_sim_seconds;
+  }
+};
+
+/// The paper's Application I: 3-phase hybrid list ranking [3] with the FIS
+/// reduction of Algorithm 3 driven by a pluggable randomness strategy.
+///
+/// Phase I repeatedly removes a fractional independent set (b(u)=1 and both
+/// neighbours 0) until <= n / log2(n) nodes remain; Phase II ranks the
+/// remainder (Helman-JaJa, as in [3]); Phase III re-inserts the removed
+/// nodes iteration group by iteration group in reverse.
+class HybridListRanker {
+ public:
+  /// @param hybrid required for kOnDemandHybrid (may be null otherwise).
+  HybridListRanker(sim::Device& device, core::HybridPrng* hybrid,
+                   RngStrategy strategy, std::uint64_t seed);
+
+  /// Rank the list; exact ranks plus per-phase simulated timings.
+  RankResult rank(const LinkedList& list);
+
+  /// Phase I only (what Figure 7 plots).
+  ReduceStats reduce_only(const LinkedList& list);
+
+ private:
+  struct Reduction;
+  /// Shared Phase-I machinery; fills the removal log used by Phase III.
+  ReduceStats reduce_impl(const LinkedList& list, Reduction& red);
+
+  sim::Device& device_;
+  core::HybridPrng* hybrid_;
+  RngStrategy strategy_;
+  std::uint64_t seed_;
+};
+
+}  // namespace hprng::listrank

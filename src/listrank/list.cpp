@@ -1,0 +1,58 @@
+#include "listrank/list.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace hprng::listrank {
+
+LinkedList make_random_list(std::uint32_t n, prng::Generator& rng) {
+  HPRNG_CHECK(n >= 1, "list must have at least one node");
+  // order[k] = node at position k; Fisher-Yates with the supplied rng.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::uint32_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.next_below(i + 1));
+    std::swap(order[i], order[j]);
+  }
+  LinkedList list;
+  list.succ.assign(n, kNil);
+  list.pred.assign(n, kNil);
+  list.head = order[0];
+  for (std::uint32_t k = 0; k + 1 < n; ++k) {
+    list.succ[order[k]] = order[k + 1];
+    list.pred[order[k + 1]] = order[k];
+  }
+  return list;
+}
+
+LinkedList make_ordered_list(std::uint32_t n) {
+  HPRNG_CHECK(n >= 1, "list must have at least one node");
+  LinkedList list;
+  list.succ.resize(n);
+  list.pred.resize(n);
+  list.head = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    list.succ[i] = i + 1 < n ? i + 1 : kNil;
+    list.pred[i] = i > 0 ? i - 1 : kNil;
+  }
+  return list;
+}
+
+std::vector<std::uint32_t> sequential_rank(const LinkedList& list) {
+  std::vector<std::uint32_t> rank(list.size(), 0);
+  std::uint32_t r = 0;
+  for (std::uint32_t u = list.head; u != kNil; u = list.succ[u]) {
+    rank[u] = r++;
+  }
+  HPRNG_CHECK(r == list.size(), "list is not a single chain");
+  return rank;
+}
+
+bool verify_ranks(const LinkedList& list,
+                  const std::vector<std::uint32_t>& ranks) {
+  return ranks == sequential_rank(list);
+}
+
+}  // namespace hprng::listrank

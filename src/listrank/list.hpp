@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prng/generator.hpp"
+
+namespace hprng::listrank {
+
+/// Sentinel successor of the list tail.
+inline constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+/// A linked list of n nodes stored as a successor array (the layout used by
+/// all the parallel algorithms; the predecessor array is precomputed as the
+/// paper does before timing starts).
+struct LinkedList {
+  std::vector<std::uint32_t> succ;
+  std::vector<std::uint32_t> pred;
+  std::uint32_t head = 0;
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(succ.size());
+  }
+};
+
+/// Build a random list of n nodes: node identities are a random permutation
+/// of the positions, which gives the irregular memory-access pattern the
+/// paper calls "the most difficult to rank".
+LinkedList make_random_list(std::uint32_t n, prng::Generator& rng);
+
+/// An ordered list (node i precedes i+1): the easy, cache-friendly case,
+/// used in tests and as a bench contrast.
+LinkedList make_ordered_list(std::uint32_t n);
+
+/// Sequential reference ranking: rank[head] = 0, rank[succ(u)] = rank[u]+1.
+std::vector<std::uint32_t> sequential_rank(const LinkedList& list);
+
+/// True iff `ranks` equals the sequential ranking of `list`.
+bool verify_ranks(const LinkedList& list,
+                  const std::vector<std::uint32_t>& ranks);
+
+}  // namespace hprng::listrank

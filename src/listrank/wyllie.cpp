@@ -1,0 +1,74 @@
+#include "listrank/wyllie.hpp"
+
+#include <utility>
+
+namespace hprng::listrank {
+namespace {
+
+/// Per-node issue cost of one pointer-jumping step: two dependent global
+/// loads (succ, rank of succ) dominate; same calibration altitude as the
+/// walk kernel in core/calibration.hpp.
+constexpr double kJumpOpsPerNode = 90.0;
+
+}  // namespace
+
+WyllieResult wyllie_rank(sim::Device& device, const LinkedList& list) {
+  const std::uint32_t n = list.size();
+  // Double-buffered rank/successor arrays (pointer jumping writes must not
+  // race with reads of the same iteration).
+  sim::Buffer<std::uint64_t> rank[2]{sim::Buffer<std::uint64_t>(n),
+                                     sim::Buffer<std::uint64_t>(n)};
+  sim::Buffer<std::uint32_t> succ[2]{sim::Buffer<std::uint32_t>(n),
+                                     sim::Buffer<std::uint32_t>(n)};
+  {
+    auto r = rank[0].device_span();
+    auto s = succ[0].device_span();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      // Distance to end-of-list formulation: rank counts the hops this
+      // node's pointer currently represents.
+      r[i] = list.succ[i] == kNil ? 0 : 1;
+      s[i] = list.succ[i];
+    }
+  }
+
+  sim::Stream stream;
+  const double sim_start = device.engine().now();
+  int iterations = 0;
+  int cur = 0;
+  // ceil(log2(n)) jumping rounds always suffice.
+  for (std::uint32_t span = 1; span < n; span *= 2, ++iterations) {
+    const int nxt = cur ^ 1;
+    device.launch(
+        stream, "Jump", n,
+        sim::KernelCost{kJumpOpsPerNode, 24.0},
+        [rin = rank[cur].device_span(), sin = succ[cur].device_span(),
+         rout = rank[nxt].device_span(),
+         sout = succ[nxt].device_span()](std::uint64_t tid) {
+          const auto i = static_cast<std::size_t>(tid);
+          const std::uint32_t s = sin[i];
+          if (s == kNil) {
+            rout[i] = rin[i];
+            sout[i] = kNil;
+          } else {
+            rout[i] = rin[i] + rin[s];
+            sout[i] = sin[s];
+          }
+        });
+    cur = nxt;
+  }
+  device.synchronize();
+
+  WyllieResult result;
+  result.sim_seconds = device.engine().now() - sim_start;
+  result.iterations = iterations;
+  result.ranks.resize(n);
+  auto r = rank[cur].device_span();
+  // rank currently holds distance-to-tail; convert to distance-from-head.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    result.ranks[i] = static_cast<std::uint32_t>(
+        (n - 1) - static_cast<std::uint32_t>(r[i]));
+  }
+  return result;
+}
+
+}  // namespace hprng::listrank

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <vector>
+
+#include "listrank/list.hpp"
+#include "sim/device.hpp"
+
+namespace hprng::listrank {
+
+/// Wyllie's pointer-jumping list ranking [31]: O(n log n) work, the
+/// classical GPU baseline. Runs on the device simulator; returned ranks are
+/// exact. Also reports the simulated seconds of the kernel sequence.
+struct WyllieResult {
+  std::vector<std::uint32_t> ranks;
+  double sim_seconds = 0.0;
+  int iterations = 0;
+};
+
+WyllieResult wyllie_rank(sim::Device& device, const LinkedList& list);
+
+}  // namespace hprng::listrank

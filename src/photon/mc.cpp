@@ -1,0 +1,388 @@
+#include "photon/mc.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "prng/mwc.hpp"
+#include "prng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace hprng::photon {
+namespace {
+
+/// Device issue cost of one photon interaction step (move + deposit +
+/// Henyey-Greenstein spin, including the transcendentals' SFU slots).
+constexpr double kPhotonStepOps = 300.0;
+/// Extra cost of a boundary crossing (Fresnel evaluation).
+constexpr double kCrossingOps = 80.0;
+/// Photons launched per slot per kernel round.
+constexpr int kLaunchesPerRound = 4;
+/// Initialisation draws per photon: weight + per-layer values that also
+/// seed the in-kernel stepping MWC (the paper's "values required at each
+/// layer").
+constexpr int kInitDrawsPerPhoton = 4;
+/// Serialisation penalty per weight clash (two photons with identical
+/// weights contending on the same tally atomics), charged to the device.
+constexpr double kClashPenaltyOps = 5000.0;
+/// Roulette parameters (classic MCML values).
+constexpr double kRouletteThreshold = 1e-4;
+constexpr double kRouletteSurvival = 0.1;
+
+double u01_from_u64(std::uint64_t v) {
+  return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+
+double u01_from_u32(std::uint32_t v) {
+  return (static_cast<double>(v) + 0.5) * 0x1.0p-32;
+}
+
+/// Sample the Henyey-Greenstein deflection cosine.
+double hg_cos_theta(double g, double u) {
+  if (std::abs(g) < 1e-6) return 2.0 * u - 1.0;
+  const double f = (1.0 - g * g) / (1.0 - g + 2.0 * g * u);
+  return (1.0 + g * g - f * f) / (2.0 * g);
+}
+
+/// Unpolarised Fresnel reflectance for incidence cosine ci (>=0) crossing
+/// n1 -> n2; on transmission *cos_t receives the refracted cosine.
+double fresnel_reflectance(double n1, double n2, double ci, double* cos_t) {
+  const double ratio = n1 / n2;
+  const double sin_t2 = ratio * ratio * (1.0 - ci * ci);
+  if (sin_t2 >= 1.0) return 1.0;  // total internal reflection
+  const double ct = std::sqrt(1.0 - sin_t2);
+  const double rs = (n1 * ci - n2 * ct) / (n1 * ci + n2 * ct);
+  const double rp = (n1 * ct - n2 * ci) / (n1 * ct + n2 * ci);
+  *cos_t = ct;
+  return 0.5 * (rs * rs + rp * rp);
+}
+
+struct Dir {
+  double x, y, z;
+};
+
+/// Rotate `d` by polar angle (cos = ct) and azimuth phi (standard MCML spin).
+Dir spin(Dir d, double ct, double phi) {
+  const double st = std::sqrt(std::max(0.0, 1.0 - ct * ct));
+  const double cp = std::cos(phi);
+  const double sp = std::sin(phi);
+  if (std::abs(d.z) > 0.99999) {
+    return {st * cp, st * sp, ct * (d.z >= 0 ? 1.0 : -1.0)};
+  }
+  const double denom = std::sqrt(1.0 - d.z * d.z);
+  Dir out;
+  out.x = st * (d.x * d.z * cp - d.y * sp) / denom + d.x * ct;
+  out.y = st * (d.y * d.z * cp + d.x * sp) / denom + d.y * ct;
+  out.z = -st * cp * denom + d.z * ct;
+  // Renormalise to contain drift over thousands of spins.
+  const double norm =
+      std::sqrt(out.x * out.x + out.y * out.y + out.z * out.z);
+  out.x /= norm;
+  out.y /= norm;
+  out.z /= norm;
+  return out;
+}
+
+/// Per-slot tallies accumulated entirely thread-locally (no atomics in the
+/// functional path; the clash penalty models the real kernel's atomics).
+struct SlotTally {
+  double launched_weight = 0.0;
+  double reflected = 0.0;
+  double transmitted = 0.0;
+  double absorbed = 0.0;
+  std::uint64_t steps = 0;
+  std::uint64_t photons = 0;
+};
+
+/// Simulate one photon to termination; returns charged device ops.
+double simulate_photon(const Tissue& tissue, double w0, prng::Mwc& mwc,
+                       SlotTally& tally) {
+  const auto& layers = tissue.layers;
+  double ops = 0.0;
+
+  tally.launched_weight += w0;
+  tally.photons += 1;
+
+  // Specular reflection at the ambient/top interface (pencil beam, ci = 1).
+  const double n0 = tissue.n_ambient;
+  const double n1 = layers[0].n;
+  const double rsp = ((n0 - n1) / (n0 + n1)) * ((n0 - n1) / (n0 + n1));
+  tally.reflected += w0 * rsp;
+  double w = w0 * (1.0 - rsp);
+
+  double z = 0.0;
+  Dir d{0.0, 0.0, 1.0};
+  int layer = 0;
+  std::uint64_t guard = 0;
+
+  while (true) {
+    HPRNG_CHECK(++guard < 1000000, "photon failed to terminate");
+    const Layer& L = layers[static_cast<std::size_t>(layer)];
+    // Sample the step length.
+    double s = -std::log(std::max(1e-12, u01_from_u32(mwc.next_u32()))) /
+               L.mu_t();
+    // Propagate with up to 4 boundary crossings per step (see DESIGN.md).
+    bool escaped = false;
+    for (int crossing = 0; crossing < 4 && s > 0.0; ++crossing) {
+      const Layer& cur = layers[static_cast<std::size_t>(layer)];
+      double boundary_dist;
+      if (d.z > 1e-12) {
+        boundary_dist = (cur.z1 - z) / d.z;
+      } else if (d.z < -1e-12) {
+        boundary_dist = (cur.z0 - z) / d.z;
+      } else {
+        boundary_dist = 1e30;  // travelling parallel to the boundaries
+      }
+      if (s < boundary_dist) {
+        z += s * d.z;
+        s = 0.0;
+        break;
+      }
+      // Hit a boundary: move there, Fresnel-decide.
+      z = d.z > 0 ? cur.z1 : cur.z0;
+      s -= boundary_dist;
+      ops += kCrossingOps;
+      const bool going_down = d.z > 0;
+      const int next_layer = layer + (going_down ? 1 : -1);
+      const double n_cur = cur.n;
+      const double n_next =
+          (next_layer < 0 || next_layer >= static_cast<int>(layers.size()))
+              ? tissue.n_ambient
+              : layers[static_cast<std::size_t>(next_layer)].n;
+      double ct = 0.0;
+      const double r =
+          fresnel_reflectance(n_cur, n_next, std::abs(d.z), &ct);
+      if (u01_from_u32(mwc.next_u32()) < r) {
+        d.z = -d.z;  // internal reflection
+        continue;
+      }
+      if (next_layer < 0) {
+        tally.reflected += w;
+        escaped = true;
+        break;
+      }
+      if (next_layer >= static_cast<int>(layers.size())) {
+        tally.transmitted += w;
+        escaped = true;
+        break;
+      }
+      // Refract into the next layer; the remaining dimensionless step is
+      // rescaled by the interaction-coefficient ratio (MCML convention).
+      const double scale = n_cur / n_next;
+      d.x *= scale;
+      d.y *= scale;
+      d.z = (going_down ? 1.0 : -1.0) * ct;
+      const double norm = std::sqrt(d.x * d.x + d.y * d.y + d.z * d.z);
+      d.x /= norm;
+      d.y /= norm;
+      d.z /= norm;
+      s *= cur.mu_t() / layers[static_cast<std::size_t>(next_layer)].mu_t();
+      layer = next_layer;
+    }
+    if (escaped) break;
+
+    // Interaction site: absorb, then scatter.
+    const Layer& here = layers[static_cast<std::size_t>(layer)];
+    const double dw = w * here.mu_a / here.mu_t();
+    tally.absorbed += dw;
+    w -= dw;
+    const double ct = hg_cos_theta(here.g, u01_from_u32(mwc.next_u32()));
+    const double phi = 2.0 * M_PI * u01_from_u32(mwc.next_u32());
+    d = spin(d, ct, phi);
+    tally.steps += 1;
+    ops += kPhotonStepOps;
+
+    // Roulette.
+    if (w < kRouletteThreshold) {
+      if (u01_from_u32(mwc.next_u32()) < kRouletteSurvival) {
+        w /= kRouletteSurvival;
+      } else {
+        break;  // terminated; the lost weight is unbiased by construction
+      }
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+const char* to_string(PhotonRngStrategy s) {
+  switch (s) {
+    case PhotonRngStrategy::kPregenMwc: return "original-pregen-mwc";
+    case PhotonRngStrategy::kOnDemandHybrid: return "hybrid-ondemand";
+  }
+  return "?";
+}
+
+PhotonMigration::PhotonMigration(sim::Device& device,
+                                 core::HybridPrng* hybrid,
+                                 PhotonRngStrategy strategy,
+                                 std::uint64_t seed)
+    : device_(device), hybrid_(hybrid), strategy_(strategy), seed_(seed) {
+  HPRNG_CHECK(
+      strategy != PhotonRngStrategy::kOnDemandHybrid || hybrid != nullptr,
+      "on-demand strategy needs a HybridPrng");
+}
+
+McResult PhotonMigration::run(std::uint64_t photons, const Tissue& tissue,
+                              std::uint64_t slots) {
+  HPRNG_CHECK(photons >= 1, "need at least one photon");
+  HPRNG_CHECK(!tissue.layers.empty(), "tissue needs at least one layer");
+  slots = std::min(slots, photons);
+
+  std::vector<SlotTally> tallies(slots);
+  // Initial-weight keys per launched photon, for clash accounting.
+  std::vector<std::uint64_t> weight_keys(photons, 0);
+  std::atomic<std::uint64_t> next_photon{0};
+
+  const std::uint64_t draws_per_slot =
+      static_cast<std::uint64_t>(kLaunchesPerRound) * kInitDrawsPerPhoton;
+
+  sim::Stream compute;
+  sim::Buffer<std::uint32_t> pregen;
+  prng::Mwc pregen_mwc(seed_ ^ 0xD1B54A32D192ED03ull);
+
+  // One-time Algorithm-1 initialisation runs in pre-processing, outside
+  // the timed window (as in the generator figures).
+  if (strategy_ == PhotonRngStrategy::kOnDemandHybrid) {
+    hybrid_->initialize(slots);
+  }
+
+  McResult result;
+  result.photons = photons;
+  device_.engine().fence();  // timed window starts on an idle machine
+  const double sim_start = device_.engine().now();
+
+  while (next_photon.load(std::memory_order_relaxed) < photons) {
+    // ---- Acquire this round's initialisation randomness. ----------------
+    core::HybridPrng::Round round{};
+    sim::OpId randomness_ready = sim::kNoOp;
+    double init_ops_per_photon = 0.0;
+    if (strategy_ == PhotonRngStrategy::kOnDemandHybrid) {
+      round = hybrid_->begin_round(slots, draws_per_slot);
+      randomness_ready = round.ready;
+      init_ops_per_photon =
+          hybrid_->device_ops_for_draws_inline(kInitDrawsPerPhoton);
+    } else {
+      // "Original": batch-generate into global memory, then stream back.
+      const std::uint64_t words = slots * draws_per_slot * 2;  // 64-bit each
+      if (pregen.size() < words) {
+        device_.synchronize();
+        pregen.resize(words);
+      }
+      const std::uint32_t kernel_seed = pregen_mwc.next_u32();
+      randomness_ready = device_.launch(
+          compute, "GenMWC", slots,
+          sim::KernelCost{core::kMwcDeviceOpsPerNumber * draws_per_slot,
+                          8.0 * draws_per_slot},
+          [pg = pregen.device_span(), draws_per_slot,
+           kernel_seed](std::uint64_t tid) {
+            prng::Mwc g(prng::splitmix64_mix(kernel_seed ^
+                                             (tid * 0x9E3779B9ull)));
+            for (std::uint64_t i = 0; i < draws_per_slot * 2; ++i) {
+              pg[static_cast<std::size_t>(tid * draws_per_slot * 2 + i)] =
+                  g.next_u32();
+            }
+          });
+      init_ops_per_photon =
+          core::kStoredRandomAccessOps * kInitDrawsPerPhoton;
+    }
+
+    // ---- Photon kernel: each slot pushes up to kLaunchesPerRound packets
+    //      from launch to termination. ------------------------------------
+    const PhotonRngStrategy strategy = strategy_;
+    core::HybridPrng* hybrid = hybrid_;
+    const sim::OpId kernel = device_.launch_dynamic(
+        compute, "Photon", slots, sim::KernelCost{50.0, 64.0},
+        [&, strategy, hybrid, round, init_ops_per_photon,
+         pg = pregen.device_span()](std::uint64_t tid) -> double {
+          SlotTally& tally = tallies[static_cast<std::size_t>(tid)];
+          double ops = 0.0;
+          // Per-thread draw cursors into this round's provisioned budget.
+          core::HybridPrng::ThreadRng hybrid_rng;
+          if (strategy == PhotonRngStrategy::kOnDemandHybrid) {
+            hybrid_rng = hybrid->thread_rng(round, tid);
+          }
+          std::uint64_t pregen_cursor = tid * draws_per_slot * 2;
+          auto init_draw = [&]() -> std::uint64_t {
+            if (strategy == PhotonRngStrategy::kOnDemandHybrid) {
+              return hybrid_rng.next();
+            }
+            const std::uint64_t lo = pg[static_cast<std::size_t>(
+                pregen_cursor++)];
+            const std::uint64_t hi = pg[static_cast<std::size_t>(
+                pregen_cursor++)];
+            return (hi << 32) | lo;
+          };
+          for (int l = 0; l < kLaunchesPerRound; ++l) {
+            const std::uint64_t idx =
+                next_photon.fetch_add(1, std::memory_order_relaxed);
+            if (idx >= photons) {
+              next_photon.store(photons, std::memory_order_relaxed);
+              break;
+            }
+            const std::uint64_t d0 = init_draw();
+            const std::uint64_t d1 = init_draw();
+            const std::uint64_t d2 = init_draw();
+            const std::uint64_t d3 = init_draw();
+            ops += init_ops_per_photon;
+            // The paper initialises photon weights randomly; layer values
+            // d1..d3 seed the in-kernel stepping MWC (both variants step
+            // with MWC exactly as CUDAMCML does).
+            const double w0 = 0.5 + 0.5 * u01_from_u64(d0);
+            weight_keys[static_cast<std::size_t>(idx)] =
+                strategy == PhotonRngStrategy::kOnDemandHybrid
+                    ? d0
+                    : (d0 & 0xFFFFFFFFull);  // MWC supplies 32-bit values
+            prng::Mwc mwc(d1 ^ (d2 << 1) ^ d3);
+            ops += simulate_photon(tissue, w0, mwc, tally);
+          }
+          return ops;
+        },
+        randomness_ready == sim::kNoOp
+            ? std::vector<sim::OpId>{}
+            : std::vector<sim::OpId>{randomness_ready});
+    if (strategy_ == PhotonRngStrategy::kOnDemandHybrid) {
+      hybrid_->end_round(round, kernel);
+    }
+    device_.synchronize();
+    ++result.rounds;
+  }
+
+  // ---- Weight-clash accounting + serialisation penalty. -----------------
+  {
+    std::vector<std::uint64_t> keys = weight_keys;
+    std::sort(keys.begin(), keys.end());
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+      if (keys[i] == keys[i - 1]) ++result.weight_clashes;
+    }
+    if (result.weight_clashes > 0) {
+      sim::Stream penalty_stream;
+      const double penalty_seconds =
+          static_cast<double>(result.weight_clashes) * kClashPenaltyOps /
+          device_.spec().core_clock_hz();
+      device_.engine().submit(sim::Resource::kDevice, "Gather-penalty",
+                              penalty_seconds, {}, nullptr);
+      device_.synchronize();
+    }
+  }
+  result.sim_seconds = device_.engine().now() - sim_start;
+
+  double launched = 0.0;
+  for (const auto& t : tallies) {
+    launched += t.launched_weight;
+    result.diffuse_reflectance += t.reflected;
+    result.transmittance += t.transmitted;
+    result.absorbed_fraction += t.absorbed;
+    result.total_steps += t.steps;
+  }
+  HPRNG_CHECK(launched > 0.0, "no photon weight launched");
+  result.diffuse_reflectance /= launched;
+  result.transmittance /= launched;
+  result.absorbed_fraction /= launched;
+  return result;
+}
+
+}  // namespace hprng::photon

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/hybrid_prng.hpp"
+#include "photon/tissue.hpp"
+#include "sim/device.hpp"
+
+namespace hprng::photon {
+
+/// Randomness source of the simulation — the two series of Figure 8.
+enum class PhotonRngStrategy {
+  /// "Original" [1]: a device MWC batch kernel pre-generates each round's
+  /// random numbers into global memory; the photon kernel streams them back
+  /// out of DRAM (the "memory transaction overhead" the paper removes).
+  kPregenMwc,
+  /// "Hybrid Result": on-demand draws from the hybrid PRNG, bits fed by the
+  /// CPU while the photon kernel runs (Algorithm 4).
+  kOnDemandHybrid,
+};
+
+const char* to_string(PhotonRngStrategy s);
+
+/// Aggregate simulation outcome. Fractions are of the total launched photon
+/// weight; by construction reflectance + transmittance + absorbed == 1 up
+/// to the roulette's unbiased noise (tests assert the conservation).
+struct McResult {
+  double diffuse_reflectance = 0.0;
+  double transmittance = 0.0;
+  double absorbed_fraction = 0.0;
+  double sim_seconds = 0.0;
+  std::uint64_t photons = 0;
+  int rounds = 0;
+  /// Duplicate initial weights among launched photons (the paper's "weight
+  /// clashes"; they serialise the tally atomics in the real kernel and are
+  /// charged as serialisation penalty in the cost model).
+  std::uint64_t weight_clashes = 0;
+  std::uint64_t total_steps = 0;
+};
+
+/// Application II: multi-layer Monte-Carlo photon migration on the device
+/// simulator (Algorithm 4). Each device thread owns one photon packet;
+/// packets that exhaust a round's provisioned draw budget continue in the
+/// next round, which is exactly the iteration structure the paper overlaps
+/// the feed with.
+class PhotonMigration {
+ public:
+  PhotonMigration(sim::Device& device, core::HybridPrng* hybrid,
+                  PhotonRngStrategy strategy, std::uint64_t seed);
+
+  /// Simulate `photons` packets through `tissue`.
+  /// @param slots photon packets in flight per kernel round.
+  McResult run(std::uint64_t photons, const Tissue& tissue,
+               std::uint64_t slots = 16384);
+
+ private:
+  sim::Device& device_;
+  core::HybridPrng* hybrid_;
+  PhotonRngStrategy strategy_;
+  std::uint64_t seed_;
+};
+
+}  // namespace hprng::photon

@@ -1,0 +1,22 @@
+#include "photon/tissue.hpp"
+
+namespace hprng::photon {
+
+Tissue Tissue::three_layer() {
+  Tissue t;
+  t.layers = {
+      {/*mu_a=*/0.37, /*mu_s=*/60.0, /*g=*/0.9, /*n=*/1.37, 0.00, 0.01},
+      {/*mu_a=*/0.15, /*mu_s=*/12.0, /*g=*/0.8, /*n=*/1.37, 0.01, 0.11},
+      {/*mu_a=*/0.30, /*mu_s=*/5.0, /*g=*/0.7, /*n=*/1.37, 0.11, 1.11},
+  };
+  return t;
+}
+
+Tissue Tissue::single_layer(double mu_a, double mu_s, double g,
+                            double thickness) {
+  Tissue t;
+  t.layers = {{mu_a, mu_s, g, 1.37, 0.0, thickness}};
+  return t;
+}
+
+}  // namespace hprng::photon

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+namespace hprng::photon {
+
+/// One tissue layer of the MCML-style multi-layer model [1][4].
+/// Units: cm for depths, 1/cm for interaction coefficients.
+struct Layer {
+  double mu_a = 0.1;  // absorption coefficient
+  double mu_s = 10.0; // scattering coefficient
+  double g = 0.9;     // Henyey-Greenstein anisotropy
+  double n = 1.37;    // refractive index
+  double z0 = 0.0;    // top boundary depth
+  double z1 = 1.0;    // bottom boundary depth
+
+  [[nodiscard]] double mu_t() const { return mu_a + mu_s; }
+};
+
+/// A stack of layers bounded by ambient medium above and below.
+struct Tissue {
+  std::vector<Layer> layers;
+  double n_ambient = 1.0;
+
+  /// The three-layer phantom used by the paper's Application II ("three
+  /// simulation kernels ... three different layers").
+  static Tissue three_layer();
+
+  /// Single semi-infinite layer (classic MCML validation case).
+  static Tissue single_layer(double mu_a, double mu_s, double g,
+                             double thickness);
+
+  [[nodiscard]] double total_thickness() const {
+    return layers.empty() ? 0.0 : layers.back().z1;
+  }
+};
+
+}  // namespace hprng::photon

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace hprng::prng {
+
+/// Distribution transforms over any uniform source exposing
+/// `double next_double()` (all library generators, HybridPrng::ThreadRng,
+/// CpuWalkPrng via adapters). Header-only so device kernel bodies can use
+/// them without extra cost-model plumbing.
+
+/// Exponential with rate lambda via inversion (the photon step-length law).
+template <typename U>
+double exponential(U& u, double lambda) {
+  HPRNG_CHECK(lambda > 0.0, "exponential needs lambda > 0");
+  // Clamp away from 0 so log() stays finite.
+  const double x = u.next_double();
+  return -std::log1p(-(x < 1.0 ? x : std::nextafter(1.0, 0.0))) / lambda;
+}
+
+/// Standard normal via Box-Muller (polar form; returns one value, caches
+/// the second).
+class NormalSampler {
+ public:
+  template <typename U>
+  double operator()(U& u) {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double a, b, s;
+    do {
+      a = 2.0 * u.next_double() - 1.0;
+      b = 2.0 * u.next_double() - 1.0;
+      s = a * a + b * b;
+    } while (s >= 1.0 || s == 0.0);
+    const double scale = std::sqrt(-2.0 * std::log(s) / s);
+    cached_ = b * scale;
+    has_cached_ = true;
+    return a * scale;
+  }
+
+ private:
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+/// Geometric on {0, 1, 2, ...} with success probability p.
+template <typename U>
+std::uint64_t geometric(U& u, double p) {
+  HPRNG_CHECK(p > 0.0 && p <= 1.0, "geometric needs p in (0, 1]");
+  if (p == 1.0) return 0;
+  const double x = u.next_double();
+  return static_cast<std::uint64_t>(
+      std::floor(std::log1p(-x) / std::log1p(-p)));
+}
+
+/// Bernoulli(p).
+template <typename U>
+bool bernoulli(U& u, double p) {
+  return u.next_double() < p;
+}
+
+/// Uniform integer in [0, bound) by scaling (bounded bias ~ bound / 2^53;
+/// use Generator::next_below for exactness).
+template <typename U>
+std::uint64_t uniform_below(U& u, std::uint64_t bound) {
+  HPRNG_CHECK(bound > 0, "uniform_below needs bound > 0");
+  return static_cast<std::uint64_t>(u.next_double() *
+                                    static_cast<double>(bound));
+}
+
+}  // namespace hprng::prng

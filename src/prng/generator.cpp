@@ -1,0 +1,18 @@
+#include "prng/generator.hpp"
+
+#include "util/check.hpp"
+
+namespace hprng::prng {
+
+std::uint64_t Generator::next_below(std::uint64_t bound) {
+  HPRNG_CHECK(bound > 0, "next_below bound must be positive");
+  // Rejection from the largest multiple of bound below 2^64 (unbiased).
+  const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % bound;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+}  // namespace hprng::prng

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace hprng::prng {
+
+/// Runtime-polymorphic view of a pseudo random number generator.
+///
+/// Concrete generators (MT19937, XORWOW, ...) are plain structs with inline
+/// `next_u32()/next_u64()` fast paths; this interface is what the statistical
+/// batteries and the comparison harnesses consume, where one virtual call per
+/// draw is irrelevant next to the test statistics themselves.
+class Generator {
+ public:
+  virtual ~Generator() = default;
+
+  /// Next 32 uniform bits.
+  virtual std::uint32_t next_u32() = 0;
+
+  /// Next 64 uniform bits. Default composes two 32-bit draws.
+  virtual std::uint64_t next_u64() {
+    const std::uint64_t hi = next_u32();
+    return (hi << 32) | next_u32();
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1) with 24 random bits.
+  float next_float() {
+    return static_cast<float>(next_u32() >> 8) * 0x1.0p-24f;
+  }
+
+  /// Uniform integer in [0, bound) by rejection (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Human-readable generator name, used in reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Fresh instance of the same algorithm re-seeded with `seed`.
+  [[nodiscard]] virtual std::unique_ptr<Generator> clone_reseeded(
+      std::uint64_t seed) const = 0;
+};
+
+/// Wraps a concrete generator type G (providing next_u32(), optionally
+/// next_u64(), constructible from a u64 seed) behind the Generator interface.
+template <typename G>
+class Adapter final : public Generator {
+ public:
+  explicit Adapter(std::uint64_t seed) : g_(seed), seed_(seed) {}
+  explicit Adapter(G g) : g_(std::move(g)), seed_(0) {}
+
+  std::uint32_t next_u32() override { return g_.next_u32(); }
+
+  std::uint64_t next_u64() override {
+    if constexpr (requires(G& g) { g.next_u64(); }) {
+      return g_.next_u64();
+    } else {
+      return Generator::next_u64();
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return G::kName; }
+
+  [[nodiscard]] std::unique_ptr<Generator> clone_reseeded(
+      std::uint64_t seed) const override {
+    return std::make_unique<Adapter<G>>(seed);
+  }
+
+  /// Access to the wrapped concrete generator (used by tests).
+  G& raw() { return g_; }
+
+ private:
+  G g_;
+  std::uint64_t seed_;
+};
+
+template <typename G>
+std::unique_ptr<Generator> make_generator(std::uint64_t seed) {
+  return std::make_unique<Adapter<G>>(seed);
+}
+
+}  // namespace hprng::prng

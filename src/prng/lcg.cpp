@@ -1,0 +1,33 @@
+#include "prng/lcg.hpp"
+
+namespace hprng::prng {
+
+GlibcRandom::GlibcRandom(std::uint64_t seed) : r{}, f(0), rr(0) {
+  // glibc srandom_r initialisation for TYPE_3 (DEG_3 = 31, SEP_3 = 3):
+  // fill the 31-word table with a Park-Miller LCG (Schrage's trick, exactly
+  // as glibc does to avoid 32-bit overflow), then discard 10 * 31 outputs.
+  std::int32_t s = static_cast<std::int32_t>(seed);
+  if (s == 0) s = 1;
+  r[0] = static_cast<std::uint32_t>(s);
+  for (int i = 1; i < 31; ++i) {
+    const std::int64_t hi = static_cast<std::int32_t>(r[i - 1]) / 127773;
+    const std::int64_t lo = static_cast<std::int32_t>(r[i - 1]) % 127773;
+    std::int64_t word = 16807 * lo - 2836 * hi;
+    if (word < 0) word += 2147483647;
+    r[i] = static_cast<std::uint32_t>(word);
+  }
+  f = 3;   // fptr = &state[SEP_3]
+  rr = 0;  // rptr = &state[0]
+  for (int i = 0; i < 310; ++i) (void)next_31();
+}
+
+std::uint32_t GlibcRandom::next_31() {
+  // r[i] = r[i-3] + r[i-31] (mod 2^32); output drops the low bit.
+  r[static_cast<std::size_t>(f)] += r[static_cast<std::size_t>(rr)];
+  const std::uint32_t out = (r[static_cast<std::size_t>(f)] >> 1) & 0x7FFFFFFFu;
+  f = (f + 1) % 31;
+  rr = (rr + 1) % 31;
+  return out;
+}
+
+}  // namespace hprng::prng

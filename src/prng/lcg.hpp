@@ -1,0 +1,82 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hprng::prng {
+
+/// The glibc TYPE_0 linear congruential generator:
+///   state = state * 1103515245 + 12345 (mod 2^31), output = state.
+/// This is the "LCG present in the glibc library" the paper uses as the
+/// cheap host-side source of random bits (Sec. III-B).
+struct GlibcLcg {
+  static constexpr const char* kName = "glibc-lcg";
+
+  explicit GlibcLcg(std::uint64_t seed)
+      : state(static_cast<std::uint32_t>(seed == 0 ? 1 : seed)) {}
+
+  /// One raw 31-bit draw, exactly as glibc TYPE_0 rand().
+  std::uint32_t next_31() {
+    state = state * 1103515245u + 12345u;
+    return state & 0x7FFFFFFFu;
+  }
+
+  /// 32 uniform bits assembled from two draws (the raw stream only carries
+  /// 31 bits and its low bits alternate; take the better high bits).
+  std::uint32_t next_u32() {
+    const std::uint32_t a = next_31() >> 15;  // 16 good bits
+    const std::uint32_t b = next_31() >> 15;
+    return (a << 16) | b;
+  }
+
+  std::uint32_t state;
+};
+
+/// The glibc TYPE_3 additive-feedback generator behind the default rand():
+///   r[i] = r[i-3] + r[i-31] (mod 2^32), output = r[i] >> 1.
+/// Initialised exactly like glibc srandom() (Knuth-style LCG fill followed
+/// by discarding the first 310 outputs).
+struct GlibcRandom {
+  static constexpr const char* kName = "glibc-rand";
+
+  explicit GlibcRandom(std::uint64_t seed);
+
+  /// One 31-bit output, bit-compatible with glibc rand().
+  std::uint32_t next_31();
+
+  std::uint32_t next_u32() {
+    const std::uint32_t a = next_31() >> 15;
+    const std::uint32_t b = next_31() >> 15;
+    return (a << 16) | b;
+  }
+
+  std::array<std::uint32_t, 31> r;
+  int f;  // front pointer index (glibc fptr)
+  int rr; // rear pointer index (glibc rptr)
+};
+
+/// MINSTD (Park-Miller) multiplicative LCG, a classical baseline.
+struct Minstd {
+  static constexpr const char* kName = "minstd";
+
+  explicit Minstd(std::uint64_t seed)
+      : state(static_cast<std::uint32_t>(seed % 2147483647u)) {
+    if (state == 0) state = 1;
+  }
+
+  std::uint32_t next_31() {
+    state = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(state) * 48271u) % 2147483647u);
+    return state;
+  }
+
+  std::uint32_t next_u32() {
+    const std::uint32_t a = next_31() >> 15;
+    const std::uint32_t b = next_31() >> 15;
+    return (a << 16) | b;
+  }
+
+  std::uint32_t state;
+};
+
+}  // namespace hprng::prng

@@ -1,0 +1,105 @@
+#include "prng/md5.hpp"
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+namespace hprng::prng {
+namespace {
+
+// Per-round shift amounts (RFC 1321).
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * |sin(i + 1)|) (RFC 1321 table).
+constexpr std::uint32_t kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+Md5::Digest compress(Md5::Digest h, const std::array<std::uint32_t, 16>& m) {
+  std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) & 15;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) & 15;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) & 15;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + std::rotl(a + f + kSine[i] + m[static_cast<std::size_t>(g)],
+                      kShift[i]);
+    a = tmp;
+  }
+  return {h[0] + a, h[1] + b, h[2] + c, h[3] + d};
+}
+
+constexpr Md5::Digest kInit = {0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                               0x10325476u};
+
+}  // namespace
+
+Md5::Digest Md5::hash(const std::uint8_t* data, std::size_t len) {
+  // Message + 0x80 pad + zeros + 64-bit little-endian bit length.
+  std::vector<std::uint8_t> padded(data, data + len);
+  padded.push_back(0x80);
+  while (padded.size() % 64 != 56) padded.push_back(0x00);
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(len) * 8;
+  for (int i = 0; i < 8; ++i) {
+    padded.push_back(static_cast<std::uint8_t>(bit_len >> (8 * i)));
+  }
+
+  Digest h = kInit;
+  for (std::size_t off = 0; off < padded.size(); off += 64) {
+    std::array<std::uint32_t, 16> m;
+    for (int w = 0; w < 16; ++w) {
+      std::uint32_t v;
+      std::memcpy(&v, padded.data() + off + 4 * w, 4);  // little-endian host
+      m[static_cast<std::size_t>(w)] = v;
+    }
+    h = compress(h, m);
+  }
+  return h;
+}
+
+std::string Md5::hex(const Digest& d) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (std::uint32_t word : d) {
+    for (int byte = 0; byte < 4; ++byte) {
+      const std::uint8_t b = static_cast<std::uint8_t>(word >> (8 * byte));
+      out.push_back(digits[b >> 4]);
+      out.push_back(digits[b & 0xF]);
+    }
+  }
+  return out;
+}
+
+Md5::Digest Md5::compress_block(const std::array<std::uint32_t, 16>& block) {
+  return compress(kInit, block);
+}
+
+}  // namespace hprng::prng

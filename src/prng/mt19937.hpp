@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hprng::prng {
+
+/// Mersenne Twister MT19937 (Matsumoto & Nishimura 1998), implemented from
+/// the published recurrence. This is the algorithm behind the CUDA SDK
+/// "MersenneTwister" sample the paper benchmarks against (Fig. 3) and the
+/// list-ranking "Pure GPU MT" baseline (Fig. 7).
+struct Mt19937 {
+  static constexpr const char* kName = "mt19937";
+  static constexpr int kN = 624;
+  static constexpr int kM = 397;
+  static constexpr std::uint32_t kMatrixA = 0x9908B0DFu;
+  static constexpr std::uint32_t kUpperMask = 0x80000000u;
+  static constexpr std::uint32_t kLowerMask = 0x7FFFFFFFu;
+
+  explicit Mt19937(std::uint64_t seed) { reseed(static_cast<std::uint32_t>(seed)); }
+
+  void reseed(std::uint32_t seed) {
+    mt[0] = seed;
+    for (int i = 1; i < kN; ++i) {
+      mt[i] = 1812433253u * (mt[i - 1] ^ (mt[i - 1] >> 30)) +
+              static_cast<std::uint32_t>(i);
+    }
+    index = kN;
+  }
+
+  std::uint32_t next_u32() {
+    if (index >= kN) twist();
+    std::uint32_t y = mt[index++];
+    y ^= y >> 11;
+    y ^= (y << 7) & 0x9D2C5680u;
+    y ^= (y << 15) & 0xEFC60000u;
+    y ^= y >> 18;
+    return y;
+  }
+
+  void twist() {
+    for (int i = 0; i < kN; ++i) {
+      const std::uint32_t y =
+          (mt[i] & kUpperMask) | (mt[(i + 1) % kN] & kLowerMask);
+      std::uint32_t next = mt[(i + kM) % kN] ^ (y >> 1);
+      if (y & 1u) next ^= kMatrixA;
+      mt[i] = next;
+    }
+    index = 0;
+  }
+
+  std::array<std::uint32_t, kN> mt;
+  int index = kN;
+};
+
+/// 64-bit Mersenne Twister MT19937-64 (Nishimura & Matsumoto 2000).
+struct Mt19937_64 {
+  static constexpr const char* kName = "mt19937-64";
+  static constexpr int kN = 312;
+  static constexpr int kM = 156;
+  static constexpr std::uint64_t kMatrixA = 0xB5026F5AA96619E9ull;
+  static constexpr std::uint64_t kUpperMask = 0xFFFFFFFF80000000ull;
+  static constexpr std::uint64_t kLowerMask = 0x7FFFFFFFull;
+
+  explicit Mt19937_64(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    mt[0] = seed;
+    for (int i = 1; i < kN; ++i) {
+      mt[i] = 6364136223846793005ull * (mt[i - 1] ^ (mt[i - 1] >> 62)) +
+              static_cast<std::uint64_t>(i);
+    }
+    index = kN;
+  }
+
+  std::uint64_t next_u64() {
+    if (index >= kN) twist();
+    std::uint64_t x = mt[index++];
+    x ^= (x >> 29) & 0x5555555555555555ull;
+    x ^= (x << 17) & 0x71D67FFFEDA60000ull;
+    x ^= (x << 37) & 0xFFF7EEE000000000ull;
+    x ^= x >> 43;
+    return x;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  void twist() {
+    for (int i = 0; i < kN; ++i) {
+      const std::uint64_t x =
+          (mt[i] & kUpperMask) | (mt[(i + 1) % kN] & kLowerMask);
+      std::uint64_t next = mt[(i + kM) % kN] ^ (x >> 1);
+      if (x & 1ull) next ^= kMatrixA;
+      mt[i] = next;
+    }
+    index = 0;
+  }
+
+  std::array<std::uint64_t, kN> mt;
+  int index = kN;
+};
+
+}  // namespace hprng::prng

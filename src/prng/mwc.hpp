@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hprng::prng {
+
+/// Multiply-with-carry generator (Marsaglia), the per-thread RNG of the
+/// CUDAMCML photon-migration code of Alerstam et al. [1] that the paper's
+/// "Original" baseline uses (Fig. 8):
+///   x = a * (x & 0xffffffff) + (x >> 32)
+/// where `a` is a safeprime-derived multiplier chosen per thread.
+struct Mwc {
+  static constexpr const char* kName = "mwc";
+
+  /// A known good MWC multiplier (a * 2^32 - 1 and a * 2^31 - 1 are prime).
+  static constexpr std::uint32_t kDefaultMultiplier = 4294967118u;
+
+  explicit Mwc(std::uint64_t seed, std::uint32_t multiplier = kDefaultMultiplier)
+      : state(seed), a(multiplier) {
+    // Avoid the fixed points x = 0 and x = a * 2^32 - 1.
+    if (state == 0 ||
+        state == (static_cast<std::uint64_t>(a) << 32) - 1) {
+      state = 0x853C49E6748FEA9Bull;
+    }
+  }
+
+  std::uint32_t next_u32() {
+    state = static_cast<std::uint64_t>(a) * (state & 0xFFFFFFFFull) +
+            (state >> 32);
+    return static_cast<std::uint32_t>(state);
+  }
+
+  std::uint64_t state;
+  std::uint32_t a;
+};
+
+}  // namespace hprng::prng

@@ -1,0 +1,37 @@
+#include "prng/registry.hpp"
+
+#include "prng/lcg.hpp"
+#include "prng/md5.hpp"
+#include "prng/mt19937.hpp"
+#include "prng/mwc.hpp"
+#include "prng/philox.hpp"
+#include "prng/splitmix64.hpp"
+#include "prng/xorwow.hpp"
+#include "util/check.hpp"
+
+namespace hprng::prng {
+
+std::unique_ptr<Generator> make_by_name(const std::string& name,
+                                        std::uint64_t seed) {
+  if (name == GlibcLcg::kName) return make_generator<GlibcLcg>(seed);
+  if (name == GlibcRandom::kName) return make_generator<GlibcRandom>(seed);
+  if (name == Minstd::kName) return make_generator<Minstd>(seed);
+  if (name == Mt19937::kName) return make_generator<Mt19937>(seed);
+  if (name == Mt19937_64::kName) return make_generator<Mt19937_64>(seed);
+  if (name == Xorwow::kName) return make_generator<Xorwow>(seed);
+  if (name == Mwc::kName) return make_generator<Mwc>(seed);
+  if (name == CudppMd5Rng::kName) return make_generator<CudppMd5Rng>(seed);
+  if (name == Philox4x32::kName) return make_generator<Philox4x32>(seed);
+  if (name == SplitMix64::kName) return make_generator<SplitMix64>(seed);
+  HPRNG_CHECK(false, ("unknown generator name: " + name).c_str());
+  return nullptr;
+}
+
+std::vector<std::string> known_generators() {
+  return {GlibcLcg::kName,   GlibcRandom::kName, Minstd::kName,
+          Mt19937::kName,    Mt19937_64::kName,  Xorwow::kName,
+          Mwc::kName,        CudppMd5Rng::kName, Philox4x32::kName,
+          SplitMix64::kName};
+}
+
+}  // namespace hprng::prng

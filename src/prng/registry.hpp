@@ -1,0 +1,20 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prng/generator.hpp"
+
+namespace hprng::prng {
+
+/// Construct a generator by name ("mt19937", "xorwow", "glibc-rand",
+/// "glibc-lcg", "minstd", "mwc", "cudpp-md5", "philox4x32-10", "mt19937-64",
+/// "splitmix64"). Aborts on unknown names; use known_generators() to probe.
+std::unique_ptr<Generator> make_by_name(const std::string& name,
+                                        std::uint64_t seed);
+
+/// Names accepted by make_by_name, in presentation order.
+std::vector<std::string> known_generators();
+
+}  // namespace hprng::prng

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hprng::prng {
+
+/// SplitMix64 (Steele, Lea, Flood; JDK8 SplittableRandom finaliser).
+/// Used internally for seeding other generators from a single 64-bit seed
+/// and as the optional output finaliser of the hybrid PRNG.
+struct SplitMix64 {
+  static constexpr const char* kName = "splitmix64";
+
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  std::uint64_t state;
+};
+
+/// Stateless SplitMix64 finaliser step (a strong 64-bit mixer).
+constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace hprng::prng

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "prng/splitmix64.hpp"
+
+namespace hprng::prng {
+
+/// XORWOW (Marsaglia, "Xorshift RNGs", JSS 2003) — a 5-word xorshift with a
+/// Weyl sequence added to the output. This is the default generator of the
+/// cuRAND device API, i.e. the "CURAND" baseline of Figures 3 and Tables
+/// II/III. State layout and update match Marsaglia's published code.
+struct Xorwow {
+  static constexpr const char* kName = "xorwow";
+
+  explicit Xorwow(std::uint64_t seed) {
+    // cuRAND-style seeding: expand the 64-bit seed into the five state words
+    // with a SplitMix sequence, avoiding the all-zero xorshift fixed point.
+    SplitMix64 sm(seed);
+    x = static_cast<std::uint32_t>(sm.next_u64());
+    y = static_cast<std::uint32_t>(sm.next_u64());
+    z = static_cast<std::uint32_t>(sm.next_u64());
+    w = static_cast<std::uint32_t>(sm.next_u64());
+    v = static_cast<std::uint32_t>(sm.next_u64());
+    if ((x | y | z | w | v) == 0) x = 0x6C078965u;
+    d = static_cast<std::uint32_t>(sm.next_u64());
+  }
+
+  std::uint32_t next_u32() {
+    const std::uint32_t t = x ^ (x >> 2);
+    x = y;
+    y = z;
+    z = w;
+    w = v;
+    v = (v ^ (v << 4)) ^ (t ^ (t << 1));
+    d += 362437u;
+    return v + d;
+  }
+
+  std::uint32_t x, y, z, w, v;
+  std::uint32_t d;  // Weyl counter
+};
+
+}  // namespace hprng::prng

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hprng::sim {
+
+/// Simulated device-global memory. Host code must move data through the
+/// Device copy operations (charged PCIe time); kernels receive spans via
+/// Buffer::device_span() at launch time. The storage is ordinary host
+/// memory — the simulation is about *time*, the data is real.
+template <typename T>
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::size_t n) : data_(n) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t size_bytes() const {
+    return data_.size() * sizeof(T);
+  }
+  void resize(std::size_t n) { data_.resize(n); }
+
+  /// Device-side view, for kernel bodies and Device::memcpy_* only.
+  [[nodiscard]] std::span<T> device_span() { return {data_}; }
+  [[nodiscard]] std::span<const T> device_span() const { return {data_}; }
+
+ private:
+  std::vector<T> data_;
+};
+
+}  // namespace hprng::sim

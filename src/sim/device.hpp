@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/buffer.hpp"
+#include "sim/engine.hpp"
+#include "sim/spec.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hprng::sim {
+
+/// Per-thread work description used by the kernel cost model.
+struct KernelCost {
+  /// Simple ALU/control ops each thread executes.
+  double ops_per_thread = 1.0;
+  /// Global-memory bytes each thread moves.
+  double bytes_per_thread = 0.0;
+};
+
+/// A recorded point in a stream's execution, CUDA-event style: other
+/// streams can wait on it, and its completion time can be queried after a
+/// synchronize.
+struct Event {
+  OpId marker = kNoOp;
+  [[nodiscard]] bool valid() const { return marker != kNoOp; }
+};
+
+/// An in-order queue of device operations, CUDA-stream style: each op chains
+/// on the stream's previous op plus any explicit extra dependencies, which
+/// is how copy/compute overlap across streams is expressed.
+class Stream {
+ public:
+  [[nodiscard]] OpId last() const { return last_; }
+  void set_last(OpId id) { last_ = id; }
+
+  /// Record the stream's current tail as an event (cudaEventRecord).
+  [[nodiscard]] Event record_event() const { return Event{last_}; }
+
+  /// Make this stream's NEXT operation wait for `e` (cudaStreamWaitEvent).
+  void wait_event(Event e) {
+    if (e.valid()) pending_waits_.push_back(e.marker);
+  }
+
+  /// Consume the accumulated wait list (used by Device when enqueuing).
+  std::vector<OpId> take_pending_waits() {
+    return std::exchange(pending_waits_, {});
+  }
+
+ private:
+  OpId last_ = kNoOp;
+  std::vector<OpId> pending_waits_;
+};
+
+/// The simulated GPU + PCIe + host platform. All simulated durations come
+/// from `spec`; all functional effects run immediately (in dependency
+/// order) on the calling thread or the optional worker pool.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = DeviceSpec::tesla_c1060(),
+                  util::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] const Timeline& timeline() const {
+    return engine_.timeline();
+  }
+
+  /// Simulated duration of one H2D/D2H transfer of `bytes`.
+  [[nodiscard]] double copy_seconds(std::size_t bytes) const;
+
+  /// Simulated duration of a kernel with `threads` threads of cost `cost`:
+  /// launch overhead + max(throughput-bound compute, latency floor) +
+  /// global-memory time.
+  [[nodiscard]] double kernel_seconds(std::uint64_t threads,
+                                      const KernelCost& cost) const;
+
+  /// Enqueue an async host->device copy on `stream`.
+  template <typename T>
+  OpId memcpy_h2d(Stream& stream, std::span<const T> src, Buffer<T>& dst,
+                  const std::vector<OpId>& extra_deps = {}) {
+    HPRNG_CHECK(src.size() <= dst.size(), "memcpy_h2d overflows buffer");
+    auto deps = with_stream_dep(stream, extra_deps);
+    const OpId id = engine_.submit(
+        Resource::kPcieH2D, "Transfer", copy_seconds(src.size_bytes()), deps,
+        [src, out = dst.device_span()]() mutable {
+          std::copy(src.begin(), src.end(), out.begin());
+        });
+    stream.set_last(id);
+    return id;
+  }
+
+  /// Enqueue an async device->host copy on `stream`.
+  template <typename T>
+  OpId memcpy_d2h(Stream& stream, const Buffer<T>& src, std::span<T> dst,
+                  const std::vector<OpId>& extra_deps = {}) {
+    HPRNG_CHECK(dst.size() >= src.size(), "memcpy_d2h overflows span");
+    auto deps = with_stream_dep(stream, extra_deps);
+    const OpId id = engine_.submit(
+        Resource::kPcieD2H, "transfer-d2h", copy_seconds(src.size_bytes()),
+        deps, [in = src.device_span(), dst]() mutable {
+          std::copy(in.begin(), in.end(), dst.begin());
+        });
+    stream.set_last(id);
+    return id;
+  }
+
+  /// Enqueue a kernel of `threads` linear threads; `body(tid)` runs for
+  /// every thread (functionally, on the worker pool if one was given).
+  OpId launch(Stream& stream, std::string label, std::uint64_t threads,
+              const KernelCost& cost,
+              std::function<void(std::uint64_t)> body,
+              const std::vector<OpId>& extra_deps = {});
+
+  /// Like launch(), for kernels whose work is data dependent: `body(tid)`
+  /// returns the simple-op count that thread actually executed, and the
+  /// kernel's simulated duration is computed from the realised totals
+  /// (plus `base_cost` charged statically per thread).
+  OpId launch_dynamic(Stream& stream, std::string label,
+                      std::uint64_t threads, const KernelCost& base_cost,
+                      std::function<double(std::uint64_t)> body,
+                      const std::vector<OpId>& extra_deps = {});
+
+  /// Enqueue host work (simulated `seconds` on the CPU resource).
+  OpId host_task(Stream& stream, std::string label, double seconds,
+                 std::function<void()> fn,
+                 const std::vector<OpId>& extra_deps = {});
+
+  /// Run all queued ops; returns the simulated makespan of the batch.
+  double synchronize() { return engine_.run_all(); }
+
+ private:
+  std::vector<OpId> with_stream_dep(Stream& stream,
+                                    const std::vector<OpId>& extra) const;
+
+  DeviceSpec spec_;
+  util::ThreadPool* pool_;
+  Engine engine_;
+};
+
+}  // namespace hprng::sim

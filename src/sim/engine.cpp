@@ -1,0 +1,79 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hprng::sim {
+
+OpId Engine::submit(Resource resource, std::string label, double duration_s,
+                    const std::vector<OpId>& deps, std::function<void()> fn) {
+  std::function<double()> wrapped;
+  if (fn) {
+    wrapped = [fn = std::move(fn)]() -> double {
+      fn();
+      return 0.0;
+    };
+  }
+  return submit_dynamic(resource, std::move(label), duration_s, deps,
+                        std::move(wrapped));
+}
+
+OpId Engine::submit_dynamic(Resource resource, std::string label,
+                            double base_duration_s,
+                            const std::vector<OpId>& deps,
+                            std::function<double()> fn) {
+  HPRNG_CHECK(base_duration_s >= 0.0, "op duration must be non-negative");
+  const OpId id = ops_.size();
+  for (OpId d : deps) {
+    HPRNG_CHECK(d < id, "dependencies must reference earlier ops");
+  }
+  ops_.push_back(Op{resource, std::move(label), base_duration_s, deps,
+                    std::move(fn)});
+  return id;
+}
+
+double Engine::run_all() {
+  double batch_min = std::numeric_limits<double>::max();
+  double batch_max = now_;
+  for (std::size_t i = first_pending_; i < ops_.size(); ++i) {
+    Op& op = ops_[i];
+    // Note: deliberately NOT clamped to now_ — an op submitted after a
+    // synchronize() may still start (in virtual time) while earlier-batch
+    // ops on other resources are running, which is what keeps the
+    // FEED/TRANSFER/GENERATE pipeline overlapped across run_all() calls.
+    double ready = 0.0;
+    for (OpId d : op.deps) {
+      ready = std::max(ready, ops_[d].end);
+    }
+    const auto r = static_cast<std::size_t>(op.resource);
+    op.start = std::max(ready, resource_free_[r]);
+    double extra = 0.0;
+    if (op.fn) extra = op.fn();
+    HPRNG_CHECK(extra >= 0.0, "dynamic op duration must be non-negative");
+    op.end = op.start + op.duration + extra;
+    resource_free_[r] = op.end;
+    op.executed = true;
+    timeline_.add({op.resource, op.label, op.start, op.end});
+    batch_min = std::min(batch_min, op.start);
+    batch_max = std::max(batch_max, op.end);
+  }
+  if (first_pending_ == ops_.size()) return 0.0;
+  first_pending_ = ops_.size();
+  now_ = batch_max;
+  return batch_max - batch_min;
+}
+
+double Engine::end_time(OpId id) const {
+  HPRNG_CHECK(id < ops_.size() && ops_[id].executed,
+              "end_time: op not yet executed");
+  return ops_[id].end;
+}
+
+double Engine::start_time(OpId id) const {
+  HPRNG_CHECK(id < ops_.size() && ops_[id].executed,
+              "start_time: op not yet executed");
+  return ops_[id].start;
+}
+
+}  // namespace hprng::sim

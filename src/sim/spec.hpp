@@ -1,0 +1,77 @@
+#pragma once
+
+#include <string>
+
+namespace hprng::sim {
+
+/// Hardware model parameters of the simulated platform. The default is the
+/// paper's testbed: an NVIDIA Tesla C1060 (30 SMs x 8 SPs @ 1.296 GHz,
+/// 102 GB/s GDDR3) attached over PCI Express 2.0 x16 (8 GB/s) to an
+/// Intel i7 host at 3.4 GHz.
+///
+/// All simulated durations derive from these numbers plus per-kernel
+/// KernelCost descriptions; nothing in the figures is a hand-tuned constant.
+struct DeviceSpec {
+  std::string name = "tesla-c1060";
+
+  // Device compute.
+  int num_sms = 30;
+  int cores_per_sm = 8;
+  int warp_size = 32;
+  double core_clock_ghz = 1.296;
+  /// Average issue cost of one simple ALU op in cycles (4-stage SP pipeline
+  /// with no dual issue in this generation).
+  double cycles_per_op = 1.0;
+  /// Pipeline/occupancy latency floor multiplier when a kernel has too few
+  /// threads to cover latency.
+  double latency_cycles_per_op = 4.0;
+
+  // Device memory.
+  double gmem_bandwidth_gb_s = 102.0;
+
+  // Interconnect (PCIe 2.0 x16).
+  double pcie_bandwidth_gb_s = 8.0;
+  double pcie_latency_us = 10.0;
+
+  // Launch and host.
+  double kernel_launch_overhead_us = 5.0;
+  /// Host-side CUDA API cost per pipeline round (stream enqueue + async
+  /// copy + kernel launch calls); paid by the CPU each feed round.
+  double host_api_call_overhead_us = 2.0;
+  double host_clock_ghz = 3.4;
+  /// Host cost of producing one random bit with the glibc LCG feeder
+  /// (amortised across the i7's cores driving the feed loop; a 31-bit LCG
+  /// step is ~2 ns serial, i.e. ~0.17 ns/bit with stores).
+  double host_ns_per_random_bit = 0.17;
+
+  [[nodiscard]] double core_clock_hz() const { return core_clock_ghz * 1e9; }
+  [[nodiscard]] int total_cores() const { return num_sms * cores_per_sm; }
+
+  /// The paper's platform (Sec. II).
+  static DeviceSpec tesla_c1060() { return DeviceSpec{}; }
+
+  /// A Fermi-generation Tesla C2050: 14 SMs x 32 cores @ 1.15 GHz,
+  /// 144 GB/s GDDR5, same PCIe 2.0 host link. Used by the cross-device
+  /// scaling tests: the hybrid pipeline stays CPU-feed-bound, so a faster
+  /// device mostly widens the GPU idle gap rather than the throughput.
+  static DeviceSpec tesla_c2050() {
+    DeviceSpec spec;
+    spec.name = "tesla-c2050";
+    spec.num_sms = 14;
+    spec.cores_per_sm = 32;
+    spec.core_clock_ghz = 1.15;
+    spec.gmem_bandwidth_gb_s = 144.0;
+    return spec;
+  }
+
+  /// A deliberately slow teaching configuration (single SM) for tests that
+  /// need the compute-bound regime.
+  static DeviceSpec single_sm() {
+    DeviceSpec spec;
+    spec.name = "single-sm";
+    spec.num_sms = 1;
+    return spec;
+  }
+};
+
+}  // namespace hprng::sim

@@ -1,0 +1,69 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/table.hpp"
+
+namespace hprng::sim {
+
+const char* to_string(Resource r) {
+  switch (r) {
+    case Resource::kHost: return "CPU";
+    case Resource::kPcieH2D: return "PCIe H2D";
+    case Resource::kPcieD2H: return "PCIe D2H";
+    case Resource::kDevice: return "GPU";
+  }
+  return "?";
+}
+
+double Timeline::busy_time(Resource r, double t0, double t1) const {
+  // Entries on one resource never overlap (the engine serialises them), so
+  // clipped interval lengths can be summed directly.
+  double busy = 0.0;
+  for (const auto& e : entries_) {
+    if (e.resource != r) continue;
+    busy += std::max(0.0, std::min(e.end, t1) - std::max(e.start, t0));
+  }
+  return busy;
+}
+
+double Timeline::idle_fraction(Resource r, double t0, double t1) const {
+  const double span = t1 - t0;
+  if (span <= 0.0) return 0.0;
+  return 1.0 - busy_time(r, t0, t1) / span;
+}
+
+std::string Timeline::render_ascii(double t0, double t1, int width) const {
+  const double span = t1 - t0;
+  std::string out;
+  if (span <= 0.0 || width <= 0) return out;
+  for (int ri = 0; ri < kNumResources; ++ri) {
+    const auto r = static_cast<Resource>(ri);
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const auto& e : entries_) {
+      if (e.resource != r) continue;
+      const double clip_s = std::max(e.start, t0);
+      const double clip_e = std::min(e.end, t1);
+      if (clip_e <= clip_s) continue;
+      auto col = [&](double t) {
+        return std::clamp(
+            static_cast<int>((t - t0) / span * width), 0, width - 1);
+      };
+      const char mark = e.label.empty() ? '#' : e.label[0];
+      for (int cix = col(clip_s); cix <= col(clip_e - 1e-15); ++cix) {
+        row[static_cast<std::size_t>(cix)] = mark;
+      }
+    }
+    out += util::strf("%-9s |", to_string(r));
+    out += row;
+    out += util::strf("| busy %5.1f%%\n",
+                      100.0 * (1.0 - idle_fraction(r, t0, t1)));
+  }
+  out += util::strf("window: %.3f us .. %.3f us (marks = first letter of "
+                    "work unit)\n",
+                    t0 * 1e6, t1 * 1e6);
+  return out;
+}
+
+}  // namespace hprng::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hprng::sim {
+
+/// Virtual-time resources of the simulated platform.
+enum class Resource : std::uint8_t {
+  kHost = 0,     // multicore CPU
+  kPcieH2D = 1,  // host -> device DMA
+  kPcieD2H = 2,  // device -> host DMA
+  kDevice = 3,   // GPU compute
+};
+
+const char* to_string(Resource r);
+inline constexpr int kNumResources = 4;
+
+/// One scheduled interval on a resource, in simulated seconds.
+struct TimelineEntry {
+  Resource resource;
+  std::string label;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// The complete virtual-time schedule of a run; rendered for Figure 4 and
+/// mined for idle-fraction statistics.
+class Timeline {
+ public:
+  void add(TimelineEntry e) { entries_.push_back(std::move(e)); }
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] const std::vector<TimelineEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Busy time of a resource within [t0, t1].
+  [[nodiscard]] double busy_time(Resource r, double t0, double t1) const;
+
+  /// 1 - busy/(t1-t0): the idle fraction the paper quotes ("the CPU is
+  /// almost never idle, the GPU is idle for about 20%").
+  [[nodiscard]] double idle_fraction(Resource r, double t0, double t1) const;
+
+  /// ASCII Gantt chart of [t0, t1], one row per resource, `width` columns.
+  [[nodiscard]] std::string render_ascii(double t0, double t1,
+                                         int width = 96) const;
+
+ private:
+  std::vector<TimelineEntry> entries_;
+};
+
+}  // namespace hprng::sim

@@ -1,0 +1,59 @@
+#include "stat/battery.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stat/special.hpp"
+#include "util/table.hpp"
+
+namespace hprng::stat {
+
+int BatteryReport::num_passed() const {
+  int n = 0;
+  for (const auto& r : results) {
+    if (passes(r)) ++n;
+  }
+  return n;
+}
+
+std::string BatteryReport::summary() const {
+  return util::strf("%d/%d", num_passed(), num_total());
+}
+
+std::string BatteryReport::detail() const {
+  util::Table t({"test", "p-value", "statistic", "verdict"});
+  for (const auto& r : results) {
+    t.add_row({r.name, util::strf("%.4f", r.p),
+               util::strf("%.4g", r.statistic),
+               passes(r) ? "pass" : "FAIL"});
+  }
+  std::string out = battery + " / " + generator + "\n" + t.to_string();
+  out += util::strf("passed %s, KS over p-values: D = %.4f (p = %.4f)\n",
+                    summary().c_str(), ks_d, ks_p);
+  return out;
+}
+
+BatteryReport run_battery(const std::string& battery_name,
+                          const std::vector<NamedTest>& battery,
+                          prng::Generator& g, double pass_lo,
+                          double pass_hi) {
+  BatteryReport report;
+  report.battery = battery_name;
+  report.generator = g.name();
+  report.pass_lo = pass_lo;
+  report.pass_hi = pass_hi;
+  report.results.reserve(battery.size());
+  std::vector<double> ps;
+  for (const auto& test : battery) {
+    TestResult r = test.run(g);
+    r.name = test.name;  // battery naming wins over internal naming
+    ps.push_back(r.p);
+    report.results.push_back(std::move(r));
+  }
+  const TestResult ks = ks_uniform_test("ks-over-p", std::move(ps));
+  report.ks_d = ks.statistic;
+  report.ks_p = ks.p;
+  return report;
+}
+
+}  // namespace hprng::stat

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "prng/generator.hpp"
+#include "stat/tests_common.hpp"
+
+namespace hprng::stat {
+
+/// Result of running a battery of tests against one generator.
+struct BatteryReport {
+  std::string battery;
+  std::string generator;
+  std::vector<TestResult> results;
+  double pass_lo = 0.01;  // DIEHARD convention: pass iff lo < p < hi
+  double pass_hi = 0.99;
+  double ks_d = 0.0;  // KS of the p-values against U(0,1) (Table II "D")
+  double ks_p = 0.0;
+
+  [[nodiscard]] bool passes(const TestResult& r) const {
+    return r.p > pass_lo && r.p < pass_hi;
+  }
+  [[nodiscard]] int num_passed() const;
+  [[nodiscard]] int num_total() const {
+    return static_cast<int>(results.size());
+  }
+  /// "14/15"-style summary.
+  [[nodiscard]] std::string summary() const;
+  /// Full per-test listing.
+  [[nodiscard]] std::string detail() const;
+};
+
+/// Run every test in `battery` against `g` and KS-verify the p-values
+/// (the DIEHARD follow-up step of Sec. IV-B).
+BatteryReport run_battery(const std::string& battery_name,
+                          const std::vector<NamedTest>& battery,
+                          prng::Generator& g, double pass_lo = 0.01,
+                          double pass_hi = 0.99);
+
+}  // namespace hprng::stat

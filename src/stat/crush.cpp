@@ -1,0 +1,363 @@
+// TestU01-style battery: ten tests / 15 statistics per tier. Null
+// distributions are exact (combinatorial or DP-computed) except where a
+// classical normal/Poisson limit is standard; each case is noted inline.
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "stat/crush.hpp"
+#include "stat/extended.hpp"
+#include "stat/gf2.hpp"
+#include "stat/special.hpp"
+#include "util/check.hpp"
+
+namespace hprng::stat {
+namespace {
+
+std::size_t scaled(double base, double mult, std::size_t min_value) {
+  return std::max(min_value, static_cast<std::size_t>(base * mult));
+}
+
+}  // namespace
+
+CrushTier small_crush_tier() { return {"SmallCrush", 1.0}; }
+CrushTier crush_tier() { return {"Crush", 4.0}; }
+CrushTier big_crush_tier() { return {"BigCrush", 16.0}; }
+
+// --- Birthday spacings (30-bit year, lambda = 2) ---------------------------
+TestResult crush_birthday(prng::Generator& g, double mult) {
+  constexpr int kBirthdays = 2048;
+  constexpr std::uint32_t kDayMask = (1u << 30) - 1;
+  const double lambda =
+      std::pow(kBirthdays, 3.0) / (4.0 * std::pow(2.0, 30.0));  // = 2
+  const std::size_t samples = scaled(128, mult, 64);
+  constexpr int kMaxJ = 12;
+  std::vector<double> observed(kMaxJ + 1, 0.0);
+  std::vector<std::uint32_t> days(kBirthdays), spacings(kBirthdays);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (auto& d : days) d = g.next_u32() & kDayMask;
+    std::sort(days.begin(), days.end());
+    for (int i = kBirthdays - 1; i > 0; --i) {
+      spacings[static_cast<std::size_t>(i)] =
+          days[static_cast<std::size_t>(i)] -
+          days[static_cast<std::size_t>(i - 1)];
+    }
+    spacings[0] = days[0];
+    std::sort(spacings.begin(), spacings.end());
+    int dup = 0;
+    for (int i = 1; i < kBirthdays; ++i) {
+      if (spacings[static_cast<std::size_t>(i)] ==
+          spacings[static_cast<std::size_t>(i - 1)]) {
+        ++dup;
+      }
+    }
+    observed[static_cast<std::size_t>(std::min(dup, kMaxJ))] += 1.0;
+  }
+  std::vector<double> expected(kMaxJ + 1);
+  for (int j = 0; j <= kMaxJ; ++j) {
+    expected[static_cast<std::size_t>(j)] =
+        (j == kMaxJ ? 1.0 - poisson_cdf(kMaxJ - 1, lambda)
+                    : poisson_pmf(j, lambda)) *
+        static_cast<double>(samples);
+  }
+  return chi_square_test("birthday-spacings", observed, expected);
+}
+
+// --- Collision --------------------------------------------------------------
+// n balls into d urns with n << d: the number of collisions is Poisson
+// with lambda ~= n^2 / (2d). Summed over reps, z-scored (Poisson(512+) is
+// normal to excellent accuracy).
+TestResult crush_collision(prng::Generator& g, double mult) {
+  constexpr std::uint32_t kUrnBits = 22;
+  constexpr std::uint32_t kUrns = 1u << kUrnBits;
+  constexpr std::size_t kBalls = 8192;  // lambda = 8 per rep
+  const std::size_t reps = scaled(64, mult, 32);
+  const double lambda_rep =
+      static_cast<double>(kBalls) * kBalls / (2.0 * kUrns);
+  std::vector<std::uint64_t> bitmap(kUrns / 64);
+  std::uint64_t collisions = 0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    std::fill(bitmap.begin(), bitmap.end(), 0ull);
+    for (std::size_t b = 0; b < kBalls; ++b) {
+      const std::uint32_t urn = g.next_u32() >> (32 - kUrnBits);
+      const std::uint64_t bit = 1ull << (urn & 63);
+      if (bitmap[urn >> 6] & bit) {
+        ++collisions;
+      } else {
+        bitmap[urn >> 6] |= bit;
+      }
+    }
+  }
+  const double total_lambda = lambda_rep * static_cast<double>(reps);
+  const double z = (static_cast<double>(collisions) - total_lambda) /
+                   std::sqrt(total_lambda);
+  return {"collision", normal_two_sided_p(z), z};
+}
+
+// --- Gap --------------------------------------------------------------------
+TestResult crush_gap(prng::Generator& g, double mult) {
+  constexpr double kP = 1.0 / 32.0;  // target interval [0, 1/32)
+  constexpr int kMaxGap = 192;
+  const std::size_t gaps = scaled(100000, mult, 20000);
+  std::vector<double> observed(kMaxGap + 1, 0.0);
+  for (std::size_t i = 0; i < gaps; ++i) {
+    int gap = 0;
+    while (g.next_double() >= kP && gap < kMaxGap) ++gap;
+    observed[static_cast<std::size_t>(gap)] += 1.0;
+  }
+  std::vector<double> expected(kMaxGap + 1);
+  for (int t = 0; t < kMaxGap; ++t) {
+    expected[static_cast<std::size_t>(t)] =
+        kP * std::pow(1.0 - kP, t) * static_cast<double>(gaps);
+  }
+  // Cell kMaxGap collects censored gaps (gap >= kMaxGap).
+  expected[kMaxGap] =
+      std::pow(1.0 - kP, kMaxGap) * static_cast<double>(gaps);
+  return chi_square_test("gap", observed, expected);
+}
+
+// --- SimpPoker --------------------------------------------------------------
+TestResult crush_simp_poker(prng::Generator& g, double mult) {
+  constexpr int kD = 64;  // alphabet
+  constexpr int kHand = 5;
+  // Stirling numbers of the second kind S(5, r), r = 1..5.
+  constexpr std::array<double, 6> kStirling = {0, 1, 15, 25, 10, 1};
+  const std::size_t hands = scaled(50000, mult, 10000);
+  std::vector<double> observed(kHand + 1, 0.0);
+  std::array<std::uint32_t, kHand> cards;
+  for (std::size_t h = 0; h < hands; ++h) {
+    for (auto& card : cards) card = g.next_u32() >> (32 - 6);
+    int distinct = 0;
+    std::uint64_t seen = 0;
+    for (auto card : cards) {
+      const std::uint64_t bit = 1ull << card;
+      if (!(seen & bit)) {
+        seen |= bit;
+        ++distinct;
+      }
+    }
+    observed[static_cast<std::size_t>(distinct)] += 1.0;
+  }
+  std::vector<double> expected(kHand + 1, 0.0);
+  for (int r = 1; r <= kHand; ++r) {
+    // P(r distinct) = falling(d, r) * S(5, r) / d^5.
+    double falling = 1.0;
+    for (int i = 0; i < r; ++i) falling *= kD - i;
+    expected[static_cast<std::size_t>(r)] =
+        falling * kStirling[static_cast<std::size_t>(r)] /
+        std::pow(kD, kHand) * static_cast<double>(hands);
+  }
+  observed.erase(observed.begin());  // r = 0 impossible
+  expected.erase(expected.begin());
+  return chi_square_test("simp-poker", observed, expected, 1.0);
+}
+
+// --- Coupon collector --------------------------------------------------------
+TestResult crush_coupon(prng::Generator& g, double mult) {
+  constexpr int kD = 16;
+  constexpr int kMaxT = 80;
+  const std::size_t sets = scaled(20000, mult, 5000);
+  // Exact P(T = t) via the occupancy DP: j distinct after k draws.
+  std::vector<double> p_t(kMaxT + 1, 0.0);
+  {
+    std::vector<double> f(kD, 0.0);  // f[j]: P(j distinct, not yet done)
+    f[0] = 1.0;
+    for (int t = 1; t <= kMaxT; ++t) {
+      std::vector<double> next(kD, 0.0);
+      for (int j = 0; j < kD; ++j) {
+        if (f[static_cast<std::size_t>(j)] == 0.0) continue;
+        const double stay = static_cast<double>(j) / kD;
+        const double advance = static_cast<double>(kD - j) / kD;
+        next[static_cast<std::size_t>(j)] +=
+            f[static_cast<std::size_t>(j)] * stay;
+        if (j + 1 < kD) {
+          next[static_cast<std::size_t>(j + 1)] +=
+              f[static_cast<std::size_t>(j)] * advance;
+        } else {
+          p_t[static_cast<std::size_t>(t)] +=
+              f[static_cast<std::size_t>(j)] * advance;
+        }
+      }
+      f.swap(next);
+    }
+  }
+  std::vector<double> observed(kMaxT + 1, 0.0);
+  for (std::size_t s = 0; s < sets; ++s) {
+    std::uint32_t seen = 0;
+    int t = 0;
+    int distinct = 0;
+    while (distinct < kD && t < kMaxT) {
+      const std::uint32_t coupon = g.next_u32() >> (32 - 4);
+      ++t;
+      if (!(seen & (1u << coupon))) {
+        seen |= 1u << coupon;
+        ++distinct;
+      }
+    }
+    observed[static_cast<std::size_t>(t)] += 1.0;
+  }
+  std::vector<double> expected(kMaxT + 1);
+  for (int t = 0; t <= kMaxT; ++t) {
+    expected[static_cast<std::size_t>(t)] =
+        p_t[static_cast<std::size_t>(t)] * static_cast<double>(sets);
+  }
+  // Censored tail (T > kMaxT) lands in the last observed cell.
+  double tail = 1.0;
+  for (double p : p_t) tail -= p;
+  expected[kMaxT] += std::max(0.0, tail) * static_cast<double>(sets);
+  return chi_square_test("coupon-collector", observed, expected);
+}
+
+// --- MaxOft (2 statistics) ----------------------------------------------------
+std::vector<TestResult> crush_max_of_t(prng::Generator& g, double mult) {
+  constexpr int kT = 8;
+  const std::size_t groups = scaled(20000, mult, 5000);
+  // M = max of t uniforms => M^t ~ U(0,1).
+  constexpr int kBins = 32;
+  std::vector<double> observed(kBins, 0.0);
+  std::vector<double> us;
+  us.reserve(groups);
+  for (std::size_t i = 0; i < groups; ++i) {
+    double m = 0.0;
+    for (int j = 0; j < kT; ++j) m = std::max(m, g.next_double());
+    const double u = std::pow(m, kT);
+    us.push_back(u);
+    observed[std::min<std::size_t>(kBins - 1,
+                                   static_cast<std::size_t>(u * kBins))] +=
+        1.0;
+  }
+  const std::vector<double> expected(
+      kBins, static_cast<double>(groups) / kBins);
+  TestResult chi = chi_square_test("max-of-t-chi2", observed, expected);
+  TestResult ks = ks_uniform_test("max-of-t-ks", std::move(us));
+  return {chi, ks};
+}
+
+// --- WeightDistrib -------------------------------------------------------------
+TestResult crush_weight_distrib(prng::Generator& g, double mult) {
+  constexpr int kK = 64;       // draws per group
+  constexpr double kP = 0.25;  // P(draw < 1/4)
+  const std::size_t groups = scaled(20000, mult, 5000);
+  std::vector<double> observed(kK + 1, 0.0);
+  for (std::size_t i = 0; i < groups; ++i) {
+    int w = 0;
+    for (int j = 0; j < kK; ++j) w += g.next_double() < kP ? 1 : 0;
+    observed[static_cast<std::size_t>(w)] += 1.0;
+  }
+  std::vector<double> expected(kK + 1);
+  for (int w = 0; w <= kK; ++w) {
+    expected[static_cast<std::size_t>(w)] =
+        binomial_pmf(w, kK, kP) * static_cast<double>(groups);
+  }
+  return chi_square_test("weight-distrib", observed, expected);
+}
+
+// --- MatrixRank (60x60) -----------------------------------------------------
+TestResult crush_matrix_rank(prng::Generator& g, double mult) {
+  constexpr int kDim = 60;
+  const std::size_t mats = scaled(512, mult, 128);
+  std::vector<double> observed(4, 0.0);  // classes <=57, 58, 59, 60
+  std::vector<std::uint64_t> rows(kDim);
+  for (std::size_t m = 0; m < mats; ++m) {
+    for (auto& r : rows) {
+      const std::uint64_t lo = g.next_u32();
+      const std::uint64_t hi = g.next_u32() & ((1u << 28) - 1);
+      r = (hi << 32) | lo;
+    }
+    const int rank = gf2_rank(rows, kDim);
+    observed[static_cast<std::size_t>(
+        std::min(3, std::max(0, rank - (kDim - 3))))] += 1.0;
+  }
+  std::vector<double> expected(4, 0.0);
+  double below = 0.0;
+  for (int r = kDim - 2; r <= kDim; ++r) {
+    const double p = gf2_rank_probability(kDim, kDim, r);
+    expected[static_cast<std::size_t>(r - (kDim - 3))] =
+        p * static_cast<double>(mats);
+    below += p;
+  }
+  expected[0] = (1.0 - below) * static_cast<double>(mats);
+  return chi_square_test("matrix-rank-60", observed, expected, 1.0);
+}
+
+// --- HammingIndep -------------------------------------------------------------
+TestResult crush_hamming_indep(prng::Generator& g, double mult) {
+  // Hamming weights of consecutive non-overlapping 32-bit blocks, classed
+  // into {<16, =16, >16}; the 3x3 contingency table is tested against the
+  // product of the exact binomial marginals (fully specified null: dof 8).
+  const std::size_t pairs = scaled(100000, mult, 20000);
+  std::array<double, 3> marginal{};
+  for (int w = 0; w <= 32; ++w) {
+    const double p = binomial_pmf(w, 32, 0.5);
+    marginal[static_cast<std::size_t>(w < 16 ? 0 : (w == 16 ? 1 : 2))] += p;
+  }
+  auto category = [](std::uint32_t v) -> std::size_t {
+    const int w = std::popcount(v);
+    return w < 16 ? 0 : (w == 16 ? 1 : 2);
+  };
+  std::vector<double> observed(9, 0.0);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const std::size_t c1 = category(g.next_u32());
+    const std::size_t c2 = category(g.next_u32());
+    observed[c1 * 3 + c2] += 1.0;
+  }
+  std::vector<double> expected(9);
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      expected[a * 3 + b] =
+          marginal[a] * marginal[b] * static_cast<double>(pairs);
+    }
+  }
+  return chi_square_test("hamming-indep", observed, expected);
+}
+
+std::vector<NamedTest> crush_battery(const CrushTier& tier) {
+  const double m = tier.multiplier;
+  std::vector<NamedTest> battery = {
+      {"birthday-spacings",
+       [m](prng::Generator& g) { return crush_birthday(g, m); }},
+      {"collision", [m](prng::Generator& g) { return crush_collision(g, m); }},
+      {"gap", [m](prng::Generator& g) { return crush_gap(g, m); }},
+      {"simp-poker",
+       [m](prng::Generator& g) { return crush_simp_poker(g, m); }},
+      {"coupon-collector",
+       [m](prng::Generator& g) { return crush_coupon(g, m); }},
+      {"max-of-t-chi2",
+       [m](prng::Generator& g) { return crush_max_of_t(g, m)[0]; }},
+      {"weight-distrib",
+       [m](prng::Generator& g) { return crush_weight_distrib(g, m); }},
+      {"matrix-rank-60",
+       [m](prng::Generator& g) { return crush_matrix_rank(g, m); }},
+      {"hamming-indep",
+       [m](prng::Generator& g) { return crush_hamming_indep(g, m); }},
+  };
+  if (m >= 4.0) {
+    // Crush/BigCrush add F2-linearity tests absent from SmallCrush — the
+    // very tests MT-class generators fail there. The block grows with the
+    // tier, exactly like TestU01's LinearComp sample sizes.
+    const int block = static_cast<int>(12500.0 * m);
+    battery.push_back({"linear-complexity-long",
+                       [block](prng::Generator& g) {
+                         return long_block_linear_complexity_test(g, block);
+                       }});
+  } else {
+    battery.push_back({"max-of-t-ks", [m](prng::Generator& g) {
+                         return crush_max_of_t(g, m)[1];
+                       }});
+  }
+  static const char* kWalkNames[5] = {"walk-final", "walk-max",
+                                      "walk-returns", "walk-crossings",
+                                      "walk-positive"};
+  for (int s = 0; s < 5; ++s) {
+    battery.push_back(
+        {kWalkNames[s], [m, s](prng::Generator& g) {
+           return crush_random_walk(g, m)[static_cast<std::size_t>(s)];
+         }});
+  }
+  return battery;
+}
+
+}  // namespace hprng::stat

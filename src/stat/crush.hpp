@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stat/tests_common.hpp"
+
+namespace hprng::stat {
+
+/// A battery tier in the spirit of TestU01's SmallCrush / Crush / BigCrush.
+/// The paper reports each battery as "x/15" — i.e. it counts 15 statistics
+/// per battery. We mirror exactly that view: each tier runs the same ten
+/// tests (15 statistics: MaxOft contributes 2, RandomWalk contributes 5)
+/// with sample sizes scaled by `multiplier`. Full TestU01 is ~100 tests;
+/// this is the honest reduction documented in DESIGN.md.
+struct CrushTier {
+  std::string name;
+  double multiplier = 1.0;
+};
+
+CrushTier small_crush_tier();
+CrushTier crush_tier();
+CrushTier big_crush_tier();
+
+/// The 15-statistic battery at a given tier:
+///   birthday-spacings, collision, gap, simp-poker, coupon-collector,
+///   max-of-t (chi2 + KS), weight-distrib, matrix-rank-60,
+///   hamming-indep, random-walk (H final, M max, R returns, C sign
+///   changes, J time positive).
+std::vector<NamedTest> crush_battery(const CrushTier& tier);
+
+// Individual tests, exposed for unit testing.
+TestResult crush_birthday(prng::Generator& g, double mult);
+TestResult crush_collision(prng::Generator& g, double mult);
+TestResult crush_gap(prng::Generator& g, double mult);
+TestResult crush_simp_poker(prng::Generator& g, double mult);
+TestResult crush_coupon(prng::Generator& g, double mult);
+std::vector<TestResult> crush_max_of_t(prng::Generator& g, double mult);
+TestResult crush_weight_distrib(prng::Generator& g, double mult);
+TestResult crush_matrix_rank(prng::Generator& g, double mult);
+TestResult crush_hamming_indep(prng::Generator& g, double mult);
+std::vector<TestResult> crush_random_walk(prng::Generator& g, double mult);
+
+}  // namespace hprng::stat

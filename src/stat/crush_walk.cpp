@@ -1,0 +1,253 @@
+// RandomWalk1-style test: five statistics of a +-1 walk of fixed length,
+// each tested by chi-square against its exact DP-computed null distribution.
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "stat/crush.hpp"
+#include "stat/special.hpp"
+#include "util/check.hpp"
+
+namespace hprng::stat {
+namespace {
+
+constexpr int kL = 128;  // walk length (even)
+
+/// Exact null distributions of the five statistics for a symmetric +-1 walk
+/// of length kL started at 0, computed by dynamic programming once.
+struct WalkDists {
+  std::vector<double> final_half;  // index (S_L + kL) / 2 in [0, kL]
+  std::vector<double> max_pos;     // max_{0<=k<=L} S_k in [0, kL]
+  std::vector<double> returns;     // #{k >= 1 : S_k = 0} in [0, kL/2]
+  std::vector<double> crossings;   // sign changes in [0, kL/2]
+  std::vector<double> positive;    // #{k : S_k > 0} in [0, kL]
+};
+
+int pos_index(int pos) { return pos + kL; }
+
+const WalkDists& walk_dists() {
+  static WalkDists d;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    constexpr int kP = 2 * kL + 1;  // positions -L..L
+
+    // Final position: exact binomial.
+    d.final_half.assign(kL + 1, 0.0);
+    for (int k = 0; k <= kL; ++k) {
+      d.final_half[static_cast<std::size_t>(k)] =
+          std::exp(ln_choose(kL, k) - kL * std::log(2.0));
+    }
+
+    // Max: DP over (pos, running max >= 0).
+    {
+      std::vector<double> f(static_cast<std::size_t>(kP) * (kL + 1), 0.0);
+      std::vector<double> nf(f.size(), 0.0);
+      auto at = [&](std::vector<double>& a, int p, int mx) -> double& {
+        return a[static_cast<std::size_t>(pos_index(p)) * (kL + 1) +
+                 static_cast<std::size_t>(mx)];
+      };
+      at(f, 0, 0) = 1.0;
+      for (int step = 0; step < kL; ++step) {
+        std::fill(nf.begin(), nf.end(), 0.0);
+        for (int p = -step; p <= step; ++p) {
+          for (int mx = std::max(0, p); mx <= step; ++mx) {
+            const double v = at(f, p, mx);
+            if (v == 0.0) continue;
+            at(nf, p + 1, std::max(mx, p + 1)) += 0.5 * v;
+            at(nf, p - 1, mx) += 0.5 * v;
+          }
+        }
+        f.swap(nf);
+      }
+      d.max_pos.assign(kL + 1, 0.0);
+      for (int p = -kL; p <= kL; ++p) {
+        for (int mx = 0; mx <= kL; ++mx) {
+          d.max_pos[static_cast<std::size_t>(mx)] += at(f, p, mx);
+        }
+      }
+    }
+
+    // Returns to zero: DP over (pos, count).
+    {
+      constexpr int kMaxR = kL / 2;
+      std::vector<double> f(static_cast<std::size_t>(kP) * (kMaxR + 1), 0.0);
+      std::vector<double> nf(f.size(), 0.0);
+      auto at = [&](std::vector<double>& a, int p, int r) -> double& {
+        return a[static_cast<std::size_t>(pos_index(p)) * (kMaxR + 1) +
+                 static_cast<std::size_t>(r)];
+      };
+      at(f, 0, 0) = 1.0;
+      for (int step = 0; step < kL; ++step) {
+        std::fill(nf.begin(), nf.end(), 0.0);
+        for (int p = -step; p <= step; ++p) {
+          for (int r = 0; r <= step / 2; ++r) {
+            const double v = at(f, p, r);
+            if (v == 0.0) continue;
+            for (int dir : {+1, -1}) {
+              const int np = p + dir;
+              const int nr = r + (np == 0 ? 1 : 0);
+              at(nf, np, std::min(nr, kMaxR)) += 0.5 * v;
+            }
+          }
+        }
+        f.swap(nf);
+      }
+      d.returns.assign(kMaxR + 1, 0.0);
+      for (int p = -kL; p <= kL; ++p) {
+        for (int r = 0; r <= kMaxR; ++r) {
+          d.returns[static_cast<std::size_t>(r)] += at(f, p, r);
+        }
+      }
+    }
+
+    // Sign changes: DP over (pos, count, sign of last nonzero level).
+    {
+      constexpr int kMaxC = kL / 2;
+      const std::size_t stride =
+          static_cast<std::size_t>(kMaxC + 1) * 3;  // (count, lastsign)
+      std::vector<double> f(static_cast<std::size_t>(kP) * stride, 0.0);
+      std::vector<double> nf(f.size(), 0.0);
+      auto at = [&](std::vector<double>& a, int p, int c, int s) -> double& {
+        // s in {0: none yet, 1: positive, 2: negative}
+        return a[static_cast<std::size_t>(pos_index(p)) * stride +
+                 static_cast<std::size_t>(c) * 3 + static_cast<std::size_t>(s)];
+      };
+      at(f, 0, 0, 0) = 1.0;
+      for (int step = 0; step < kL; ++step) {
+        std::fill(nf.begin(), nf.end(), 0.0);
+        for (int p = -step; p <= step; ++p) {
+          for (int c = 0; c <= step / 2; ++c) {
+            for (int s = 0; s < 3; ++s) {
+              const double v = at(f, p, c, s);
+              if (v == 0.0) continue;
+              for (int dir : {+1, -1}) {
+                const int np = p + dir;
+                int nc = c, ns = s;
+                if (np > 0) {
+                  if (p == 0 && s == 2) ++nc;  // crossed from negative side
+                  ns = 1;
+                } else if (np < 0) {
+                  if (p == 0 && s == 1) ++nc;  // crossed from positive side
+                  ns = 2;
+                }
+                at(nf, np, std::min(nc, kMaxC), ns) += 0.5 * v;
+              }
+            }
+          }
+        }
+        f.swap(nf);
+      }
+      d.crossings.assign(kMaxC + 1, 0.0);
+      for (int p = -kL; p <= kL; ++p) {
+        for (int c = 0; c <= kMaxC; ++c) {
+          for (int s = 0; s < 3; ++s) {
+            d.crossings[static_cast<std::size_t>(c)] += at(f, p, c, s);
+          }
+        }
+      }
+    }
+
+    // Time strictly positive: DP over (pos, count).
+    {
+      std::vector<double> f(static_cast<std::size_t>(kP) * (kL + 1), 0.0);
+      std::vector<double> nf(f.size(), 0.0);
+      auto at = [&](std::vector<double>& a, int p, int j) -> double& {
+        return a[static_cast<std::size_t>(pos_index(p)) * (kL + 1) +
+                 static_cast<std::size_t>(j)];
+      };
+      at(f, 0, 0) = 1.0;
+      for (int step = 0; step < kL; ++step) {
+        std::fill(nf.begin(), nf.end(), 0.0);
+        for (int p = -step; p <= step; ++p) {
+          for (int j = 0; j <= step; ++j) {
+            const double v = at(f, p, j);
+            if (v == 0.0) continue;
+            for (int dir : {+1, -1}) {
+              const int np = p + dir;
+              at(nf, np, j + (np > 0 ? 1 : 0)) += 0.5 * v;
+            }
+          }
+        }
+        f.swap(nf);
+      }
+      d.positive.assign(kL + 1, 0.0);
+      for (int p = -kL; p <= kL; ++p) {
+        for (int j = 0; j <= kL; ++j) {
+          d.positive[static_cast<std::size_t>(j)] += at(f, p, j);
+        }
+      }
+    }
+  });
+  return d;
+}
+
+}  // namespace
+
+std::vector<TestResult> crush_random_walk(prng::Generator& g, double mult) {
+  const auto& dist = walk_dists();
+  const std::size_t walks = std::max<std::size_t>(
+      2000, static_cast<std::size_t>(10000 * mult));
+
+  std::vector<double> obs_final(dist.final_half.size(), 0.0);
+  std::vector<double> obs_max(dist.max_pos.size(), 0.0);
+  std::vector<double> obs_ret(dist.returns.size(), 0.0);
+  std::vector<double> obs_cross(dist.crossings.size(), 0.0);
+  std::vector<double> obs_pos(dist.positive.size(), 0.0);
+
+  for (std::size_t w = 0; w < walks; ++w) {
+    int pos = 0, mx = 0, ret = 0, cross = 0, time_pos = 0;
+    int last_sign = 0;
+    std::uint32_t bits = 0;
+    int avail = 0;
+    for (int step = 0; step < kL; ++step) {
+      if (avail == 0) {
+        bits = g.next_u32();
+        avail = 32;
+      }
+      const int dir = (bits & 1u) ? +1 : -1;
+      bits >>= 1;
+      --avail;
+      const int prev = pos;
+      pos += dir;
+      mx = std::max(mx, pos);
+      if (pos == 0) ++ret;
+      if (pos > 0) {
+        if (prev == 0 && last_sign == -1) ++cross;
+        last_sign = 1;
+        ++time_pos;
+      } else if (pos < 0) {
+        if (prev == 0 && last_sign == 1) ++cross;
+        last_sign = -1;
+      }
+    }
+    obs_final[static_cast<std::size_t>((pos + kL) / 2)] += 1.0;
+    obs_max[static_cast<std::size_t>(mx)] += 1.0;
+    obs_ret[std::min(obs_ret.size() - 1, static_cast<std::size_t>(ret))] += 1.0;
+    obs_cross[std::min(obs_cross.size() - 1,
+                       static_cast<std::size_t>(cross))] += 1.0;
+    obs_pos[static_cast<std::size_t>(time_pos)] += 1.0;
+  }
+
+  auto expected_counts = [&](const std::vector<double>& p) {
+    std::vector<double> e(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      e[i] = p[i] * static_cast<double>(walks);
+    }
+    return e;
+  };
+  return {
+      chi_square_test("walk-final", obs_final,
+                      expected_counts(dist.final_half)),
+      chi_square_test("walk-max", obs_max, expected_counts(dist.max_pos)),
+      chi_square_test("walk-returns", obs_ret,
+                      expected_counts(dist.returns)),
+      chi_square_test("walk-crossings", obs_cross,
+                      expected_counts(dist.crossings)),
+      chi_square_test("walk-positive", obs_pos,
+                      expected_counts(dist.positive)),
+  };
+}
+
+}  // namespace hprng::stat

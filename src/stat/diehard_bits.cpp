@@ -1,0 +1,305 @@
+// DIEHARD tests 1-8: the bit-level tests (birthday spacings, permutations,
+// binary ranks, monkey tests, count-the-1s).
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "stat/diehard.hpp"
+#include "stat/gf2.hpp"
+#include "stat/special.hpp"
+#include "util/check.hpp"
+
+namespace hprng::stat {
+namespace {
+
+std::size_t scaled(double base, double scale, std::size_t min_value) {
+  return std::max(min_value, static_cast<std::size_t>(base * scale));
+}
+
+}  // namespace
+
+// --- 1. Birthday spacings -------------------------------------------------
+// m = 512 birthdays in a year of n = 2^24 days; the number of values
+// duplicated among the sorted spacings is asymptotically Poisson with
+// lambda = m^3 / (4n) = 2. Marsaglia runs 500 samples; we default to 256.
+TestResult diehard_birthday_spacings(prng::Generator& g,
+                                     const DiehardConfig& c) {
+  constexpr int kBirthdays = 512;
+  constexpr std::uint32_t kDayMask = (1u << 24) - 1;
+  constexpr double kLambda = 2.0;  // 512^3 / 2^26
+  const std::size_t samples = scaled(256, c.scale, 64);
+
+  constexpr int kMaxJ = 12;
+  std::vector<double> observed(kMaxJ + 1, 0.0);
+  std::vector<std::uint32_t> days(kBirthdays), spacings(kBirthdays);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (auto& d : days) d = g.next_u32() & kDayMask;
+    std::sort(days.begin(), days.end());
+    for (int i = 0; i < kBirthdays; ++i) {
+      spacings[static_cast<std::size_t>(i)] =
+          i == 0 ? days[0] : days[static_cast<std::size_t>(i)] -
+                                 days[static_cast<std::size_t>(i - 1)];
+    }
+    std::sort(spacings.begin(), spacings.end());
+    int duplicates = 0;
+    for (int i = 1; i < kBirthdays; ++i) {
+      if (spacings[static_cast<std::size_t>(i)] ==
+          spacings[static_cast<std::size_t>(i - 1)]) {
+        ++duplicates;
+      }
+    }
+    observed[static_cast<std::size_t>(std::min(duplicates, kMaxJ))] += 1.0;
+  }
+  std::vector<double> expected(kMaxJ + 1, 0.0);
+  for (int j = 0; j <= kMaxJ; ++j) {
+    const double pj = j == kMaxJ ? 1.0 - poisson_cdf(kMaxJ - 1, kLambda)
+                                 : poisson_pmf(j, kLambda);
+    expected[static_cast<std::size_t>(j)] =
+        pj * static_cast<double>(samples);
+  }
+  return chi_square_test("birthday-spacings", observed, expected);
+}
+
+// --- 2. OPERM5 ------------------------------------------------------------
+// Orderings of 5 consecutive 32-bit values. Marsaglia uses overlapping
+// windows with a covariance-corrected quadratic form; we use NON-overlapping
+// 5-tuples, which makes the 120-cell multinomial chi-square exact.
+TestResult diehard_operm5(prng::Generator& g, const DiehardConfig& c) {
+  const std::size_t tuples = scaled(120000, c.scale, 12000);
+  std::vector<double> observed(120, 0.0);
+  std::array<std::uint32_t, 5> v;
+  for (std::size_t t = 0; t < tuples; ++t) {
+    for (auto& x : v) x = g.next_u32();
+    // Lehmer code -> permutation index in [0, 120).
+    int index = 0;
+    int radix = 24;  // 4!
+    for (int i = 0; i < 4; ++i) {
+      int rank = 0;
+      for (int j = i + 1; j < 5; ++j) {
+        if (v[static_cast<std::size_t>(j)] < v[static_cast<std::size_t>(i)]) {
+          ++rank;
+        }
+      }
+      index += rank * radix;
+      radix /= (4 - i);
+    }
+    observed[static_cast<std::size_t>(index)] += 1.0;
+  }
+  const std::vector<double> expected(
+      120, static_cast<double>(tuples) / 120.0);
+  return chi_square_test("operm5", observed, expected);
+}
+
+// --- 3. Binary rank 31x31 and 32x32 ---------------------------------------
+namespace {
+
+TestResult rank_square_test(prng::Generator& g, int dim, std::size_t mats,
+                            const char* name) {
+  // Rank classes: <= dim-3, dim-2, dim-1, dim.
+  std::vector<double> observed(4, 0.0), expected(4, 0.0);
+  std::vector<std::uint64_t> rows(static_cast<std::size_t>(dim));
+  for (std::size_t m = 0; m < mats; ++m) {
+    for (auto& r : rows) {
+      r = g.next_u32() >> (32 - dim);
+    }
+    const int rank = gf2_rank(rows, dim);
+    observed[static_cast<std::size_t>(
+        std::min(3, std::max(0, rank - (dim - 3))))] += 1.0;
+  }
+  double below = 0.0;
+  for (int r = dim - 2; r <= dim; ++r) {
+    const double p = gf2_rank_probability(dim, dim, r);
+    expected[static_cast<std::size_t>(r - (dim - 3))] =
+        p * static_cast<double>(mats);
+    below += p;
+  }
+  expected[0] = (1.0 - below) * static_cast<double>(mats);
+  return chi_square_test(name, observed, expected, 1.0);
+}
+
+}  // namespace
+
+TestResult diehard_binary_rank_3132(prng::Generator& g,
+                                    const DiehardConfig& c) {
+  const std::size_t mats = scaled(4000, c.scale, 500);
+  const TestResult r31 = rank_square_test(g, 31, mats, "rank-31x31");
+  const TestResult r32 = rank_square_test(g, 32, mats, "rank-32x32");
+  const double p = fisher_combine({r31.p, r32.p});
+  return {"binary-rank-31+32", p, r31.statistic + r32.statistic};
+}
+
+TestResult diehard_binary_rank_6x8(prng::Generator& g,
+                                   const DiehardConfig& c) {
+  const std::size_t mats = scaled(40000, c.scale, 4000);
+  // Rank classes: <=4, 5, 6 for 6x8 matrices built from one byte per row.
+  std::vector<double> observed(3, 0.0), expected(3, 0.0);
+  std::vector<std::uint64_t> rows(6);
+  for (std::size_t m = 0; m < mats; ++m) {
+    for (auto& r : rows) r = (g.next_u32() >> 24) & 0xFFu;
+    const int rank = gf2_rank(rows, 8);
+    observed[static_cast<std::size_t>(std::min(2, std::max(0, rank - 4)))] +=
+        1.0;
+  }
+  const double p5 = gf2_rank_probability(6, 8, 5);
+  const double p6 = gf2_rank_probability(6, 8, 6);
+  expected[0] = (1.0 - p5 - p6) * static_cast<double>(mats);
+  expected[1] = p5 * static_cast<double>(mats);
+  expected[2] = p6 * static_cast<double>(mats);
+  return chi_square_test("binary-rank-6x8", observed, expected, 1.0);
+}
+
+// --- 5/6. Monkey tests ----------------------------------------------------
+namespace {
+
+/// Count missing words in a stream of overlapping `letters`-letter words of
+/// `bits_per_letter`-bit letters (20 bits of word total), over
+/// 2^21 words. Mean/sigma of the missing-word count are the classical
+/// DIEHARD constants for this configuration.
+double monkey_missing_z(prng::Generator& g, int bits_per_letter, int letters,
+                        double mu, double sigma) {
+  const int word_bits = bits_per_letter * letters;
+  HPRNG_CHECK(word_bits == 20, "monkey tests use 20-bit words");
+  constexpr std::uint32_t kNumWords = 1u << 21;
+  const std::uint32_t word_mask = (1u << 20) - 1;
+  std::vector<std::uint64_t> seen((1u << 20) / 64, 0);
+  std::uint32_t window = 0;
+  // Letters are consumed from the full bit stream of successive draws
+  // (little-end first), as DIEHARD streams all bits of each word.
+  std::uint64_t bit_acc = 0;
+  int bits_avail = 0;
+  auto next_letter = [&]() -> std::uint32_t {
+    if (bits_avail < bits_per_letter) {
+      bit_acc |= static_cast<std::uint64_t>(g.next_u32()) << bits_avail;
+      bits_avail += 32;
+    }
+    const auto letter = static_cast<std::uint32_t>(
+        bit_acc & ((1u << bits_per_letter) - 1u));
+    bit_acc >>= bits_per_letter;
+    bits_avail -= bits_per_letter;
+    return letter;
+  };
+  for (int i = 0; i < letters; ++i) {
+    window = ((window << bits_per_letter) | next_letter()) & word_mask;
+  }
+  seen[window >> 6] |= 1ull << (window & 63);
+  for (std::uint32_t i = 1; i < kNumWords; ++i) {
+    window = ((window << bits_per_letter) | next_letter()) & word_mask;
+    seen[window >> 6] |= 1ull << (window & 63);
+  }
+  std::uint32_t present = 0;
+  for (std::uint64_t w : seen) {
+    present += static_cast<std::uint32_t>(std::popcount(w));
+  }
+  const double missing = static_cast<double>((1u << 20) - present);
+  return (missing - mu) / sigma;
+}
+
+}  // namespace
+
+TestResult diehard_bitstream(prng::Generator& g, const DiehardConfig&) {
+  // 20-bit overlapping words from a bit stream: letters of 1 bit.
+  const double z = monkey_missing_z(g, 1, 20, 141909.0, 428.0);
+  return {"bitstream", normal_two_sided_p(z), z};
+}
+
+TestResult diehard_monkey(prng::Generator& g, const DiehardConfig&) {
+  // OPSO: 2 letters x 10 bits; OQSO: 4 x 5; DNA: 10 x 2. Classical sigmas.
+  const double z_opso = monkey_missing_z(g, 10, 2, 141909.0, 290.0);
+  const double z_oqso = monkey_missing_z(g, 5, 4, 141909.0, 295.0);
+  const double z_dna = monkey_missing_z(g, 2, 10, 141909.0, 339.0);
+  const double p = fisher_combine({normal_two_sided_p(z_opso),
+                                   normal_two_sided_p(z_oqso),
+                                   normal_two_sided_p(z_dna)});
+  return {"monkey-opso-oqso-dna", p,
+          std::max({std::abs(z_opso), std::abs(z_oqso), std::abs(z_dna)})};
+}
+
+// --- 7/8. Count the 1s ----------------------------------------------------
+namespace {
+
+/// DIEHARD letter from a byte: bucket its popcount into 5 classes with
+/// probabilities {37, 56, 70, 56, 37} / 256.
+inline int byte_letter(std::uint32_t byte) {
+  static constexpr std::array<std::uint8_t, 9> kClass = {0, 0, 0, 1, 2,
+                                                         3, 4, 4, 4};
+  return kClass[static_cast<std::size_t>(
+      std::popcount(byte & 0xFFu))];
+}
+
+TestResult count_ones_impl(prng::Generator& g, std::size_t num_bytes,
+                           bool specific_byte, const char* name) {
+  // Overlapping 5-letter words vs 4-letter words: Q5 - Q4 is asymptotically
+  // chi-square with 5^5 - 5^4 = 2500 dof (Marsaglia).
+  static constexpr std::array<double, 5> kLetterP = {
+      37.0 / 256, 56.0 / 256, 70.0 / 256, 56.0 / 256, 37.0 / 256};
+  std::vector<double> count5(3125, 0.0), count4(625, 0.0);
+  std::uint32_t window = 0;  // base-5 sliding window of 5 letters
+  std::uint32_t cached = 0;  // stream mode: cycle through the draw's bytes
+  int lane = 4;
+  auto next_byte = [&]() -> std::uint32_t {
+    if (specific_byte) return (g.next_u32() >> 16) & 0xFFu;
+    if (lane >= 4) {
+      cached = g.next_u32();
+      lane = 0;
+    }
+    return (cached >> (8 * lane++)) & 0xFFu;
+  };
+  // Prime the window with 5 letters.
+  for (int i = 0; i < 5; ++i) {
+    window = (window * 5 + static_cast<std::uint32_t>(
+                               byte_letter(next_byte()))) % 3125;
+  }
+  for (std::size_t i = 0; i < num_bytes; ++i) {
+    count5[window] += 1.0;
+    count4[window % 625] += 1.0;
+    window = (window * 5 + static_cast<std::uint32_t>(
+                               byte_letter(next_byte()))) % 3125;
+  }
+  // Expected counts from the product of letter probabilities.
+  const double n = static_cast<double>(num_bytes);
+  double q5 = 0.0, q4 = 0.0;
+  for (int w = 0; w < 3125; ++w) {
+    double p = 1.0;
+    int ww = w;
+    for (int l = 0; l < 5; ++l) {
+      p *= kLetterP[static_cast<std::size_t>(ww % 5)];
+      ww /= 5;
+    }
+    const double e = n * p;
+    const double d = count5[static_cast<std::size_t>(w)] - e;
+    q5 += d * d / e;
+  }
+  for (int w = 0; w < 625; ++w) {
+    double p = 1.0;
+    int ww = w;
+    for (int l = 0; l < 4; ++l) {
+      p *= kLetterP[static_cast<std::size_t>(ww % 5)];
+      ww /= 5;
+    }
+    const double e = n * p;
+    const double d = count4[static_cast<std::size_t>(w)] - e;
+    q4 += d * d / e;
+  }
+  const double stat = q5 - q4;
+  return {name, chi_square_sf(stat, 2500.0), stat};
+}
+
+}  // namespace
+
+TestResult diehard_count_ones_stream(prng::Generator& g,
+                                     const DiehardConfig& c) {
+  return count_ones_impl(g, scaled(256000, c.scale, 64000), false,
+                         "count-ones-stream");
+}
+
+TestResult diehard_count_ones_bytes(prng::Generator& g,
+                                    const DiehardConfig& c) {
+  return count_ones_impl(g, scaled(256000, c.scale, 64000), true,
+                         "count-ones-bytes");
+}
+
+}  // namespace hprng::stat

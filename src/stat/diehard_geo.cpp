@@ -1,0 +1,378 @@
+// DIEHARD tests 9-15: the geometric and game tests (parking lot, minimum
+// distance, 3D spheres, squeeze, overlapping sums, runs, craps).
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "stat/diehard.hpp"
+#include "stat/special.hpp"
+#include "util/check.hpp"
+
+namespace hprng::stat {
+namespace {
+
+std::size_t scaled(double base, double scale, std::size_t min_value) {
+  return std::max(min_value, static_cast<std::size_t>(base * scale));
+}
+
+}  // namespace
+
+// --- 9. Parking lot ---------------------------------------------------------
+// Attempt to park 12000 unit-clearance cars in a 100x100 lot; the number of
+// successful parks is approximately Normal(3523, 21.9) (Marsaglia's
+// constants). A uniform grid makes the crash check O(1) per attempt.
+TestResult diehard_parking_lot(prng::Generator& g, const DiehardConfig&) {
+  constexpr double kSide = 100.0;
+  constexpr int kAttempts = 12000;
+  constexpr double kMu = 3523.0, kSigma = 21.9;
+
+  constexpr int kCells = 100;  // 1x1 cells; crash radius is 1 (max-norm)
+  std::vector<std::vector<std::pair<double, double>>> grid(
+      static_cast<std::size_t>(kCells * kCells));
+  int parked = 0;
+  for (int a = 0; a < kAttempts; ++a) {
+    const double x = g.next_double() * kSide;
+    const double y = g.next_double() * kSide;
+    const int cx = std::min(kCells - 1, static_cast<int>(x));
+    const int cy = std::min(kCells - 1, static_cast<int>(y));
+    bool crash = false;
+    for (int dx = -1; dx <= 1 && !crash; ++dx) {
+      for (int dy = -1; dy <= 1 && !crash; ++dy) {
+        const int nx = cx + dx, ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= kCells || ny >= kCells) continue;
+        for (const auto& [px, py] : grid[static_cast<std::size_t>(
+                 nx * kCells + ny)]) {
+          // Marsaglia's version: a crash is |dx|<=1 AND |dy|<=1 (max norm).
+          if (std::abs(px - x) <= 1.0 && std::abs(py - y) <= 1.0) {
+            crash = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!crash) {
+      grid[static_cast<std::size_t>(cx * kCells + cy)].emplace_back(x, y);
+      ++parked;
+    }
+  }
+  const double z = (static_cast<double>(parked) - kMu) / kSigma;
+  return {"parking-lot", normal_two_sided_p(z), z};
+}
+
+// --- 10/11. Minimum distance (2D and 3D) -----------------------------------
+namespace {
+
+/// Minimum pairwise distance^2 among n points in [0, side)^2, grid bucketed.
+double min_dist2_2d(const std::vector<std::pair<double, double>>& pts,
+                    double side) {
+  const int cells = std::max(
+      1, static_cast<int>(std::sqrt(static_cast<double>(pts.size()))));
+  const double cell = side / cells;
+  std::vector<std::vector<int>> grid(
+      static_cast<std::size_t>(cells * cells));
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const int cx = std::min(cells - 1, static_cast<int>(pts[i].first / cell));
+    const int cy = std::min(cells - 1, static_cast<int>(pts[i].second / cell));
+    grid[static_cast<std::size_t>(cx * cells + cy)].push_back(
+        static_cast<int>(i));
+  }
+  double best = side * side * 2.0;
+  // Expand ring search until the found distance fits within searched rings.
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const auto [x, y] = pts[i];
+    const int cx = std::min(cells - 1, static_cast<int>(x / cell));
+    const int cy = std::min(cells - 1, static_cast<int>(y / cell));
+    for (int ring = 0; ring < cells; ++ring) {
+      const double ring_min = (ring - 1) * cell;
+      if (ring > 1 && ring_min * ring_min > best) break;
+      for (int dx = -ring; dx <= ring; ++dx) {
+        for (int dy = -ring; dy <= ring; ++dy) {
+          if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+          const int nx = cx + dx, ny = cy + dy;
+          if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+          for (int j : grid[static_cast<std::size_t>(nx * cells + ny)]) {
+            if (static_cast<std::size_t>(j) <= i) continue;
+            const double ddx = pts[static_cast<std::size_t>(j)].first - x;
+            const double ddy = pts[static_cast<std::size_t>(j)].second - y;
+            best = std::min(best, ddx * ddx + ddy * ddy);
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+TestResult diehard_minimum_distance(prng::Generator& g,
+                                    const DiehardConfig& c) {
+  // n points in a 10000-side square; with C(n,2) pairs, the minimum squared
+  // distance is Exp with mean L^2 / (C(n,2) pi). We transform each sample to
+  // a uniform and KS the batch (exactly Marsaglia's procedure, smaller n).
+  const std::size_t reps = scaled(100, c.scale, 25);
+  constexpr int kPoints = 1200;
+  constexpr double kSide = 10000.0;
+  const double pairs = 0.5 * kPoints * (kPoints - 1.0);
+  const double mean = kSide * kSide / (pairs * M_PI);
+  std::vector<double> ps;
+  ps.reserve(reps);
+  std::vector<std::pair<double, double>> pts(kPoints);
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (auto& p : pts) {
+      p = {g.next_double() * kSide, g.next_double() * kSide};
+    }
+    const double d2 = min_dist2_2d(pts, kSide);
+    ps.push_back(1.0 - std::exp(-d2 / mean));
+  }
+  auto res = ks_uniform_test("minimum-distance", std::move(ps));
+  return res;
+}
+
+TestResult diehard_spheres_3d(prng::Generator& g, const DiehardConfig& c) {
+  // n points in a 1000-side cube; min pairwise r^3 is Exp with mean
+  // 3 V / (4 pi C(n,2) ) * 2 = 3V / (2 pi n(n-1)/2 * 2) — derived from the
+  // expected number of pairs within radius r: C(n,2) * (4/3) pi r^3 / V.
+  const std::size_t reps = scaled(32, c.scale, 16);
+  constexpr int kPoints = 600;
+  constexpr double kSide = 1000.0;
+  const double pairs = 0.5 * kPoints * (kPoints - 1.0);
+  const double mean = 3.0 * kSide * kSide * kSide / (4.0 * M_PI * pairs);
+  std::vector<double> ps;
+  ps.reserve(reps);
+  std::vector<std::array<double, 3>> pts(kPoints);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (auto& p : pts) {
+      p = {g.next_double() * kSide, g.next_double() * kSide,
+           g.next_double() * kSide};
+    }
+    // O(n^2)/2 pairwise scan; 600 points keeps this cheap.
+    double best = kSide * kSide * 3.0;
+    for (int i = 0; i < kPoints; ++i) {
+      for (int j = i + 1; j < kPoints; ++j) {
+        const double dx = pts[static_cast<std::size_t>(i)][0] -
+                          pts[static_cast<std::size_t>(j)][0];
+        const double dy = pts[static_cast<std::size_t>(i)][1] -
+                          pts[static_cast<std::size_t>(j)][1];
+        const double dz = pts[static_cast<std::size_t>(i)][2] -
+                          pts[static_cast<std::size_t>(j)][2];
+        best = std::min(best, dx * dx + dy * dy + dz * dz);
+      }
+    }
+    const double r3 = std::pow(best, 1.5);
+    ps.push_back(1.0 - std::exp(-r3 / mean));
+  }
+  return ks_uniform_test("spheres-3d", std::move(ps));
+}
+
+// --- 12. Squeeze ------------------------------------------------------------
+namespace {
+
+/// Exact distribution of the squeeze step count J for start value k0:
+/// k -> ceil(k U) is uniform on {1..k} for continuous U, so
+/// P(J = j | k) = (1/k) sum_{i<=k} P(J = j-1 | i), computed with prefix sums.
+/// Cached: the DP over k0 = 2^20 costs ~60M flops once.
+const std::vector<double>& squeeze_distribution() {
+  static std::vector<double> dist;  // dist[j] = P(J = j | k0)
+  static std::once_flag once;
+  std::call_once(once, [] {
+    constexpr std::uint32_t kStart = 1u << 20;
+    constexpr int kMaxJ = 64;
+    std::vector<double> cur(kStart + 1, 0.0), next(kStart + 1, 0.0);
+    cur[1] = 1.0;  // j = 0 reachable only if we already sit at 1
+    dist.assign(kMaxJ + 1, 0.0);
+    dist[0] = 0.0;  // start value is k0 > 1
+    for (int j = 1; j <= kMaxJ; ++j) {
+      // prefix[k] = sum_{i<=k} cur[i]; next[k] = prefix[k] / k for k >= 2.
+      double prefix = 0.0;
+      next[0] = 0.0;
+      for (std::uint32_t k = 1; k <= kStart; ++k) {
+        prefix += cur[k];
+        next[k] = k >= 2 ? prefix / static_cast<double>(k) : 0.0;
+      }
+      dist[static_cast<std::size_t>(j)] = next[kStart];
+      // After absorbing at 1 the walk stops: state 1 must not re-emit.
+      next[1] = 0.0;
+      cur.swap(next);
+    }
+    // Note dist[j] = P(step count == j) because reaching 1 at step j is
+    // exactly "J = j" (state 1 is absorbing and zeroed after counting).
+  });
+  return dist;
+}
+
+}  // namespace
+
+TestResult diehard_squeeze(prng::Generator& g, const DiehardConfig& c) {
+  constexpr std::uint32_t kStart = 1u << 20;
+  const std::size_t samples = scaled(20000, c.scale, 4000);
+  const auto& dist = squeeze_distribution();
+  std::vector<double> observed(dist.size(), 0.0);
+  for (std::size_t s = 0; s < samples; ++s) {
+    std::uint32_t k = kStart;
+    int j = 0;
+    while (k > 1 && j < static_cast<int>(dist.size()) - 1) {
+      const double u = g.next_double();
+      k = static_cast<std::uint32_t>(
+          std::ceil(static_cast<double>(k) * u));
+      if (k == 0) k = 1;  // ceil(0) guard: U drew exactly 0
+      ++j;
+    }
+    observed[static_cast<std::size_t>(j)] += 1.0;
+  }
+  std::vector<double> expected(dist.size());
+  for (std::size_t j = 0; j < dist.size(); ++j) {
+    expected[j] = dist[j] * static_cast<double>(samples);
+  }
+  // The DP truncates at kMaxJ; fold the residual tail into the last bin.
+  double tail = 1.0;
+  for (double p : dist) tail -= p;
+  expected.back() += std::max(0.0, tail) * static_cast<double>(samples);
+  return chi_square_test("squeeze", observed, expected);
+}
+
+// --- 13. Overlapping sums (non-overlapping variant) -------------------------
+TestResult diehard_overlapping_sums(prng::Generator& g,
+                                    const DiehardConfig& c) {
+  // Sums of 100 uniforms are Normal(50, sqrt(100/12)). Marsaglia overlaps
+  // the windows and de-correlates; we use disjoint windows so each sum is
+  // independent and the KS against the exact normal CDF applies directly.
+  const std::size_t sums = scaled(5000, c.scale, 1000);
+  constexpr int kWindow = 100;
+  const double sigma = std::sqrt(kWindow / 12.0);
+  std::vector<double> ps;
+  ps.reserve(sums);
+  for (std::size_t s = 0; s < sums; ++s) {
+    double sum = 0.0;
+    for (int i = 0; i < kWindow; ++i) sum += g.next_double();
+    ps.push_back(normal_cdf((sum - kWindow * 0.5) / sigma));
+  }
+  return ks_uniform_test("overlapping-sums", std::move(ps));
+}
+
+// --- 14. Runs ----------------------------------------------------------------
+TestResult diehard_runs(prng::Generator& g, const DiehardConfig& c) {
+  // Total number of runs up-and-down in a sequence of n distinct values:
+  // mean (2n-1)/3, variance (16n-29)/90 (Levene-Wolfowitz).
+  const std::size_t n = scaled(100000, c.scale, 20000);
+  std::size_t runs = 1;
+  double prev = g.next_double();
+  double cur = g.next_double();
+  bool up = cur > prev;
+  for (std::size_t i = 2; i < n; ++i) {
+    prev = cur;
+    cur = g.next_double();
+    const bool now_up = cur > prev;
+    if (now_up != up) {
+      ++runs;
+      up = now_up;
+    }
+  }
+  const double nn = static_cast<double>(n);
+  const double mu = (2.0 * nn - 1.0) / 3.0;
+  const double var = (16.0 * nn - 29.0) / 90.0;
+  const double z = (static_cast<double>(runs) - mu) / std::sqrt(var);
+  return {"runs", normal_two_sided_p(z), z};
+}
+
+// --- 15. Craps ---------------------------------------------------------------
+TestResult diehard_craps(prng::Generator& g, const DiehardConfig& c) {
+  const std::size_t games = scaled(100000, c.scale, 20000);
+  constexpr double kWinP = 244.0 / 495.0;
+
+  // Exact distribution of throws per game. P(1 throw) = 12/36; afterwards
+  // the game ends each throw with probability q_p = P(point) + P(7).
+  constexpr int kMaxT = 21;
+  std::vector<double> p_throws(kMaxT + 1, 0.0);
+  p_throws[1] = 12.0 / 36.0;
+  constexpr double kPointP[6] = {3.0 / 36, 4.0 / 36, 5.0 / 36,
+                                 5.0 / 36, 4.0 / 36, 3.0 / 36};
+  for (int t = 2; t <= kMaxT; ++t) {
+    double p = 0.0;
+    for (double pp : kPointP) {
+      const double q = pp + 6.0 / 36.0;
+      p += pp * std::pow(1.0 - q, t - 2) * q;
+    }
+    p_throws[static_cast<std::size_t>(t)] = p;
+  }
+  // Fold the geometric tail into the last cell.
+  double tail = 1.0;
+  for (double p : p_throws) tail -= p;
+  p_throws[kMaxT] += std::max(0.0, tail);
+
+  auto roll = [&]() -> int {
+    return static_cast<int>(g.next_below(6)) +
+           static_cast<int>(g.next_below(6)) + 2;
+  };
+  std::size_t wins = 0;
+  std::vector<double> observed(kMaxT + 1, 0.0);
+  for (std::size_t game = 0; game < games; ++game) {
+    int throws = 1;
+    const int first = roll();
+    bool win;
+    if (first == 7 || first == 11) {
+      win = true;
+    } else if (first == 2 || first == 3 || first == 12) {
+      win = false;
+    } else {
+      const int point = first;
+      for (;;) {
+        const int r = roll();
+        ++throws;
+        if (r == point) {
+          win = true;
+          break;
+        }
+        if (r == 7) {
+          win = false;
+          break;
+        }
+      }
+    }
+    if (win) ++wins;
+    observed[static_cast<std::size_t>(std::min(throws, kMaxT))] += 1.0;
+  }
+  const double z =
+      (static_cast<double>(wins) - kWinP * static_cast<double>(games)) /
+      std::sqrt(static_cast<double>(games) * kWinP * (1.0 - kWinP));
+  std::vector<double> expected(kMaxT + 1, 0.0);
+  for (int t = 1; t <= kMaxT; ++t) {
+    expected[static_cast<std::size_t>(t)] =
+        p_throws[static_cast<std::size_t>(t)] * static_cast<double>(games);
+  }
+  observed.erase(observed.begin());  // no games take 0 throws
+  expected.erase(expected.begin());
+  const TestResult throws_res =
+      chi_square_test("craps-throws", observed, expected);
+  const double p = fisher_combine({normal_two_sided_p(z), throws_res.p});
+  return {"craps", p, z};
+}
+
+std::vector<NamedTest> diehard_battery(const DiehardConfig& cfg) {
+  auto wrap = [cfg](TestResult (*fn)(prng::Generator&, const DiehardConfig&),
+                    const char* name) {
+    return NamedTest{name, [fn, cfg](prng::Generator& g) { return fn(g, cfg); }};
+  };
+  return {
+      wrap(&diehard_birthday_spacings, "birthday-spacings"),
+      wrap(&diehard_operm5, "operm5"),
+      wrap(&diehard_binary_rank_3132, "binary-rank-31+32"),
+      wrap(&diehard_binary_rank_6x8, "binary-rank-6x8"),
+      wrap(&diehard_bitstream, "bitstream"),
+      wrap(&diehard_monkey, "monkey-opso-oqso-dna"),
+      wrap(&diehard_count_ones_stream, "count-ones-stream"),
+      wrap(&diehard_count_ones_bytes, "count-ones-bytes"),
+      wrap(&diehard_parking_lot, "parking-lot"),
+      wrap(&diehard_minimum_distance, "minimum-distance"),
+      wrap(&diehard_spheres_3d, "spheres-3d"),
+      wrap(&diehard_squeeze, "squeeze"),
+      wrap(&diehard_overlapping_sums, "overlapping-sums"),
+      wrap(&diehard_runs, "runs"),
+      wrap(&diehard_craps, "craps"),
+  };
+}
+
+}  // namespace hprng::stat

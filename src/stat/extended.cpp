@@ -1,0 +1,244 @@
+#include "stat/extended.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "stat/special.hpp"
+#include "util/check.hpp"
+
+namespace hprng::stat {
+namespace {
+
+/// 64 bits of `bits` starting at bit position `pos` (little-end packing).
+inline std::uint64_t get64(const std::vector<std::uint64_t>& bits,
+                           std::size_t pos) {
+  const std::size_t w = pos / 64;
+  const unsigned off = static_cast<unsigned>(pos % 64);
+  std::uint64_t v = w < bits.size() ? bits[w] >> off : 0;
+  if (off != 0 && w + 1 < bits.size()) {
+    v |= bits[w + 1] << (64 - off);
+  }
+  return v;
+}
+
+inline bool get_bit(const std::vector<std::uint64_t>& bits,
+                    std::size_t pos) {
+  return (bits[pos / 64] >> (pos % 64)) & 1u;
+}
+
+inline void set_bit(std::vector<std::uint64_t>& bits, std::size_t pos) {
+  bits[pos / 64] |= 1ull << (pos % 64);
+}
+
+/// dst ^= src << shift_bits (bit arrays of equal word length).
+void xor_shifted(std::vector<std::uint64_t>& dst,
+                 const std::vector<std::uint64_t>& src, int shift_bits) {
+  const std::size_t word_shift = static_cast<std::size_t>(shift_bits) / 64;
+  const unsigned off = static_cast<unsigned>(shift_bits % 64);
+  for (std::size_t i = dst.size(); i-- > word_shift;) {
+    const std::size_t j = i - word_shift;
+    std::uint64_t v = src[j] << off;
+    if (off != 0 && j > 0) v |= src[j - 1] >> (64 - off);
+    dst[i] ^= v;
+  }
+}
+
+/// Draw `nbits` bits from g into a packed little-end array.
+std::vector<std::uint64_t> draw_bits(prng::Generator& g, int nbits) {
+  std::vector<std::uint64_t> out((static_cast<std::size_t>(nbits) + 63) / 64,
+                                 0);
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    out[w] = g.next_u64();
+  }
+  // Mask the tail so helpers never read stale bits.
+  const unsigned tail = static_cast<unsigned>(nbits % 64);
+  if (tail != 0) out.back() &= (~0ull) >> (64 - tail);
+  return out;
+}
+
+}  // namespace
+
+int berlekamp_massey(const std::vector<std::uint64_t>& bits, int nbits) {
+  HPRNG_CHECK(nbits >= 1, "berlekamp_massey needs at least one bit");
+  HPRNG_CHECK(static_cast<std::size_t>(nbits) <= bits.size() * 64,
+              "berlekamp_massey: nbits exceeds the supplied array");
+  const std::size_t words = (static_cast<std::size_t>(nbits) + 63) / 64 + 1;
+  // Reversed copy: R[k] = s[nbits-1-k]; the discrepancy window for step n
+  // is then a contiguous run of R starting at nbits-1-n.
+  std::vector<std::uint64_t> rev(words, 0);
+  for (int i = 0; i < nbits; ++i) {
+    if (get_bit(bits, static_cast<std::size_t>(i))) {
+      set_bit(rev, static_cast<std::size_t>(nbits - 1 - i));
+    }
+  }
+
+  std::vector<std::uint64_t> c(words, 0), b(words, 0), t;
+  c[0] = 1;  // C(x) = 1
+  b[0] = 1;  // B(x) = 1
+  int L = 0;
+  int m = 1;
+  for (int n = 0; n < nbits; ++n) {
+    // d = sum_{i=0..L} c_i s_{n-i} over GF(2).
+    const std::size_t base = static_cast<std::size_t>(nbits - 1 - n);
+    std::uint64_t acc = 0;
+    const int span_words = L / 64 + 1;
+    for (int j = 0; j < span_words; ++j) {
+      std::uint64_t cw = c[static_cast<std::size_t>(j)];
+      if (j == span_words - 1) {
+        const unsigned keep = static_cast<unsigned>(L % 64) + 1;
+        if (keep < 64) cw &= (~0ull) >> (64 - keep);
+      }
+      acc ^= cw & get64(rev, base + static_cast<std::size_t>(j) * 64);
+    }
+    const bool d = (std::popcount(acc) & 1) != 0;
+    if (d) {
+      if (2 * L <= n) {
+        t = c;
+        xor_shifted(c, b, m);
+        L = n + 1 - L;
+        b = std::move(t);
+        m = 1;
+      } else {
+        xor_shifted(c, b, m);
+        ++m;
+      }
+    } else {
+      ++m;
+    }
+  }
+  return L;
+}
+
+TestResult linear_complexity_test(prng::Generator& g, int m, int blocks) {
+  HPRNG_CHECK(m >= 500, "NIST class probabilities need m >= 500");
+  // NIST SP 800-22 2.10: class probabilities of T.
+  static const double kPi[7] = {0.010417, 0.03125, 0.125, 0.5,
+                                0.25,     0.0625,  0.020833};
+  const double sign = (m % 2 == 0) ? 1.0 : -1.0;
+  const double mu = m / 2.0 + (9.0 + (m % 2 == 0 ? -1.0 : 1.0)) / 36.0 -
+                    (m / 3.0 + 2.0 / 9.0) / std::pow(2.0, m);
+  std::vector<double> observed(7, 0.0);
+  for (int blk = 0; blk < blocks; ++blk) {
+    const auto bits = draw_bits(g, m);
+    const int L = berlekamp_massey(bits, m);
+    const double t = sign * (L - mu) + 2.0 / 9.0;
+    int cls;
+    if (t <= -2.5) {
+      cls = 0;
+    } else if (t > 2.5) {
+      cls = 6;
+    } else {
+      cls = static_cast<int>(std::floor(t + 2.5)) + 1;
+      cls = std::clamp(cls, 1, 5);
+    }
+    observed[static_cast<std::size_t>(cls)] += 1.0;
+  }
+  std::vector<double> expected(7);
+  for (int i = 0; i < 7; ++i) {
+    expected[static_cast<std::size_t>(i)] = kPi[i] * blocks;
+  }
+  return chi_square_test("linear-complexity", observed, expected, 1.0);
+}
+
+TestResult long_block_linear_complexity_test(prng::Generator& g, int m) {
+  // One output bit per draw: for an F2-linear generator (LFSR, Mersenne
+  // Twister) every fixed output bit is a linear function of the state, so
+  // this sequence has linear complexity <= the state size (19937 for MT),
+  // while the full interleaved word stream would hide it behind a factor
+  // of the word width.
+  std::vector<std::uint64_t> bits((static_cast<std::size_t>(m) + 63) / 64,
+                                  0);
+  for (int i = 0; i < m; ++i) {
+    if (g.next_u32() & 1u) set_bit(bits, static_cast<std::size_t>(i));
+  }
+  const int L = berlekamp_massey(bits, m);
+  // For a random sequence L concentrates at ~ m/2 with geometric tails:
+  // P(|L - m/2| >= d) ~ 2^{-2d+2}. An LFSR with state < m/2 is pinned at
+  // its state length -> astronomically small p. The null is so concentrated
+  // that an unremarkable result maps to the neutral p = 0.5 (the statistic
+  // is effectively a detector, not a continuous deviation measure).
+  const double dev = std::abs(L - m / 2.0);
+  const double p =
+      dev <= 1.0
+          ? 0.5
+          : std::min(0.5, std::pow(2.0, -2.0 * (dev - 1.0) + 2.0));
+  return {"linear-complexity-long", p, static_cast<double>(L)};
+}
+
+TestResult autocorrelation_test(prng::Generator& g, int nbits,
+                                const std::vector<int>& lags) {
+  HPRNG_CHECK(!lags.empty(), "autocorrelation needs at least one lag");
+  const auto bits = draw_bits(g, nbits);
+  std::vector<double> ps;
+  double worst_z = 0.0;
+  for (const int d : lags) {
+    HPRNG_CHECK(d >= 1 && d < nbits, "lag out of range");
+    const int n = nbits - d;
+    // Disagreements between the stream and its shift: Binomial(n, 1/2).
+    std::int64_t diff = 0;
+    int i = 0;
+    while (i + 64 <= n) {
+      const std::uint64_t a = get64(bits, static_cast<std::size_t>(i));
+      const std::uint64_t b =
+          get64(bits, static_cast<std::size_t>(i) + static_cast<std::size_t>(d));
+      diff += std::popcount(a ^ b);
+      i += 64;
+    }
+    for (; i < n; ++i) {
+      diff += get_bit(bits, static_cast<std::size_t>(i)) !=
+                      get_bit(bits, static_cast<std::size_t>(i + d))
+                  ? 1
+                  : 0;
+    }
+    const double z =
+        (static_cast<double>(diff) - n / 2.0) / std::sqrt(n / 4.0);
+    worst_z = std::max(worst_z, std::abs(z));
+    ps.push_back(normal_two_sided_p(z));
+  }
+  return {"autocorrelation", fisher_combine(ps), worst_z};
+}
+
+TestResult serial_test(prng::Generator& g, int m, int nbits) {
+  HPRNG_CHECK(m >= 2 && m <= 16, "serial test supports 2 <= m <= 16");
+  const auto bits = draw_bits(g, nbits);
+  // psi^2_k over circular overlapping k-bit windows.
+  auto psi2 = [&](int k) -> double {
+    std::vector<double> counts(1ull << k, 0.0);
+    std::uint32_t window = 0;
+    const std::uint32_t mask = (1u << k) - 1;
+    // Prime with the first k-1 bits.
+    for (int i = 0; i < k - 1; ++i) {
+      window = (window << 1) |
+               (get_bit(bits, static_cast<std::size_t>(i)) ? 1u : 0u);
+    }
+    for (int i = k - 1; i < nbits + k - 1; ++i) {
+      const std::size_t pos = static_cast<std::size_t>(i % nbits);
+      window = ((window << 1) | (get_bit(bits, pos) ? 1u : 0u)) & mask;
+      counts[window] += 1.0;
+    }
+    double sum2 = 0.0;
+    for (const double cnt : counts) sum2 += cnt * cnt;
+    return std::pow(2.0, k) / nbits * sum2 - nbits;
+  };
+  const double delta = psi2(m) - psi2(m - 1);
+  const double dof = std::pow(2.0, m - 1);
+  return {"serial", chi_square_sf(delta, dof), delta};
+}
+
+std::vector<NamedTest> extended_battery() {
+  return {
+      {"linear-complexity",
+       [](prng::Generator& g) { return linear_complexity_test(g); }},
+      {"linear-complexity-long",
+       [](prng::Generator& g) {
+         return long_block_linear_complexity_test(g);
+       }},
+      {"autocorrelation",
+       [](prng::Generator& g) { return autocorrelation_test(g); }},
+      {"serial-4", [](prng::Generator& g) { return serial_test(g, 4); }},
+      {"serial-8", [](prng::Generator& g) { return serial_test(g, 8); }},
+  };
+}
+
+}  // namespace hprng::stat

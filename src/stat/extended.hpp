@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stat/tests_common.hpp"
+
+namespace hprng::stat {
+
+/// Extended battery: tests beyond the paper's DIEHARD/TestU01 line-up that
+/// expose *structural* weaknesses (LFSR linearity, serial correlation).
+/// These are the mechanisms behind the real TestU01's Crush/BigCrush
+/// failures of Mersenne-Twister-class generators.
+
+/// Linear complexity profile via Berlekamp-Massey over GF(2), word-sliced.
+/// Returns the linear complexity L of the first `nbits` of `bits`
+/// (little-end-first within each word).
+int berlekamp_massey(const std::vector<std::uint64_t>& bits, int nbits);
+
+/// NIST SP 800-22-style linear complexity test: `blocks` blocks of `m`
+/// bits; per-block T = (-1)^m (L - mu) + 2/9 classed into the seven NIST
+/// categories, chi-square against the known class probabilities.
+TestResult linear_complexity_test(prng::Generator& g, int m = 1000,
+                                  int blocks = 100);
+
+/// The LFSR catcher: one long block of `m` bits. A random sequence has
+/// L ~ m/2 +- O(1); any LFSR-style generator with state length < m/2
+/// (e.g. MT19937's 19937 bits when m > ~40000) is pinned at its state
+/// length. p-value from the exact geometric tail of |L - mu|.
+TestResult long_block_linear_complexity_test(prng::Generator& g,
+                                             int m = 50000);
+
+/// Bit autocorrelation at lag d: X = #{i : b_i == b_{i+d}} over n bits is
+/// Binomial(n, 1/2) for an ideal source; two-sided normal p, Fisher-combined
+/// over several lags.
+TestResult autocorrelation_test(prng::Generator& g, int nbits = 1 << 20,
+                                const std::vector<int>& lags = {1, 2, 8, 16,
+                                                                32});
+
+/// Good's generalized serial test: overlapping m-bit patterns;
+/// delta psi^2_m = psi^2_m - psi^2_{m-1} is asymptotically chi-square with
+/// 2^{m-1} dof.
+TestResult serial_test(prng::Generator& g, int m = 5, int nbits = 1 << 20);
+
+/// The extended battery (5 statistics; linear complexity contributes 2).
+std::vector<NamedTest> extended_battery();
+
+}  // namespace hprng::stat

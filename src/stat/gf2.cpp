@@ -1,0 +1,51 @@
+#include "stat/gf2.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hprng::stat {
+
+int gf2_rank(std::vector<std::uint64_t> rows, int cols) {
+  HPRNG_CHECK(cols >= 1 && cols <= 64, "gf2_rank supports 1..64 columns");
+  int rank = 0;
+  for (int col = cols - 1; col >= 0 && rank < static_cast<int>(rows.size());
+       --col) {
+    const std::uint64_t bit = 1ull << col;
+    // Find a pivot row with this column set.
+    int pivot = -1;
+    for (std::size_t r = static_cast<std::size_t>(rank); r < rows.size(); ++r) {
+      if (rows[r] & bit) {
+        pivot = static_cast<int>(r);
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    std::swap(rows[static_cast<std::size_t>(rank)],
+              rows[static_cast<std::size_t>(pivot)]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (static_cast<int>(r) != rank && (rows[r] & bit)) {
+        rows[r] ^= rows[static_cast<std::size_t>(rank)];
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+double gf2_rank_probability(int rows, int cols, int rank) {
+  HPRNG_CHECK(rank >= 0, "rank must be non-negative");
+  if (rank > rows || rank > cols) return 0.0;
+  // Work in log2 space for numerical stability at large dimensions.
+  double log2p = static_cast<double>(rank) * (rows + cols - rank) -
+                 static_cast<double>(rows) * cols;
+  double factor = 1.0;
+  for (int i = 0; i < rank; ++i) {
+    factor *= (1.0 - std::pow(2.0, i - rows)) *
+              (1.0 - std::pow(2.0, i - cols)) /
+              (1.0 - std::pow(2.0, i - rank));
+  }
+  return std::pow(2.0, log2p) * factor;
+}
+
+}  // namespace hprng::stat

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hprng::stat {
+
+/// Rank over GF(2) of a matrix given as row bitmasks (up to 64 columns).
+/// Gaussian elimination on machine words.
+int gf2_rank(std::vector<std::uint64_t> rows, int cols);
+
+/// Probability that a random rows x cols binary matrix has the given rank
+/// (exact product formula; see e.g. Marsaglia & Tsay 1985):
+///   P(rank = r) = 2^{r(rows+cols-r) - rows*cols} *
+///                 prod_{i=0}^{r-1} [(1-2^{i-rows})(1-2^{i-cols})/(1-2^{i-r})]
+double gf2_rank_probability(int rows, int cols, int rank);
+
+}  // namespace hprng::stat

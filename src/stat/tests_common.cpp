@@ -1,0 +1,80 @@
+#include "stat/tests_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stat/special.hpp"
+#include "util/check.hpp"
+
+namespace hprng::stat {
+
+TestResult chi_square_test(const std::string& name,
+                           const std::vector<double>& observed,
+                           const std::vector<double>& expected,
+                           double min_expected) {
+  HPRNG_CHECK(observed.size() == expected.size(),
+              "chi_square_test: observed/expected size mismatch");
+  HPRNG_CHECK(!observed.empty(), "chi_square_test: empty bins");
+  // Merge under-populated bins left-to-right.
+  std::vector<double> obs, exp;
+  double acc_o = 0.0, acc_e = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    acc_o += observed[i];
+    acc_e += expected[i];
+    if (acc_e >= min_expected) {
+      obs.push_back(acc_o);
+      exp.push_back(acc_e);
+      acc_o = acc_e = 0.0;
+    }
+  }
+  if (acc_e > 0.0) {
+    if (exp.empty()) {
+      obs.push_back(acc_o);
+      exp.push_back(acc_e);
+    } else {
+      obs.back() += acc_o;
+      exp.back() += acc_e;
+    }
+  }
+  double stat = 0.0;
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    const double d = obs[i] - exp[i];
+    stat += d * d / exp[i];
+  }
+  const double dof = static_cast<double>(obs.size()) - 1.0;
+  const double p = dof >= 1.0 ? chi_square_sf(stat, dof) : 1.0;
+  return {name, p, stat};
+}
+
+TestResult ks_uniform_test(const std::string& name,
+                           std::vector<double> values) {
+  HPRNG_CHECK(!values.empty(), "ks_uniform_test: no samples");
+  std::sort(values.begin(), values.end());
+  const auto n = static_cast<double>(values.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double cdf = values[i];  // uniform CDF is identity
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(cdf - lo), std::abs(hi - cdf)});
+  }
+  TestResult r{name, ks_p_value(d, static_cast<int>(values.size())), d};
+  return r;
+}
+
+double fisher_combine(const std::vector<double>& ps) {
+  HPRNG_CHECK(!ps.empty(), "fisher_combine: no p-values");
+  double stat = 0.0;
+  for (double p : ps) {
+    const double clamped = std::min(1.0 - 1e-15, std::max(1e-15, p));
+    stat += -2.0 * std::log(clamped);
+  }
+  return chi_square_sf(stat, 2.0 * static_cast<double>(ps.size()));
+}
+
+double two_sided_from_cdf(double cdf_value) {
+  const double p = 2.0 * std::min(cdf_value, 1.0 - cdf_value);
+  return std::min(1.0, std::max(0.0, p));
+}
+
+}  // namespace hprng::stat

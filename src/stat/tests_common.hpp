@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "prng/generator.hpp"
+
+namespace hprng::stat {
+
+/// Outcome of one statistical test: the p-value and the raw statistic it was
+/// derived from (for reports). A generator "passes" when the p-value is not
+/// extreme; the threshold lives in the battery layer so DIEHARD (0.01/0.99)
+/// and TestU01-style (1e-3) conventions can differ.
+struct TestResult {
+  std::string name;
+  double p = 0.0;
+  double statistic = 0.0;
+};
+
+/// A named statistical test over a generator.
+struct NamedTest {
+  std::string name;
+  std::function<TestResult(prng::Generator&)> run;
+};
+
+/// Chi-square against explicit expected counts; bins with expectation below
+/// `min_expected` are merged into their neighbour before the statistic is
+/// formed (standard practice so the asymptotic distribution applies).
+TestResult chi_square_test(const std::string& name,
+                           const std::vector<double>& observed,
+                           const std::vector<double>& expected,
+                           double min_expected = 5.0);
+
+/// One-sample Kolmogorov-Smirnov test of `values` against U(0,1).
+/// Returns the D statistic in `statistic` and its p-value.
+TestResult ks_uniform_test(const std::string& name,
+                           std::vector<double> values);
+
+/// Fisher's method: combine independent p-values into one.
+double fisher_combine(const std::vector<double>& ps);
+
+/// Fold a one-sided lower-tail probability into a two-sided p-value.
+double two_sided_from_cdf(double cdf_value);
+
+}  // namespace hprng::stat

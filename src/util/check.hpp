@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// Precondition / invariant checking that stays on in release builds.
+// The library is a research artifact: a silent out-of-contract call is far
+// more expensive than the branch.
+#define HPRNG_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "HPRNG_CHECK failed at %s:%d: %s\n  %s\n",       \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,49 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace hprng::util {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", argv[i]);
+      std::exit(2);
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      kv_[std::string(arg)] = "true";
+    } else {
+      kv_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+std::uint64_t Cli::get_u64(const std::string& key, std::uint64_t def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Cli::get_string(const std::string& key, std::string def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool Cli::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+}  // namespace hprng::util

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hprng::util {
+
+/// Minimal --key=value flag parser for the bench/example binaries.
+/// Unknown positional arguments abort with a usage message; unknown flags are
+/// collected so binaries can validate them.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       std::string def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace hprng::util

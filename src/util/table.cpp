@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace hprng::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  HPRNG_CHECK(row.size() == header_.size(), "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += "| ";
+      out += row[c];
+      out.append(width[c] - row[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  std::string out;
+  emit_row(header_, out);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += "|";
+    out.append(width[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto emit = [](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += row[c];
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit(header_, out);
+  for (const auto& row : rows_) emit(row, out);
+  return out;
+}
+
+std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+}  // namespace hprng::util

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hprng::util {
+
+/// ASCII table printer used by the benchmark harnesses so that every
+/// reproduced table/figure prints in a uniform, diffable format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (for machine post-processing of bench output).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style formatting into a std::string (std::format is not complete
+/// on this toolchain).
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace hprng::util

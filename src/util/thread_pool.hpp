@@ -1,0 +1,56 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hprng::util {
+
+/// A fixed-size worker pool with a blocking task queue and a structured
+/// parallel_for. On a single-core host the pool degrades gracefully: with
+/// zero workers every task runs inline on the caller, which keeps the GPU
+/// simulator deterministic and cheap in constrained containers.
+class ThreadPool {
+ public:
+  /// @param num_workers number of worker threads; 0 means "run inline".
+  explicit ThreadPool(std::size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Returns immediately; use wait_idle() to join.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(i) for i in [begin, end), splitting the range across workers.
+  /// Blocks until the whole range is processed.
+  void parallel_for(std::uint64_t begin, std::uint64_t end,
+                    const std::function<void(std::uint64_t)>& fn);
+
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+
+  /// A process-wide pool sized to the hardware (hardware_concurrency - 1,
+  /// so the caller thread still participates via inline fallbacks).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace hprng::util

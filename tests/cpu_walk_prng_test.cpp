@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/cpu_walk_prng.hpp"
+#include "core/quality_streams.hpp"
+
+namespace hprng::core {
+namespace {
+
+TEST(CpuWalkPrng, DeterministicPerSeed) {
+  CpuWalkPrng a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a.next_u64();
+    ASSERT_EQ(va, b.next_u64());
+    if (va != c.next_u64()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(CpuWalkPrng, OutputsAreWellSpread) {
+  CpuWalkPrng g(7);
+  std::set<std::uint64_t> seen;
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const auto v = g.next_u64();
+    seen.insert(v);
+    sum += static_cast<double>(v >> 11) * 0x1.0p-53;
+  }
+  EXPECT_GE(seen.size(), static_cast<std::size_t>(kN - 2));
+  EXPECT_NEAR(sum / kN, 0.5, 5.0 / std::sqrt(12.0 * kN));
+}
+
+TEST(CpuWalkPrng, WalkLengthOneIsWeakByDesign) {
+  // With l = 1 the next output is one of only ~7 neighbours of the current
+  // vertex — successive outputs share an entire coordinate. The ablation
+  // dial exists exactly to expose this.
+  CpuWalkConfig cfg;
+  cfg.walk_len = 1;
+  CpuWalkPrng g(5, cfg);
+  int shared_coord = 0;
+  std::uint64_t prev = g.next_u64();
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t cur = g.next_u64();
+    if ((cur >> 32) == (prev >> 32) ||
+        (cur & 0xFFFFFFFFull) == (prev & 0xFFFFFFFFull)) {
+      ++shared_coord;
+    }
+    prev = cur;
+  }
+  EXPECT_GT(shared_coord, 150);  // structurally guaranteed weakness
+}
+
+TEST(CpuWalkPrng, DefaultWalkLengthBreaksCoordinateCoupling) {
+  CpuWalkPrng g(5);  // l = 16 alternates sides 8 times
+  int shared_coord = 0;
+  std::uint64_t prev = g.next_u64();
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t cur = g.next_u64();
+    if ((cur >> 32) == (prev >> 32) ||
+        (cur & 0xFFFFFFFFull) == (prev & 0xFFFFFFFFull)) {
+      ++shared_coord;
+    }
+    prev = cur;
+  }
+  EXPECT_LE(shared_coord, 5);
+}
+
+TEST(QualityStreams, FactoryNames) {
+  auto hybrid = make_quality_generator("hybrid-prng", 1);
+  EXPECT_EQ(hybrid->name(), "hybrid-prng");
+  auto l4 = make_quality_generator("hybrid-prng-l4", 1);
+  EXPECT_EQ(l4->name(), "hybrid-prng");
+  auto mt = make_quality_generator("mt19937", 1);
+  EXPECT_EQ(mt->name(), "mt19937");
+}
+
+TEST(QualityStreams, WalkLengthSuffixIsHonoured) {
+  // l=1 stream exhibits the coordinate coupling; l=16 does not.
+  auto weak = make_quality_generator("hybrid-prng-l1", 9);
+  auto strong = make_quality_generator("hybrid-prng-l16", 9);
+  auto count_coupling = [](prng::Generator& g) {
+    int shared = 0;
+    std::uint64_t prev = g.next_u64();
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t cur = g.next_u64();
+      if ((cur >> 32) == (prev >> 32) ||
+          (cur & 0xFFFFFFFFull) == (prev & 0xFFFFFFFFull)) {
+        ++shared;
+      }
+      prev = cur;
+    }
+    return shared;
+  };
+  EXPECT_GT(count_coupling(*weak), 100);
+  EXPECT_LE(count_coupling(*strong), 5);
+}
+
+TEST(QualityStreams, CloneReseeded) {
+  auto g = make_quality_generator("hybrid-prng", 3);
+  auto h = g->clone_reseeded(4);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (g->next_u64() == h->next_u64()) ++same;
+  }
+  EXPECT_LE(same, 2);
+}
+
+TEST(QualityStreams, Table2Lineup) {
+  const auto names = table2_generators();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "hybrid-prng");
+  for (const auto& n : names) {
+    EXPECT_NE(make_quality_generator(n, 11), nullptr);
+  }
+}
+
+TEST(CpuWalkPrng, RejectionPolicyWorks) {
+  CpuWalkConfig cfg;
+  cfg.policy = expander::NeighborPolicy::kRejection;
+  CpuWalkPrng g(21, cfg);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(g.next_u64());
+  EXPECT_GE(seen.size(), 998u);
+}
+
+TEST(FeederWalkStream, NameAndDeterminism) {
+  CpuWalkConfig cfg;
+  auto a = make_walk_stream_with_feeder(5, cfg, "minstd");
+  auto b = make_walk_stream_with_feeder(5, cfg, "minstd");
+  EXPECT_EQ(a->name(), "walk-on-minstd");
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(a->next_u64(), b->next_u64());
+  }
+}
+
+TEST(FeederWalkStream, FeederChangesTheStream) {
+  CpuWalkConfig cfg;
+  auto lcg = make_walk_stream_with_feeder(5, cfg, "glibc-lcg");
+  auto mt = make_walk_stream_with_feeder(5, cfg, "mt19937");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (lcg->next_u64() == mt->next_u64()) ++same;
+  }
+  EXPECT_LE(same, 2);
+}
+
+TEST(FeederWalkStream, CloneReseeded) {
+  CpuWalkConfig cfg;
+  auto g = make_walk_stream_with_feeder(5, cfg, "xorwow");
+  auto h = g->clone_reseeded(6);
+  EXPECT_EQ(h->name(), "walk-on-xorwow");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (g->next_u64() == h->next_u64()) ++same;
+  }
+  EXPECT_LE(same, 2);
+}
+
+TEST(FeederWalkStream, OutputsAreSpread) {
+  CpuWalkConfig cfg;
+  auto g = make_walk_stream_with_feeder(11, cfg, "glibc-rand");
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(g->next_u64());
+  EXPECT_GE(seen.size(), 4998u);
+}
+
+}  // namespace
+}  // namespace hprng::core

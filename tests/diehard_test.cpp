@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "prng/generator.hpp"
+#include "prng/registry.hpp"
+#include "stat/battery.hpp"
+#include "stat/diehard.hpp"
+
+namespace hprng::stat {
+namespace {
+
+/// A deliberately terrible generator: an incrementing counter. Any
+/// reasonable statistical test must reject it.
+struct CounterGen {
+  static constexpr const char* kName = "counter";
+  explicit CounterGen(std::uint64_t seed) : state(seed) {}
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(state++); }
+  std::uint64_t state;
+};
+
+DiehardConfig fast_cfg() {
+  DiehardConfig cfg;
+  cfg.scale = 0.25;  // keep unit tests quick; the bench runs bigger sizes
+  return cfg;
+}
+
+class DiehardSingleTest
+    : public ::testing::TestWithParam<
+          TestResult (*)(prng::Generator&, const DiehardConfig&)> {};
+
+TEST_P(DiehardSingleTest, GoodGeneratorPasses) {
+  auto g = prng::make_by_name("mt19937", 20240707);
+  const TestResult r = GetParam()(*g, fast_cfg());
+  EXPECT_GT(r.p, 1e-3) << r.name;
+  EXPECT_LT(r.p, 1.0 - 1e-6) << r.name;
+}
+
+TEST_P(DiehardSingleTest, PhiloxPasses) {
+  auto g = prng::make_by_name("philox4x32-10", 99);
+  const TestResult r = GetParam()(*g, fast_cfg());
+  EXPECT_GT(r.p, 1e-3) << r.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFifteen, DiehardSingleTest,
+    ::testing::Values(
+        &diehard_birthday_spacings, &diehard_operm5,
+        &diehard_binary_rank_3132, &diehard_binary_rank_6x8,
+        &diehard_bitstream, &diehard_monkey, &diehard_count_ones_stream,
+        &diehard_count_ones_bytes, &diehard_parking_lot,
+        &diehard_minimum_distance, &diehard_spheres_3d, &diehard_squeeze,
+        &diehard_overlapping_sums, &diehard_runs, &diehard_craps));
+
+TEST(DiehardBattery, HasFifteenTests) {
+  EXPECT_EQ(diehard_battery(fast_cfg()).size(), 15u);
+}
+
+TEST(DiehardBattery, CounterGeneratorFailsBadly) {
+  prng::Adapter<CounterGen> g(0);
+  const auto report =
+      run_battery("diehard", diehard_battery(fast_cfg()), g);
+  // A pure counter has essentially no entropy: most tests must fail.
+  EXPECT_LE(report.num_passed(), 5) << report.detail();
+}
+
+TEST(DiehardBattery, Mt19937PassesNearlyEverything) {
+  auto g = prng::make_by_name("mt19937", 31337);
+  const auto report =
+      run_battery("diehard", diehard_battery(fast_cfg()), *g);
+  EXPECT_GE(report.num_passed(), 14) << report.detail();
+  // The KS over p-values must not flag the p-distribution either.
+  EXPECT_GT(report.ks_p, 1e-3);
+}
+
+TEST(DiehardBattery, ResultsAreSeedSensitiveButDeterministic) {
+  auto g1 = prng::make_by_name("xorwow", 5);
+  auto g2 = prng::make_by_name("xorwow", 5);
+  const auto cfg = fast_cfg();
+  const auto a = diehard_birthday_spacings(*g1, cfg);
+  const auto b = diehard_birthday_spacings(*g2, cfg);
+  EXPECT_DOUBLE_EQ(a.p, b.p);
+  auto g3 = prng::make_by_name("xorwow", 6);
+  const auto c = diehard_birthday_spacings(*g3, cfg);
+  EXPECT_NE(a.p, c.p);
+}
+
+TEST(DiehardSqueeze, DistributionIsProper) {
+  // The DP-exact squeeze distribution must be a probability distribution
+  // concentrated around log2-ish step counts; we probe it through the test:
+  // a good generator's statistic is small relative to dof.
+  auto g = prng::make_by_name("mt19937-64", 4242);
+  const auto r = diehard_squeeze(*g, fast_cfg());
+  EXPECT_GT(r.p, 1e-3);
+}
+
+}  // namespace
+}  // namespace hprng::stat

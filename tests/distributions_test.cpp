@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "prng/distributions.hpp"
+#include "prng/mt19937.hpp"
+#include "prng/registry.hpp"
+#include "stat/special.hpp"
+#include "stat/tests_common.hpp"
+
+namespace hprng::prng {
+namespace {
+
+struct Uniform {
+  explicit Uniform(std::uint64_t seed) : g(seed) {}
+  double next_double() {
+    const std::uint64_t hi = g.next_u32();
+    const std::uint64_t v = (hi << 32) | g.next_u32();
+    return static_cast<double>(v >> 11) * 0x1.0p-53;
+  }
+  Mt19937 g;
+};
+
+TEST(Distributions, ExponentialMeanAndKs) {
+  Uniform u(1);
+  constexpr double kLambda = 2.5;
+  constexpr int kN = 50000;
+  std::vector<double> ps;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = exponential(u, kLambda);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    ps.push_back(1.0 - std::exp(-kLambda * x));  // CDF transform
+  }
+  EXPECT_NEAR(sum / kN, 1.0 / kLambda, 5.0 / (kLambda * std::sqrt(kN)));
+  EXPECT_GT(stat::ks_uniform_test("exp", std::move(ps)).p, 1e-3);
+}
+
+TEST(Distributions, NormalMomentsAndKs) {
+  Uniform u(2);
+  NormalSampler normal;
+  constexpr int kN = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  std::vector<double> ps;
+  for (int i = 0; i < kN; ++i) {
+    const double x = normal(u);
+    sum += x;
+    sum2 += x * x;
+    ps.push_back(stat::normal_cdf(x));
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 5.0 / std::sqrt(kN));
+  EXPECT_NEAR(sum2 / kN, 1.0, 5.0 * std::sqrt(2.0 / kN));
+  EXPECT_GT(stat::ks_uniform_test("normal", std::move(ps)).p, 1e-3);
+}
+
+TEST(Distributions, NormalCachePairsAreIndependent) {
+  Uniform u(3);
+  NormalSampler normal;
+  // Correlation between consecutive outputs (one fresh, one cached).
+  constexpr int kN = 20000;
+  double sxy = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double a = normal(u);
+    const double b = normal(u);
+    sxy += a * b;
+  }
+  EXPECT_NEAR(sxy / kN, 0.0, 5.0 / std::sqrt(kN));
+}
+
+TEST(Distributions, GeometricPmf) {
+  Uniform u(4);
+  constexpr double kP = 0.3;
+  constexpr int kN = 60000;
+  std::vector<double> observed(12, 0.0), expected(12, 0.0);
+  for (int i = 0; i < kN; ++i) {
+    const auto g = geometric(u, kP);
+    observed[std::min<std::size_t>(11, static_cast<std::size_t>(g))] += 1.0;
+  }
+  double tail = 1.0;
+  for (int k = 0; k < 11; ++k) {
+    const double p = kP * std::pow(1 - kP, k);
+    expected[static_cast<std::size_t>(k)] = p * kN;
+    tail -= p;
+  }
+  expected[11] = tail * kN;
+  EXPECT_GT(stat::chi_square_test("geom", observed, expected).p, 1e-3);
+}
+
+TEST(Distributions, GeometricEdgeCases) {
+  Uniform u(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(geometric(u, 1.0), 0u);
+}
+
+TEST(Distributions, BernoulliFrequency) {
+  Uniform u(6);
+  int heads = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) heads += bernoulli(u, 0.7) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / kN, 0.7,
+              5.0 * std::sqrt(0.21 / kN));
+}
+
+TEST(Distributions, UniformBelowBounds) {
+  Uniform u(7);
+  for (std::uint64_t bound : {1ull, 3ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(uniform_below(u, bound), bound);
+    }
+  }
+}
+
+TEST(Distributions, WorkWithAnyRegisteredGenerator) {
+  // The templates accept the Generator interface too.
+  for (const auto& name : {"xorwow", "mwc", "philox4x32-10"}) {
+    auto g = make_by_name(name, 11);
+    NormalSampler normal;
+    double sum = 0.0;
+    for (int i = 0; i < 2000; ++i) sum += normal(*g);
+    EXPECT_NEAR(sum / 2000.0, 0.0, 0.12) << name;
+    EXPECT_GE(exponential(*g, 1.0), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hprng::prng

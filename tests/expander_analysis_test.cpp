@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "expander/analysis.hpp"
+#include "prng/registry.hpp"
+
+namespace hprng::expander {
+namespace {
+
+TEST(SmallGraphAnalysis, RegularAndInvertible) {
+  for (std::uint32_t m : {2u, 3u, 5u, 8u, 16u}) {
+    SmallGraphAnalysis a(m);
+    EXPECT_TRUE(a.check_regular_and_invertible()) << "m=" << m;
+  }
+}
+
+TEST(SmallGraphAnalysis, SpectralGapExists) {
+  // The Gabber-Galil family has its second singular value bounded away
+  // from 1 uniformly in m; check a sweep of instances.
+  for (std::uint32_t m : {4u, 8u, 16u, 32u}) {
+    SmallGraphAnalysis a(m);
+    const double sigma2 = a.second_singular_value();
+    EXPECT_GT(sigma2, 0.1) << "m=" << m;   // not disconnected/degenerate
+    EXPECT_LT(sigma2, 0.995) << "m=" << m; // genuine gap
+  }
+}
+
+TEST(SmallGraphAnalysis, WalksMixToUniform) {
+  SmallGraphAnalysis a(16);
+  const double tv1 = a.tv_distance_after(1);
+  const double tv8 = a.tv_distance_after(8);
+  const double tv32 = a.tv_distance_after(32);
+  EXPECT_GT(tv1, tv8);
+  EXPECT_GT(tv8, tv32);
+  EXPECT_LT(tv32, 0.05);  // close to stationary after 32 steps
+}
+
+TEST(SmallGraphAnalysis, MixingImprovesWithSize) {
+  // TV after a fixed number of steps should be small for every m, i.e. the
+  // mixing time is O(log n) with a uniform constant.
+  for (std::uint32_t m : {8u, 16u, 32u}) {
+    SmallGraphAnalysis a(m);
+    EXPECT_LT(a.tv_distance_after(64), 0.02) << "m=" << m;
+  }
+}
+
+TEST(SmallGraphAnalysis, SampledExpansionIsPositive) {
+  SmallGraphAnalysis a(8);
+  auto rng = prng::make_by_name("mt19937", 99);
+  const double alpha_ub = a.sampled_edge_expansion(*rng, 100);
+  // The sampled minimum upper-bounds the true alpha(G) and must exceed the
+  // proven Gabber-Galil constant (2 - sqrt(3)) / 2.
+  EXPECT_GT(alpha_ub, kGabberGalilExpansion);
+  EXPECT_LE(alpha_ub, 7.0);
+}
+
+TEST(SmallGraphAnalysis, RejectsOutOfRangeModuli) {
+  EXPECT_DEATH(SmallGraphAnalysis(1), "2<=m<=256");
+  EXPECT_DEATH(SmallGraphAnalysis(1000), "2<=m<=256");
+}
+
+}  // namespace
+}  // namespace hprng::expander

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "expander/bit_reader.hpp"
+#include "expander/gabber_galil.hpp"
+#include "expander/walk.hpp"
+#include "prng/splitmix64.hpp"
+
+namespace hprng::expander {
+namespace {
+
+TEST(Vertex, IdRoundTrip) {
+  const Vertex v{0x12345678u, 0x9ABCDEF0u};
+  EXPECT_EQ(Vertex::from_id(v.id()), v);
+  EXPECT_EQ(v.id(), 0x123456789ABCDEF0ull);
+}
+
+TEST(GabberGalilFull, BackwardInvertsForward) {
+  prng::SplitMix64 rng(42);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Vertex v = Vertex::from_id(rng.next_u64());
+    for (int k = 0; k < GabberGalilFull::kDegree; ++k) {
+      const Vertex fwd = GabberGalilFull::neighbor_forward(v, k);
+      EXPECT_EQ(GabberGalilFull::neighbor_backward(fwd, k), v);
+    }
+  }
+}
+
+TEST(GabberGalilFull, NeighborsMatchPaperDefinition) {
+  const Vertex v{3, 5};
+  EXPECT_EQ(GabberGalilFull::neighbor_forward(v, 0), (Vertex{3, 5}));
+  EXPECT_EQ(GabberGalilFull::neighbor_forward(v, 1), (Vertex{3, 11}));
+  EXPECT_EQ(GabberGalilFull::neighbor_forward(v, 2), (Vertex{3, 12}));
+  EXPECT_EQ(GabberGalilFull::neighbor_forward(v, 3), (Vertex{3, 13}));
+  EXPECT_EQ(GabberGalilFull::neighbor_forward(v, 4), (Vertex{13, 5}));
+  EXPECT_EQ(GabberGalilFull::neighbor_forward(v, 5), (Vertex{14, 5}));
+  EXPECT_EQ(GabberGalilFull::neighbor_forward(v, 6), (Vertex{15, 5}));
+}
+
+TEST(GabberGalilFull, ArithmeticWrapsMod2To32) {
+  const Vertex v{0xFFFFFFFFu, 0xFFFFFFFFu};
+  // (x, 2x + y + 2) with wraparound: 2*0xFFFFFFFF + 0xFFFFFFFF + 2 mod 2^32.
+  const Vertex n = GabberGalilFull::neighbor_forward(v, 3);
+  EXPECT_EQ(n.x, 0xFFFFFFFFu);
+  EXPECT_EQ(n.y, 2u * 0xFFFFFFFFu + 0xFFFFFFFFu + 2u);  // natural uint32 math
+}
+
+class GabberGalilSmallTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GabberGalilSmallTest, BackwardInvertsForward) {
+  const GabberGalilSmall g(GetParam());
+  for (std::uint64_t i = 0; i < g.side_size(); ++i) {
+    const Vertex v = g.vertex(i);
+    for (int k = 0; k < GabberGalilSmall::kDegree; ++k) {
+      const Vertex fwd = g.neighbor_forward(v, k);
+      EXPECT_LT(fwd.x, GetParam());
+      EXPECT_LT(fwd.y, GetParam());
+      EXPECT_EQ(g.neighbor_backward(fwd, k), v);
+    }
+  }
+}
+
+TEST_P(GabberGalilSmallTest, IndexRoundTrip) {
+  const GabberGalilSmall g(GetParam());
+  for (std::uint64_t i = 0; i < g.side_size(); ++i) {
+    EXPECT_EQ(g.index(g.vertex(i)), i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModuliSweep, GabberGalilSmallTest,
+                         ::testing::Values(2u, 3u, 4u, 5u, 7u, 8u, 13u, 16u,
+                                           31u, 32u));
+
+TEST(BitReader, ReadsLittleEndFirst) {
+  const std::uint32_t words[] = {0b10110101010101010101010101010110u};
+  BitReader r{std::span<const std::uint32_t>(words, 1)};
+  EXPECT_EQ(r.read(3), 0b110u);  // lowest 3 bits first
+  EXPECT_EQ(r.read(3), 0b010u);
+  EXPECT_EQ(r.read(1), 0b1u);
+}
+
+TEST(BitReader, CrossesWordBoundaries) {
+  const std::uint32_t words[] = {0xFFFFFFFFu, 0x00000000u, 0xAAAAAAAAu};
+  BitReader r{std::span<const std::uint32_t>(words, 3)};
+  // 96 bits read in 3-bit groups: 32 groups.
+  int ones = 0;
+  for (int i = 0; i < 32; ++i) {
+    const auto v = r.read(3);
+    ones += static_cast<int>(v & 1) + static_cast<int>((v >> 1) & 1) +
+            static_cast<int>((v >> 2) & 1);
+  }
+  EXPECT_EQ(ones, 32 + 0 + 16);  // popcounts of the three words
+  EXPECT_EQ(r.bits_left(), 0u);
+}
+
+TEST(BitReader, BitsLeftAccounting) {
+  const std::uint32_t words[] = {0u, 0u};
+  BitReader r{std::span<const std::uint32_t>(words, 2)};
+  EXPECT_EQ(r.bits_left(), 64u);
+  (void)r.read(24);
+  EXPECT_EQ(r.bits_left(), 40u);
+  (void)r.read(24);
+  EXPECT_EQ(r.bits_left(), 16u);
+}
+
+TEST(BitReader, WordsNeeded) {
+  EXPECT_EQ(BitReader::words_needed(1, 3), 1u);
+  EXPECT_EQ(BitReader::words_needed(10, 3), 1u);
+  EXPECT_EQ(BitReader::words_needed(11, 3), 2u);
+  EXPECT_EQ(BitReader::words_needed(64, 3), 6u);
+}
+
+TEST(Walk, ConsumesExactBudgetUnderMod7) {
+  std::vector<std::uint32_t> words(6, 0x6DB6DB6Du);
+  BitReader bits{std::span<const std::uint32_t>(words)};
+  WalkState s{Vertex{1, 2}, Side::X};
+  walk(s, bits, 64, NeighborPolicy::kMod7, WalkMode::kAlternating);
+  EXPECT_EQ(bits.bits_left(), 0u);  // 64 steps * 3 bits = 192 = 6 words
+}
+
+TEST(Walk, BitsForWalkBudgets) {
+  EXPECT_EQ(bits_for_walk(16, NeighborPolicy::kMod7), 48u);
+  EXPECT_EQ(bits_for_walk(16, NeighborPolicy::kSevenStays), 48u);
+  EXPECT_EQ(bits_for_walk(16, NeighborPolicy::kRejection), 72u);
+}
+
+TEST(Walk, AlternatingWalkIsReversibleInPrinciple) {
+  // Stepping forward then applying the inverse map returns to the origin —
+  // indirectly validates that the alternating mode uses matched edges.
+  prng::SplitMix64 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    WalkState s{Vertex::from_id(rng.next_u64()), Side::X};
+    const Vertex origin = s.v;
+    const int k = static_cast<int>(rng.next_u64() % 7);
+    const std::uint32_t word = static_cast<std::uint32_t>(k);
+    BitReader bits{std::span<const std::uint32_t>(&word, 1)};
+    step(s, bits, NeighborPolicy::kMod7, WalkMode::kAlternating);
+    EXPECT_EQ(s.side, Side::Y);
+    EXPECT_EQ(GabberGalilFull::neighbor_backward(s.v, k), origin);
+  }
+}
+
+class PolicyModeTest
+    : public ::testing::TestWithParam<std::tuple<NeighborPolicy, WalkMode>> {};
+
+TEST_P(PolicyModeTest, WalkIsDeterministicGivenBits) {
+  const auto [policy, mode] = GetParam();
+  std::vector<std::uint32_t> words(32);
+  prng::SplitMix64 rng(13);
+  for (auto& w : words) w = rng.next_u32();
+  WalkState a{Vertex{10, 20}, Side::X};
+  WalkState b{Vertex{10, 20}, Side::X};
+  BitReader bits_a{std::span<const std::uint32_t>(words)};
+  BitReader bits_b{std::span<const std::uint32_t>(words)};
+  walk(a, bits_a, 50, policy, mode);
+  walk(b, bits_b, 50, policy, mode);
+  EXPECT_EQ(a.v, b.v);
+  EXPECT_EQ(a.side, b.side);
+}
+
+TEST_P(PolicyModeTest, WalkMovesSomewhere) {
+  const auto [policy, mode] = GetParam();
+  std::vector<std::uint32_t> words(32);
+  prng::SplitMix64 rng(29);
+  for (auto& w : words) w = rng.next_u32();
+  WalkState s{Vertex{1, 1}, Side::X};
+  BitReader bits{std::span<const std::uint32_t>(words)};
+  walk(s, bits, 64, policy, mode);
+  EXPECT_NE(s.v, (Vertex{1, 1}));  // staying put for 64 steps: ~0 chance
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PolicyModeTest,
+    ::testing::Combine(::testing::Values(NeighborPolicy::kMod7,
+                                         NeighborPolicy::kRejection,
+                                         NeighborPolicy::kSevenStays),
+                       ::testing::Values(WalkMode::kAlternating,
+                                         WalkMode::kForwardOnly)));
+
+TEST(Walk, RejectionFallsBackGracefullyWhenStarved) {
+  // A stream of all-ones would make kRejection redraw forever; with the
+  // stream exhausted it must fall back to mod-7 instead of aborting.
+  const std::uint32_t words[] = {0xFFFFFFFFu};
+  BitReader bits{std::span<const std::uint32_t>(words, 1)};
+  WalkState s{Vertex{5, 6}, Side::X};
+  // 10 reads of 3 bits available + fallback: must not crash.
+  step(s, bits, NeighborPolicy::kRejection, WalkMode::kAlternating);
+  EXPECT_EQ(s.side, Side::Y);
+}
+
+TEST(WalkEnums, Names) {
+  EXPECT_STREQ(to_string(NeighborPolicy::kMod7), "mod7");
+  EXPECT_STREQ(to_string(NeighborPolicy::kRejection), "rejection");
+  EXPECT_STREQ(to_string(NeighborPolicy::kSevenStays), "seven-stays");
+  EXPECT_STREQ(to_string(WalkMode::kAlternating), "alternating");
+  EXPECT_STREQ(to_string(WalkMode::kForwardOnly), "forward-only");
+}
+
+}  // namespace
+}  // namespace hprng::expander

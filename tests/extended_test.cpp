@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/quality_streams.hpp"
+#include "prng/generator.hpp"
+#include "prng/registry.hpp"
+#include "prng/xorwow.hpp"
+#include "stat/extended.hpp"
+
+namespace hprng::stat {
+namespace {
+
+/// A plain 63-bit Fibonacci LFSR (x^63 + x + 1 style taps): the ground
+/// truth for the linear-complexity machinery.
+struct Lfsr63 {
+  static constexpr const char* kName = "lfsr63";
+  explicit Lfsr63(std::uint64_t seed) : state(seed | 1) {}
+  std::uint32_t next_u32() {
+    std::uint32_t out = 0;
+    for (int i = 0; i < 32; ++i) {
+      const std::uint64_t bit = ((state >> 62) ^ (state >> 61)) & 1;
+      state = (state << 1) | bit;
+      out = (out << 1) | static_cast<std::uint32_t>(state & 1);
+    }
+    return out;
+  }
+  std::uint64_t state;
+};
+
+TEST(BerlekampMassey, KnownSmallSequences) {
+  // 101010...: satisfies s_n = s_{n-2} -> L = 2.
+  std::vector<std::uint64_t> alt = {0x5555555555555555ull};
+  EXPECT_EQ(berlekamp_massey(alt, 64), 2);
+  // All zeros: L = 0.
+  std::vector<std::uint64_t> zeros = {0};
+  EXPECT_EQ(berlekamp_massey(zeros, 64), 0);
+  // Single one then zeros: 1000...0; needs L = n to explain a transient;
+  // BM gives L = 1 for "1" alone.
+  std::vector<std::uint64_t> one = {1};
+  EXPECT_EQ(berlekamp_massey(one, 1), 1);
+}
+
+TEST(BerlekampMassey, ReconstructsLfsrOrder) {
+  // Bits of a 63-term linear recurrence have complexity <= 63; with a
+  // window of several hundred bits BM pins it exactly.
+  Lfsr63 g(0x123456789ull);
+  std::vector<std::uint64_t> bits(8, 0);
+  // Pack in BM's little-end-first order, one LFSR bit at a time.
+  for (int i = 0; i < 512; ++i) {
+    if (g.next_u32() & 1u) {
+      bits[static_cast<std::size_t>(i) / 64] |=
+          1ull << (static_cast<std::size_t>(i) % 64);
+    }
+  }
+  const int L = berlekamp_massey(bits, 512);
+  EXPECT_LE(L, 63);
+  EXPECT_GE(L, 32);
+}
+
+TEST(BerlekampMassey, RandomSequenceHasHalfLength) {
+  auto g = prng::make_by_name("philox4x32-10", 5);
+  std::vector<std::uint64_t> bits(32);
+  for (auto& w : bits) w = g->next_u64();
+  const int L = berlekamp_massey(bits, 2048);
+  EXPECT_NEAR(L, 1024, 8);
+}
+
+TEST(LinearComplexity, NistBlockTestPassesGoodGenerators) {
+  for (const char* name : {"philox4x32-10", "mwc", "mt19937"}) {
+    auto g = prng::make_by_name(name, 71);
+    // NOTE: MT passes the short-block NIST variant (blocks are far below
+    // its state size) — that's exactly why the long-block variant exists.
+    EXPECT_GT(linear_complexity_test(*g, 500, 60).p, 1e-4) << name;
+  }
+}
+
+TEST(LinearComplexity, LongBlockCatchesLfsr) {
+  prng::Adapter<Lfsr63> lfsr(1);
+  const auto r = long_block_linear_complexity_test(lfsr, 2000);
+  EXPECT_LE(r.statistic, 64.0);  // pinned at the state size
+  EXPECT_LT(r.p, 1e-10);
+}
+
+TEST(LinearComplexity, LongBlockCatchesMersenneTwister) {
+  auto mt = prng::make_by_name("mt19937", 2012);
+  const auto r = long_block_linear_complexity_test(*mt, 50000);
+  EXPECT_NEAR(r.statistic, 19937.0, 64.0);  // the MT state size
+  EXPECT_LT(r.p, 1e-100);
+}
+
+TEST(LinearComplexity, LongBlockPassesNonlinearGenerators) {
+  for (const char* name : {"philox4x32-10", "mwc", "hybrid-prng"}) {
+    auto g = core::make_quality_generator(name, 9);
+    const auto r = long_block_linear_complexity_test(*g, 8000);
+    EXPECT_GT(r.p, 1e-3) << name << " L=" << r.statistic;
+  }
+}
+
+// A period-2 bit pattern fails the lag sweep instantly.
+struct Period2 {
+  static constexpr const char* kName = "period2";
+  explicit Period2(std::uint64_t) {}
+  std::uint32_t next_u32() { return 0xAAAAAAAAu; }
+};
+
+// 75% one-bits: the serial distribution is grossly off.
+struct Biased {
+  static constexpr const char* kName = "biased";
+  explicit Biased(std::uint64_t seed) : g(seed) {}
+  std::uint32_t next_u32() { return g.next_u32() | g.next_u32(); }
+  prng::Xorwow g;
+};
+
+TEST(Autocorrelation, PassesGoodFailsPeriodic) {
+  auto good = prng::make_by_name("mt19937", 17);
+  EXPECT_GT(autocorrelation_test(*good, 1 << 18).p, 1e-4);
+  prng::Adapter<Period2> bad(0);
+  EXPECT_LT(autocorrelation_test(bad, 1 << 16).p, 1e-12);
+}
+
+TEST(SerialTest, PassesGoodFailsBiased) {
+  auto good = prng::make_by_name("xorwow", 23);
+  EXPECT_GT(serial_test(*good, 5, 1 << 18).p, 1e-4);
+  prng::Adapter<Biased> bad(1);
+  EXPECT_LT(serial_test(bad, 5, 1 << 16).p, 1e-12);
+}
+
+TEST(ExtendedBattery, HybridStreamPassesEverything) {
+  auto g = core::make_quality_generator("hybrid-prng", 20120521);
+  for (const auto& test : extended_battery()) {
+    const auto r = test.run(*g);
+    EXPECT_GT(r.p, 1e-4) << test.name;
+  }
+}
+
+TEST(ExtendedBattery, HasFiveStatistics) {
+  EXPECT_EQ(extended_battery().size(), 5u);
+}
+
+}  // namespace
+}  // namespace hprng::stat

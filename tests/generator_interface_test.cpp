@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "prng/generator.hpp"
+#include "prng/mt19937.hpp"
+#include "prng/registry.hpp"
+
+namespace hprng::prng {
+namespace {
+
+TEST(Registry, AllKnownNamesConstruct) {
+  for (const auto& name : known_generators()) {
+    auto g = make_by_name(name, 1234);
+    ASSERT_NE(g, nullptr) << name;
+    EXPECT_EQ(g->name(), name);
+    (void)g->next_u32();
+    (void)g->next_u64();
+  }
+}
+
+TEST(Registry, CloneReseededIsIndependent) {
+  for (const auto& name : known_generators()) {
+    auto g = make_by_name(name, 1);
+    auto h = g->clone_reseeded(2);
+    // Streams from different seeds should diverge quickly.
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+      if (g->next_u64() == h->next_u64()) ++same;
+    }
+    EXPECT_LE(same, 2) << name;
+  }
+}
+
+TEST(GeneratorInterface, NextDoubleInUnitInterval) {
+  for (const auto& name : known_generators()) {
+    auto g = make_by_name(name, 99);
+    for (int i = 0; i < 1000; ++i) {
+      const double d = g->next_double();
+      ASSERT_GE(d, 0.0) << name;
+      ASSERT_LT(d, 1.0) << name;
+    }
+  }
+}
+
+TEST(GeneratorInterface, NextFloatInUnitInterval) {
+  auto g = make_by_name("mt19937", 3);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = g->next_float();
+    ASSERT_GE(f, 0.0f);
+    ASSERT_LT(f, 1.0f);
+  }
+}
+
+TEST(GeneratorInterface, NextBelowRespectsBounds) {
+  auto g = make_by_name("xorwow", 5);
+  for (std::uint64_t bound : {1ull, 2ull, 6ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_LT(g->next_below(bound), bound);
+    }
+  }
+}
+
+TEST(GeneratorInterface, NextBelowIsRoughlyUniform) {
+  auto g = make_by_name("mt19937", 77);
+  constexpr int kBins = 6;
+  constexpr int kDraws = 60000;
+  std::vector<int> counts(kBins, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[g->next_below(kBins)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBins;
+  double chi2 = 0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 25.0);  // ~P(chi2_5 > 25) < 2e-4
+}
+
+TEST(GeneratorInterface, DefaultNext64ComposesTwo32s) {
+  Adapter<Mt19937> a(5489), b(5489);
+  const std::uint64_t x = a.next_u64();
+  const std::uint64_t hi = b.next_u32();
+  const std::uint64_t lo = b.next_u32();
+  EXPECT_EQ(x, (hi << 32) | lo);
+}
+
+TEST(GeneratorInterface, AdapterMeanIsCentred) {
+  // Cheap sanity for every registered generator: the mean of 20k uniform
+  // doubles is within 5 sigma of 1/2.
+  for (const auto& name : known_generators()) {
+    auto g = make_by_name(name, 2024);
+    double sum = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) sum += g->next_double();
+    const double mean = sum / kN;
+    const double sigma = 1.0 / std::sqrt(12.0 * kN);
+    EXPECT_NEAR(mean, 0.5, 5.0 * sigma) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hprng::prng

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "prng/splitmix64.hpp"
+#include "stat/gf2.hpp"
+
+namespace hprng::stat {
+namespace {
+
+TEST(Gf2Rank, IdentityHasFullRank) {
+  for (int n : {1, 4, 8, 32, 64}) {
+    std::vector<std::uint64_t> rows(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      rows[static_cast<std::size_t>(i)] = 1ull << i;
+    }
+    EXPECT_EQ(gf2_rank(rows, n), n);
+  }
+}
+
+TEST(Gf2Rank, ZeroMatrixHasRankZero) {
+  std::vector<std::uint64_t> rows(8, 0);
+  EXPECT_EQ(gf2_rank(rows, 8), 0);
+}
+
+TEST(Gf2Rank, DuplicateRowsDropRank) {
+  std::vector<std::uint64_t> rows = {0b1010, 0b1010, 0b0110};
+  EXPECT_EQ(gf2_rank(rows, 4), 2);
+}
+
+TEST(Gf2Rank, LinearCombinationDetected) {
+  // row2 = row0 ^ row1 over GF(2).
+  std::vector<std::uint64_t> rows = {0b1100, 0b0110, 0b1010};
+  EXPECT_EQ(gf2_rank(rows, 4), 2);
+}
+
+TEST(Gf2Rank, RectangularMatrices) {
+  // 2x8 with independent rows.
+  EXPECT_EQ(gf2_rank({0xF0, 0x0F}, 8), 2);
+  // 6 rows in 3 columns: rank caps at 3.
+  std::vector<std::uint64_t> rows = {1, 2, 4, 3, 5, 7};
+  EXPECT_EQ(gf2_rank(rows, 3), 3);
+}
+
+TEST(Gf2RankProbability, DistributionsSumToOne) {
+  for (auto [r, c] : {std::pair{6, 8}, std::pair{31, 31}, std::pair{32, 32},
+                      std::pair{60, 60}}) {
+    double sum = 0.0;
+    for (int rank = 0; rank <= std::min(r, c); ++rank) {
+      const double p = gf2_rank_probability(r, c, rank);
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << r << "x" << c;
+  }
+}
+
+TEST(Gf2RankProbability, KnownSquareValues) {
+  // P(full rank) for large square n approaches prod (1 - 2^-i) ~ 0.2888.
+  EXPECT_NEAR(gf2_rank_probability(32, 32, 32), 0.2888, 2e-3);
+  // Classic DIEHARD rank-31 class probabilities.
+  EXPECT_NEAR(gf2_rank_probability(31, 31, 31), 0.2888, 2e-3);
+  EXPECT_NEAR(gf2_rank_probability(31, 31, 30), 0.5776, 2e-3);
+  EXPECT_EQ(gf2_rank_probability(31, 31, 32), 0.0);
+}
+
+TEST(Gf2RankProbability, MonteCarloAgreement) {
+  // Empirical rank histogram of random 8x8 matrices matches the formula.
+  prng::SplitMix64 rng(2024);
+  constexpr int kTrials = 20000;
+  std::vector<int> counts(9, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<std::uint64_t> rows(8);
+    for (auto& r : rows) r = rng.next_u64() & 0xFF;
+    ++counts[static_cast<std::size_t>(gf2_rank(rows, 8))];
+  }
+  for (int rank = 5; rank <= 8; ++rank) {
+    const double expected =
+        gf2_rank_probability(8, 8, rank) * kTrials;
+    EXPECT_NEAR(counts[static_cast<std::size_t>(rank)], expected,
+                5.0 * std::sqrt(expected) + 5.0)
+        << "rank " << rank;
+  }
+}
+
+}  // namespace
+}  // namespace hprng::stat

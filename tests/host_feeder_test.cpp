@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "host/bit_feeder.hpp"
+#include "prng/lcg.hpp"
+#include "sim/spec.hpp"
+
+namespace hprng::host {
+namespace {
+
+TEST(BitFeeder, FillsDeterministically) {
+  const auto spec = sim::DeviceSpec::tesla_c1060();
+  BitFeeder a(spec, "glibc-lcg", 42), b(spec, "glibc-lcg", 42);
+  std::vector<std::uint32_t> va(100), vb(100);
+  a.fill(va);
+  b.fill(vb);
+  EXPECT_EQ(va, vb);
+  // A second fill continues the stream (no reseeding).
+  std::vector<std::uint32_t> va2(100);
+  a.fill(va2);
+  EXPECT_NE(va, va2);
+}
+
+TEST(BitFeeder, MatchesUnderlyingGenerator) {
+  const auto spec = sim::DeviceSpec::tesla_c1060();
+  BitFeeder feeder(spec, "glibc-lcg", 7);
+  std::vector<std::uint32_t> words(50);
+  feeder.fill(words);
+  prng::GlibcLcg ref(7);
+  for (const auto w : words) EXPECT_EQ(w, ref.next_u32());
+}
+
+TEST(BitFeeder, CostModelIsLinearInWords) {
+  const auto spec = sim::DeviceSpec::tesla_c1060();
+  BitFeeder feeder(spec, "glibc-lcg", 1);
+  const double t1 = feeder.seconds_for_words(1000);
+  const double t2 = feeder.seconds_for_words(2000);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-15);
+  EXPECT_NEAR(t1, 1000 * 32 * spec.host_ns_per_random_bit * 1e-9, 1e-15);
+}
+
+TEST(BitFeeder, FillReturnsModeledSeconds) {
+  const auto spec = sim::DeviceSpec::tesla_c1060();
+  BitFeeder feeder(spec, "mt19937", 1);
+  std::vector<std::uint32_t> words(128);
+  EXPECT_DOUBLE_EQ(feeder.fill(words), feeder.seconds_for_words(128));
+  EXPECT_EQ(feeder.generator_name(), "mt19937");
+}
+
+TEST(BitFeeder, AlternativeGeneratorsProduceDifferentStreams) {
+  const auto spec = sim::DeviceSpec::tesla_c1060();
+  BitFeeder lcg(spec, "glibc-lcg", 5), mt(spec, "mt19937", 5);
+  std::vector<std::uint32_t> a(64), b(64);
+  lcg.fill(a);
+  mt.fill(b);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace hprng::host

@@ -1,0 +1,152 @@
+// Cross-module integration: the hybrid stream through the statistical
+// batteries, and the full device pipeline feeding the applications.
+
+#include <gtest/gtest.h>
+
+#include "core/device_baselines.hpp"
+#include "core/hybrid_prng.hpp"
+#include "core/quality_streams.hpp"
+#include "stat/battery.hpp"
+#include "stat/crush.hpp"
+#include "stat/diehard.hpp"
+
+namespace hprng {
+namespace {
+
+TEST(Integration, HybridStreamPassesQuickDiehardSubset) {
+  auto g = core::make_quality_generator("hybrid-prng", 20120501);
+  stat::DiehardConfig cfg;
+  cfg.scale = 0.25;
+  EXPECT_GT(stat::diehard_birthday_spacings(*g, cfg).p, 1e-3);
+  EXPECT_GT(stat::diehard_runs(*g, cfg).p, 1e-3);
+  EXPECT_GT(stat::diehard_craps(*g, cfg).p, 1e-3);
+  EXPECT_GT(stat::diehard_binary_rank_6x8(*g, cfg).p, 1e-3);
+}
+
+TEST(Integration, HybridStreamPassesQuickCrushSubset) {
+  auto g = core::make_quality_generator("hybrid-prng", 77);
+  EXPECT_GT(stat::crush_gap(*g, 0.5).p, 1e-3);
+  EXPECT_GT(stat::crush_simp_poker(*g, 0.5).p, 1e-3);
+  EXPECT_GT(stat::crush_weight_distrib(*g, 0.5).p, 1e-3);
+}
+
+TEST(Integration, ShortWalkStreamFailsTests) {
+  // The l=1 stream is structurally weak (Table ablation rationale): the
+  // battery must catch it.
+  auto g = core::make_quality_generator("hybrid-prng-l1", 77);
+  stat::DiehardConfig cfg;
+  cfg.scale = 0.25;
+  const auto report =
+      stat::run_battery("diehard", stat::diehard_battery(cfg), *g);
+  EXPECT_LE(report.num_passed(), 10) << report.detail();
+}
+
+TEST(Integration, DeviceBaselinesProduceDistinctStreams) {
+  sim::Device dev;
+  sim::Buffer<std::uint64_t> a, b;
+  core::DeviceBatchGenerator mt(dev, core::DeviceBatchGenerator::Kind::kMersenneTwister, 1);
+  core::DeviceBatchGenerator xw(dev, core::DeviceBatchGenerator::Kind::kCurandXorwow, 1);
+  const double t_mt = mt.generate_device(10000, a);
+  const double t_xw = xw.generate_device(10000, b);
+  EXPECT_GT(t_mt, 0.0);
+  EXPECT_GT(t_xw, 0.0);
+  int same = 0;
+  for (std::size_t i = 0; i < 10000; ++i) {
+    if (a.device_span()[i] == b.device_span()[i]) ++same;
+  }
+  EXPECT_LE(same, 2);
+}
+
+TEST(Integration, HybridBeatsBatchBaselinesInModeledTime) {
+  // Figure 3's headline: the hybrid generator outperforms the SDK MT sample
+  // and the cuRAND device API by about 2x.
+  sim::Device dev;
+  core::HybridPrng hybrid(dev);
+  sim::Buffer<std::uint64_t> out;
+  constexpr std::uint64_t kN = 1000000;
+  const double t_hybrid = hybrid.generate_device(kN, 100, out);
+
+  sim::Device dev2;
+  core::DeviceBatchGenerator mt(
+      dev2, core::DeviceBatchGenerator::Kind::kMersenneTwister, 1);
+  sim::Buffer<std::uint64_t> out2;
+  const double t_mt = mt.generate_device(kN, out2);
+
+  sim::Device dev3;
+  core::DeviceBatchGenerator xw(
+      dev3, core::DeviceBatchGenerator::Kind::kCurandXorwow, 1);
+  sim::Buffer<std::uint64_t> out3;
+  const double t_xw = xw.generate_device(kN, out3);
+
+  EXPECT_LT(t_hybrid, t_mt);
+  EXPECT_LT(t_hybrid, t_xw);
+  EXPECT_NEAR(t_mt / t_hybrid, 2.0, 1.0);  // "factor of 2 in most cases"
+}
+
+TEST(Integration, BatchGeneratorsFillExactly) {
+  sim::Device dev;
+  core::DeviceBatchGenerator mwc(dev, core::DeviceBatchGenerator::Kind::kMwc,
+                                 9);
+  sim::Buffer<std::uint64_t> out;
+  mwc.generate_device(12345, out);
+  ASSERT_GE(out.size(), 12345u);
+  // No stretch of zeros (every thread wrote its chunk).
+  int zeros = 0;
+  for (std::size_t i = 0; i < 12345; ++i) {
+    if (out.device_span()[i] == 0) ++zeros;
+  }
+  EXPECT_LE(zeros, 1);
+}
+
+TEST(Integration, CudppBatchGeneratorWorks) {
+  sim::Device dev;
+  core::DeviceBatchGenerator md5(
+      dev, core::DeviceBatchGenerator::Kind::kCudppMd5, 3);
+  sim::Buffer<std::uint64_t> out;
+  const double t = md5.generate_device(20000, out);
+  EXPECT_GT(t, 0.0);
+  // Distinct values (MD5 counters never collide at this scale).
+  int dup = 0;
+  auto span = out.device_span();
+  for (std::size_t i = 1; i < 20000; ++i) {
+    if (span[i] == span[i - 1]) ++dup;
+  }
+  EXPECT_EQ(dup, 0);
+  EXPECT_EQ(md5.name(), "cudpp-md5-gpu");
+}
+
+TEST(Integration, Table1SpeedOrderIsStable) {
+  // The Table I ordering must hold at a different N too (no knife-edge).
+  constexpr std::uint64_t kN = 500000;
+  sim::Device d1, d2, d3;
+  core::HybridPrng hybrid(d1);
+  sim::Buffer<std::uint64_t> o1, o2, o3;
+  const double t_h = hybrid.generate_device(kN, 100, o1);
+  core::DeviceBatchGenerator mt(
+      d2, core::DeviceBatchGenerator::Kind::kMersenneTwister, 1);
+  const double t_mt = mt.generate_device(kN, o2);
+  core::DeviceBatchGenerator md5(
+      d3, core::DeviceBatchGenerator::Kind::kCudppMd5, 1);
+  const double t_md5 = md5.generate_device(kN, o3);
+  EXPECT_LT(t_h, t_mt);
+  EXPECT_LT(t_mt, t_md5);
+}
+
+TEST(Integration, BaselineNames) {
+  sim::Device dev;
+  EXPECT_EQ(core::DeviceBatchGenerator(
+                dev, core::DeviceBatchGenerator::Kind::kMersenneTwister, 0)
+                .name(),
+            "mersenne-twister-gpu");
+  EXPECT_EQ(core::DeviceBatchGenerator(
+                dev, core::DeviceBatchGenerator::Kind::kCurandXorwow, 0)
+                .name(),
+            "curand-xorwow");
+  EXPECT_EQ(
+      core::DeviceBatchGenerator(dev, core::DeviceBatchGenerator::Kind::kMwc, 0)
+          .name(),
+      "mwc-gpu");
+}
+
+}  // namespace
+}  // namespace hprng

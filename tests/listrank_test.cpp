@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hybrid_prng.hpp"
+#include "listrank/helman_jaja.hpp"
+#include "listrank/hybrid_rank.hpp"
+#include "listrank/list.hpp"
+#include "listrank/wyllie.hpp"
+#include "prng/registry.hpp"
+#include "sim/device.hpp"
+
+namespace hprng::listrank {
+namespace {
+
+TEST(LinkedList, OrderedListStructure) {
+  const auto list = make_ordered_list(5);
+  EXPECT_EQ(list.head, 0u);
+  EXPECT_EQ(list.succ[4], kNil);
+  EXPECT_EQ(list.pred[0], kNil);
+  const auto ranks = sequential_rank(list);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(ranks[i], i);
+}
+
+TEST(LinkedList, RandomListIsAPermutationChain) {
+  auto rng = prng::make_by_name("mt19937", 7);
+  const auto list = make_random_list(1000, *rng);
+  const auto ranks = sequential_rank(list);  // aborts if not a single chain
+  // Ranks are a permutation of 0..n-1.
+  std::vector<bool> seen(1000, false);
+  for (auto r : ranks) {
+    ASSERT_LT(r, 1000u);
+    ASSERT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(LinkedList, VerifyRanksCatchesErrors) {
+  const auto list = make_ordered_list(10);
+  auto ranks = sequential_rank(list);
+  EXPECT_TRUE(verify_ranks(list, ranks));
+  std::swap(ranks[3], ranks[4]);
+  EXPECT_FALSE(verify_ranks(list, ranks));
+}
+
+class WyllieTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WyllieTest, MatchesSequentialOnRandomLists) {
+  auto rng = prng::make_by_name("xorwow", 13 + GetParam());
+  const auto list = make_random_list(GetParam(), *rng);
+  sim::Device dev;
+  const auto result = wyllie_rank(dev, list);
+  EXPECT_TRUE(verify_ranks(list, result.ranks));
+  EXPECT_GT(result.sim_seconds, 0.0);
+  EXPECT_EQ(result.iterations,
+            static_cast<int>(std::ceil(std::log2(GetParam()))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WyllieTest,
+                         ::testing::Values(2u, 3u, 17u, 100u, 1000u, 4096u));
+
+TEST(Wyllie, SingleNodeList) {
+  const auto list = make_ordered_list(1);
+  sim::Device dev;
+  const auto result = wyllie_rank(dev, list);
+  EXPECT_EQ(result.ranks, std::vector<std::uint32_t>{0});
+}
+
+class HelmanJajaTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HelmanJajaTest, MatchesSequential) {
+  auto rng = prng::make_by_name("mt19937", GetParam());
+  const auto list = make_random_list(GetParam(), *rng);
+  sim::Device dev;
+  const auto result = helman_jaja_rank(dev, list, *rng);
+  EXPECT_TRUE(verify_ranks(list, result.ranks));
+  EXPECT_GE(result.max_sublist, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HelmanJajaTest,
+                         ::testing::Values(1u, 2u, 50u, 1000u, 10000u));
+
+TEST(HelmanJaja, ExplicitSplitterCount) {
+  auto rng = prng::make_by_name("mt19937", 5);
+  const auto list = make_random_list(5000, *rng);
+  sim::Device dev;
+  const auto result = helman_jaja_rank(dev, list, *rng, 16);
+  EXPECT_EQ(result.num_splitters, 16u);
+  EXPECT_TRUE(verify_ranks(list, result.ranks));
+}
+
+class HybridRankerTest : public ::testing::TestWithParam<RngStrategy> {};
+
+TEST_P(HybridRankerTest, ExactRanksOnRandomLists) {
+  auto rng = prng::make_by_name("mt19937", 99);
+  for (std::uint32_t n : {10u, 257u, 5000u}) {
+    const auto list = make_random_list(n, *rng);
+    sim::Device dev;
+    core::HybridPrngConfig cfg;
+    cfg.walk_len = 8;
+    core::HybridPrng prng(dev, cfg);
+    HybridListRanker ranker(dev, &prng, GetParam(), 1234);
+    const auto result = ranker.rank(list);
+    EXPECT_TRUE(verify_ranks(list, result.ranks))
+        << to_string(GetParam()) << " n=" << n;
+    EXPECT_GT(result.total_sim_seconds(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, HybridRankerTest,
+                         ::testing::Values(RngStrategy::kOnDemandHybrid,
+                                           RngStrategy::kPregenHostGlibc,
+                                           RngStrategy::kPregenDeviceMt));
+
+TEST(HybridRanker, ReductionReachesTarget) {
+  auto rng = prng::make_by_name("mt19937", 3);
+  const auto list = make_random_list(20000, *rng);
+  sim::Device dev;
+  core::HybridPrngConfig cfg;
+  cfg.walk_len = 8;
+  core::HybridPrng prng(dev, cfg);
+  HybridListRanker ranker(dev, &prng, RngStrategy::kOnDemandHybrid, 7);
+  const auto stats = ranker.reduce_only(list);
+  const auto target = static_cast<std::uint32_t>(20000.0 / std::log2(20000.0));
+  EXPECT_LE(stats.remaining_nodes, target);
+  EXPECT_GT(stats.iterations, 3);
+}
+
+TEST(HybridRanker, OnDemandUsesExactlyWhatItProvisions) {
+  auto rng = prng::make_by_name("mt19937", 17);
+  const auto list = make_random_list(8000, *rng);
+  sim::Device dev;
+  core::HybridPrngConfig cfg;
+  cfg.walk_len = 8;
+  core::HybridPrng prng(dev, cfg);
+  HybridListRanker ranker(dev, &prng, RngStrategy::kOnDemandHybrid, 7);
+  const auto stats = ranker.reduce_only(list);
+  EXPECT_EQ(stats.random_words_used, stats.random_words_provisioned);
+}
+
+TEST(HybridRanker, PregenOverProvisionsSubstantially) {
+  auto rng = prng::make_by_name("mt19937", 17);
+  const auto list = make_random_list(8000, *rng);
+  sim::Device dev;
+  HybridListRanker ranker(dev, nullptr, RngStrategy::kPregenHostGlibc, 7);
+  const auto stats = ranker.reduce_only(list);
+  EXPECT_GT(stats.random_words_provisioned,
+            (stats.random_words_used * 3) / 2);  // >= 1.5x waste
+}
+
+TEST(HybridRanker, OnDemandBeatsPregenInSimulatedTime) {
+  // The Figure 7 ordering at a small size: on-demand < pregen-glibc <
+  // pure-GPU-MT.
+  auto rng = prng::make_by_name("mt19937", 21);
+  const auto list = make_random_list(30000, *rng);
+  double t_ondemand, t_pregen, t_mt;
+  {
+    sim::Device dev;
+    core::HybridPrngConfig cfg;
+    cfg.walk_len = 8;
+    core::HybridPrng prng(dev, cfg);
+    HybridListRanker r(dev, &prng, RngStrategy::kOnDemandHybrid, 7);
+    t_ondemand = r.reduce_only(list).sim_seconds;
+  }
+  {
+    sim::Device dev;
+    HybridListRanker r(dev, nullptr, RngStrategy::kPregenHostGlibc, 7);
+    t_pregen = r.reduce_only(list).sim_seconds;
+  }
+  {
+    sim::Device dev;
+    HybridListRanker r(dev, nullptr, RngStrategy::kPregenDeviceMt, 7);
+    t_mt = r.reduce_only(list).sim_seconds;
+  }
+  EXPECT_LT(t_ondemand, t_pregen);
+  EXPECT_LT(t_pregen, t_mt);
+}
+
+TEST(HybridRanker, StrategyNames) {
+  EXPECT_STREQ(to_string(RngStrategy::kOnDemandHybrid), "hybrid-ondemand");
+  EXPECT_STREQ(to_string(RngStrategy::kPregenHostGlibc),
+               "hybrid-glibc-pregen");
+  EXPECT_STREQ(to_string(RngStrategy::kPregenDeviceMt), "pure-gpu-mt");
+}
+
+}  // namespace
+}  // namespace hprng::listrank

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "prng/registry.hpp"
+#include "stat/battery.hpp"
+#include "stat/tests_common.hpp"
+
+namespace hprng::stat {
+namespace {
+
+TEST(ChiSquareTest, PerfectFitGivesPNearOne) {
+  const std::vector<double> expected(10, 100.0);
+  const std::vector<double> observed(10, 100.0);
+  const auto r = chi_square_test("perfect", observed, expected);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+  EXPECT_GT(r.p, 0.999);
+}
+
+TEST(ChiSquareTest, GrossMisfitGivesTinyP) {
+  std::vector<double> expected(10, 100.0);
+  std::vector<double> observed(10, 100.0);
+  observed[0] = 300.0;
+  observed[1] = 0.0;
+  const auto r = chi_square_test("misfit", observed, expected);
+  EXPECT_LT(r.p, 1e-10);
+}
+
+TEST(ChiSquareTest, MergesSparseBins) {
+  // 20 bins of expectation 1 merge into ~4 bins of expectation >= 5:
+  // the statistic must still be finite and the p sane.
+  std::vector<double> expected(20, 1.0);
+  std::vector<double> observed(20, 1.0);
+  const auto r = chi_square_test("sparse", observed, expected, 5.0);
+  EXPECT_GE(r.p, 0.99);  // perfectly matching after merge
+}
+
+TEST(ChiSquareTest, TailResidueFoldsIntoLastBin) {
+  std::vector<double> expected = {50.0, 30.0, 2.0};  // sparse tail
+  std::vector<double> observed = {50.0, 30.0, 2.0};
+  const auto r = chi_square_test("tail", observed, expected);
+  EXPECT_GT(r.p, 0.99);
+}
+
+TEST(KsUniformTest, UniformGridPassesAndSkewFails) {
+  std::vector<double> grid;
+  for (int i = 0; i < 1000; ++i) grid.push_back((i + 0.5) / 1000.0);
+  EXPECT_GT(ks_uniform_test("grid", grid).p, 0.99);
+
+  std::vector<double> skew;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = (i + 0.5) / 1000.0;
+    skew.push_back(u * u);  // concentrated near 0
+  }
+  EXPECT_LT(ks_uniform_test("skew", skew).p, 1e-10);
+}
+
+TEST(KsUniformTest, StatisticIsMaxDeviation) {
+  // Two points at 0.5: D = |0.5 - 0| = 0.5.
+  const auto r = ks_uniform_test("two", {0.5, 0.5});
+  EXPECT_NEAR(r.statistic, 0.5, 1e-12);
+}
+
+TEST(FisherCombine, NeutralAndExtreme) {
+  // Three p = 0.5: statistic 6 ln 2 ~= 4.159 on 6 dof -> p ~= 0.655.
+  EXPECT_NEAR(fisher_combine({0.5, 0.5, 0.5}), 0.655, 0.01);
+  EXPECT_LT(fisher_combine({1e-8, 1e-8}), 1e-10);
+  EXPECT_GT(fisher_combine({0.9, 0.8, 0.95}), 0.5);
+}
+
+TEST(TwoSidedFromCdf, FoldsBothTails) {
+  EXPECT_DOUBLE_EQ(two_sided_from_cdf(0.5), 1.0);
+  EXPECT_NEAR(two_sided_from_cdf(0.975), 0.05, 1e-12);
+  EXPECT_NEAR(two_sided_from_cdf(0.025), 0.05, 1e-12);
+}
+
+TEST(Battery, RunsAndCounts) {
+  std::vector<NamedTest> battery = {
+      {"always-mid", [](prng::Generator&) {
+         return TestResult{"always-mid", 0.5, 0.0};
+       }},
+      {"always-extreme", [](prng::Generator&) {
+         return TestResult{"always-extreme", 0.0001, 9.9};
+       }},
+  };
+  auto g = prng::make_by_name("mt19937", 1);
+  const auto report = run_battery("unit", battery, *g);
+  EXPECT_EQ(report.num_total(), 2);
+  EXPECT_EQ(report.num_passed(), 1);
+  EXPECT_EQ(report.summary(), "1/2");
+  EXPECT_EQ(report.generator, "mt19937");
+  // Detail rendering mentions both tests and the KS line.
+  const std::string detail = report.detail();
+  EXPECT_NE(detail.find("always-mid"), std::string::npos);
+  EXPECT_NE(detail.find("FAIL"), std::string::npos);
+  EXPECT_NE(detail.find("KS over p-values"), std::string::npos);
+}
+
+TEST(Battery, CustomThresholds) {
+  std::vector<NamedTest> battery = {
+      {"p03", [](prng::Generator&) { return TestResult{"p03", 0.03, 0.0}; }},
+  };
+  auto g = prng::make_by_name("mt19937", 1);
+  EXPECT_EQ(run_battery("a", battery, *g, 0.01, 0.99).num_passed(), 1);
+  EXPECT_EQ(run_battery("b", battery, *g, 0.05, 0.95).num_passed(), 0);
+}
+
+}  // namespace
+}  // namespace hprng::stat

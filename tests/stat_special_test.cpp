@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stat/special.hpp"
+
+namespace hprng::stat {
+namespace {
+
+TEST(Special, GammaPKnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(gamma_p(3.0, 0.0), 0.0);
+}
+
+TEST(Special, GammaPQComplementarity) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 100.0}) {
+    for (double x : {0.01, 0.5, 1.0, 5.0, 50.0, 200.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(Special, NormalCdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-9);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(Special, NormalTwoSidedP) {
+  EXPECT_NEAR(normal_two_sided_p(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(normal_two_sided_p(1.959963985), 0.05, 1e-9);
+  EXPECT_NEAR(normal_two_sided_p(-1.959963985), 0.05, 1e-9);
+}
+
+TEST(Special, ChiSquareCdf) {
+  // k = 2: CDF(x) = 1 - exp(-x/2).
+  for (double x : {0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(chi_square_cdf(x, 2.0), 1.0 - std::exp(-x / 2.0), 1e-12);
+  }
+  // Classical critical value: P(chi2_10 > 18.307) = 0.05.
+  EXPECT_NEAR(chi_square_sf(18.307, 10.0), 0.05, 2e-4);
+  EXPECT_DOUBLE_EQ(chi_square_sf(-1.0, 3.0), 1.0);
+}
+
+TEST(Special, KolmogorovCdf) {
+  // Classical table values of the Kolmogorov distribution.
+  EXPECT_NEAR(kolmogorov_cdf(1.3581), 0.95, 5e-4);
+  EXPECT_NEAR(kolmogorov_cdf(1.2238), 0.90, 5e-4);
+  EXPECT_NEAR(kolmogorov_cdf(1.6276), 0.99, 5e-4);
+  EXPECT_DOUBLE_EQ(kolmogorov_cdf(0.0), 0.0);
+  EXPECT_NEAR(kolmogorov_cdf(5.0), 1.0, 1e-12);
+  // Continuity across the branch switch at 1.18: the difference must be
+  // explained by the local slope (~0.58), not a branch jump.
+  EXPECT_NEAR(kolmogorov_cdf(1.1801) - kolmogorov_cdf(1.1799),
+              0.58 * 2e-4, 5e-5);
+}
+
+TEST(Special, KsPValueBehaviour) {
+  // Tiny D on many points: p near 1. Huge D: p near 0.
+  EXPECT_GT(ks_p_value(0.005, 1000), 0.99);
+  EXPECT_LT(ks_p_value(0.2, 1000), 1e-6);
+  // At the 5% critical point D ~= 1.358/sqrt(n).
+  EXPECT_NEAR(ks_p_value(1.3581 / std::sqrt(1000.0), 1000), 0.05, 0.01);
+}
+
+TEST(Special, PoissonPmfCdf) {
+  // pmf sums to cdf; known values for lambda = 2.
+  EXPECT_NEAR(poisson_pmf(0, 2.0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(poisson_pmf(2, 2.0), 2.0 * std::exp(-2.0), 1e-12);
+  double acc = 0.0;
+  for (int k = 0; k <= 10; ++k) acc += poisson_pmf(k, 2.0);
+  EXPECT_NEAR(acc, poisson_cdf(10, 2.0), 1e-10);
+  EXPECT_NEAR(poisson_cdf(1000, 2.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(poisson_cdf(-1, 2.0), 0.0);
+}
+
+TEST(Special, BinomialPmf) {
+  EXPECT_NEAR(binomial_pmf(0, 10, 0.5), std::pow(0.5, 10), 1e-14);
+  EXPECT_NEAR(binomial_pmf(5, 10, 0.5), 252.0 * std::pow(0.5, 10), 1e-12);
+  double acc = 0.0;
+  for (int k = 0; k <= 64; ++k) acc += binomial_pmf(k, 64, 0.25);
+  EXPECT_NEAR(acc, 1.0, 1e-10);
+  EXPECT_DOUBLE_EQ(binomial_pmf(-1, 10, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(11, 10, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(3, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(0, 10, 0.0), 1.0);
+}
+
+TEST(Special, LnChoose) {
+  EXPECT_NEAR(ln_choose(10, 5), std::log(252.0), 1e-12);
+  EXPECT_NEAR(ln_choose(5, 0), 0.0, 1e-12);
+  EXPECT_NEAR(ln_choose(52, 5), std::log(2598960.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace hprng::stat
