@@ -10,6 +10,8 @@
 #include "bench/common.hpp"
 #include "core/device_baselines.hpp"
 #include "core/hybrid_prng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/device.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -28,6 +30,12 @@ int main(int argc, char** argv) {
                     .c_str());
 
   double pure_cpu_busy, pure_gpu_busy, hyb_cpu_busy, hyb_gpu_busy;
+  // One trace, two processes: the pure-device and hybrid schedules load
+  // side by side in Perfetto — the paper's Figure 1, machine-readable.
+  obs::TraceWriter trace;  // default process (pid 1): "hprng"
+  const int pure_pid = trace.add_process("pure-device (batch MT)");
+  const int hyb_pid = trace.add_process("hybrid (FEED||TRANSFER||GENERATE)");
+  obs::MetricsRegistry metrics;  // hybrid pipeline metrics
   {
     sim::Device dev;
     core::DeviceBatchGenerator g(
@@ -43,10 +51,12 @@ int main(int argc, char** argv) {
                               sim::Resource::kDevice, t0, t1);
     std::printf("PURE DEVICE (batch Mersenne-Twister):\n%s\n",
                 dev.timeline().render_ascii(t0, t1, 96).c_str());
+    trace.add_timeline(dev.timeline(), pure_pid);
   }
   {
     sim::Device dev;
     core::HybridPrng prng(dev);
+    prng.set_metrics(&metrics);
     prng.initialize((n + 99) / 100);
     dev.engine().clear_timeline();
     dev.engine().fence();
@@ -60,7 +70,11 @@ int main(int argc, char** argv) {
                              sim::Resource::kDevice, t0, t1);
     std::printf("HYBRID (FEED || TRANSFER || GENERATE):\n%s\n",
                 dev.timeline().render_ascii(t0, t1, 96).c_str());
+    trace.add_timeline(dev.timeline(), hyb_pid);
+    prng.annotate_trace(trace, hyb_pid);
   }
+  bench::export_metrics_json(cli, metrics);
+  bench::export_trace_json(cli, trace);
 
   util::Table t({"configuration", "CPU busy", "GPU busy"});
   t.add_row({"pure device", util::strf("%.0f%%", pure_cpu_busy * 100),

@@ -3,12 +3,14 @@
 // cuRAND device API. Paper: "the hybrid generator outperforms both ... by a
 // factor of 2 in most cases".
 
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "core/device_baselines.hpp"
 #include "core/hybrid_prng.hpp"
+#include "obs/metrics.hpp"
 #include "sim/device.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -34,6 +36,11 @@ int main(int argc, char** argv) {
                  "CURAND (ms)", "MT/Hybrid", "CURAND/Hybrid"});
 
   bool hybrid_always_fastest = true;
+  // Cross-check (docs/OBSERVABILITY.md): per-resource busy fractions
+  // derived from the hprng.sim.busy_seconds.* counters must agree with the
+  // legacy Timeline::idle_fraction over the same timed window.
+  obs::MetricsRegistry metrics;
+  double max_busy_disagreement = 0.0;
   double ratio_sum = 0.0;
   for (const std::uint64_t m : paper_sizes_m) {
     const std::uint64_t n = m * 1000000ull / scale_div;
@@ -41,8 +48,35 @@ int main(int argc, char** argv) {
     {
       sim::Device dev;
       core::HybridPrng prng(dev);
+      prng.set_metrics(&metrics);
       sim::Buffer<std::uint64_t> out;
+      // Counter snapshot after initialisation: the deltas below then cover
+      // exactly the fenced window generate_device() times.
+      prng.initialize((n + 99) / 100);
+      double busy0[sim::kNumResources];
+      for (int r = 0; r < sim::kNumResources; ++r) {
+        busy0[r] = metrics
+                       .counter(std::string("hprng.sim.busy_seconds.") +
+                                sim::metric_suffix(static_cast<sim::Resource>(r)))
+                       .value();
+      }
       t_h = prng.generate_device(n, 100, out);
+      const double t1 = dev.engine().now();
+      const double t0 = t1 - t_h;
+      for (int r = 0; r < sim::kNumResources; ++r) {
+        const auto res = static_cast<sim::Resource>(r);
+        const double busy = metrics
+                                .counter(std::string("hprng.sim.busy_seconds.") +
+                                         sim::metric_suffix(res))
+                                .value() -
+                            busy0[r];
+        const double metric_fraction = busy / t_h;
+        const double timeline_fraction =
+            1.0 - dev.timeline().idle_fraction(res, t0, t1);
+        max_busy_disagreement =
+            std::max(max_busy_disagreement,
+                     std::abs(metric_fraction - timeline_fraction));
+      }
     }
     {
       sim::Device dev;
@@ -70,7 +104,17 @@ int main(int argc, char** argv) {
   const double mean_ratio = ratio_sum / static_cast<double>(paper_sizes_m.size());
   std::printf("mean MT/Hybrid speedup: %.2fx (paper: ~2x)\n", mean_ratio);
 
-  const bool shape = hybrid_always_fastest && mean_ratio > 1.3;
+  bool metrics_agree = true;
+  if (obs::kEnabled) {
+    metrics_agree = max_busy_disagreement <= 1e-9;
+    std::printf("metrics vs timeline busy fractions: max |delta| = %.3g "
+                "[%s]\n",
+                max_busy_disagreement, metrics_agree ? "OK" : "MISMATCH");
+  }
+  bench::export_metrics_json(cli, metrics);
+
+  const bool shape = hybrid_always_fastest && mean_ratio > 1.3 &&
+                     metrics_agree;
   bench::verdict(shape, "hybrid fastest at every size, baselines ~2x slower");
   return shape ? 0 : 1;
 }

@@ -8,6 +8,8 @@
 
 #include "bench/common.hpp"
 #include "core/hybrid_prng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/device.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -28,6 +30,8 @@ int main(int argc, char** argv) {
 
   sim::Device dev;
   core::HybridPrng prng(dev);
+  obs::MetricsRegistry metrics;
+  prng.set_metrics(&metrics);
   prng.initialize((n + batch - 1) / batch);
   dev.engine().clear_timeline();  // drop the init ops; steady state only
   const double t0 = dev.engine().now();
@@ -81,6 +85,42 @@ int main(int argc, char** argv) {
   std::printf("\nsteady-state window (F = FEED, T = TRANSFER, "
               "G = GENERATE):\n%s",
               tl.render_ascii(mid, mid + window, 96).c_str());
+
+  if (obs::kEnabled) {
+    // Pipeline-stall picture from the metrics registry: how often a stage
+    // waited, and how much virtual time each resource lost to waiting.
+    std::printf("\npipeline stalls (from hprng.core.* / hprng.sim.*):\n");
+    std::printf("  FEED waited for a previous TRANSFER: %.0f of %.0f "
+                "rounds\n",
+                metrics.counter("hprng.core.feed_refill_stalls").value(),
+                metrics.counter("hprng.core.rounds").value());
+    std::printf("  TRANSFER waited for a consumer kernel: %.0f rounds\n",
+                metrics.counter("hprng.core.transfer_consumer_stalls")
+                    .value());
+    for (int r = 0; r < sim::kNumResources; ++r) {
+      const auto res = static_cast<sim::Resource>(r);
+      std::printf("  %-9s idle on dependencies: %8.2f us over %.0f waits\n",
+                  sim::to_string(res),
+                  metrics
+                          .counter(std::string("hprng.sim.dep_stall_seconds.") +
+                                   sim::metric_suffix(res))
+                          .value() *
+                      1e6,
+                  metrics
+                      .counter(std::string("hprng.sim.dep_stalls.") +
+                               sim::metric_suffix(res))
+                      .value());
+    }
+  }
+
+  // Machine-readable exports (--metrics-json / --trace-json).
+  bench::export_metrics_json(cli, metrics);
+  if (cli.has("trace-json")) {
+    obs::TraceWriter trace;
+    trace.add_timeline(tl);
+    prng.annotate_trace(trace);
+    bench::export_trace_json(cli, trace);
+  }
 
   const bool shape = cpu_idle < 0.10 && gpu_idle > 0.05 && gpu_idle < 0.45;
   bench::verdict(shape,

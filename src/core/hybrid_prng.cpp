@@ -5,6 +5,7 @@
 #include "core/calibration.hpp"
 #include "prng/splitmix64.hpp"
 #include "util/check.hpp"
+#include "util/table.hpp"
 
 namespace hprng::core {
 
@@ -20,6 +21,47 @@ HybridPrng::HybridPrng(sim::Device& device, HybridPrngConfig cfg)
       feeder_(device.spec(), cfg.feeder_generator, cfg.seed) {
   HPRNG_CHECK(cfg_.walk_len >= 1, "walk_len must be at least 1");
   HPRNG_CHECK(cfg_.init_walk_len >= 0, "init_walk_len must be >= 0");
+}
+
+void HybridPrng::set_metrics(obs::MetricsRegistry* registry) {
+  device_.set_metrics(registry);
+  feeder_.set_metrics(registry);
+  metrics_ = registry;
+  ins_ = {};
+  round_records_.clear();
+  if (registry == nullptr) return;
+  ins_.rounds = &registry->counter("hprng.core.rounds");
+  ins_.numbers_generated = &registry->counter("hprng.core.numbers_generated");
+  ins_.feed_refill_stalls =
+      &registry->counter("hprng.core.feed_refill_stalls");
+  ins_.transfer_consumer_stalls =
+      &registry->counter("hprng.core.transfer_consumer_stalls");
+  ins_.initialized_threads =
+      &registry->gauge("hprng.core.initialized_threads");
+  ins_.round_feed_seconds =
+      &registry->histogram("hprng.core.round_feed_seconds");
+  ins_.round_transfer_seconds =
+      &registry->histogram("hprng.core.round_transfer_seconds");
+  ins_.round_generate_seconds =
+      &registry->histogram("hprng.core.round_generate_seconds");
+  ins_.initialized_threads->set(
+      static_cast<double>(initialized_threads_));
+}
+
+void HybridPrng::annotate_trace(obs::TraceWriter& trace, int pid) const {
+  sim::Engine& engine = device_.engine();
+  double produced = 0.0;
+  std::uint64_t index = 0;
+  for (const RoundRecord& r : round_records_) {
+    trace.add_async_span(
+        pid, "pipeline", index, util::strf("round %llu",
+            static_cast<unsigned long long>(index)),
+        engine.start_time(r.feed), engine.end_time(r.kernel));
+    produced += static_cast<double>(r.count);
+    trace.add_counter("hprng.core.numbers_generated",
+                      engine.end_time(r.kernel), produced, pid);
+    ++index;
+  }
 }
 
 std::uint64_t HybridPrng::words_per_draw() const {
@@ -90,6 +132,9 @@ void HybridPrng::initialize(std::uint64_t threads) {
   slot_transfer_[0] = copy;
   device_.synchronize();
   initialized_threads_ = threads;
+  if (metrics_ != nullptr) {
+    ins_.initialized_threads->set(static_cast<double>(threads));
+  }
 }
 
 HybridPrng::Round HybridPrng::begin_round(std::uint64_t threads,
@@ -118,6 +163,17 @@ HybridPrng::Round HybridPrng::begin_round(std::uint64_t threads,
   if (slot_transfer_[slot] != sim::kNoOp) {
     feed_deps.push_back(slot_transfer_[slot]);
   }
+  if (metrics_ != nullptr) {
+    ins_.rounds->add(1);
+    // Structural stall edges: rounds whose FEED had to wait for the slot's
+    // previous TRANSFER, and (below) whose TRANSFER had to wait for the
+    // slot's previous consumer kernel. Realised stall *time* is measured
+    // by the engine's hprng.sim.dep_stall_seconds.* counters.
+    if (!feed_deps.empty()) ins_.feed_refill_stalls->add(1);
+    if (slot_consumer_[slot] != sim::kNoOp) {
+      ins_.transfer_consumer_stalls->add(1);
+    }
+  }
   const sim::OpId feed = device_.host_task(
       feed_stream_, "FEED",
       feeder_.seconds_for_words(words) +
@@ -141,6 +197,7 @@ HybridPrng::Round HybridPrng::begin_round(std::uint64_t threads,
           .first(static_cast<std::size_t>(words)),
       device_bin_[slot], copy_deps);
   slot_transfer_[slot] = copy;
+  last_feed_op_ = feed;
   return Round{copy, slot, threads, wpt};
 }
 
@@ -185,6 +242,10 @@ sim::OpId HybridPrng::enqueue_batch_round(std::uint64_t threads,
       },
       {round.ready});
   end_round(round, kernel);
+  if (metrics_ != nullptr) {
+    round_records_.push_back(
+        RoundRecord{last_feed_op_, round.ready, kernel, count});
+  }
   return kernel;
 }
 
@@ -199,6 +260,7 @@ double HybridPrng::generate_device(std::uint64_t n, std::uint64_t batch_size,
     out.resize(n);
   }
 
+  round_records_.clear();  // trace annotations cover the latest run only
   device_.engine().fence();  // timed window starts on an idle machine
   const double sim_start = device_.engine().now();
   std::uint64_t produced = 0;
@@ -210,6 +272,18 @@ double HybridPrng::generate_device(std::uint64_t n, std::uint64_t batch_size,
     ++round;
   }
   device_.synchronize();
+  if (metrics_ != nullptr) {
+    ins_.numbers_generated->add(static_cast<double>(n));
+    sim::Engine& engine = device_.engine();
+    for (const RoundRecord& r : round_records_) {
+      ins_.round_feed_seconds->observe(engine.end_time(r.feed) -
+                                       engine.start_time(r.feed));
+      ins_.round_transfer_seconds->observe(engine.end_time(r.transfer) -
+                                           engine.start_time(r.transfer));
+      ins_.round_generate_seconds->observe(engine.end_time(r.kernel) -
+                                           engine.start_time(r.kernel));
+    }
+  }
   return device_.engine().now() - sim_start;
 }
 

@@ -9,16 +9,29 @@
 #include "expander/gabber_galil.hpp"
 #include "expander/walk.hpp"
 #include "host/bit_feeder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/buffer.hpp"
 #include "sim/device.hpp"
 
 namespace hprng::core {
 
 /// Configuration of the hybrid expander-walk PRNG (Sec. III).
+///
+/// Most fields feed the FEED -> TRANSFER -> GENERATE schedule, not just
+/// the output stream: anything that changes the bits consumed per draw
+/// changes the FEED and TRANSFER durations of every round, and with them
+/// the overlap picture of Figures 4/5. Per-field notes below say which
+/// side(s) of that balance each knob moves.
 struct HybridPrngConfig {
+  /// Seeds both the host feeder stream and (through it) every walk's start
+  /// vertex. No effect on the schedule — two runs with different seeds
+  /// produce identical timelines and different numbers.
   std::uint64_t seed = 0x243F6A8885A308D3ull;
 
   /// Length of the initialisation walk (Algorithm 1; the paper uses 64).
+  /// Paid once, outside the figures' timed windows: it scales the one-off
+  /// FEED/TRANSFER/GENERATE triple of initialize() and nothing else.
   int init_walk_len = 64;
 
   /// Walk steps per output (Algorithm 2's l): the quality/throughput dial.
@@ -26,20 +39,38 @@ struct HybridPrngConfig {
   /// which the raw vertex ids pass the BigCrush-scale battery (see
   /// bench/ablation_walk_length). Applications that only need coin flips
   /// or seeds run at l = 8.
+  ///
+  /// Schedule: l multiplies the bits per draw, so FEED (host seconds),
+  /// TRANSFER (bytes over PCIe) and GENERATE (walk steps) all scale with
+  /// it — it shifts throughput but barely moves the overlap *ratios*.
   int walk_len = 32;
 
+  /// Neighbour selection from each 3-bit draw (DESIGN.md §5.1). Schedule:
+  /// kRejection overprovisions the feed 1.5x (bits_for_walk), lengthening
+  /// FEED and TRANSFER per round while GENERATE is unchanged — it tilts
+  /// the pipeline further towards feed-bound. kMod7/kSevenStays use the
+  /// fixed 3-bits-per-step budget.
   expander::NeighborPolicy policy = expander::NeighborPolicy::kMod7;
+
+  /// Forward-only (paper) vs alternating walk (ablation-only; DESIGN.md
+  /// §5.2). Same bit budget per step, so no schedule effect.
   expander::WalkMode mode = expander::WalkMode::kForwardOnly;
 
   /// Optional SplitMix64 output finaliser (OFF = paper-faithful raw vertex
-  /// ids; see the walk-length ablation for why you might want it at tiny l).
+  /// ids; see the walk-length ablation for why you might want it at tiny
+  /// l). Device-side arithmetic only; no measurable schedule effect.
   bool finalize_output = false;
 
   /// Device walk count for the on-demand application API (the batched
   /// generate() chooses its own thread count from the batch size).
+  /// Schedule: more threads = bigger rounds — every stage's per-round
+  /// duration grows, amortising the fixed launch/API overheads.
   std::uint64_t num_threads = 7680;  // 30 SMs x 256 resident threads
 
   /// Host generator that produces the raw feed bits (paper: glibc LCG).
+  /// Quality dial for the ablations; the FEED *cost model* is
+  /// generator-independent (spec.host_ns_per_random_bit), so swapping it
+  /// changes the stream, not the simulated schedule.
   std::string feeder_generator = "glibc-lcg";
 };
 // NOTE: configuration changes alter the schedule and the stream; every
@@ -134,11 +165,31 @@ class HybridPrng {
   /// coalesced (see core/calibration.hpp).
   [[nodiscard]] double device_ops_for_draws_inline(double draws) const;
 
+  /// The configuration this generator was constructed with.
   [[nodiscard]] const HybridPrngConfig& config() const { return cfg_; }
+
+  /// The simulated platform this generator schedules onto.
   [[nodiscard]] sim::Device& device() { return device_; }
 
   /// Words of feed needed per draw (3 bits/step, rejection margin included).
   [[nodiscard]] std::uint64_t words_per_draw() const;
+
+  // -- Observability (docs/OBSERVABILITY.md) -------------------------------
+
+  /// Attach (or with nullptr, detach) a metrics registry to the whole
+  /// pipeline: forwards to Device::set_metrics and BitFeeder::set_metrics,
+  /// and additionally maintains the `hprng.core.*` pipeline instruments —
+  /// rounds, numbers generated, refill/consumer stall counters, and
+  /// per-round FEED/TRANSFER/GENERATE duration histograms. While a
+  /// registry is attached, generate_device() also keeps per-round op
+  /// records so annotate_trace() can add round spans.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Add the last generate_device() run's pipeline rounds to a trace, as
+  /// async spans (rounds overlap — that is the point of the pipeline) plus
+  /// a cumulative `hprng.core.numbers_generated` counter track. Requires a
+  /// registry attached before the run; a no-op otherwise.
+  void annotate_trace(obs::TraceWriter& trace, int pid = 1) const;
 
  private:
   /// FEED+TRANSFER+walk kernel for one batched round; returns the kernel op.
@@ -147,9 +198,34 @@ class HybridPrng {
                                 std::uint64_t out_offset,
                                 std::uint64_t count);
 
+  /// Pipeline instruments, resolved once in set_metrics().
+  struct Instruments {
+    obs::Counter* rounds = nullptr;
+    obs::Counter* numbers_generated = nullptr;
+    obs::Counter* feed_refill_stalls = nullptr;
+    obs::Counter* transfer_consumer_stalls = nullptr;
+    obs::Gauge* initialized_threads = nullptr;
+    obs::Histogram* round_feed_seconds = nullptr;
+    obs::Histogram* round_transfer_seconds = nullptr;
+    obs::Histogram* round_generate_seconds = nullptr;
+  };
+
+  /// Ops of one batched pipeline round (recorded only while a metrics
+  /// registry is attached; reset by each generate_device() call).
+  struct RoundRecord {
+    sim::OpId feed;
+    sim::OpId transfer;
+    sim::OpId kernel;
+    std::uint64_t count;  // numbers this round produced
+  };
+
   sim::Device& device_;
   HybridPrngConfig cfg_;
   host::BitFeeder feeder_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments ins_;
+  std::vector<RoundRecord> round_records_;
+  sim::OpId last_feed_op_ = sim::kNoOp;
 
   sim::Buffer<expander::WalkState> states_;
   std::uint64_t initialized_threads_ = 0;

@@ -12,7 +12,25 @@ BitFeeder::BitFeeder(const sim::DeviceSpec& spec,
 
 double BitFeeder::fill(std::span<std::uint32_t> out) {
   for (auto& w : out) w = gen_->next_u32();
-  return seconds_for_words(out.size());
+  const double seconds = seconds_for_words(out.size());
+  if (metrics_ != nullptr) {
+    ins_.bits_produced->add(static_cast<double>(out.size()) * 32.0);
+    ins_.fill_calls->add(1);
+    ins_.feed_seconds->add(seconds);
+    ins_.buffer_occupancy_words->set(static_cast<double>(out.size()));
+  }
+  return seconds;
+}
+
+void BitFeeder::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  ins_ = {};
+  if (registry == nullptr) return;
+  ins_.bits_produced = &registry->counter("hprng.host.bits_produced");
+  ins_.fill_calls = &registry->counter("hprng.host.fill_calls");
+  ins_.feed_seconds = &registry->counter("hprng.host.feed_seconds");
+  ins_.buffer_occupancy_words =
+      &registry->gauge("hprng.host.buffer_occupancy_words");
 }
 
 double BitFeeder::seconds_for_words(std::size_t words) const {

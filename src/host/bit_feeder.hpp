@@ -5,6 +5,7 @@
 #include <span>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "prng/generator.hpp"
 #include "sim/spec.hpp"
 
@@ -19,6 +20,11 @@ namespace hprng::host {
 /// host model, which is what the pipeline charges to the CPU resource.
 class BitFeeder {
  public:
+  /// @param spec supplies the host production cost model
+  ///        (host_ns_per_random_bit).
+  /// @param generator_name any name registered in prng::make_by_name.
+  /// @param seed seed of the underlying generator (the feed stream is
+  ///        fully determined by (generator_name, seed)).
   BitFeeder(const sim::DeviceSpec& spec, const std::string& generator_name,
             std::uint64_t seed);
 
@@ -28,12 +34,29 @@ class BitFeeder {
   /// Simulated host seconds to produce `words` 32-bit words.
   [[nodiscard]] double seconds_for_words(std::size_t words) const;
 
+  /// Name of the generator producing the feed (the FEED quality dial).
   [[nodiscard]] const std::string& generator_name() const { return name_; }
 
+  /// Attach (or with nullptr, detach) a metrics registry: fill() then
+  /// maintains the `hprng.host.*` producer instruments — bits produced,
+  /// fill calls, simulated feed seconds, and the occupancy (in words) of
+  /// the staging buffer last filled.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
+  /// Producer instruments, resolved once in set_metrics().
+  struct Instruments {
+    obs::Counter* bits_produced = nullptr;
+    obs::Counter* fill_calls = nullptr;
+    obs::Counter* feed_seconds = nullptr;
+    obs::Gauge* buffer_occupancy_words = nullptr;
+  };
+
   std::unique_ptr<prng::Generator> gen_;
   std::string name_;
   double ns_per_bit_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments ins_;
 };
 
 }  // namespace hprng::host

@@ -1,0 +1,214 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hprng::obs::json {
+
+const Value* Value::get(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Cursor over the input with single-token error reporting.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string err;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return done() ? '\0' : text[pos]; }
+
+  void skip_ws() {
+    while (!done() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (err.empty()) {
+      err = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  bool expect(char c) {
+    if (peek() != c) return fail(std::string("expected '") + c + "'");
+    ++pos;
+    return true;
+  }
+
+  bool parse_value(Value* out);
+
+  bool parse_literal(std::string_view lit, Value* out, Value v) {
+    if (text.substr(pos, lit.size()) != lit) return fail("bad literal");
+    pos += lit.size();
+    *out = std::move(v);
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (!done() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (done()) return fail("dangling escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // The observability files are ASCII; decode BMP code points to
+          // UTF-8 so round-trips stay lossless anyway.
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return expect('"');
+  }
+
+  bool parse_number(Value* out) {
+    const char* begin = text.data() + pos;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return fail("bad number");
+    pos += static_cast<std::size_t>(end - begin);
+    out->type = Value::Type::kNumber;
+    out->number = v;
+    return true;
+  }
+};
+
+bool Parser::parse_value(Value* out) {
+  skip_ws();
+  switch (peek()) {
+    case '{': {
+      ++pos;
+      out->type = Value::Type::kObject;
+      skip_ws();
+      if (peek() == '}') { ++pos; return true; }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key)) return false;
+        skip_ws();
+        if (!expect(':')) return false;
+        Value v;
+        if (!parse_value(&v)) return false;
+        out->obj.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (peek() == ',') { ++pos; continue; }
+        return expect('}');
+      }
+    }
+    case '[': {
+      ++pos;
+      out->type = Value::Type::kArray;
+      skip_ws();
+      if (peek() == ']') { ++pos; return true; }
+      while (true) {
+        Value v;
+        if (!parse_value(&v)) return false;
+        out->arr.push_back(std::move(v));
+        skip_ws();
+        if (peek() == ',') { ++pos; continue; }
+        return expect(']');
+      }
+    }
+    case '"':
+      out->type = Value::Type::kString;
+      return parse_string(&out->str);
+    case 't': {
+      Value v;
+      v.type = Value::Type::kBool;
+      v.boolean = true;
+      return parse_literal("true", out, std::move(v));
+    }
+    case 'f': {
+      Value v;
+      v.type = Value::Type::kBool;
+      return parse_literal("false", out, std::move(v));
+    }
+    case 'n': return parse_literal("null", out, Value{});
+    default: return parse_number(out);
+  }
+}
+
+}  // namespace
+
+bool parse(std::string_view text, Value* out, std::string* err) {
+  Parser p;
+  p.text = text;
+  Value v;
+  const bool ok = p.parse_value(&v) && (p.skip_ws(), p.done() || p.fail("trailing characters"));
+  if (!ok) {
+    if (err != nullptr) *err = p.err.empty() ? "parse error" : p.err;
+    return false;
+  }
+  *out = std::move(v);
+  return true;
+}
+
+}  // namespace hprng::obs::json

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hprng::obs::json {
+
+/// Minimal JSON document model used by the observability layer: the
+/// emitters (MetricsRegistry::to_json, TraceWriter::to_json) use escape(),
+/// and the tests parse their output back with parse() to prove the files
+/// are well formed without adding an external JSON dependency.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;
+
+  [[nodiscard]] bool is_null() const { return type == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* get(std::string_view key) const;
+};
+
+/// Escape a string for embedding between double quotes in JSON output.
+std::string escape(std::string_view s);
+
+/// Strict-enough recursive-descent parser (objects, arrays, strings with
+/// the standard escapes, numbers via strtod, true/false/null). Returns
+/// false and fills *err (when given) on malformed input or trailing junk.
+bool parse(std::string_view text, Value* out, std::string* err = nullptr);
+
+}  // namespace hprng::obs::json

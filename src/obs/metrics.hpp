@@ -1,0 +1,169 @@
+#pragma once
+
+// hprng::obs — the observability layer (docs/OBSERVABILITY.md).
+//
+// MetricsRegistry is a lightweight process-local metrics store: named
+// counters, gauges and histograms following the `hprng.<subsystem>.<name>`
+// naming contract, snapshot-able to JSON for machine consumption
+// (--metrics-json on the bench binaries).
+//
+// Instrumented classes (sim::Engine, sim::Device, host::BitFeeder,
+// core::HybridPrng) resolve their instruments ONCE in set_metrics() and
+// keep raw pointers, so a hook on the hot path is a null check plus an
+// atomic add — and nothing at all when no registry is attached.
+//
+// When the build is configured with -DHPRNG_ENABLE_OBS=OFF this header
+// provides inline no-op stubs with the same API, so every call site
+// compiles unchanged and the optimizer deletes the hooks entirely.
+
+#include <string>
+#include <vector>
+
+#if defined(HPRNG_OBS_DISABLED)
+
+namespace hprng::obs {
+
+inline constexpr bool kEnabled = false;
+
+class Counter {
+ public:
+  void add(double = 1.0) {}
+  [[nodiscard]] double value() const { return 0.0; }
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  [[nodiscard]] double value() const { return 0.0; }
+};
+
+class Histogram {
+ public:
+  void observe(double) {}
+  [[nodiscard]] std::size_t count() const { return 0; }
+  [[nodiscard]] double sum() const { return 0.0; }
+  [[nodiscard]] double min() const { return 0.0; }
+  [[nodiscard]] double max() const { return 0.0; }
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string&) { return counter_; }
+  Gauge& gauge(const std::string&) { return gauge_; }
+  Histogram& histogram(const std::string&) { return histogram_; }
+  [[nodiscard]] bool has(const std::string&) const { return false; }
+  [[nodiscard]] std::vector<std::string> names() const { return {}; }
+  [[nodiscard]] std::string to_json() const { return "{}"; }
+  [[nodiscard]] bool write_json(const std::string&) const { return false; }
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+}  // namespace hprng::obs
+
+#else  // HPRNG_OBS_DISABLED
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace hprng::obs {
+
+inline constexpr bool kEnabled = true;
+
+/// Monotonically increasing quantity (events, bytes, simulated seconds).
+/// Thread safe; double-valued so time totals need no scaling tricks.
+class Counter {
+ public:
+  void add(double delta = 1.0) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-write-wins instantaneous quantity (queue depth, occupancy).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution of observed values in power-of-two buckets: bucket i holds
+/// observations v with 2^(i-1-kBucketShift) < v <= 2^(i-kBucketShift)
+/// (bucket 0 additionally catches v <= 0), plus an overflow bucket.
+/// Tracks count/sum/min/max exactly; the buckets bound quantiles.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+  static constexpr int kBucketShift = 32;  // bucket upper bounds 2^-32..2^31
+
+  void observe(double v);
+
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double min() const;  ///< 0 when empty.
+  [[nodiscard]] double max() const;  ///< 0 when empty.
+
+  /// Upper bound of bucket i (inclusive, "le" in the JSON snapshot).
+  [[nodiscard]] static double bucket_upper_bound(int i);
+  /// Per-bucket (non-cumulative) observation count; i == kNumBuckets is
+  /// the overflow bucket.
+  [[nodiscard]] std::uint64_t bucket_count(int i) const;
+
+ private:
+  friend class MetricsRegistry;
+  mutable std::mutex mu_;
+  std::uint64_t buckets_[kNumBuckets + 1] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named instrument store. counter()/gauge()/histogram() get-or-create;
+/// returned references stay valid for the registry's lifetime (node-based
+/// storage), which is what lets instrumented classes cache them.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// True when an instrument of any kind with this exact name exists.
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// All instrument names, sorted (counters, then gauges, then histograms
+  /// de-duplicated is not needed: names are unique across kinds by the
+  /// naming contract).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Snapshot of every instrument as a JSON object with "counters",
+  /// "gauges" and "histograms" members (see docs/OBSERVABILITY.md).
+  [[nodiscard]] std::string to_json() const;
+  /// to_json() straight to a file; false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: node-based, so references returned above never move.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace hprng::obs
+
+#endif  // HPRNG_OBS_DISABLED

@@ -16,12 +16,17 @@ template <typename T>
 class Buffer {
  public:
   Buffer() = default;
+  /// Allocate `n` value-initialised elements of device memory. Allocation
+  /// itself is free in simulated time (as cudaMalloc is outside the timed
+  /// regions of the paper's experiments).
   explicit Buffer(std::size_t n) : data_(n) {}
 
   [[nodiscard]] std::size_t size() const { return data_.size(); }
   [[nodiscard]] std::size_t size_bytes() const {
     return data_.size() * sizeof(T);
   }
+  /// Reallocation preserves contents, like a host-managed realloc; callers
+  /// in the pipeline only ever grow buffers outside timed windows.
   void resize(std::size_t n) { data_.resize(n); }
 
   /// Device-side view, for kernel bodies and Device::memcpy_* only.

@@ -8,6 +8,18 @@ namespace hprng::sim {
 Device::Device(DeviceSpec spec, util::ThreadPool* pool)
     : spec_(std::move(spec)), pool_(pool) {}
 
+void Device::set_metrics(obs::MetricsRegistry* registry) {
+  engine_.set_metrics(registry);
+  metrics_ = registry;
+  ins_ = {};
+  if (registry == nullptr) return;
+  ins_.copy_bytes_h2d = &registry->counter("hprng.sim.copy_bytes_h2d");
+  ins_.copy_bytes_d2h = &registry->counter("hprng.sim.copy_bytes_d2h");
+  ins_.kernel_launches = &registry->counter("hprng.sim.kernel_launches");
+  ins_.kernel_threads = &registry->counter("hprng.sim.kernel_threads");
+  ins_.host_tasks = &registry->counter("hprng.sim.host_tasks");
+}
+
 double Device::copy_seconds(std::size_t bytes) const {
   return spec_.pcie_latency_us * 1e-6 +
          static_cast<double>(bytes) / (spec_.pcie_bandwidth_gb_s * 1e9);
@@ -36,6 +48,10 @@ OpId Device::launch(Stream& stream, std::string label, std::uint64_t threads,
                     const KernelCost& cost,
                     std::function<void(std::uint64_t)> body,
                     const std::vector<OpId>& extra_deps) {
+  if (metrics_ != nullptr) {
+    ins_.kernel_launches->add(1);
+    ins_.kernel_threads->add(static_cast<double>(threads));
+  }
   auto deps = with_stream_dep(stream, extra_deps);
   const double duration = kernel_seconds(threads, cost);
   util::ThreadPool* pool = pool_;
@@ -57,6 +73,10 @@ OpId Device::launch_dynamic(Stream& stream, std::string label,
                             const KernelCost& base_cost,
                             std::function<double(std::uint64_t)> body,
                             const std::vector<OpId>& extra_deps) {
+  if (metrics_ != nullptr) {
+    ins_.kernel_launches->add(1);
+    ins_.kernel_threads->add(static_cast<double>(threads));
+  }
   auto deps = with_stream_dep(stream, extra_deps);
   const double base = kernel_seconds(threads, base_cost);
   util::ThreadPool* pool = pool_;
@@ -89,6 +109,7 @@ OpId Device::launch_dynamic(Stream& stream, std::string label,
 OpId Device::host_task(Stream& stream, std::string label, double seconds,
                        std::function<void()> fn,
                        const std::vector<OpId>& extra_deps) {
+  if (metrics_ != nullptr) ins_.host_tasks->add(1);
   auto deps = with_stream_dep(stream, extra_deps);
   const OpId id = engine_.submit(Resource::kHost, std::move(label), seconds,
                                  deps, std::move(fn));

@@ -61,14 +61,28 @@ class Stream {
 /// order) on the calling thread or the optional worker pool.
 class Device {
  public:
+  /// @param spec cost-model parameters of the simulated platform.
+  /// @param pool optional worker pool kernels' functional bodies run on;
+  ///        nullptr executes them on the calling thread.
   explicit Device(DeviceSpec spec = DeviceSpec::tesla_c1060(),
                   util::ThreadPool* pool = nullptr);
 
+  /// The cost-model parameters this platform was built with.
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+
+  /// The underlying discrete-event executor (fences, op timestamps).
   [[nodiscard]] Engine& engine() { return engine_; }
+
+  /// The engine's recorded virtual-time schedule.
   [[nodiscard]] const Timeline& timeline() const {
     return engine_.timeline();
   }
+
+  /// Attach (or with nullptr, detach) a metrics registry to this platform:
+  /// forwards to Engine::set_metrics for the scheduler instruments and
+  /// additionally maintains the device-level `hprng.sim.*` counters (copy
+  /// bytes per direction, kernel launches and threads, host tasks).
+  void set_metrics(obs::MetricsRegistry* registry);
 
   /// Simulated duration of one H2D/D2H transfer of `bytes`.
   [[nodiscard]] double copy_seconds(std::size_t bytes) const;
@@ -84,6 +98,9 @@ class Device {
   OpId memcpy_h2d(Stream& stream, std::span<const T> src, Buffer<T>& dst,
                   const std::vector<OpId>& extra_deps = {}) {
     HPRNG_CHECK(src.size() <= dst.size(), "memcpy_h2d overflows buffer");
+    if (metrics_ != nullptr) {
+      ins_.copy_bytes_h2d->add(static_cast<double>(src.size_bytes()));
+    }
     auto deps = with_stream_dep(stream, extra_deps);
     const OpId id = engine_.submit(
         Resource::kPcieH2D, "Transfer", copy_seconds(src.size_bytes()), deps,
@@ -99,6 +116,9 @@ class Device {
   OpId memcpy_d2h(Stream& stream, const Buffer<T>& src, std::span<T> dst,
                   const std::vector<OpId>& extra_deps = {}) {
     HPRNG_CHECK(dst.size() >= src.size(), "memcpy_d2h overflows span");
+    if (metrics_ != nullptr) {
+      ins_.copy_bytes_d2h->add(static_cast<double>(src.size_bytes()));
+    }
     auto deps = with_stream_dep(stream, extra_deps);
     const OpId id = engine_.submit(
         Resource::kPcieD2H, "transfer-d2h", copy_seconds(src.size_bytes()),
@@ -137,9 +157,20 @@ class Device {
   std::vector<OpId> with_stream_dep(Stream& stream,
                                     const std::vector<OpId>& extra) const;
 
+  /// Device-level instruments, resolved once in set_metrics().
+  struct Instruments {
+    obs::Counter* copy_bytes_h2d = nullptr;
+    obs::Counter* copy_bytes_d2h = nullptr;
+    obs::Counter* kernel_launches = nullptr;
+    obs::Counter* kernel_threads = nullptr;
+    obs::Counter* host_tasks = nullptr;
+  };
+
   DeviceSpec spec_;
   util::ThreadPool* pool_;
   Engine engine_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments ins_;
 };
 
 }  // namespace hprng::sim

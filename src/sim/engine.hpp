@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/timeline.hpp"
 
 namespace hprng::sim {
@@ -62,11 +63,24 @@ class Engine {
   /// Virtual clock: completion time of everything executed so far.
   [[nodiscard]] double now() const { return now_; }
 
+  /// The virtual-time schedule recorded so far (one entry per executed op).
   [[nodiscard]] const Timeline& timeline() const { return timeline_; }
+
+  /// Drop recorded timeline entries (op bookkeeping is unaffected); used by
+  /// the figure harnesses to restrict rendering to a steady-state window.
   void clear_timeline() { timeline_.clear(); }
 
   /// Total number of ops ever submitted (next OpId).
   [[nodiscard]] OpId next_id() const { return ops_.size(); }
+
+  /// Attach (or with nullptr, detach) a metrics registry. The engine then
+  /// maintains the `hprng.sim.*` scheduler instruments — submitted/executed
+  /// op counts, queue depth, per-resource busy seconds and dependency-stall
+  /// counters (docs/OBSERVABILITY.md lists them all). Instruments are
+  /// resolved once here, so the per-op hook cost is a null check and a few
+  /// relaxed atomic adds; with no registry attached the hooks are dead
+  /// branches.
+  void set_metrics(obs::MetricsRegistry* registry);
 
  private:
   struct Op {
@@ -80,11 +94,23 @@ class Engine {
     bool executed = false;
   };
 
+  /// Scheduler instruments, resolved once in set_metrics().
+  struct Instruments {
+    obs::Counter* ops_submitted = nullptr;
+    obs::Counter* ops_executed = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Counter* busy_seconds[kNumResources] = {};
+    obs::Counter* dep_stalls[kNumResources] = {};
+    obs::Counter* dep_stall_seconds[kNumResources] = {};
+  };
+
   std::vector<Op> ops_;
   std::size_t first_pending_ = 0;
   double resource_free_[kNumResources] = {0, 0, 0, 0};
   double now_ = 0.0;
   Timeline timeline_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments ins_;
 };
 
 }  // namespace hprng::sim

@@ -27,13 +27,18 @@ struct DeviceSpec {
   double latency_cycles_per_op = 4.0;
 
   // Device memory.
+  /// Peak global-memory bandwidth; bounds memory-bound kernel cost.
   double gmem_bandwidth_gb_s = 102.0;
 
   // Interconnect (PCIe 2.0 x16).
+  /// Sustained host<->device copy bandwidth; TRANSFER cost is
+  /// bytes / bandwidth + latency.
   double pcie_bandwidth_gb_s = 8.0;
+  /// Fixed per-copy setup latency (DMA + driver).
   double pcie_latency_us = 10.0;
 
   // Launch and host.
+  /// Fixed device-side cost charged per kernel launch.
   double kernel_launch_overhead_us = 5.0;
   /// Host-side CUDA API cost per pipeline round (stream enqueue + async
   /// copy + kernel launch calls); paid by the CPU each feed round.

@@ -17,21 +17,57 @@ const char* to_string(Resource r) {
   return "?";
 }
 
+const char* metric_suffix(Resource r) {
+  switch (r) {
+    case Resource::kHost: return "host";
+    case Resource::kPcieH2D: return "pcie_h2d";
+    case Resource::kPcieD2H: return "pcie_d2h";
+    case Resource::kDevice: return "device";
+  }
+  return "unknown";
+}
+
 double Timeline::busy_time(Resource r, double t0, double t1) const {
-  // Entries on one resource never overlap (the engine serialises them), so
-  // clipped interval lengths can be summed directly.
-  double busy = 0.0;
+  if (t1 <= t0) return 0.0;
+  // Clip every entry to the window, then merge overlapping intervals so a
+  // manually built timeline with overlapping entries on one resource is
+  // not double-counted. (Engine-recorded entries never overlap — it
+  // serialises each resource — and touching intervals are deliberately NOT
+  // merged, so for engine timelines the sum is bit-for-bit the sum of the
+  // window ops' durations, which the hprng.sim.busy_seconds.* counters
+  // also accumulate.)
+  std::vector<std::pair<double, double>> clipped;
   for (const auto& e : entries_) {
     if (e.resource != r) continue;
-    busy += std::max(0.0, std::min(e.end, t1) - std::max(e.start, t0));
+    const double s = std::max(e.start, t0);
+    const double t = std::min(e.end, t1);
+    if (t > s) clipped.emplace_back(s, t);
   }
+  std::sort(clipped.begin(), clipped.end());
+  double busy = 0.0;
+  double cur_start = 0.0;
+  double cur_end = 0.0;
+  bool open = false;
+  for (const auto& [s, t] : clipped) {
+    if (open && s < cur_end) {
+      cur_end = std::max(cur_end, t);
+      continue;
+    }
+    if (open) busy += cur_end - cur_start;
+    cur_start = s;
+    cur_end = t;
+    open = true;
+  }
+  if (open) busy += cur_end - cur_start;
   return busy;
 }
 
 double Timeline::idle_fraction(Resource r, double t0, double t1) const {
   const double span = t1 - t0;
+  // A degenerate window has no idle time to report (and no span to divide
+  // by); callers probing an empty window get "fully busy" = 0, never NaN.
   if (span <= 0.0) return 0.0;
-  return 1.0 - busy_time(r, t0, t1) / span;
+  return std::clamp(1.0 - busy_time(r, t0, t1) / span, 0.0, 1.0);
 }
 
 std::string Timeline::render_ascii(double t0, double t1, int width) const {

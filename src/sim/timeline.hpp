@@ -14,7 +14,14 @@ enum class Resource : std::uint8_t {
   kDevice = 3,   // GPU compute
 };
 
+/// Human-readable resource name ("CPU", "PCIe H2D", ...) for table output.
 const char* to_string(Resource r);
+
+/// Metric-name suffix of a resource ("host", "pcie_h2d", "pcie_d2h",
+/// "device"), per the hprng.<subsystem>.<name> contract of
+/// docs/OBSERVABILITY.md.
+const char* metric_suffix(Resource r);
+
 inline constexpr int kNumResources = 4;
 
 /// One scheduled interval on a resource, in simulated seconds.
@@ -27,20 +34,35 @@ struct TimelineEntry {
 
 /// The complete virtual-time schedule of a run; rendered for Figure 4 and
 /// mined for idle-fraction statistics.
+///
+/// busy_time/idle_fraction/render_ascii are the *legacy, human-facing*
+/// consumption path (kept for the in-terminal figures and quick checks).
+/// For machine consumption — diffing schedules across PRs, loading them in
+/// chrome://tracing or Perfetto — export the timeline with
+/// obs::TraceWriter instead (docs/OBSERVABILITY.md).
 class Timeline {
  public:
+  /// Record one interval. The engine appends entries in execution order;
+  /// manually built timelines may add entries in any order, including
+  /// overlapping ones (busy_time merges overlaps before summing).
   void add(TimelineEntry e) { entries_.push_back(std::move(e)); }
+
+  /// Drop all recorded entries.
   void clear() { entries_.clear(); }
 
+  /// All recorded intervals, in the order they were added.
   [[nodiscard]] const std::vector<TimelineEntry>& entries() const {
     return entries_;
   }
 
-  /// Busy time of a resource within [t0, t1].
+  /// Busy time of a resource within [t0, t1]. Entries are clipped to the
+  /// window, overlapping entries on the same resource are merged (never
+  /// double-counted), and a degenerate window (t1 <= t0) is 0.
   [[nodiscard]] double busy_time(Resource r, double t0, double t1) const;
 
   /// 1 - busy/(t1-t0): the idle fraction the paper quotes ("the CPU is
-  /// almost never idle, the GPU is idle for about 20%").
+  /// almost never idle, the GPU is idle for about 20%"). Always in [0, 1];
+  /// a degenerate window (t1 <= t0) reports 0 rather than dividing by zero.
   [[nodiscard]] double idle_fraction(Resource r, double t0, double t1) const;
 
   /// ASCII Gantt chart of [t0, t1], one row per resource, `width` columns.

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace hprng::util {
+
+/// Read a whole file into *out. Returns false (and leaves *out untouched)
+/// when the file cannot be opened or read.
+inline bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (ok) *out = std::move(data);
+  return ok;
+}
+
+/// Write `content` to `path`, replacing any existing file. Returns false
+/// when the file cannot be created or fully written.
+inline bool write_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok && written != content.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace hprng::util

@@ -1,0 +1,150 @@
+// Documentation lint (run as `ctest -R docs_lint`): every relative
+// markdown link in the repo's top-level *.md files and docs/*.md must
+// resolve to an existing file, and every same-file `#anchor` link must
+// match a heading. Keeps README/DESIGN/OBSERVABILITY cross-references from
+// rotting as files move.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/file.hpp"
+
+#ifndef HPRNG_SOURCE_DIR
+#error "docs_lint_test needs HPRNG_SOURCE_DIR (set in tests/CMakeLists.txt)"
+#endif
+
+namespace hprng {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> markdown_files() {
+  const fs::path root(HPRNG_SOURCE_DIR);
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(root)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".md") {
+      files.push_back(entry.path());
+    }
+  }
+  const fs::path docs = root / "docs";
+  if (fs::is_directory(docs)) {
+    for (const auto& entry : fs::directory_iterator(docs)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".md") {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  return files;
+}
+
+/// GitHub-style anchor slug for a heading: lowercase, spaces to dashes,
+/// everything but alphanumerics/dashes/underscores dropped.
+std::string heading_slug(const std::string& heading) {
+  std::string slug;
+  for (const char c : heading) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) != 0 || c == '_' || c == '-') {
+      slug += static_cast<char>(std::tolower(u));
+    } else if (c == ' ') {
+      slug += '-';
+    }
+  }
+  return slug;
+}
+
+std::vector<std::string> heading_slugs(const std::string& text) {
+  std::vector<std::string> slugs;
+  std::size_t pos = 0;
+  bool in_code_fence = false;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    if (line.rfind("```", 0) == 0) in_code_fence = !in_code_fence;
+    if (!in_code_fence && line.rfind("#", 0) == 0) {
+      std::size_t level = 0;
+      while (level < line.size() && line[level] == '#') ++level;
+      if (level < line.size() && line[level] == ' ') {
+        slugs.push_back(heading_slug(line.substr(level + 1)));
+      }
+    }
+    pos = eol + 1;
+  }
+  return slugs;
+}
+
+/// Extracts `[text](target)` link targets, skipping fenced code blocks and
+/// inline code spans (where "](" is usually sample syntax, not a link).
+std::vector<std::string> link_targets(const std::string& text) {
+  std::vector<std::string> targets;
+  bool in_code_fence = false;
+  bool in_code_span = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text.compare(i, 3, "```") == 0) {
+      in_code_fence = !in_code_fence;
+      i += 2;
+      continue;
+    }
+    if (text[i] == '`') in_code_span = !in_code_span;
+    if (in_code_fence || in_code_span) continue;
+    if (text[i] != ']' || i + 1 >= text.size() || text[i + 1] != '(') {
+      continue;
+    }
+    const std::size_t start = i + 2;
+    const std::size_t end = text.find(')', start);
+    if (end == std::string::npos) continue;
+    std::string target = text.substr(start, end - start);
+    // Strip an optional link title: [x](path "title").
+    const std::size_t space = target.find(' ');
+    if (space != std::string::npos) target = target.substr(0, space);
+    if (!target.empty()) targets.push_back(std::move(target));
+  }
+  return targets;
+}
+
+TEST(DocsLint, RelativeLinksResolve) {
+  const std::vector<fs::path> files = markdown_files();
+  ASSERT_FALSE(files.empty());
+  std::size_t checked = 0;
+  for (const fs::path& file : files) {
+    std::string text;
+    ASSERT_TRUE(util::read_file(file.string(), &text)) << file;
+    const std::vector<std::string> slugs = heading_slugs(text);
+    for (const std::string& raw : link_targets(text)) {
+      if (raw.rfind("http://", 0) == 0 || raw.rfind("https://", 0) == 0 ||
+          raw.rfind("mailto:", 0) == 0) {
+        continue;
+      }
+      std::string target = raw;
+      std::string fragment;
+      const std::size_t hash = target.find('#');
+      if (hash != std::string::npos) {
+        fragment = target.substr(hash + 1);
+        target = target.substr(0, hash);
+      }
+      ++checked;
+      if (target.empty()) {
+        // Same-file anchor: the heading must exist.
+        EXPECT_NE(std::find(slugs.begin(), slugs.end(), fragment),
+                  slugs.end())
+            << file.filename() << ": broken anchor `#" << fragment << "`";
+        continue;
+      }
+      const fs::path resolved = file.parent_path() / target;
+      EXPECT_TRUE(fs::exists(resolved))
+          << file.filename() << ": broken link `" << raw << "` ("
+          << resolved << " does not exist)";
+    }
+  }
+  // The repo documents itself heavily; an empty scan means the extractor
+  // broke, not that the docs are clean.
+  EXPECT_GE(checked, 10u);
+}
+
+}  // namespace
+}  // namespace hprng

@@ -1,0 +1,447 @@
+// Tests for the observability layer (src/obs/, docs/OBSERVABILITY.md):
+// instrument semantics, JSON snapshot round-trips, the Chrome trace_event
+// schema, the golden trace file, and the contract that the busy fractions
+// derived from metrics agree with the legacy Timeline queries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/hybrid_prng.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/device.hpp"
+#include "util/file.hpp"
+
+#ifndef HPRNG_SOURCE_DIR
+#error "obs_test needs HPRNG_SOURCE_DIR (set in tests/CMakeLists.txt)"
+#endif
+
+namespace hprng {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Counter, AccumulatesAndDefaultsToOne) {
+  obs::Counter c;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.add();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(Gauge, LastWriteWins) {
+  obs::Gauge g;
+  g.set(4.0);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Histogram, TracksCountSumMinMaxExactly) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.observe(3.0);
+  h.observe(0.25);
+  h.observe(100.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 103.25);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, BucketsBoundObservations) {
+  obs::Histogram h;
+  h.observe(0.75);  // in the bucket with upper bound 1.0
+  h.observe(-2.0);  // non-positive: bucket 0
+  std::uint64_t total = 0;
+  bool found_unit_bucket = false;
+  for (int i = 0; i <= obs::Histogram::kNumBuckets; ++i) {
+    const std::uint64_t n = h.bucket_count(i);
+    total += n;
+    if (n > 0 && i < obs::Histogram::kNumBuckets &&
+        obs::Histogram::bucket_upper_bound(i) == 1.0) {
+      found_unit_bucket = true;
+    }
+  }
+  EXPECT_EQ(total, 2u);
+  EXPECT_TRUE(found_unit_bucket);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // the non-positive observation
+}
+
+TEST(Histogram, BucketBoundsArePowersOfTwo) {
+  const int s = obs::Histogram::kBucketShift;
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_upper_bound(s), 1.0);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_upper_bound(s + 1), 2.0);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_upper_bound(s - 1), 0.5);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableReferences) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("hprng.test.events");
+  a.add(2.0);
+  // Creating more instruments must not invalidate earlier references.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("hprng.test.filler_" + std::to_string(i));
+  }
+  obs::Counter& b = reg.counter("hprng.test.events");
+  EXPECT_EQ(&a, &b);
+  EXPECT_DOUBLE_EQ(a.value(), 2.0);
+}
+
+TEST(MetricsRegistry, HasAndNamesCoverAllKinds) {
+  obs::MetricsRegistry reg;
+  reg.counter("hprng.test.c");
+  reg.gauge("hprng.test.g");
+  reg.histogram("hprng.test.h");
+  EXPECT_TRUE(reg.has("hprng.test.c"));
+  EXPECT_TRUE(reg.has("hprng.test.g"));
+  EXPECT_TRUE(reg.has("hprng.test.h"));
+  EXPECT_FALSE(reg.has("hprng.test.absent"));
+  const std::vector<std::string> names = reg.names();
+  EXPECT_EQ(names.size(), 3u);
+}
+
+TEST(MetricsRegistry, JsonSnapshotRoundTrips) {
+  obs::MetricsRegistry reg;
+  reg.counter("hprng.test.events").add(42.0);
+  reg.gauge("hprng.test.depth").set(7.0);
+  obs::Histogram& h = reg.histogram("hprng.test.latency");
+  h.observe(0.5);
+  h.observe(2.0);
+
+  obs::json::Value v;
+  std::string err;
+  ASSERT_TRUE(obs::json::parse(reg.to_json(), &v, &err)) << err;
+  ASSERT_EQ(v.type, obs::json::Value::Type::kObject);
+
+  const obs::json::Value* counters = v.get("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::json::Value* events = counters->get("hprng.test.events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_DOUBLE_EQ(events->number, 42.0);
+
+  const obs::json::Value* gauges = v.get("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const obs::json::Value* depth = gauges->get("hprng.test.depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_DOUBLE_EQ(depth->number, 7.0);
+
+  const obs::json::Value* hists = v.get("histograms");
+  ASSERT_NE(hists, nullptr);
+  const obs::json::Value* lat = hists->get("hprng.test.latency");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->get("count")->number, 2.0);
+  EXPECT_DOUBLE_EQ(lat->get("sum")->number, 2.5);
+  EXPECT_DOUBLE_EQ(lat->get("min")->number, 0.5);
+  EXPECT_DOUBLE_EQ(lat->get("max")->number, 2.0);
+  const obs::json::Value* buckets = lat->get("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->type, obs::json::Value::Type::kArray);
+  // The final bucket is the +Inf overflow bucket.
+  ASSERT_FALSE(buckets->arr.empty());
+  const obs::json::Value& last = buckets->arr.back();
+  EXPECT_EQ(last.get("le")->str, "+Inf");
+}
+
+TEST(MetricsRegistry, SnapshotUsesFullPrecision) {
+  obs::MetricsRegistry reg;
+  const double v = 0.1 + 0.2;  // not exactly 0.3
+  reg.counter("hprng.test.precise").add(v);
+  obs::json::Value parsed;
+  ASSERT_TRUE(obs::json::parse(reg.to_json(), &parsed, nullptr));
+  EXPECT_EQ(parsed.get("counters")->get("hprng.test.precise")->number, v);
+}
+
+// ------------------------------------------------------------------ json
+
+TEST(Json, ParsesEscapesAndRejectsJunk) {
+  obs::json::Value v;
+  std::string err;
+  ASSERT_TRUE(obs::json::parse(R"({"a": "x\n\"A", "b": [1, -2.5e1]})",
+                               &v, &err))
+      << err;
+  EXPECT_EQ(v.get("a")->str, "x\n\"A");
+  EXPECT_DOUBLE_EQ(v.get("b")->arr[1].number, -25.0);
+  EXPECT_FALSE(obs::json::parse("{} trailing", &v, &err));
+  EXPECT_FALSE(obs::json::parse("{\"open\": ", &v, &err));
+}
+
+TEST(Json, EscapeIsParseInverse) {
+  const std::string nasty = "quote\" back\\slash \n\t ctrl\x01 done";
+  obs::json::Value v;
+  ASSERT_TRUE(obs::json::parse("\"" + obs::json::escape(nasty) + "\"", &v,
+                               nullptr));
+  EXPECT_EQ(v.str, nasty);
+}
+
+// ----------------------------------------------------------------- trace
+
+/// A small fixed trace used both for the golden-file comparison and for
+/// schema assertions. Every event kind the writer can emit appears once.
+obs::TraceWriter make_small_trace() {
+  obs::TraceWriter trace;
+  sim::Timeline tl;
+  tl.add({sim::Resource::kHost, "FEED", 0.0, 10e-6});
+  tl.add({sim::Resource::kPcieH2D, "Transfer", 10e-6, 11e-6});
+  tl.add({sim::Resource::kDevice, "Generate x100", 11e-6, 21e-6});
+  trace.add_timeline(tl);
+  trace.add_async_span(1, "pipeline", 0, "round 0", 0.0, 21e-6);
+  trace.add_counter("hprng.core.numbers_generated", 21e-6, 100.0);
+  const int pid2 = trace.add_process("second machine");
+  const int tid = trace.add_track(pid2, "custom track");
+  trace.add_span(pid2, tid, "span", 1e-6, 2e-6);
+  return trace;
+}
+
+TEST(TraceWriter, MatchesGoldenFile) {
+  const std::string golden_path =
+      std::string(HPRNG_SOURCE_DIR) + "/tests/golden/small_trace.json";
+  const std::string produced = make_small_trace().to_json();
+  if (std::getenv("HPRNG_REGEN_GOLDEN") != nullptr) {
+    ASSERT_TRUE(util::write_file(golden_path, produced));
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::string expected;
+  ASSERT_TRUE(util::read_file(golden_path, &expected))
+      << "missing golden file " << golden_path
+      << " (run with HPRNG_REGEN_GOLDEN=1 to create it)";
+  EXPECT_EQ(produced, expected)
+      << "TraceWriter output drifted from the golden file; if the change "
+         "is intentional rerun with HPRNG_REGEN_GOLDEN=1 and review the "
+         "diff";
+}
+
+/// Asserts `text` is a structurally valid Chrome trace_event JSON object:
+/// top-level "traceEvents" array, per-phase required fields, and balanced
+/// async begin/end pairs.
+void check_chrome_trace_schema(const std::string& text) {
+  obs::json::Value v;
+  std::string err;
+  ASSERT_TRUE(obs::json::parse(text, &v, &err)) << err;
+  ASSERT_EQ(v.type, obs::json::Value::Type::kObject);
+  const obs::json::Value* events = v.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, obs::json::Value::Type::kArray);
+  ASSERT_FALSE(events->arr.empty());
+
+  int async_depth = 0;
+  double last_ts = -1.0;
+  bool seen_process_name = false;
+  for (const obs::json::Value& e : events->arr) {
+    ASSERT_EQ(e.type, obs::json::Value::Type::kObject);
+    const obs::json::Value* ph = e.get("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_EQ(ph->type, obs::json::Value::Type::kString);
+    ASSERT_NE(e.get("name"), nullptr);
+    ASSERT_NE(e.get("pid"), nullptr);
+    if (ph->str == "M") {
+      // Metadata: args.name carries the process/thread name.
+      const obs::json::Value* args = e.get("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->get("name"), nullptr);
+      if (e.get("name")->str == "process_name") seen_process_name = true;
+      continue;
+    }
+    const obs::json::Value* ts = e.get("ts");
+    ASSERT_NE(ts, nullptr);
+    EXPECT_GE(ts->number, 0.0);
+    // Non-metadata events must be sorted by timestamp (the writer's
+    // guarantee, and what keeps big traces fast to load).
+    EXPECT_GE(ts->number, last_ts);
+    last_ts = ts->number;
+    if (ph->str == "X") {
+      const obs::json::Value* dur = e.get("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->number, 0.0);
+    } else if (ph->str == "b") {
+      ASSERT_NE(e.get("id"), nullptr);
+      ASSERT_NE(e.get("cat"), nullptr);
+      ++async_depth;
+    } else if (ph->str == "e") {
+      ASSERT_NE(e.get("id"), nullptr);
+      --async_depth;
+    } else if (ph->str == "C") {
+      const obs::json::Value* args = e.get("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->get("value"), nullptr);
+    } else {
+      FAIL() << "unexpected event phase '" << ph->str << "'";
+    }
+  }
+  EXPECT_EQ(async_depth, 0) << "unbalanced async begin/end pairs";
+  EXPECT_TRUE(seen_process_name);
+}
+
+TEST(TraceWriter, SmallTraceIsSchemaValid) {
+  check_chrome_trace_schema(make_small_trace().to_json());
+}
+
+TEST(TraceWriter, ResourceTracksAreNamedPerProcess) {
+  obs::json::Value v;
+  ASSERT_TRUE(obs::json::parse(make_small_trace().to_json(), &v, nullptr));
+  std::set<std::string> thread_names;
+  for (const obs::json::Value& e : v.get("traceEvents")->arr) {
+    if (e.get("ph")->str == "M" && e.get("name")->str == "thread_name") {
+      thread_names.insert(e.get("args")->get("name")->str);
+    }
+  }
+  EXPECT_TRUE(thread_names.count("Host (CPU)") == 1);
+  EXPECT_TRUE(thread_names.count("PCIe H2D") == 1);
+  EXPECT_TRUE(thread_names.count("Device (GPU)") == 1);
+}
+
+// --------------------------------------------- instrumented pipeline run
+
+/// Fixture running a small fig4-style instrumented generation once and
+/// sharing the results across the contract tests below.
+class InstrumentedRunTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kNumbers = 20000;
+  static constexpr std::uint64_t kBatch = 100;
+
+  void SetUp() override {
+    dev_ = std::make_unique<sim::Device>();
+    prng_ = std::make_unique<core::HybridPrng>(*dev_);
+    prng_->set_metrics(&metrics_);
+    prng_->initialize((kNumbers + kBatch - 1) / kBatch);
+    for (int r = 0; r < sim::kNumResources; ++r) {
+      busy0_[r] = busy_counter(static_cast<sim::Resource>(r)).value();
+    }
+    sim::Buffer<std::uint64_t> out;
+    elapsed_ = prng_->generate_device(kNumbers, kBatch, out);
+    t1_ = dev_->engine().now();
+    t0_ = t1_ - elapsed_;
+  }
+
+  obs::Counter& busy_counter(sim::Resource r) {
+    return metrics_.counter(std::string("hprng.sim.busy_seconds.") +
+                            sim::metric_suffix(r));
+  }
+
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<sim::Device> dev_;
+  std::unique_ptr<core::HybridPrng> prng_;
+  double busy0_[sim::kNumResources] = {};
+  double elapsed_ = 0.0, t0_ = 0.0, t1_ = 0.0;
+};
+
+TEST_F(InstrumentedRunTest, CoreCountersMatchTheRun) {
+  // generate_device(n, batch) runs `batch` rounds, each producing one
+  // number per initialised thread (threads = ceil(n / batch)).
+  const double threads = (kNumbers + kBatch - 1) / kBatch;
+  const double rounds = static_cast<double>(kBatch);
+  EXPECT_DOUBLE_EQ(metrics_.counter("hprng.core.rounds").value(), rounds);
+  EXPECT_DOUBLE_EQ(metrics_.counter("hprng.core.numbers_generated").value(),
+                   static_cast<double>(kNumbers));
+  EXPECT_DOUBLE_EQ(metrics_.gauge("hprng.core.initialized_threads").value(),
+                   threads);
+  // Each draw consumes whole 32-bit words of feed bits.
+  EXPECT_GE(metrics_.counter("hprng.host.bits_produced").value(),
+            static_cast<double>(kNumbers) * 32.0);
+  EXPECT_EQ(metrics_.histogram("hprng.core.round_feed_seconds").count(),
+            static_cast<std::size_t>(rounds));
+}
+
+TEST_F(InstrumentedRunTest, BusyCountersAgreeWithTimeline) {
+  // The acceptance contract: busy fractions computed from the
+  // hprng.sim.busy_seconds.* counters must agree with the legacy
+  // Timeline::idle_fraction over the same fenced window to 1e-9.
+  for (int r = 0; r < sim::kNumResources; ++r) {
+    const auto res = static_cast<sim::Resource>(r);
+    const double busy = busy_counter(res).value() - busy0_[r];
+    const double metric_fraction = busy / elapsed_;
+    const double timeline_fraction =
+        1.0 - dev_->timeline().idle_fraction(res, t0_, t1_);
+    EXPECT_NEAR(metric_fraction, timeline_fraction, 1e-9)
+        << "resource " << sim::to_string(res);
+  }
+}
+
+TEST_F(InstrumentedRunTest, InstrumentedTraceIsSchemaValid) {
+  obs::TraceWriter trace;
+  trace.add_timeline(dev_->timeline());
+  prng_->annotate_trace(trace);
+  check_chrome_trace_schema(trace.to_json());
+}
+
+TEST_F(InstrumentedRunTest, EveryDocumentedMetricIsEmitted) {
+  // docs/OBSERVABILITY.md is the contract: every `hprng.<subsystem>.<name>`
+  // it lists must exist in a registry after one instrumented run (so the
+  // docs can never drift ahead of the code).
+  const std::string doc_path =
+      std::string(HPRNG_SOURCE_DIR) + "/docs/OBSERVABILITY.md";
+  std::string doc;
+  ASSERT_TRUE(util::read_file(doc_path, &doc)) << doc_path;
+  std::set<std::string> documented;
+  const std::string allowed = "abcdefghijklmnopqrstuvwxyz0123456789_.";
+  for (std::size_t pos = doc.find("hprng."); pos != std::string::npos;
+       pos = doc.find("hprng.", pos + 1)) {
+    std::size_t end = pos;
+    while (end < doc.size() &&
+           allowed.find(doc[end]) != std::string::npos) {
+      ++end;
+    }
+    std::string name = doc.substr(pos, end - pos);
+    while (!name.empty() && name.back() == '.') name.pop_back();
+    // Keep full `hprng.<subsystem>.<metric>` names only; bare subsystem
+    // prefixes (one dot) are prose, not metric references.
+    if (std::count(name.begin(), name.end(), '.') < 2) continue;
+    documented.insert(std::move(name));
+  }
+  EXPECT_GE(documented.size(), 30u)
+      << "expected the full metric catalogue in docs/OBSERVABILITY.md";
+  for (const std::string& name : documented) {
+    EXPECT_TRUE(metrics_.has(name))
+        << "documented metric `" << name
+        << "` was not emitted by the instrumented run";
+  }
+}
+
+TEST_F(InstrumentedRunTest, MetricsSnapshotWritesFile) {
+  const std::string path = ::testing::TempDir() + "/obs_metrics.json";
+  ASSERT_TRUE(metrics_.write_json(path));
+  std::string text;
+  ASSERT_TRUE(util::read_file(path, &text));
+  obs::json::Value v;
+  std::string err;
+  EXPECT_TRUE(obs::json::parse(text, &v, &err)) << err;
+}
+
+// --------------------------------------------------------- engine hooks
+
+TEST(EngineInstrumentation, CountsOpsStallsAndQueueDepth) {
+  sim::Engine e;
+  obs::MetricsRegistry reg;
+  e.set_metrics(&reg);
+  const sim::OpId a =
+      e.submit(sim::Resource::kHost, "feed", 2.0, {}, nullptr);
+  e.submit(sim::Resource::kDevice, "gen", 1.0, {a}, nullptr);
+  e.run_all();
+  EXPECT_DOUBLE_EQ(reg.counter("hprng.sim.ops_submitted").value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.counter("hprng.sim.ops_executed").value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.counter("hprng.sim.busy_seconds.host").value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.counter("hprng.sim.busy_seconds.device").value(),
+                   1.0);
+  // The device op waited 2.0s (virtual) on the feed dependency.
+  EXPECT_DOUBLE_EQ(reg.counter("hprng.sim.dep_stalls.device").value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.counter("hprng.sim.dep_stall_seconds.device").value(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("hprng.sim.queue_depth").value(), 0.0);
+}
+
+TEST(EngineInstrumentation, UnattachedEngineStillRuns) {
+  sim::Engine e;  // no registry attached: hooks must be inert
+  e.submit(sim::Resource::kHost, "a", 1.0, {}, nullptr);
+  EXPECT_DOUBLE_EQ(e.run_all(), 1.0);
+}
+
+}  // namespace
+}  // namespace hprng

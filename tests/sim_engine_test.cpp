@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -54,7 +55,7 @@ TEST(Engine, PipelineOverlapAlgebra) {
   Engine e;
   const OpId f0 = e.submit(Resource::kHost, "F0", 2.0, {}, nullptr);
   const OpId c0 = e.submit(Resource::kPcieH2D, "C0", 0.5, {f0}, nullptr);
-  const OpId g0 = e.submit(Resource::kDevice, "G0", 1.5, {c0}, nullptr);
+  e.submit(Resource::kDevice, "G0", 1.5, {c0}, nullptr);
   const OpId f1 = e.submit(Resource::kHost, "F1", 2.0, {}, nullptr);
   const OpId c1 = e.submit(Resource::kPcieH2D, "C1", 0.5, {f1}, nullptr);
   const OpId g1 = e.submit(Resource::kDevice, "G1", 1.5, {c1}, nullptr);
@@ -162,6 +163,52 @@ TEST(Timeline, BusyClipsToWindow) {
   t.add({Resource::kHost, "x", 0.0, 10.0});
   EXPECT_DOUBLE_EQ(t.busy_time(Resource::kHost, 2.0, 5.0), 3.0);
   EXPECT_DOUBLE_EQ(t.busy_time(Resource::kDevice, 2.0, 5.0), 0.0);
+}
+
+TEST(Timeline, BusyClampsPartialOverlaps) {
+  // Entries sticking out of the window on either side contribute only the
+  // part inside it.
+  Timeline t;
+  t.add({Resource::kHost, "pre", -1.0, 1.0});   // 1.0 inside [0, 4]
+  t.add({Resource::kHost, "post", 3.0, 6.0});   // 1.0 inside [0, 4]
+  t.add({Resource::kHost, "out", 8.0, 9.0});    // fully outside
+  EXPECT_DOUBLE_EQ(t.busy_time(Resource::kHost, 0.0, 4.0), 2.0);
+}
+
+TEST(Timeline, BusyMergesOverlappingEntries) {
+  // Two overlapping entries on the same resource must not double-count the
+  // overlapped span: busy time is the measure of the union.
+  Timeline t;
+  t.add({Resource::kHost, "a", 0.0, 3.0});
+  t.add({Resource::kHost, "b", 2.0, 5.0});
+  t.add({Resource::kHost, "inside", 0.5, 1.0});  // contained in "a"
+  EXPECT_DOUBLE_EQ(t.busy_time(Resource::kHost, 0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(t.idle_fraction(Resource::kHost, 0.0, 10.0), 0.5);
+}
+
+TEST(Timeline, DegenerateWindowIsSafe) {
+  // t1 <= t0 used to divide by zero in idle_fraction; both queries must
+  // return well-defined values (0 busy, 0 idle fraction, never NaN).
+  Timeline t;
+  t.add({Resource::kHost, "x", 0.0, 10.0});
+  EXPECT_DOUBLE_EQ(t.busy_time(Resource::kHost, 5.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.busy_time(Resource::kHost, 7.0, 3.0), 0.0);
+  const double f_empty = t.idle_fraction(Resource::kHost, 5.0, 5.0);
+  const double f_inv = t.idle_fraction(Resource::kHost, 7.0, 3.0);
+  EXPECT_FALSE(std::isnan(f_empty));
+  EXPECT_FALSE(std::isnan(f_inv));
+  EXPECT_DOUBLE_EQ(f_empty, 0.0);
+  EXPECT_DOUBLE_EQ(f_inv, 0.0);
+}
+
+TEST(Timeline, IdleFractionStaysInUnitInterval) {
+  Timeline t;
+  t.add({Resource::kHost, "a", 0.0, 4.0});
+  t.add({Resource::kHost, "b", 1.0, 3.0});  // nested: union is still [0,4]
+  const double f = t.idle_fraction(Resource::kHost, 0.0, 4.0);
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+  EXPECT_DOUBLE_EQ(f, 0.0);
 }
 
 }  // namespace
