@@ -9,6 +9,8 @@
 #include "bench/common.hpp"
 #include "core/device_baselines.hpp"
 #include "core/hybrid_prng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/device.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -22,13 +24,22 @@ struct Point {
   double mt_ms;
 };
 
-Point measure(const sim::DeviceSpec& spec, std::uint64_t n) {
+// metrics accumulates across devices (attached to the hybrid run); when
+// trace is non-null, it captures THIS device's hybrid pipeline rounds.
+Point measure(const sim::DeviceSpec& spec, std::uint64_t n,
+              obs::MetricsRegistry* metrics, obs::TraceWriter* trace) {
   Point p{};
   {
     sim::Device dev(spec);
     core::HybridPrng prng(dev);
+    prng.set_metrics(metrics);
     sim::Buffer<std::uint64_t> out;
     p.hybrid_ms = prng.generate_device(n, 100, out) * 1e3;
+    if (trace != nullptr) {
+      *trace = obs::TraceWriter();
+      trace->add_timeline(dev.timeline());
+      prng.annotate_trace(*trace);
+    }
   }
   {
     sim::Device dev(spec);
@@ -53,9 +64,15 @@ int main(int argc, char** argv) {
                            static_cast<unsigned long long>(n))
                     .c_str());
 
-  const auto c1060 = measure(sim::DeviceSpec::tesla_c1060(), n);
-  const auto c2050 = measure(sim::DeviceSpec::tesla_c2050(), n);
-  const auto single = measure(sim::DeviceSpec::single_sm(), n);
+  obs::MetricsRegistry metrics;
+  obs::TraceWriter trace;
+  obs::TraceWriter* last_trace = cli.has("trace-json") ? &trace : nullptr;
+  const auto c1060 = measure(sim::DeviceSpec::tesla_c1060(), n, &metrics,
+                             nullptr);
+  const auto c2050 = measure(sim::DeviceSpec::tesla_c2050(), n, &metrics,
+                             last_trace);
+  const auto single = measure(sim::DeviceSpec::single_sm(), n, &metrics,
+                              nullptr);
 
   util::Table t({"device", "Hybrid (ms)", "M.Twister batch (ms)"});
   t.add_row({"single-sm (1x8 cores)", bench::ms(single.hybrid_ms / 1e3),
@@ -70,6 +87,8 @@ int main(int argc, char** argv) {
   const double mt_gain = c1060.mt_ms / c2050.mt_ms;
   std::printf("\nC1060 -> C2050 speedup: hybrid %.2fx vs MT batch %.2fx\n",
               hybrid_gain, mt_gain);
+  bench::export_metrics_json(cli, metrics);
+  if (cli.has("trace-json")) bench::export_trace_json(cli, trace);
 
   // Shapes: on the crippled device the GPU becomes the bottleneck (hybrid
   // slows down a lot); on the faster device the hybrid barely moves while

@@ -10,6 +10,7 @@
 
 #include "bench/common.hpp"
 #include "core/quality_streams.hpp"
+#include "obs/metrics.hpp"
 #include "stat/battery.hpp"
 #include "stat/diehard.hpp"
 #include "stat/extended.hpp"
@@ -35,6 +36,9 @@ int main(int argc, char** argv) {
 
   util::Table t({"feeder", "raw feeder passed", "walk-on-feeder passed",
                  "raw linear?", "walk linear?"});
+  // Host-only harness: per-feeder raw/walk battery scores land in
+  // hprng.bench.feeder.* gauges.
+  obs::MetricsRegistry metrics;
   int lcg_raw = 0, lcg_walk = 0;
   for (const char* feeder : {"glibc-lcg", "minstd", "glibc-rand", "xorwow"}) {
     auto raw = core::make_quality_generator(feeder, seed);
@@ -56,6 +60,11 @@ int main(int argc, char** argv) {
     t.add_row({feeder, raw_report.summary(), walk_report.summary(),
                raw_lin.p < 1e-4 ? "LINEAR (fails)" : "no",
                walk_lin.p < 1e-4 ? "LINEAR (fails)" : "no"});
+    const std::string slug = bench::metric_slug(feeder);
+    metrics.gauge("hprng.bench.feeder." + slug + "_raw_passed")
+        .set(raw_report.num_passed());
+    metrics.gauge("hprng.bench.feeder." + slug + "_walk_passed")
+        .set(walk_report.num_passed());
     if (std::string(feeder) == "glibc-lcg") {
       lcg_raw = raw_report.num_passed();
       lcg_walk = walk_report.num_passed();
@@ -64,6 +73,7 @@ int main(int argc, char** argv) {
   std::printf("%s", t.to_string().c_str());
   std::printf("\nthe paper's configuration is the first row: a glibc LCG "
               "feed, amplified by the walk.\n");
+  bench::export_metrics_json(cli, metrics);
 
   // One-off borderline p-values (0.005-0.01) are noise at a 0.01/0.99 pass
   // band; require near-parity plus a near-perfect absolute score.

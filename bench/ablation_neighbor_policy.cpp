@@ -7,6 +7,8 @@
 #include "bench/common.hpp"
 #include "core/hybrid_prng.hpp"
 #include "core/quality_streams.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/device.hpp"
 #include "stat/battery.hpp"
 #include "stat/diehard.hpp"
@@ -31,22 +33,36 @@ int main(int argc, char** argv) {
 
   util::Table t({"policy", "feed words/number", "simulated (ms)",
                  "DIEHARD passed"});
+  // Counters accumulate across all three policies; the trace shows the
+  // LAST policy's pipeline rounds.
+  obs::MetricsRegistry metrics;
+  obs::TraceWriter trace;
+  constexpr auto kLastPolicy = expander::NeighborPolicy::kSevenStays;
   int min_passed = 15;
   for (auto policy : {expander::NeighborPolicy::kMod7,
                       expander::NeighborPolicy::kRejection,
-                      expander::NeighborPolicy::kSevenStays}) {
+                      kLastPolicy}) {
     core::HybridPrngConfig cfg;
     cfg.policy = policy;
     sim::Device dev;
     core::HybridPrng prng(dev, cfg);
+    prng.set_metrics(&metrics);
     sim::Buffer<std::uint64_t> out;
     const double sec = prng.generate_device(n, 100, out);
+    if (policy == kLastPolicy && cli.has("trace-json")) {
+      trace = obs::TraceWriter();
+      trace.add_timeline(dev.timeline());
+      prng.annotate_trace(trace);
+    }
 
     core::CpuWalkConfig scfg;
     scfg.policy = policy;
     auto stream = core::make_hybrid_stream(7, scfg);
     const auto report = stat::run_battery("diehard", battery, *stream);
     min_passed = std::min(min_passed, report.num_passed());
+    metrics.gauge("hprng.bench.policy_" +
+                  bench::metric_slug(expander::to_string(policy)) +
+                  "_passed").set(report.num_passed());
 
     t.add_row({expander::to_string(policy),
                util::strf("%llu", static_cast<unsigned long long>(
@@ -54,6 +70,8 @@ int main(int argc, char** argv) {
                bench::ms(sec), report.summary()});
   }
   std::printf("%s", t.to_string().c_str());
+  bench::export_metrics_json(cli, metrics);
+  if (cli.has("trace-json")) bench::export_trace_json(cli, trace);
 
   const bool shape = min_passed >= 12;
   bench::verdict(shape,

@@ -8,6 +8,8 @@
 #include "bench/common.hpp"
 #include "core/hybrid_prng.hpp"
 #include "core/quality_streams.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/device.hpp"
 #include "stat/battery.hpp"
 #include "stat/diehard.hpp"
@@ -34,14 +36,24 @@ int main(int argc, char** argv) {
   util::Table t({"walk length l", "feed bits/number", "simulated (ms)",
                  "GNumbers/s", "DIEHARD passed", "+finaliser passed"});
   std::vector<int> lengths = {1, 2, 4, 8, 16, 32, 64};
+  // Counters accumulate across the whole sweep; the trace shows the
+  // longest walk's pipeline, and each l gets a battery-score gauge.
+  obs::MetricsRegistry metrics;
+  obs::TraceWriter trace;
   int passed_l16 = 0, passed_l1 = 0;
   for (int l : lengths) {
     core::HybridPrngConfig cfg;
     cfg.walk_len = l;
     sim::Device dev;
     core::HybridPrng prng(dev, cfg);
+    prng.set_metrics(&metrics);
     sim::Buffer<std::uint64_t> out;
     const double sec = prng.generate_device(n, 100, out);
+    if (l == lengths.back() && cli.has("trace-json")) {
+      trace = obs::TraceWriter();
+      trace.add_timeline(dev.timeline());
+      prng.annotate_trace(trace);
+    }
 
     core::CpuWalkConfig scfg;
     scfg.walk_len = l;
@@ -55,12 +67,16 @@ int main(int argc, char** argv) {
 
     if (l == 16) passed_l16 = report.num_passed();
     if (l == 1) passed_l1 = report.num_passed();
+    metrics.gauge(util::strf("hprng.bench.walk_len_%d_passed", l))
+        .set(report.num_passed());
     t.add_row({util::strf("%d", l), util::strf("%d", 3 * l),
                bench::ms(sec),
                util::strf("%.3f", static_cast<double>(n) / sec / 1e9),
                report.summary(), freport.summary()});
   }
   std::printf("%s", t.to_string().c_str());
+  bench::export_metrics_json(cli, metrics);
+  if (cli.has("trace-json")) bench::export_trace_json(cli, trace);
 
   const bool shape = passed_l16 >= 13 && passed_l1 <= 11;
   bench::verdict(shape,

@@ -8,6 +8,7 @@
 
 #include "bench/common.hpp"
 #include "core/quality_streams.hpp"
+#include "obs/metrics.hpp"
 #include "stat/battery.hpp"
 #include "stat/diehard.hpp"
 #include "util/cli.hpp"
@@ -17,7 +18,6 @@ using namespace hprng;
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  (void)cli;
 
   bench::banner("Ablation — forward-only vs alternating walk",
                 "(design study) the paper iterates f(u, b); we show why "
@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
   const auto battery = stat::diehard_battery(quick);
 
   util::Table t({"mode", "DIEHARD passed", "KS D over p-values"});
+  // Host-only harness: the battery scores land in hprng.bench.* gauges.
+  obs::MetricsRegistry metrics;
   int forward_passed = 0, alternating_passed = 0;
   for (auto mode : {expander::WalkMode::kForwardOnly,
                     expander::WalkMode::kAlternating}) {
@@ -43,6 +45,9 @@ int main(int argc, char** argv) {
     }
     t.add_row({expander::to_string(mode), report.summary(),
                util::strf("%.4f", report.ks_d)});
+    metrics.gauge("hprng.bench.mode_" +
+                  bench::metric_slug(expander::to_string(mode)) + "_passed")
+        .set(report.num_passed());
   }
   std::printf("%s", t.to_string().c_str());
   std::printf("\nwhy: an alternating pair (forward map k, backward map k') "
@@ -50,6 +55,7 @@ int main(int argc, char** argv) {
               "translation by at most 2, so the walk drifts\ninstead of "
               "mixing; forward-only composes the Margulis-style affine maps "
               "and mixes.\n");
+  bench::export_metrics_json(cli, metrics);
 
   const bool shape = forward_passed >= 13 && alternating_passed <= 9;
   bench::verdict(shape,

@@ -9,6 +9,8 @@
 
 #include "bench/common.hpp"
 #include "core/hybrid_prng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/device.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -29,13 +31,24 @@ int main(int argc, char** argv) {
                                               200, 500,  1000, 2000, 5000};
   util::Table t({"S (numbers/thread)", "threads", "simulated (ms)",
                  "ns/number"});
+  // One registry across the sweep (counters accumulate; --metrics-json
+  // snapshots the whole run); the trace export shows the LAST sweep
+  // point's pipeline rounds.
+  obs::MetricsRegistry metrics;
+  obs::TraceWriter trace;
   std::vector<double> times;
   for (const std::uint64_t s : batches) {
     sim::Device dev;
     core::HybridPrng prng(dev);
+    prng.set_metrics(&metrics);
     sim::Buffer<std::uint64_t> out;
     const double sec = prng.generate_device(n, s, out);
     times.push_back(sec);
+    if (s == batches.back() && cli.has("trace-json")) {
+      trace = obs::TraceWriter();
+      trace.add_timeline(dev.timeline());
+      prng.annotate_trace(trace);
+    }
     t.add_row({util::strf("%llu", static_cast<unsigned long long>(s)),
                util::strf("%llu",
                           static_cast<unsigned long long>((n + s - 1) / s)),
@@ -43,6 +56,8 @@ int main(int argc, char** argv) {
                util::strf("%.2f", sec / static_cast<double>(n) * 1e9)});
   }
   std::printf("%s", t.to_string().c_str());
+  bench::export_metrics_json(cli, metrics);
+  if (cli.has("trace-json")) bench::export_trace_json(cli, trace);
 
   const std::size_t best =
       static_cast<std::size_t>(std::min_element(times.begin(), times.end()) -

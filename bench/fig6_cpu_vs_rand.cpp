@@ -13,6 +13,7 @@
 
 #include "bench/common.hpp"
 #include "core/cpu_walk_prng.hpp"
+#include "obs/metrics.hpp"
 #include "prng/lcg.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -43,6 +44,13 @@ int main(int argc, char** argv) {
                  util::strf("walk @%d threads (ms)", cores),
                  "rand() thread-safe? (ms)"});
 
+  // Host-only harness: no pipeline instruments exist, so the measured wall
+  // times land in `hprng.bench.*` histograms (one observation per size).
+  obs::MetricsRegistry metrics;
+  auto& walk_hist = metrics.histogram("hprng.bench.walk_wall_seconds");
+  auto& rand_hist = metrics.histogram("hprng.bench.rand_wall_seconds");
+  auto& numbers = metrics.counter("hprng.bench.numbers_generated");
+
   volatile std::uint64_t sink = 0;
   std::vector<bool> walk_wins;
   for (const std::uint64_t m : paper_sizes_m) {
@@ -63,6 +71,10 @@ int main(int argc, char** argv) {
     }
     const double t_rand = tw.seconds();
 
+    walk_hist.observe(t_walk);
+    rand_hist.observe(t_rand);
+    numbers.add(static_cast<double>(2 * n));  // both generators emit n
+
     const double t_walk_mc = t_walk / cores;  // embarrassingly parallel
     walk_wins.push_back(t_walk_mc < t_rand);
     t.add_row({util::strf("%llu", static_cast<unsigned long long>(m)),
@@ -71,6 +83,7 @@ int main(int argc, char** argv) {
                bench::ms(t_rand) + " (no)"});
   }
   std::printf("%s", t.to_string().c_str());
+  bench::export_metrics_json(cli, metrics);
 
   // The paper's Figure 6 shows the hybrid curve starting above rand() and
   // staying below it for large N ("scales up well compared to rand()").

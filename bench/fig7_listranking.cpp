@@ -10,6 +10,8 @@
 #include "core/hybrid_prng.hpp"
 #include "listrank/hybrid_rank.hpp"
 #include "listrank/list.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "prng/registry.hpp"
 #include "sim/device.hpp"
 #include "util/cli.hpp"
@@ -34,6 +36,10 @@ int main(int argc, char** argv) {
                  "Hybrid glibc (ms)", "Hybrid our PRNG (ms)",
                  "win vs glibc"});
 
+  // One registry across the sweep, attached to the on-demand runs only
+  // (the strategy under study); the trace shows the LAST size's pipeline.
+  obs::MetricsRegistry metrics;
+  obs::TraceWriter trace;
   bool ordering = true;
   double win_sum = 0.0;
   for (const std::uint64_t m : paper_sizes_m) {
@@ -59,9 +65,15 @@ int main(int argc, char** argv) {
       core::HybridPrngConfig cfg;
       cfg.walk_len = 8;  // the application operating point (DESIGN.md §5)
       core::HybridPrng prng(dev, cfg);
+      prng.set_metrics(&metrics);
       listrank::HybridListRanker r(
           dev, &prng, listrank::RngStrategy::kOnDemandHybrid, 7);
       t_ours = r.reduce_only(list).sim_seconds;
+      if (m == paper_sizes_m.back() && cli.has("trace-json")) {
+        trace = obs::TraceWriter();
+        trace.add_timeline(dev.timeline());
+        prng.annotate_trace(trace);
+      }
     }
     ordering &= t_ours < t_glibc && t_glibc < t_mt;
     const double win = (t_glibc - t_ours) / t_glibc;
@@ -77,6 +89,8 @@ int main(int argc, char** argv) {
               mean_win);
   std::printf("(paper Sec. V: Phases II+III add ~20%% of total time and are "
               "identical across strategies)\n");
+  bench::export_metrics_json(cli, metrics);
+  if (cli.has("trace-json")) bench::export_trace_json(cli, trace);
 
   const bool shape = ordering && mean_win > 15.0;
   bench::verdict(shape,

@@ -8,6 +8,8 @@
 
 #include "bench/common.hpp"
 #include "core/hybrid_prng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "photon/mc.hpp"
 #include "sim/device.hpp"
 #include "util/cli.hpp"
@@ -31,6 +33,10 @@ int main(int argc, char** argv) {
 
   util::Table t({"paper photons (M)", "run photons", "Original (ms)",
                  "Hybrid (ms)", "win", "R (orig)", "R (hybrid)"});
+  // One registry across the sweep, attached to the hybrid runs only (the
+  // on-demand strategy under study); the trace shows the LAST count's run.
+  obs::MetricsRegistry metrics;
+  obs::TraceWriter trace;
   bool hybrid_wins = true;
   double win_sum = 0.0;
   for (const std::uint64_t m : paper_photons_m) {
@@ -52,9 +58,15 @@ int main(int argc, char** argv) {
       core::HybridPrngConfig cfg;
       cfg.walk_len = 8;  // application operating point
       core::HybridPrng prng(dev, cfg);
+      prng.set_metrics(&metrics);
       photon::PhotonMigration mc(
           dev, &prng, photon::PhotonRngStrategy::kOnDemandHybrid, 5);
       hyb = mc.run(p, tissue, slots);
+      if (m == paper_photons_m.back() && cli.has("trace-json")) {
+        trace = obs::TraceWriter();
+        trace.add_timeline(dev.timeline());
+        prng.annotate_trace(trace);
+      }
     }
     hybrid_wins &= hyb.sim_seconds < orig.sim_seconds;
     const double win = (orig.sim_seconds - hyb.sim_seconds) /
@@ -71,6 +83,8 @@ int main(int argc, char** argv) {
   const double mean_win =
       win_sum / static_cast<double>(paper_photons_m.size()) * 100;
   std::printf("mean hybrid win: %.0f%% (paper: ~20%%)\n", mean_win);
+  bench::export_metrics_json(cli, metrics);
+  if (cli.has("trace-json")) bench::export_trace_json(cli, trace);
 
   const bool shape = hybrid_wins && mean_win > 8.0;
   bench::verdict(shape,

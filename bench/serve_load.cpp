@@ -1,0 +1,177 @@
+// Serving-layer load bench (docs/SERVING.md §6): a closed-loop population
+// of client threads hammers an RngService — each client leases a substream
+// and issues back-to-back fill requests — while the `hprng.serve.*`
+// instruments report queue behaviour and latency. The acceptance run
+// sustains >= 32 clients against a sharded hybrid pool and reports p50/p99
+// request latency plus rejected/shed counts straight from the registry.
+//
+// Flags: --clients --requests --n (words per request) --shards --slots
+//        --workers --capacity --coalesce --policy=block|reject|shed
+//        --timeout-ms --backend=hybrid|cpu-walk|<baseline> --seed
+//        --metrics-json=<path>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace hprng;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const int clients = static_cast<int>(cli.get_u64("clients", 32));
+  const int requests = static_cast<int>(cli.get_u64("requests", 64));
+  const std::size_t words = cli.get_u64("n", 256);
+
+  serve::ServiceOptions opts;
+  opts.backend = cli.get_string("backend", "hybrid");
+  opts.num_shards = static_cast<int>(cli.get_u64("shards", 4));
+  opts.max_leases_per_shard =
+      cli.get_u64("slots", (static_cast<std::uint64_t>(clients) +
+                            static_cast<std::uint64_t>(opts.num_shards) - 1) /
+                               static_cast<std::uint64_t>(opts.num_shards));
+  opts.num_workers = static_cast<int>(cli.get_u64("workers", 4));
+  opts.queue_capacity = cli.get_u64("capacity", 256);
+  opts.max_coalesce = cli.get_u64("coalesce", 8);
+  opts.seed = cli.get_u64("seed", 0x243F6A8885A308D3ull);
+  const std::string policy_name = cli.get_string("policy", "block");
+  if (!serve::parse_policy(policy_name, &opts.policy)) {
+    std::fprintf(stderr, "unknown --policy=%s (block|reject|shed)\n",
+                 policy_name.c_str());
+    return 2;
+  }
+  opts.default_timeout =
+      std::chrono::milliseconds(cli.get_u64("timeout-ms", 30000));
+
+  bench::banner(
+      "serve_load — closed-loop multi-client serving",
+      "the on-demand generator serves many small consumers by coalescing "
+      "their requests into batched pipeline rounds",
+      util::strf("%d clients x %d requests x %zu words, %d %s shards, "
+                 "%d workers, queue %zu, policy %s",
+                 clients, requests, words, opts.num_shards,
+                 opts.backend.c_str(), opts.num_workers, opts.queue_capacity,
+                 policy_name.c_str())
+          .c_str());
+
+  obs::MetricsRegistry metrics;
+  double wall_seconds = 0.0;
+  std::atomic<std::uint64_t> ok{0}, failed{0};
+  serve::RngService::Stats stats;
+  {
+    serve::RngService service(opts, &metrics);
+
+    std::vector<serve::Session> sessions;
+    sessions.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      auto session = service.try_open_session();
+      if (!session.has_value()) {
+        std::fprintf(stderr,
+                     "lease pool exhausted at client %d (grow --slots)\n", c);
+        return 2;
+      }
+      sessions.push_back(*session);
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<std::uint64_t> buf(words);
+        for (int r = 0; r < requests; ++r) {
+          if (sessions[c].fill(buf) == serve::Status::kOk) {
+            ok.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    wall_seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+    service.drain();
+    sessions.clear();  // release every lease before the final snapshot
+    stats = service.stats();
+  }
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(clients) * static_cast<std::uint64_t>(requests);
+  util::Table t({"metric", "value"});
+  t.add_row({"requests issued", util::strf("%llu",
+                                           static_cast<unsigned long long>(total))});
+  t.add_row({"served ok", util::strf("%llu",
+                                     static_cast<unsigned long long>(ok.load()))});
+  t.add_row({"rejected", util::strf("%llu", static_cast<unsigned long long>(
+                                                stats.rejected))});
+  t.add_row({"shed", util::strf("%llu",
+                                static_cast<unsigned long long>(stats.shed))});
+  t.add_row({"timed out", util::strf("%llu", static_cast<unsigned long long>(
+                                                 stats.timed_out))});
+  t.add_row({"numbers served", util::strf("%llu", static_cast<unsigned long long>(
+                                                      stats.numbers_served))});
+  t.add_row({"backend passes", util::strf("%llu", static_cast<unsigned long long>(
+                                                      stats.batches))});
+  if (stats.batches > 0) {
+    t.add_row({"requests/pass",
+               util::strf("%.2f", static_cast<double>(stats.completed) /
+                                      static_cast<double>(stats.batches))});
+  }
+  t.add_row({"wall time (ms)", bench::ms(wall_seconds)});
+  if (wall_seconds > 0.0) {
+    t.add_row({"throughput (req/s)",
+               util::strf("%.0f", static_cast<double>(ok.load()) / wall_seconds)});
+    t.add_row({"throughput (Mwords/s)",
+               util::strf("%.2f", static_cast<double>(stats.numbers_served) /
+                                      wall_seconds / 1e6)});
+  }
+  if (obs::kEnabled) {
+    // Latency quantiles from the registry histogram — the same numbers a
+    // dashboard would read (power-of-two buckets: within 2x).
+    const auto& lat = metrics.histogram("hprng.serve.request_latency_seconds");
+    const auto& qw = metrics.histogram("hprng.serve.queue_wait_seconds");
+    t.add_row({"latency p50 (ms)", bench::ms(lat.quantile(0.5))});
+    t.add_row({"latency p99 (ms)", bench::ms(lat.quantile(0.99))});
+    t.add_row({"latency max (ms)", bench::ms(lat.max())});
+    t.add_row({"queue wait p99 (ms)", bench::ms(qw.quantile(0.99))});
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  // Conservation: every submission reaches exactly one terminal status,
+  // and the engine accounting agrees with the client-side tallies.
+  const bool conserved =
+      stats.submitted == total &&
+      stats.submitted == stats.completed + stats.rejected + stats.shed +
+                             stats.timed_out + stats.closed &&
+      ok.load() == stats.completed &&
+      failed.load() == stats.rejected + stats.shed + stats.timed_out +
+                           stats.closed;
+  const bool leases_clean = stats.active_leases == 0 &&
+                            stats.leases_granted == stats.leases_released;
+  const bool coalesced = stats.batches <= stats.completed;
+  std::printf("\nconservation: submitted %llu = ok %llu + rejected %llu + "
+              "shed %llu + timed_out %llu + closed %llu [%s]\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.timed_out),
+              static_cast<unsigned long long>(stats.closed),
+              conserved ? "OK" : "MISMATCH");
+
+  bench::export_metrics_json(cli, metrics);
+
+  const bool shape = conserved && leases_clean && coalesced && ok.load() > 0;
+  bench::verdict(shape, "every request reaches one terminal status, leases "
+                        "reclaim cleanly, batching coalesces requests");
+  return shape ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #include "bench/common.hpp"
 #include "core/device_baselines.hpp"
 #include "core/hybrid_prng.hpp"
+#include "obs/metrics.hpp"
 #include "prng/lcg.hpp"
 #include "sim/device.hpp"
 #include "util/cli.hpp"
@@ -42,11 +43,16 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(n))
           .c_str());
 
+  // The registry carries the hybrid run's pipeline instruments
+  // (hprng.pipeline.*) plus one hprng.bench.table1.* gauge per row with
+  // that row's measured seconds.
+  obs::MetricsRegistry metrics;
   std::vector<Row> rows;
 
   {  // Hybrid PRNG.
     sim::Device dev;
     core::HybridPrng prng(dev);
+    prng.set_metrics(&metrics);
     sim::Buffer<std::uint64_t> out;
     const double t = prng.generate_device(n, 100, out);
     rows.push_back({"Hybrid PRNG", true, true, true, true, t});
@@ -87,6 +93,11 @@ int main(int argc, char** argv) {
     rows.push_back({"glibc rand()", true, false, false, false, t});
   }
 
+  for (const Row& r : rows) {
+    metrics.gauge("hprng.bench.table1." + bench::metric_slug(r.name) +
+                  "_seconds").set(r.seconds);
+  }
+
   // Speed rank = order of measured seconds.
   std::vector<std::size_t> order(rows.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -109,6 +120,7 @@ int main(int argc, char** argv) {
                util::strf("%d (%s)", rank[i], paper_rank[i])});
   }
   std::printf("%s", t.to_string().c_str());
+  bench::export_metrics_json(cli, metrics);
 
   const bool hybrid_fastest = rank[0] == 1;
   const bool glibc_slowest = rank[4] == 5;

@@ -8,6 +8,7 @@
 
 #include "bench/common.hpp"
 #include "core/quality_streams.hpp"
+#include "obs/metrics.hpp"
 #include "stat/battery.hpp"
 #include "stat/crush.hpp"
 #include "util/cli.hpp"
@@ -42,6 +43,9 @@ int main(int argc, char** argv) {
   if (quick) tiers.resize(1);
 
   util::Table t({"PRNG", "Test Suite", "Tests Passed", "paper"});
+  // Stat-only harness: pass counts land in hprng.bench.crush.* gauges,
+  // one per (generator, tier) cell.
+  obs::MetricsRegistry metrics;
   int min_passed = 15;
   for (std::size_t gi = 0; gi < generators.size(); ++gi) {
     for (std::size_t ti = 0; ti < tiers.size(); ++ti) {
@@ -53,10 +57,15 @@ int main(int argc, char** argv) {
       if (detail) std::printf("%s\n", report.detail().c_str());
       t.add_row({display[gi], tiers[ti].name, report.summary(),
                  paper[gi][ti]});
+      metrics.gauge("hprng.bench.crush." +
+                    bench::metric_slug(generators[gi]) + "_" +
+                    bench::metric_slug(tiers[ti].name) + "_passed")
+          .set(report.num_passed());
       min_passed = std::min(min_passed, report.num_passed());
     }
   }
   std::printf("%s", t.to_string().c_str());
+  bench::export_metrics_json(cli, metrics);
 
   const bool shape = min_passed >= 13;
   bench::verdict(shape,

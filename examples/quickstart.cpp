@@ -4,6 +4,7 @@
 //   2. On-demand draws inside your own device kernel (the paper's
 //      GetNextRand() — Algorithm 2).
 //   3. The CPU-only generator as a drop-in rand() replacement.
+//   4. Collision-free per-consumer seeding with prng::SeedSequence.
 //
 // Build & run:  ./build/examples/quickstart
 
@@ -11,6 +12,7 @@
 
 #include "core/cpu_walk_prng.hpp"
 #include "core/hybrid_prng.hpp"
+#include "prng/seed_seq.hpp"
 #include "sim/device.hpp"
 
 int main() {
@@ -60,6 +62,20 @@ int main() {
   for (int i = 0; i < 4; ++i) {
     std::printf("  %016llx\n",
                 static_cast<unsigned long long>(cpu.next_u64()));
+  }
+
+  // --- 4. Per-consumer seeding -----------------------------------------
+  // Never hand out `seed + i` to parallel consumers: derive seeds from a
+  // SeedSequence, which guarantees distinct indices -> distinct seeds
+  // (the same path the serving layer uses for client leases).
+  prng::SeedSequence seq(/*root=*/2012);
+  std::printf("\nper-consumer CPU streams from one root seed:\n");
+  for (std::uint64_t c = 0; c < 3; ++c) {
+    core::CpuWalkPrng stream(seq.derive(c));
+    std::printf("  consumer %llu (seed %016llx): %016llx\n",
+                static_cast<unsigned long long>(c),
+                static_cast<unsigned long long>(seq.derive(c)),
+                static_cast<unsigned long long>(stream.next_u64()));
   }
   return 0;
 }

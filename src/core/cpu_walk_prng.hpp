@@ -5,6 +5,7 @@
 #include "expander/bit_reader.hpp"
 #include "expander/walk.hpp"
 #include "prng/lcg.hpp"
+#include "prng/seed_seq.hpp"
 
 namespace hprng::core {
 
@@ -31,9 +32,26 @@ struct CpuWalkPrng {
 
   explicit CpuWalkPrng(std::uint64_t seed, CpuWalkConfig cfg = {});
 
+  /// The audited multi-consumer form (prng::SeedSequence): consumer `index`
+  /// of the sequence gets a collision-free derived seed — how the serving
+  /// layer seeds per-client streams (docs/SERVING.md) and how examples
+  /// seed per-thread instances.
+  CpuWalkPrng(const prng::SeedSequence& seq, std::uint64_t index,
+              CpuWalkConfig cfg = {})
+      : CpuWalkPrng(seq.derive(index), cfg) {}
+
   std::uint64_t next_u64();
   std::uint32_t next_u32() {
     return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+
+  /// Jump-ahead hook (lease reclamation, stream splitting): advance the
+  /// walk by `draws` outputs without reporting them. Expander walks have no
+  /// closed-form skip — each discarded draw costs walk_len steps — but the
+  /// resulting state is exactly the state after `draws` next_u64() calls,
+  /// which is the contract lease reclamation needs.
+  void discard(std::uint64_t draws) {
+    for (std::uint64_t i = 0; i < draws; ++i) (void)next_u64();
   }
 
  private:

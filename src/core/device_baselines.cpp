@@ -6,6 +6,7 @@
 #include "prng/md5.hpp"
 #include "prng/mt19937.hpp"
 #include "prng/mwc.hpp"
+#include "prng/seed_seq.hpp"
 #include "prng/splitmix64.hpp"
 #include "prng/xorwow.hpp"
 #include "util/check.hpp"
@@ -82,8 +83,7 @@ double DeviceBatchGenerator::generate_device(
         const std::uint64_t begin = tid * per_thread;
         const std::uint64_t end = std::min(n, begin + per_thread);
         if (begin >= end) return;
-        const std::uint64_t thread_seed =
-            prng::splitmix64_mix(seed ^ (tid * 0x9E3779B97F4A7C15ull));
+        const std::uint64_t thread_seed = prng::SeedSequence(seed).derive(tid);
         switch (kind) {
           case Kind::kMersenneTwister: {
             prng::Mt19937 g(thread_seed);

@@ -222,6 +222,45 @@ std::uint64_t HybridPrng::ThreadRng::next() {
   return cfg_->finalize_output ? prng::splitmix64_mix(id) : id;
 }
 
+double HybridPrng::fill_leased(std::span<const LeasedDraw> draws) {
+  if (draws.empty()) return 0.0;
+  std::uint64_t threads = 0;
+  std::uint64_t max_draws = 1;
+  for (const LeasedDraw& d : draws) {
+    threads = std::max(threads, d.walk + 1);
+    max_draws = std::max<std::uint64_t>(max_draws, d.out.size());
+  }
+  initialize(threads);
+  device_.engine().fence();  // fill latency excludes earlier untimed work
+  const double sim_start = device_.engine().now();
+  Round round = begin_round(threads, max_draws);
+  std::vector<std::uint32_t> lookup(static_cast<std::size_t>(threads),
+                                    UINT32_MAX);
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    std::uint32_t& slot = lookup[static_cast<std::size_t>(draws[i].walk)];
+    HPRNG_CHECK(slot == UINT32_MAX, "fill_leased: walk listed twice");
+    slot = static_cast<std::uint32_t>(i);
+  }
+  const sim::KernelCost cost{
+      device_ops_for_draws(static_cast<double>(max_draws)),
+      static_cast<double>(round.words_per_thread) * 4.0 +
+          8.0 * static_cast<double>(max_draws)};
+  std::vector<LeasedDraw> fills(draws.begin(), draws.end());
+  const sim::OpId kernel = device_.launch(
+      compute_stream_, "Generate(serve)", threads, cost,
+      [this, round, lookup = std::move(lookup),
+       fills = std::move(fills)](std::uint64_t tid) {
+        const std::uint32_t idx = lookup[static_cast<std::size_t>(tid)];
+        if (idx == UINT32_MAX) return;
+        ThreadRng rng = thread_rng(round, tid);
+        for (std::uint64_t& out : fills[idx].out) out = rng.next();
+      },
+      {round.ready});
+  end_round(round, kernel);
+  device_.synchronize();
+  return device_.engine().now() - sim_start;
+}
+
 sim::OpId HybridPrng::enqueue_batch_round(std::uint64_t threads,
                                           std::uint64_t round_index,
                                           sim::Buffer<std::uint64_t>& out,

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -173,6 +174,26 @@ class HybridPrng {
 
   /// Words of feed needed per draw (3 bits/step, rejection margin included).
   [[nodiscard]] std::uint64_t words_per_draw() const;
+
+  // -- Serving-layer hook (docs/SERVING.md) --------------------------------
+
+  /// One leased-walk fill: walk `walk` advances `out.size()` draws and
+  /// writes them to host memory. Walks are the serving layer's lease unit —
+  /// each leased client stream is one device walk, so streams of different
+  /// leases can never overlap (independent walk positions).
+  struct LeasedDraw {
+    std::uint64_t walk = 0;
+    std::span<std::uint64_t> out;
+  };
+
+  /// Serve-layer batched fill (hprng::serve::RngService): provision ONE
+  /// pipelined round sized for the largest request and advance every listed
+  /// walk independently inside a single kernel — this is how small client
+  /// requests coalesce into one FEED/TRANSFER/GENERATE pass. Walks not
+  /// listed idle (their feed slice is provisioned but unread, exactly like
+  /// an application kernel that skips threads). Each walk may appear at
+  /// most once per call. Returns fenced simulated seconds for the fill.
+  double fill_leased(std::span<const LeasedDraw> draws);
 
   // -- Observability (docs/OBSERVABILITY.md) -------------------------------
 

@@ -6,6 +6,7 @@
 #include "core/calibration.hpp"
 #include "host/bit_feeder.hpp"
 #include "prng/mt19937.hpp"
+#include "prng/seed_seq.hpp"
 #include "prng/splitmix64.hpp"
 #include "util/check.hpp"
 
@@ -181,7 +182,7 @@ ReduceStats HybridListRanker::reduce_impl(const LinkedList& list,
                   std::min<std::uint64_t>(bound, begin + per_thread);
               if (begin >= end) return;
               prng::Mt19937 g(static_cast<std::uint32_t>(
-                  prng::splitmix64_mix(kernel_seed ^ (tid * 0x9E37ull))));
+                  prng::SeedSequence(kernel_seed).derive(tid)));
               for (std::uint64_t i = begin; i < end; ++i) {
                 pregen[static_cast<std::size_t>(i)] = g.next_u32();
               }

@@ -63,6 +63,23 @@ double Histogram::max() const {
   return max_;
 }
 
+double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (int i = 0; i <= kNumBuckets; ++i) {
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= target && cum > 0) {
+      const double ub =
+          i == kNumBuckets ? max_ : bucket_upper_bound(i);
+      return std::clamp(ub, min_, max_);
+    }
+  }
+  return max_;
+}
+
 double Histogram::bucket_upper_bound(int i) {
   return std::ldexp(1.0, i - kBucketShift);
 }

@@ -44,6 +44,7 @@ class Histogram {
   [[nodiscard]] double sum() const { return 0.0; }
   [[nodiscard]] double min() const { return 0.0; }
   [[nodiscard]] double max() const { return 0.0; }
+  [[nodiscard]] double quantile(double) const { return 0.0; }
 };
 
 class MetricsRegistry {
@@ -117,6 +118,14 @@ class Histogram {
   [[nodiscard]] double sum() const;
   [[nodiscard]] double min() const;  ///< 0 when empty.
   [[nodiscard]] double max() const;  ///< 0 when empty.
+
+  /// Bucket-bounded quantile estimate: the upper bound of the smallest
+  /// bucket whose cumulative count reaches q * count, clamped to
+  /// [min, max] (so quantile(0.5) of a one-value histogram is that value,
+  /// not a power of two). q outside [0, 1] is clamped; 0 when empty.
+  /// Power-of-two buckets bound the estimate within 2x of the true
+  /// quantile — the resolution the serve-layer latency reports quote.
+  [[nodiscard]] double quantile(double q) const;
 
   /// Upper bound of bucket i (inclusive, "le" in the JSON snapshot).
   [[nodiscard]] static double bucket_upper_bound(int i);

@@ -7,6 +7,7 @@
 
 #include "core/calibration.hpp"
 #include "prng/mwc.hpp"
+#include "prng/seed_seq.hpp"
 #include "prng/splitmix64.hpp"
 #include "util/check.hpp"
 
@@ -279,8 +280,7 @@ McResult PhotonMigration::run(std::uint64_t photons, const Tissue& tissue,
                           8.0 * draws_per_slot},
           [pg = pregen.device_span(), draws_per_slot,
            kernel_seed](std::uint64_t tid) {
-            prng::Mwc g(prng::splitmix64_mix(kernel_seed ^
-                                             (tid * 0x9E3779B9ull)));
+            prng::Mwc g(prng::SeedSequence(kernel_seed).derive(tid));
             for (std::uint64_t i = 0; i < draws_per_slot * 2; ++i) {
               pg[static_cast<std::size_t>(tid * draws_per_slot * 2 + i)] =
                   g.next_u32();

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "prng/splitmix64.hpp"
+
+namespace hprng::prng {
+
+/// The ONE audited code path for "a seed for the i-th independent consumer
+/// of root seed s": device batch baselines, the list-ranking and photon
+/// kernels, the serving layer's client leases (docs/SERVING.md) and the
+/// examples all derive per-walk / per-thread / per-client seeds here —
+/// never with ad-hoc `seed + i` arithmetic at the call site.
+///
+/// Derivation: `derive(i) = splitmix64_mix(root ^ i * gamma)` with the
+/// golden-ratio gamma of SplittableRandom. The gamma is odd, so
+/// `i -> i * gamma (mod 2^64)` is injective; XOR with a fixed root and the
+/// bijective SplitMix64 finaliser preserve that, hence for a fixed root
+/// **distinct indices always yield distinct seeds** — the collision-free
+/// guarantee the serving layer's lease registry relies on. (Seeds drawn
+/// from *different* roots collide only at the 2^-64 birthday level, like
+/// any 64-bit derivation.)
+///
+/// HybridPrng's Algorithm 1 is the other audited path: its per-walk start
+/// vertices come from the host feed stream itself, so one (generator,
+/// seed) pair pins every walk (see core/hybrid_prng.cpp).
+class SeedSequence {
+ public:
+  static constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ull;
+
+  explicit constexpr SeedSequence(std::uint64_t root) : root_(root) {}
+
+  /// Collision-free (per root) seed for consumer `index`; stateless.
+  [[nodiscard]] constexpr std::uint64_t derive(std::uint64_t index) const {
+    return splitmix64_mix(root_ ^ (index * kGamma));
+  }
+
+  /// Sequential derivation: derive(0), derive(1), ... for callers that
+  /// hand out consumer indices implicitly.
+  constexpr std::uint64_t next() { return derive(next_index_++); }
+
+  /// Child sequence for two-level derivation (e.g. shard -> client). The
+  /// child root is domain-separated from this sequence's own derive()
+  /// values so `split(i).derive(j)` never aliases `derive(k)` by
+  /// construction of the salt.
+  [[nodiscard]] constexpr SeedSequence split(std::uint64_t index) const {
+    return SeedSequence(derive(index) ^ kSplitSalt);
+  }
+
+  /// Root this sequence derives from (after any split salting).
+  [[nodiscard]] constexpr std::uint64_t root() const { return root_; }
+
+ private:
+  static constexpr std::uint64_t kSplitSalt = 0xD1B54A32D192ED03ull;
+
+  std::uint64_t root_;
+  std::uint64_t next_index_ = 0;
+};
+
+}  // namespace hprng::prng

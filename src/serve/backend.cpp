@@ -1,0 +1,150 @@
+#include "serve/backend.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "core/cpu_walk_prng.hpp"
+#include "core/hybrid_prng.hpp"
+#include "prng/registry.hpp"
+#include "prng/seed_seq.hpp"
+#include "sim/device.hpp"
+#include "util/check.hpp"
+
+namespace hprng::serve {
+
+namespace {
+
+/// The paper's generator as a pool member: one simulated device per shard,
+/// one device walk per lease slot. attach/detach are no-ops by design —
+/// a slot's stream identity IS its walk: start vertices derive from the
+/// shard feed through Algorithm 1 (the audited init path), every walk is
+/// independent by construction, and a reclaimed slot simply continues its
+/// walk from wherever the previous lease left it — still disjoint from
+/// every other stream, which is the non-overlap property leases need.
+/// The per-lease client_seed is therefore unused here (it exists for
+/// backends whose streams are seed-addressed).
+class HybridShard final : public ShardBackend {
+ public:
+  HybridShard(const ServiceOptions& opts, std::uint64_t shard_seed)
+      : device_(sim::DeviceSpec::tesla_c1060()) {
+    core::HybridPrngConfig cfg;
+    cfg.seed = shard_seed;
+    cfg.walk_len = opts.walk_len;
+    cfg.num_threads = opts.max_leases_per_shard;
+    prng_ = std::make_unique<core::HybridPrng>(device_, cfg);
+  }
+
+  void attach(std::uint64_t slot, std::uint64_t /*client_seed*/) override {
+    // Warm the walk state eagerly so first-fill latency is not charged the
+    // Algorithm 1 initialisation of the whole prefix.
+    prng_->initialize(slot + 1);
+  }
+
+  void detach(std::uint64_t /*slot*/) override {}
+
+  double fill(std::span<const Fill> fills) override {
+    draws_.clear();
+    draws_.reserve(fills.size());
+    for (const Fill& f : fills) {
+      draws_.push_back({f.slot, f.out});
+    }
+    return prng_->fill_leased(draws_);
+  }
+
+  [[nodiscard]] std::string name() const override { return "hybrid"; }
+
+ private:
+  sim::Device device_;
+  std::unique_ptr<core::HybridPrng> prng_;
+  std::vector<core::HybridPrng::LeasedDraw> draws_;
+};
+
+/// The paper's CPU-only variant: one CpuWalkPrng per slot, seeded from the
+/// lease's SeedSequence-derived client seed.
+class CpuWalkShard final : public ShardBackend {
+ public:
+  explicit CpuWalkShard(const ServiceOptions& opts) {
+    cfg_.walk_len = opts.walk_len;
+    slots_.resize(static_cast<std::size_t>(opts.max_leases_per_shard));
+  }
+
+  void attach(std::uint64_t slot, std::uint64_t client_seed) override {
+    slots_.at(static_cast<std::size_t>(slot)) =
+        std::make_unique<core::CpuWalkPrng>(client_seed, cfg_);
+  }
+
+  void detach(std::uint64_t slot) override {
+    slots_.at(static_cast<std::size_t>(slot)).reset();
+  }
+
+  double fill(std::span<const Fill> fills) override {
+    for (const Fill& f : fills) {
+      core::CpuWalkPrng* g = slots_.at(static_cast<std::size_t>(f.slot)).get();
+      HPRNG_CHECK(g != nullptr, "CpuWalkShard::fill: slot not attached");
+      for (std::uint64_t& out : f.out) out = g->next_u64();
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] std::string name() const override { return "cpu-walk"; }
+
+ private:
+  core::CpuWalkConfig cfg_;
+  std::vector<std::unique_ptr<core::CpuWalkPrng>> slots_;
+};
+
+/// Any registry baseline ("mt19937", "xorwow", ...): one generator
+/// instance per slot — the apples-to-apples comparison backend.
+class BaselineShard final : public ShardBackend {
+ public:
+  BaselineShard(const ServiceOptions& opts, std::string generator)
+      : generator_(std::move(generator)) {
+    slots_.resize(static_cast<std::size_t>(opts.max_leases_per_shard));
+  }
+
+  void attach(std::uint64_t slot, std::uint64_t client_seed) override {
+    slots_.at(static_cast<std::size_t>(slot)) =
+        prng::make_by_name(generator_, client_seed);
+  }
+
+  void detach(std::uint64_t slot) override {
+    slots_.at(static_cast<std::size_t>(slot)).reset();
+  }
+
+  double fill(std::span<const Fill> fills) override {
+    for (const Fill& f : fills) {
+      prng::Generator* g = slots_.at(static_cast<std::size_t>(f.slot)).get();
+      HPRNG_CHECK(g != nullptr, "BaselineShard::fill: slot not attached");
+      for (std::uint64_t& out : f.out) out = g->next_u64();
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] std::string name() const override { return generator_; }
+
+ private:
+  std::string generator_;
+  std::vector<std::unique_ptr<prng::Generator>> slots_;
+};
+
+}  // namespace
+
+std::unique_ptr<ShardBackend> make_shard_backend(const ServiceOptions& opts,
+                                                 int shard_index) {
+  // Per-shard seed domain: a SeedSequence split keyed by shard index, so
+  // hybrid shard feeds (and through them every walk start vertex) are
+  // disjoint across the pool.
+  const std::uint64_t shard_seed =
+      prng::SeedSequence(opts.seed)
+          .split(static_cast<std::uint64_t>(shard_index))
+          .root();
+  if (opts.backend == "hybrid") {
+    return std::make_unique<HybridShard>(opts, shard_seed);
+  }
+  if (opts.backend == "cpu-walk") {
+    return std::make_unique<CpuWalkShard>(opts);
+  }
+  return std::make_unique<BaselineShard>(opts, opts.backend);
+}
+
+}  // namespace hprng::serve

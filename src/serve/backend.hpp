@@ -1,0 +1,66 @@
+#pragma once
+
+// Backend shards for hprng::serve (docs/SERVING.md §2).
+//
+// A shard is one generator pool member: it owns the stream state behind
+// every lease slot the LeaseManager maps to it. Three implementations:
+//
+//  * hybrid   — a core::HybridPrng on its own simulated device; each slot
+//               is one device walk, small requests coalesce into one
+//               FEED/TRANSFER/GENERATE pass (HybridPrng::fill_leased).
+//  * cpu-walk — one core::CpuWalkPrng per slot (the paper's CPU variant).
+//  * any prng::make_by_name name — one baseline generator per slot, for
+//               apples-to-apples serving comparisons in bench/serve_load.
+//
+// Threading contract: calls into a shard are serialised by holding its
+// `mu` (workers serving a coalesced batch, the service attaching and
+// detaching leases). Different shards never share state, so they run
+// fully concurrently.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "serve/options.hpp"
+
+namespace hprng::serve {
+
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  /// One slot's portion of a coalesced fill pass.
+  struct Fill {
+    std::uint64_t slot = 0;
+    std::span<std::uint64_t> out;
+  };
+
+  /// Bind `slot` to a fresh client stream seeded with `client_seed` (the
+  /// SeedSequence-derived lease seed).
+  virtual void attach(std::uint64_t slot, std::uint64_t client_seed) = 0;
+
+  /// Unbind `slot`; it may be attach()ed again later under a new lease.
+  virtual void detach(std::uint64_t slot) = 0;
+
+  /// Serve every fill in one batched pass. Each slot appears at most once
+  /// per call — the service splits duplicate-slot batches into passes.
+  /// Returns the simulated device seconds charged (0 for host backends).
+  virtual double fill(std::span<const Fill> fills) = 0;
+
+  /// Backend kind label for reports ("hybrid", "cpu-walk", "mt19937", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Held by whoever calls into this shard (see the threading contract).
+  std::mutex mu;
+};
+
+/// Build shard `shard_index` of the pool described by `opts`. The shard
+/// derives its seed domain from opts.seed via SeedSequence::split, so no
+/// two shards (and no two slots anywhere) share stream seeds. Aborts on
+/// unknown backend names.
+std::unique_ptr<ShardBackend> make_shard_backend(const ServiceOptions& opts,
+                                                 int shard_index);
+
+}  // namespace hprng::serve

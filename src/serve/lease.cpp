@@ -1,0 +1,87 @@
+#include "serve/lease.hpp"
+
+#include "util/check.hpp"
+
+namespace hprng::serve {
+
+LeaseManager::LeaseManager(int num_shards, std::uint64_t slots_per_shard,
+                           std::uint64_t root_seed)
+    : seq_(root_seed), slots_per_shard_(slots_per_shard) {
+  HPRNG_CHECK(num_shards > 0, "LeaseManager: need at least one shard");
+  HPRNG_CHECK(slots_per_shard > 0, "LeaseManager: need at least one slot");
+  shards_.resize(static_cast<std::size_t>(num_shards));
+}
+
+std::optional<Lease> LeaseManager::grant() {
+  std::lock_guard<std::mutex> lk(mu_);
+  int best = -1;
+  std::uint64_t best_active = 0;
+  for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+    const ShardSlots& shard = shards_[static_cast<std::size_t>(s)];
+    if (shard.active >= slots_per_shard_) continue;
+    if (best < 0 || shard.active < best_active) {
+      best = s;
+      best_active = shard.active;
+    }
+  }
+  if (best < 0) return std::nullopt;
+  return grant_locked(best);
+}
+
+std::optional<Lease> LeaseManager::grant_on(std::uint64_t shard_key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return grant_locked(static_cast<int>(shard_key % shards_.size()));
+}
+
+std::optional<Lease> LeaseManager::grant_locked(int shard_index) {
+  ShardSlots& shard = shards_[static_cast<std::size_t>(shard_index)];
+  std::uint64_t slot = 0;
+  if (!shard.free_list.empty()) {
+    slot = shard.free_list.back();
+    shard.free_list.pop_back();
+  } else if (shard.next_fresh < slots_per_shard_) {
+    slot = shard.next_fresh++;
+  } else {
+    return std::nullopt;
+  }
+  shard.active += 1;
+  granted_ += 1;
+  Lease lease;
+  lease.id = next_id_++;
+  lease.shard = shard_index;
+  lease.slot = slot;
+  lease.seed = seq_.derive(lease.id);
+  return lease;
+}
+
+void LeaseManager::release(const Lease& lease) {
+  std::lock_guard<std::mutex> lk(mu_);
+  HPRNG_CHECK(lease.id != 0, "LeaseManager::release: invalid lease");
+  HPRNG_CHECK(lease.shard >= 0 &&
+                  lease.shard < static_cast<int>(shards_.size()),
+              "LeaseManager::release: shard out of range");
+  ShardSlots& shard = shards_[static_cast<std::size_t>(lease.shard)];
+  HPRNG_CHECK(shard.active > 0, "LeaseManager::release: double release");
+  shard.active -= 1;
+  shard.free_list.push_back(lease.slot);
+  released_ += 1;
+}
+
+std::uint64_t LeaseManager::active() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t total = 0;
+  for (const ShardSlots& shard : shards_) total += shard.active;
+  return total;
+}
+
+std::uint64_t LeaseManager::granted_total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return granted_;
+}
+
+std::uint64_t LeaseManager::released_total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return released_;
+}
+
+}  // namespace hprng::serve

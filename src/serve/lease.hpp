@@ -1,0 +1,80 @@
+#pragma once
+
+// Substream leases for hprng::serve (docs/SERVING.md §3).
+//
+// A lease binds a client session to one backend stream slot — for the
+// hybrid backend, one device walk. The LeaseManager owns the slot
+// inventory: it grants slots from per-shard free lists, derives each
+// lease's collision-free client seed through prng::SeedSequence, and
+// reclaims slots on release so the pool serves an unbounded population
+// of sessions with a bounded number of generator states.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "prng/seed_seq.hpp"
+
+namespace hprng::serve {
+
+/// A leased substream: shard + slot locate the backend stream, `seed` is
+/// what that stream was attached with. `id` is globally unique and never
+/// reused — it doubles as the SeedSequence derivation index, so two leases
+/// can never share a seed even when they recycle the same slot.
+struct Lease {
+  std::uint64_t id = 0;  ///< 0 = invalid; real leases start at 1.
+  int shard = 0;
+  std::uint64_t slot = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Thread-safe slot inventory. Slots are dense per shard
+/// ([0, slots_per_shard)); fresh slots are handed out first, reclaimed
+/// slots reused LIFO.
+class LeaseManager {
+ public:
+  LeaseManager(int num_shards, std::uint64_t slots_per_shard,
+               std::uint64_t root_seed);
+
+  /// Lease a slot on the least-loaded shard (ties go to the lowest shard
+  /// index). nullopt when every slot in the pool is leased.
+  std::optional<Lease> grant();
+
+  /// Lease a slot on shard `shard_key % num_shards` — client affinity
+  /// pinning (sticky routing). nullopt when that shard is full.
+  std::optional<Lease> grant_on(std::uint64_t shard_key);
+
+  /// Return the lease's slot to its shard's free list. The id is retired
+  /// forever; a later lease of the same slot gets a fresh id and seed.
+  void release(const Lease& lease);
+
+  [[nodiscard]] std::uint64_t active() const;
+  [[nodiscard]] std::uint64_t granted_total() const;
+  [[nodiscard]] std::uint64_t released_total() const;
+  [[nodiscard]] int num_shards() const {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] std::uint64_t slots_per_shard() const {
+    return slots_per_shard_;
+  }
+
+ private:
+  std::optional<Lease> grant_locked(int shard);
+
+  struct ShardSlots {
+    std::vector<std::uint64_t> free_list;  // reclaimed, reused LIFO
+    std::uint64_t next_fresh = 0;          // never-used: [next_fresh, cap)
+    std::uint64_t active = 0;
+  };
+
+  mutable std::mutex mu_;
+  prng::SeedSequence seq_;
+  std::uint64_t slots_per_shard_;
+  std::uint64_t next_id_ = 1;  // lease id == SeedSequence derivation index
+  std::uint64_t granted_ = 0;
+  std::uint64_t released_ = 0;
+  std::vector<ShardSlots> shards_;
+};
+
+}  // namespace hprng::serve

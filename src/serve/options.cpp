@@ -1,0 +1,46 @@
+#include "serve/options.hpp"
+
+namespace hprng::serve {
+
+const char* to_string(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kReject:
+      return "reject";
+    case BackpressurePolicy::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+bool parse_policy(const std::string& text, BackpressurePolicy* out) {
+  if (text == "block") {
+    *out = BackpressurePolicy::kBlock;
+  } else if (text == "reject") {
+    *out = BackpressurePolicy::kReject;
+  } else if (text == "shed") {
+    *out = BackpressurePolicy::kShed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kRejected:
+      return "rejected";
+    case Status::kShed:
+      return "shed";
+    case Status::kTimeout:
+      return "timeout";
+    case Status::kClosed:
+      return "closed";
+  }
+  return "?";
+}
+
+}  // namespace hprng::serve

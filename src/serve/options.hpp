@@ -1,0 +1,86 @@
+#pragma once
+
+// hprng::serve — multi-client RNG-as-a-service over the paper's generators
+// (docs/SERVING.md). This header holds the value types shared by the
+// queue / lease / backend / service layers: admission policies, request
+// statuses and the service configuration.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace hprng::serve {
+
+/// What admission control does when the request queue is full.
+enum class BackpressurePolicy {
+  /// Wait for queue space until the request's deadline (then kTimeout).
+  kBlock,
+  /// Fail immediately with kRejected; never waits.
+  kReject,
+  /// Admit by evicting a queued request whose deadline has already passed
+  /// (that request completes as kShed); if nothing is evictable, reject.
+  kShed,
+};
+
+[[nodiscard]] const char* to_string(BackpressurePolicy policy);
+
+/// Parse "block" / "reject" / "shed" (the --policy flag of serve_load).
+bool parse_policy(const std::string& text, BackpressurePolicy* out);
+
+/// Terminal state of a request.
+enum class Status {
+  kOk = 0,    ///< filled; the output span holds the client's next draws
+  kRejected,  ///< refused at admission (full queue, reject/shed policy)
+  kShed,      ///< admitted, but its deadline passed before service
+  kTimeout,   ///< block-policy admission wait exceeded the deadline
+  kClosed,    ///< the service stopped before the request was admitted
+};
+
+[[nodiscard]] const char* to_string(Status status);
+
+/// Service configuration. Defaults serve a sharded hybrid pool sized for
+/// the tests and the serve_load bench; production knobs are the queue
+/// capacity / worker count / policy trio.
+struct ServiceOptions {
+  /// Backend kind: "hybrid" (sharded HybridPrng pool, one device walk per
+  /// lease), "cpu-walk" (one CpuWalkPrng per lease) or any
+  /// prng::make_by_name baseline name ("mt19937", "xorwow", ...).
+  std::string backend = "hybrid";
+
+  /// Independent backend shards. Each shard owns its own generator state
+  /// (its own simulated device for "hybrid") and disjoint stream slots, so
+  /// shards never contend on anything but the request queue.
+  int num_shards = 4;
+
+  /// Stream slots per shard — the lease capacity. For the hybrid backend
+  /// this is the walk count per device, so total capacity
+  /// num_shards * max_leases_per_shard is the "millions of users" dial.
+  std::uint64_t max_leases_per_shard = 64;
+
+  /// Worker threads draining the request queue.
+  int num_workers = 2;
+
+  /// Bounded MPMC request queue capacity — the backpressure trigger.
+  std::size_t queue_capacity = 256;
+
+  /// Max requests one worker pops per pass; requests landing on the same
+  /// shard coalesce into one batched backend fill.
+  std::size_t max_coalesce = 8;
+
+  /// Admission policy when the queue is full.
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+
+  /// Deadline for requests submitted without an explicit timeout.
+  std::chrono::nanoseconds default_timeout = std::chrono::seconds(30);
+
+  /// Root seed. Per-shard and per-client seeds derive from it through
+  /// prng::SeedSequence — collision-free by construction.
+  std::uint64_t seed = 0x243F6A8885A308D3ull;
+
+  /// Walk length for hybrid / cpu-walk backends. Default 8: the
+  /// application operating point (DESIGN.md §5.3) — serving consumers are
+  /// applications, not battery inputs; pass 32 for generator-grade streams.
+  int walk_len = 8;
+};
+
+}  // namespace hprng::serve

@@ -1,0 +1,165 @@
+#pragma once
+
+// Bounded MPMC request queue for hprng::serve (docs/SERVING.md §4).
+//
+// This is the backpressure point of the service: producers (client
+// sessions) push under an admission policy, consumers (worker threads)
+// pop coalescing batches. A `gate` atomic lets the service park its
+// workers (RngService::pause) without losing queued items — the fence
+// the queue-depth accounting tests measure at.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace hprng::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  enum class PushResult { kOk, kFull, kTimeout, kClosed };
+
+  /// @param capacity maximum queued items before pushes report kFull.
+  /// @param gate optional pause flag: while *gate is true, pop_batch()
+  ///        blocks even when items are queued (pushes are unaffected).
+  ///        Whoever flips the gate must call wake() afterwards.
+  explicit BoundedQueue(std::size_t capacity,
+                        const std::atomic<bool>* gate = nullptr)
+      : capacity_(capacity), gate_(gate) {}
+
+  /// Non-blocking push; kFull when at capacity (the reject/shed policies).
+  PushResult try_push(T item) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (items_.size() >= capacity_) return PushResult::kFull;
+    items_.push_back(std::move(item));
+    if (on_size_change_) on_size_change_(items_.size());
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocking push (the block policy): waits for space until `deadline`.
+  PushResult push_until(T item,
+                        std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!not_full_.wait_until(lk, deadline, [&] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return PushResult::kTimeout;
+    }
+    if (closed_) return PushResult::kClosed;
+    items_.push_back(std::move(item));
+    if (on_size_change_) on_size_change_(items_.size());
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Move up to `max` items into *out (appending). Blocks until the queue
+  /// is non-empty with the gate open, or closed. Returns the number moved;
+  /// 0 means closed-and-empty — the consumer's exit signal. After close()
+  /// the gate is ignored so workers can drain the backlog.
+  ///
+  /// When `in_flight` is given it is incremented under the queue lock
+  /// before a non-empty batch is handed out, so an observer that reads
+  /// size() == 0 and *in_flight == 0 knows no popped-but-unprocessed batch
+  /// hides in the gap (the drain() fence). The consumer decrements it when
+  /// the batch is fully processed.
+  std::size_t pop_batch(std::vector<T>* out, std::size_t max,
+                        std::atomic<int>* in_flight = nullptr) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] {
+      return closed_ || (!gated() && !items_.empty());
+    });
+    std::size_t n = std::min(max, items_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (n > 0) {
+      if (in_flight != nullptr) {
+        in_flight->fetch_add(1, std::memory_order_acq_rel);
+      }
+      if (on_size_change_) on_size_change_(items_.size());
+      not_full_.notify_all();
+    }
+    return n;
+  }
+
+  /// Remove and return every queued item matching `pred` — the shed
+  /// policy's eviction sweep (drop already-expired requests to admit a
+  /// live one).
+  template <typename Pred>
+  std::vector<T> evict_if(Pred pred) {
+    std::vector<T> evicted;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = items_.begin(); it != items_.end();) {
+      if (pred(*it)) {
+        evicted.push_back(std::move(*it));
+        it = items_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!evicted.empty()) {
+      if (on_size_change_) on_size_change_(items_.size());
+      not_full_.notify_all();
+    }
+    return evicted;
+  }
+
+  /// Install a callback invoked with the new size, under the queue lock,
+  /// whenever the item count changes. Because invocations are serialised
+  /// by the lock, a gauge updated from this callback is exactly consistent
+  /// with size() at any quiescent fence — the property the serve metrics
+  /// tests assert. Install before any concurrent use.
+  void set_size_listener(std::function<void(std::size_t)> fn) {
+    std::lock_guard<std::mutex> lk(mu_);
+    on_size_change_ = std::move(fn);
+  }
+
+  /// Refuse new pushes and wake everyone; queued items remain poppable.
+  void close() {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Re-evaluate wait conditions (call after flipping the gate).
+  void wake() {
+    std::lock_guard<std::mutex> lk(mu_);
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+ private:
+  [[nodiscard]] bool gated() const {
+    return gate_ != nullptr && gate_->load(std::memory_order_acquire);
+  }
+
+  const std::size_t capacity_;
+  const std::atomic<bool>* gate_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::function<void(std::size_t)> on_size_change_;
+  bool closed_ = false;
+};
+
+}  // namespace hprng::serve

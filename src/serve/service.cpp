@@ -1,0 +1,442 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "prng/seed_seq.hpp"
+#include "util/check.hpp"
+
+namespace hprng::serve {
+
+namespace {
+
+double seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
+}
+
+/// SeedSequence split index of the lease seed domain — distinct from the
+/// shard-backend domains (which use split(shard_index), small integers).
+constexpr std::uint64_t kLeaseSeedDomain = ~std::uint64_t{0};
+
+}  // namespace
+
+namespace detail {
+
+SessionState::~SessionState() {
+  if (service != nullptr) service->release_lease(lease);
+}
+
+}  // namespace detail
+
+RngService::RngService(ServiceOptions opts, obs::MetricsRegistry* metrics)
+    : opts_(std::move(opts)),
+      metrics_(metrics),
+      leases_(opts_.num_shards, opts_.max_leases_per_shard,
+              prng::SeedSequence(opts_.seed).split(kLeaseSeedDomain).root()),
+      queue_(opts_.queue_capacity, &paused_) {
+  HPRNG_CHECK(opts_.queue_capacity > 0, "RngService: queue_capacity >= 1");
+  HPRNG_CHECK(opts_.max_coalesce > 0, "RngService: max_coalesce >= 1");
+
+  if (metrics_ != nullptr) {
+    // Resolve the whole hprng.serve.* catalogue up front so a snapshot is
+    // complete (every documented instrument present) even at zero traffic.
+    ins_.requests_submitted =
+        &metrics_->counter("hprng.serve.requests_submitted");
+    ins_.requests_completed =
+        &metrics_->counter("hprng.serve.requests_completed");
+    ins_.requests_rejected =
+        &metrics_->counter("hprng.serve.requests_rejected");
+    ins_.requests_shed = &metrics_->counter("hprng.serve.requests_shed");
+    ins_.requests_timed_out =
+        &metrics_->counter("hprng.serve.requests_timed_out");
+    ins_.numbers_served = &metrics_->counter("hprng.serve.numbers_served");
+    ins_.batches = &metrics_->counter("hprng.serve.batches");
+    ins_.leases_granted = &metrics_->counter("hprng.serve.leases_granted");
+    ins_.leases_released = &metrics_->counter("hprng.serve.leases_released");
+    ins_.queue_depth = &metrics_->gauge("hprng.serve.queue_depth");
+    ins_.active_leases = &metrics_->gauge("hprng.serve.active_leases");
+    ins_.batch_requests = &metrics_->histogram("hprng.serve.batch_requests");
+    ins_.request_latency_seconds =
+        &metrics_->histogram("hprng.serve.request_latency_seconds");
+    ins_.queue_wait_seconds =
+        &metrics_->histogram("hprng.serve.queue_wait_seconds");
+    ins_.fill_sim_seconds =
+        &metrics_->histogram("hprng.serve.fill_sim_seconds");
+    ins_.fill_wall_seconds =
+        &metrics_->histogram("hprng.serve.fill_wall_seconds");
+    // Updated under the queue lock, so the gauge is exactly size() at any
+    // quiescent fence (the property the accounting tests assert).
+    queue_.set_size_listener([this](std::size_t n) {
+      ins_.queue_depth->set(static_cast<double>(n));
+    });
+  }
+
+  shards_.reserve(static_cast<std::size_t>(opts_.num_shards));
+  for (int s = 0; s < opts_.num_shards; ++s) {
+    shards_.push_back(make_shard_backend(opts_, s));
+  }
+
+  const int workers = std::max(1, opts_.num_workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+RngService::~RngService() {
+  stopping_.store(true, std::memory_order_release);
+  // Stopping overrides pause: workers must drain the backlog to exit.
+  paused_.store(false, std::memory_order_release);
+  queue_.close();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::optional<Session> RngService::try_open_session() {
+  return open_with(leases_.grant());
+}
+
+std::optional<Session> RngService::try_open_session(std::uint64_t shard_key) {
+  return open_with(leases_.grant_on(shard_key));
+}
+
+Session RngService::open_session() {
+  std::optional<Session> session = try_open_session();
+  HPRNG_CHECK(session.has_value(),
+              "RngService::open_session: lease pool exhausted");
+  return *std::move(session);
+}
+
+std::optional<Session> RngService::open_with(std::optional<Lease> lease) {
+  if (!lease.has_value()) return std::nullopt;
+  {
+    ShardBackend& shard = *shards_[static_cast<std::size_t>(lease->shard)];
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.attach(lease->slot, lease->seed);
+  }
+  if (ins_.leases_granted != nullptr) {
+    ins_.leases_granted->add();
+    ins_.active_leases->set(static_cast<double>(leases_.active()));
+  }
+  auto state = std::make_shared<detail::SessionState>();
+  state->service = this;
+  state->lease = *lease;
+  return Session(std::move(state));
+}
+
+void RngService::release_lease(const Lease& lease) {
+  {
+    ShardBackend& shard = *shards_[static_cast<std::size_t>(lease.shard)];
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.detach(lease.slot);
+  }
+  leases_.release(lease);
+  if (ins_.leases_released != nullptr) {
+    ins_.leases_released->add();
+    ins_.active_leases->set(static_cast<double>(leases_.active()));
+  }
+}
+
+RngService::RequestPtr RngService::submit(
+    const std::shared_ptr<detail::SessionState>& session,
+    std::span<std::uint64_t> out, std::chrono::nanoseconds timeout) {
+  auto req = std::make_shared<detail::Request>();
+  req->session = session;
+  req->out = out;
+  req->submit_time = std::chrono::steady_clock::now();
+  req->deadline =
+      req->submit_time + (timeout.count() > 0 ? timeout : opts_.default_timeout);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (ins_.requests_submitted != nullptr) ins_.requests_submitted->add();
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    settle(req, Status::kClosed);
+    return req;
+  }
+  if (out.empty()) {  // trivially served; skip the queue
+    settle(req, Status::kOk);
+    return req;
+  }
+
+  using PushResult = BoundedQueue<RequestPtr>::PushResult;
+  PushResult result = PushResult::kFull;
+  switch (opts_.policy) {
+    case BackpressurePolicy::kBlock:
+      result = queue_.push_until(req, req->deadline);
+      break;
+    case BackpressurePolicy::kReject:
+      result = queue_.try_push(req);
+      break;
+    case BackpressurePolicy::kShed: {
+      result = queue_.try_push(req);
+      if (result == PushResult::kFull) {
+        // Evict already-expired queued requests to make room.
+        const auto now = std::chrono::steady_clock::now();
+        std::vector<RequestPtr> evicted = queue_.evict_if(
+            [now](const RequestPtr& r) { return now >= r->deadline; });
+        for (RequestPtr& victim : evicted) {
+          int expected = detail::Request::kPending;
+          if (victim->phase.compare_exchange_strong(
+                  expected, detail::Request::kAbandoned,
+                  std::memory_order_acq_rel)) {
+            settle(victim, Status::kShed);
+          }
+        }
+        result = queue_.try_push(req);
+      }
+      break;
+    }
+  }
+
+  switch (result) {
+    case PushResult::kOk:
+      break;  // queued; a worker (or timeout) will settle it
+    case PushResult::kFull:
+      settle(req, Status::kRejected);
+      break;
+    case PushResult::kTimeout:
+      settle(req, Status::kTimeout);
+      break;
+    case PushResult::kClosed:
+      settle(req, Status::kClosed);
+      break;
+  }
+  return req;
+}
+
+Status RngService::wait(const RequestPtr& req) {
+  {
+    std::unique_lock<std::mutex> lk(req->mu);
+    if (req->cv.wait_until(lk, req->deadline, [&] { return req->done; })) {
+      return req->status;
+    }
+  }
+  // Deadline passed while still queued. Try to abandon the request so no
+  // worker ever touches `out` (whose storage the caller may now reclaim).
+  int expected = detail::Request::kPending;
+  if (req->phase.compare_exchange_strong(expected, detail::Request::kAbandoned,
+                                         std::memory_order_acq_rel)) {
+    req->session->service->settle(req, Status::kTimeout);
+    return Status::kTimeout;
+  }
+  // A worker claimed it first: it is being served (or settled) right now —
+  // wait out the completion.
+  std::unique_lock<std::mutex> lk(req->mu);
+  req->cv.wait(lk, [&] { return req->done; });
+  return req->status;
+}
+
+void RngService::settle(const RequestPtr& req, Status status) {
+  {
+    std::lock_guard<std::mutex> lk(req->mu);
+    if (req->done) return;  // exactly-once terminal transition
+    req->done = true;
+    req->status = status;
+  }
+  req->cv.notify_all();
+
+  switch (status) {
+    case Status::kOk:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      if (ins_.requests_completed != nullptr) {
+        ins_.requests_completed->add();
+        ins_.request_latency_seconds->observe(
+            seconds(std::chrono::steady_clock::now() - req->submit_time));
+      }
+      break;
+    case Status::kRejected:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (ins_.requests_rejected != nullptr) ins_.requests_rejected->add();
+      break;
+    case Status::kShed:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      if (ins_.requests_shed != nullptr) ins_.requests_shed->add();
+      break;
+    case Status::kTimeout:
+      timed_out_.fetch_add(1, std::memory_order_relaxed);
+      if (ins_.requests_timed_out != nullptr) ins_.requests_timed_out->add();
+      break;
+    case Status::kClosed:
+      closed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void RngService::worker_loop() {
+  std::vector<RequestPtr> batch;
+  while (true) {
+    batch.clear();
+    const std::size_t n = queue_.pop_batch(&batch, opts_.max_coalesce,
+                                           &serving_);
+    if (n == 0) break;  // closed and drained
+    serve_batch(batch);
+    batch.clear();  // drop session refs outside all shard locks
+    serving_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+    }
+    state_cv_.notify_all();
+  }
+}
+
+void RngService::serve_batch(std::vector<RequestPtr>& batch) {
+  // Claim what is still live and group it by shard.
+  std::vector<std::vector<RequestPtr>> by_shard(shards_.size());
+  for (RequestPtr& req : batch) {
+    int expected = detail::Request::kPending;
+    if (std::chrono::steady_clock::now() >= req->deadline) {
+      // Expired in the queue: shed it (unless the waiter got there first).
+      if (req->phase.compare_exchange_strong(expected,
+                                             detail::Request::kAbandoned,
+                                             std::memory_order_acq_rel)) {
+        settle(req, Status::kShed);
+      }
+      continue;
+    }
+    if (!req->phase.compare_exchange_strong(expected,
+                                            detail::Request::kClaimed,
+                                            std::memory_order_acq_rel)) {
+      continue;  // abandoned by its waiter — the span is off limits
+    }
+    by_shard[static_cast<std::size_t>(req->session->lease.shard)].push_back(
+        req);
+  }
+
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    std::vector<RequestPtr>& group = by_shard[s];
+    if (group.empty()) continue;
+
+    // A backend fill takes each slot at most once, so a session with two
+    // requests in the batch needs them in separate passes (served in
+    // order, preserving its stream sequence).
+    struct Pass {
+      std::vector<ShardBackend::Fill> fills;
+      std::vector<RequestPtr> reqs;
+    };
+    std::vector<Pass> passes;
+    for (RequestPtr& req : group) {
+      const std::uint64_t slot = req->session->lease.slot;
+      Pass* target = nullptr;
+      for (Pass& pass : passes) {
+        bool duplicate = false;
+        for (const ShardBackend::Fill& f : pass.fills) {
+          if (f.slot == slot) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          target = &pass;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        passes.emplace_back();
+        target = &passes.back();
+      }
+      target->fills.push_back({slot, req->out});
+      target->reqs.push_back(req);
+    }
+
+    ShardBackend& shard = *shards_[s];
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (Pass& pass : passes) {
+      const auto wall_start = std::chrono::steady_clock::now();
+      const double sim_seconds = shard.fill(pass.fills);
+      const auto wall_end = std::chrono::steady_clock::now();
+
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      std::uint64_t words = 0;
+      for (const ShardBackend::Fill& f : pass.fills) words += f.out.size();
+      numbers_served_.fetch_add(words, std::memory_order_relaxed);
+      if (ins_.batches != nullptr) {
+        ins_.batches->add();
+        ins_.numbers_served->add(static_cast<double>(words));
+        ins_.batch_requests->observe(static_cast<double>(pass.fills.size()));
+        ins_.fill_sim_seconds->observe(sim_seconds);
+        ins_.fill_wall_seconds->observe(seconds(wall_end - wall_start));
+      }
+      for (RequestPtr& req : pass.reqs) {
+        if (ins_.queue_wait_seconds != nullptr) {
+          ins_.queue_wait_seconds->observe(
+              seconds(wall_start - req->submit_time));
+        }
+        settle(req, Status::kOk);
+      }
+    }
+  }
+}
+
+void RngService::pause() {
+  paused_.store(true, std::memory_order_release);
+  queue_.wake();
+  // Wait until in-flight batches finish; afterwards workers are parked and
+  // the queue contents are frozen.
+  std::unique_lock<std::mutex> lk(state_mu_);
+  state_cv_.wait(lk, [&] {
+    return serving_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void RngService::resume() {
+  paused_.store(false, std::memory_order_release);
+  queue_.wake();
+}
+
+void RngService::drain() {
+  HPRNG_CHECK(!paused_.load(std::memory_order_acquire),
+              "RngService::drain: resume() first");
+  std::unique_lock<std::mutex> lk(state_mu_);
+  // pop_batch increments serving_ under the queue lock, so size() == 0
+  // with serving_ == 0 really means nothing is queued OR in flight. The
+  // bounded wait keeps this robust against wakeups raced away by a pop.
+  while (queue_.size() != 0 ||
+         serving_.load(std::memory_order_acquire) != 0) {
+    state_cv_.wait_for(lk, std::chrono::milliseconds(2));
+  }
+}
+
+RngService::Stats RngService::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
+  s.closed = closed_.load(std::memory_order_relaxed);
+  s.numbers_served = numbers_served_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.size();
+  s.active_leases = leases_.active();
+  s.leases_granted = leases_.granted_total();
+  s.leases_released = leases_.released_total();
+  return s;
+}
+
+// -- Session / Ticket --------------------------------------------------------
+
+Status Session::fill(std::span<std::uint64_t> out,
+                     std::chrono::nanoseconds timeout) {
+  HPRNG_CHECK(valid(), "Session::fill: empty session");
+  RngService* service = state_->service;
+  return RngService::wait(service->submit(state_, out, timeout));
+}
+
+Ticket Session::fill_async(std::span<std::uint64_t> out,
+                           std::chrono::nanoseconds timeout) {
+  HPRNG_CHECK(valid(), "Session::fill_async: empty session");
+  return Ticket(state_->service->submit(state_, out, timeout));
+}
+
+std::vector<std::uint64_t> Session::draw(std::size_t n) {
+  std::vector<std::uint64_t> out(n);
+  const Status status = fill(out);
+  HPRNG_CHECK(status == Status::kOk, "Session::draw: fill failed");
+  return out;
+}
+
+Status Ticket::wait() {
+  HPRNG_CHECK(req_ != nullptr, "Ticket::wait: empty ticket");
+  return RngService::wait(req_);
+}
+
+}  // namespace hprng::serve

@@ -1,0 +1,266 @@
+#pragma once
+
+// hprng::serve::RngService — multi-client RNG-as-a-service front-end over
+// the paper's generators (docs/SERVING.md).
+//
+// Architecture: clients open Sessions, each leasing one substream slot on
+// one backend shard (LeaseManager + ShardBackend). Session fills become
+// Requests on a bounded MPMC queue under an admission policy
+// (block / reject / shed); worker threads pop coalescing batches, group
+// them by shard and serve each group as ONE batched backend fill — for
+// the hybrid backend that is a single FEED/TRANSFER/GENERATE pipeline
+// pass (HybridPrng::fill_leased), which is the whole point: many small
+// client requests amortise one device round, exactly like the paper's
+// batched generation amortises kernel launches.
+//
+// Every request reaches exactly one terminal Status. The request state is
+// heap-shared between the waiting client and the serving worker, with an
+// atomic claim protocol deciding races (worker claim vs. client timeout
+// vs. shed eviction), so no side ever touches a span the other reclaimed.
+//
+// Observability: with a MetricsRegistry attached the service maintains
+// the `hprng.serve.*` catalogue (docs/OBSERVABILITY.md). Engine-side
+// accounting (Stats) is kept independently in atomics, so tests can check
+// the instruments against ground truth at quiescent fences.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/backend.hpp"
+#include "serve/lease.hpp"
+#include "serve/options.hpp"
+#include "serve/queue.hpp"
+
+namespace hprng::serve {
+
+class RngService;
+class Session;
+
+namespace detail {
+
+/// One in-flight fill request, shared between the submitting client and
+/// the worker serving it — whichever side finishes last keeps it alive.
+struct Request {
+  /// Claim protocol: exactly one party wins the CAS away from kPending.
+  /// A worker claims kPending -> kClaimed before touching `out`; a
+  /// timed-out waiter (or a shed-policy eviction) claims
+  /// kPending -> kAbandoned, after which no worker may touch `out` (the
+  /// caller's buffer may be gone).
+  enum Phase : int { kPending = 0, kClaimed, kAbandoned };
+
+  std::shared_ptr<struct SessionState> session;  ///< lease keepalive
+  std::span<std::uint64_t> out;
+  std::chrono::steady_clock::time_point submit_time;
+  std::chrono::steady_clock::time_point deadline;
+
+  std::atomic<int> phase{kPending};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;            ///< guarded by mu; set exactly once
+  Status status = Status::kOk;  ///< guarded by mu; valid once done
+};
+
+/// Shared session state: releasing the last reference returns the lease
+/// (slot + backend stream) to the pool.
+struct SessionState {
+  RngService* service = nullptr;
+  Lease lease;
+  ~SessionState();
+};
+
+}  // namespace detail
+
+/// Completion handle for an asynchronous fill. The output span passed to
+/// fill_async() must stay valid until wait() returns.
+class Ticket {
+ public:
+  Ticket() = default;
+  [[nodiscard]] bool valid() const { return req_ != nullptr; }
+
+  /// Block until the request reaches a terminal status and return it.
+  /// Idempotent — repeated calls return the same status.
+  Status wait();
+
+ private:
+  friend class Session;
+  explicit Ticket(std::shared_ptr<detail::Request> req)
+      : req_(std::move(req)) {}
+  std::shared_ptr<detail::Request> req_;
+};
+
+/// A client's handle on one leased substream. Copyable — copies share the
+/// lease (reference-counted); the slot returns to the pool when the last
+/// copy and the last in-flight request referencing it are gone. Sessions
+/// must not outlive their RngService.
+class Session {
+ public:
+  Session() = default;
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// Fill `out` with the next draws of this session's substream, blocking
+  /// until served or failed. Zero `timeout` means the service default.
+  Status fill(std::span<std::uint64_t> out,
+              std::chrono::nanoseconds timeout = {});
+
+  /// Asynchronous fill: returns immediately; `out` must stay valid until
+  /// Ticket::wait() returns.
+  Ticket fill_async(std::span<std::uint64_t> out,
+                    std::chrono::nanoseconds timeout = {});
+
+  /// Convenience: fill-and-return n draws; aborts unless the fill is kOk
+  /// (use fill() where failure is expected).
+  std::vector<std::uint64_t> draw(std::size_t n);
+
+  /// The lease this session draws through.
+  [[nodiscard]] const Lease& lease() const { return state_->lease; }
+
+ private:
+  friend class RngService;
+  explicit Session(std::shared_ptr<detail::SessionState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::SessionState> state_;
+};
+
+class RngService {
+ public:
+  /// Starts the worker threads; with a registry, resolves every
+  /// `hprng.serve.*` instrument immediately (all appear at value zero, so
+  /// a snapshot is complete even before traffic).
+  explicit RngService(ServiceOptions opts = {},
+                      obs::MetricsRegistry* metrics = nullptr);
+
+  /// Closes the queue, drains the backlog and joins the workers. Requests
+  /// submitted after destruction begins complete as kClosed.
+  ~RngService();
+
+  RngService(const RngService&) = delete;
+  RngService& operator=(const RngService&) = delete;
+
+  /// Lease a substream on the least-loaded shard; nullopt when all
+  /// num_shards * max_leases_per_shard slots are leased.
+  std::optional<Session> try_open_session();
+
+  /// Lease on shard `shard_key % num_shards` (client affinity pinning);
+  /// nullopt when that shard is full.
+  std::optional<Session> try_open_session(std::uint64_t shard_key);
+
+  /// try_open_session() that aborts on pool exhaustion — for callers that
+  /// sized the pool to their client count.
+  Session open_session();
+
+  /// Engine-side ground-truth accounting (independent of the metrics
+  /// registry; exact at quiescent fences).
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;  ///< served kOk
+    std::uint64_t rejected = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t numbers_served = 0;
+    std::uint64_t batches = 0;  ///< backend fill passes
+    std::size_t queue_depth = 0;
+    std::uint64_t active_leases = 0;
+    std::uint64_t leases_granted = 0;
+    std::uint64_t leases_released = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  // -- Maintenance / test fences -------------------------------------------
+
+  /// Park the workers: in-flight batches finish (pause blocks until they
+  /// have), then no further requests are popped until resume(). Queued
+  /// requests stay queued — this is the fence at which queue accounting
+  /// is exact and controllable.
+  void pause();
+
+  /// Reopen the worker gate.
+  void resume();
+
+  /// Block until the queue is empty and no batch is in flight. Requires a
+  /// resumed service (a paused service with a backlog never drains).
+  void drain();
+
+  [[nodiscard]] const ServiceOptions& options() const { return opts_; }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+  [[nodiscard]] int num_shards() const {
+    return static_cast<int>(shards_.size());
+  }
+
+ private:
+  friend class Session;
+  friend class Ticket;
+  friend struct detail::SessionState;
+
+  using RequestPtr = std::shared_ptr<detail::Request>;
+
+  /// The `hprng.serve.*` catalogue (docs/OBSERVABILITY.md), resolved once
+  /// at construction. All null when no registry is attached.
+  struct Instruments {
+    obs::Counter* requests_submitted = nullptr;
+    obs::Counter* requests_completed = nullptr;
+    obs::Counter* requests_rejected = nullptr;
+    obs::Counter* requests_shed = nullptr;
+    obs::Counter* requests_timed_out = nullptr;
+    obs::Counter* numbers_served = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* leases_granted = nullptr;
+    obs::Counter* leases_released = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* active_leases = nullptr;
+    obs::Histogram* batch_requests = nullptr;
+    obs::Histogram* request_latency_seconds = nullptr;
+    obs::Histogram* queue_wait_seconds = nullptr;
+    obs::Histogram* fill_sim_seconds = nullptr;
+    obs::Histogram* fill_wall_seconds = nullptr;
+  };
+
+  std::optional<Session> open_with(std::optional<Lease> lease);
+  RequestPtr submit(const std::shared_ptr<detail::SessionState>& session,
+                    std::span<std::uint64_t> out,
+                    std::chrono::nanoseconds timeout);
+  static Status wait(const RequestPtr& req);
+  /// Publish the terminal status (exactly once) and count it.
+  void settle(const RequestPtr& req, Status status);
+  void release_lease(const Lease& lease);
+  void worker_loop();
+  void serve_batch(std::vector<RequestPtr>& batch);
+
+  ServiceOptions opts_;
+  obs::MetricsRegistry* metrics_;
+  Instruments ins_;
+  LeaseManager leases_;
+  std::vector<std::unique_ptr<ShardBackend>> shards_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> paused_{false};
+  BoundedQueue<RequestPtr> queue_;
+
+  // Engine accounting (ground truth for Stats).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> numbers_served_{0};
+  std::atomic<std::uint64_t> batches_{0};
+
+  std::atomic<int> serving_{0};  ///< workers with a popped, unfinished batch
+  std::mutex state_mu_;
+  std::condition_variable state_cv_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hprng::serve

@@ -16,6 +16,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/service.hpp"
 #include "sim/device.hpp"
 #include "util/file.hpp"
 
@@ -319,6 +320,18 @@ class InstrumentedRunTest : public ::testing::Test {
     elapsed_ = prng_->generate_device(kNumbers, kBatch, out);
     t1_ = dev_->engine().now();
     t0_ = t1_ - elapsed_;
+
+    // The serving layer registers its whole hprng.serve.* catalogue at
+    // construction (docs/OBSERVABILITY.md §serve), so one short-lived
+    // service makes the documented-metric contract below cover it too.
+    serve::ServiceOptions sopts;
+    sopts.backend = "cpu-walk";
+    sopts.num_shards = 2;
+    sopts.max_leases_per_shard = 4;
+    serve::RngService service(sopts, &metrics_);
+    serve::Session session = service.open_session();
+    std::vector<std::uint64_t> buf(64);
+    ASSERT_EQ(session.fill(buf), serve::Status::kOk);
   }
 
   obs::Counter& busy_counter(sim::Resource r) {
