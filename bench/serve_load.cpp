@@ -9,14 +9,18 @@
 //        --workers --capacity --coalesce --policy=block|reject|shed
 //        --timeout-ms --backend=hybrid|cpu-walk|<baseline> --seed
 //        --metrics-json=<path>
+//        --fault-plan=<plan>  deterministic chaos run (docs/FAULTS.md §3),
+//                             e.g. --fault-plan="shard:1:fail:0:1000000"
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
@@ -50,6 +54,22 @@ int main(int argc, char** argv) {
   opts.default_timeout =
       std::chrono::milliseconds(cli.get_u64("timeout-ms", 30000));
 
+  // Optional deterministic chaos: parse the plan text and wire the injector
+  // into every shard's pipeline plus the service's dispatch/worker sites.
+  const std::string plan_text = cli.get_string("fault-plan", "");
+  std::optional<fault::FaultPlan> plan;
+  std::optional<fault::Injector> injector;
+  if (!plan_text.empty()) {
+    plan = fault::FaultPlan::parse(plan_text);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "bad --fault-plan=%s (see docs/FAULTS.md)\n",
+                   plan_text.c_str());
+      return 2;
+    }
+    injector.emplace(*plan);
+    opts.injector = &*injector;
+  }
+
   bench::banner(
       "serve_load — closed-loop multi-client serving",
       "the on-demand generator serves many small consumers by coalescing "
@@ -60,11 +80,15 @@ int main(int argc, char** argv) {
                  opts.backend.c_str(), opts.num_workers, opts.queue_capacity,
                  policy_name.c_str())
           .c_str());
+  if (plan.has_value()) {
+    std::printf("fault plan: %s\n\n", plan->to_string().c_str());
+  }
 
   obs::MetricsRegistry metrics;
   double wall_seconds = 0.0;
   std::atomic<std::uint64_t> ok{0}, failed{0};
   serve::RngService::Stats stats;
+  int healthy = opts.num_shards;
   {
     serve::RngService service(opts, &metrics);
 
@@ -102,6 +126,7 @@ int main(int argc, char** argv) {
     service.drain();
     sessions.clear();  // release every lease before the final snapshot
     stats = service.stats();
+    healthy = service.healthy_shards();
   }
 
   const std::uint64_t total =
@@ -117,6 +142,19 @@ int main(int argc, char** argv) {
                                 static_cast<unsigned long long>(stats.shed))});
   t.add_row({"timed out", util::strf("%llu", static_cast<unsigned long long>(
                                                  stats.timed_out))});
+  if (plan.has_value()) {
+    t.add_row({"failed", util::strf("%llu", static_cast<unsigned long long>(
+                                                stats.failed))});
+    t.add_row({"retries", util::strf("%llu", static_cast<unsigned long long>(
+                                                 stats.retries))});
+    t.add_row({"failovers", util::strf("%llu", static_cast<unsigned long long>(
+                                                   stats.failovers))});
+    t.add_row({"shards ejected",
+               util::strf("%llu",
+                          static_cast<unsigned long long>(stats.shards_ejected))});
+    t.add_row({"healthy shards",
+               util::strf("%d / %d", healthy, opts.num_shards)});
+  }
   t.add_row({"numbers served", util::strf("%llu", static_cast<unsigned long long>(
                                                       stats.numbers_served))});
   t.add_row({"backend passes", util::strf("%llu", static_cast<unsigned long long>(
@@ -151,21 +189,22 @@ int main(int argc, char** argv) {
   const bool conserved =
       stats.submitted == total &&
       stats.submitted == stats.completed + stats.rejected + stats.shed +
-                             stats.timed_out + stats.closed &&
+                             stats.timed_out + stats.closed + stats.failed &&
       ok.load() == stats.completed &&
       failed.load() == stats.rejected + stats.shed + stats.timed_out +
-                           stats.closed;
+                           stats.closed + stats.failed;
   const bool leases_clean = stats.active_leases == 0 &&
                             stats.leases_granted == stats.leases_released;
   const bool coalesced = stats.batches <= stats.completed;
   std::printf("\nconservation: submitted %llu = ok %llu + rejected %llu + "
-              "shed %llu + timed_out %llu + closed %llu [%s]\n",
+              "shed %llu + timed_out %llu + closed %llu + failed %llu [%s]\n",
               static_cast<unsigned long long>(stats.submitted),
               static_cast<unsigned long long>(stats.completed),
               static_cast<unsigned long long>(stats.rejected),
               static_cast<unsigned long long>(stats.shed),
               static_cast<unsigned long long>(stats.timed_out),
               static_cast<unsigned long long>(stats.closed),
+              static_cast<unsigned long long>(stats.failed),
               conserved ? "OK" : "MISMATCH");
 
   bench::export_metrics_json(cli, metrics);

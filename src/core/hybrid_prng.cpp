@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/calibration.hpp"
+#include "prng/seed_seq.hpp"
 #include "prng/splitmix64.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
@@ -78,31 +79,43 @@ double HybridPrng::device_ops_for_draws_inline(double draws) const {
   return draws * cfg_.walk_len * kWalkStepInlineOps;
 }
 
-void HybridPrng::initialize(std::uint64_t threads) {
-  if (threads <= initialized_threads_) return;
+bool HybridPrng::initialize(std::uint64_t threads) {
+  if (threads <= initialized_threads_) return true;
   // Growing the state array may reallocate storage that pending kernels
-  // hold pointers into: flush them first.
+  // hold pointers into: flush them first. This also completes any earlier
+  // fault-checked work, so the consume below scopes the fault counters to
+  // this init round alone.
   device_.synchronize();
+  (void)device_.take_transfer_faults();
+  (void)feeder_.take_faults();
+  const std::uint64_t first = initialized_threads_;
+  const std::uint64_t fresh = threads - first;
   states_.resize(threads);
 
-  // Algorithm 1: the CPU supplies 64 bits per thread for the start vertex
-  // plus the bits for the init_walk_len mixing walk; the transfer is
-  // asynchronous and the device kernel performs the walks.
+  // Algorithm 1, incrementally: the CPU supplies 64 bits per FRESH thread
+  // for the start vertex plus the bits for the init_walk_len mixing walk;
+  // the transfer is asynchronous and the device kernel performs the walks.
+  // Walks below `first` are live and keep their positions.
   const std::uint64_t init_bits =
       64 + expander::bits_for_walk(
                static_cast<std::uint64_t>(cfg_.init_walk_len), cfg_.policy);
   const std::uint64_t wpt = (init_bits + 31) / 32;
-  const std::uint64_t words = wpt * threads;
-  host_bin_[0].resize(words);
-  device_bin_[0].resize(words);
+  const std::uint64_t words = wpt * fresh;
+  if (host_bin_[0].size() < words) host_bin_[0].resize(words);
+  if (device_bin_[0].size() < words) device_bin_[0].resize(words);
 
   const sim::OpId feed = device_.host_task(
       feed_stream_, "FEED", feeder_.seconds_for_words(words),
-      [this] { feeder_.fill(host_bin_[0]); });
+      [this, words] {
+        feeder_.fill(
+            std::span(host_bin_[0]).first(static_cast<std::size_t>(words)));
+      });
   sim::Stream xfer;
   const sim::OpId copy = device_.memcpy_h2d(
-      xfer, std::span<const std::uint32_t>(host_bin_[0]), device_bin_[0],
-      {feed});
+      xfer,
+      std::span<const std::uint32_t>(host_bin_[0])
+          .first(static_cast<std::size_t>(words)),
+      device_bin_[0], {feed});
 
   const int init_len = cfg_.init_walk_len;
   const auto policy = cfg_.policy;
@@ -112,8 +125,8 @@ void HybridPrng::initialize(std::uint64_t threads) {
       /*bytes_per_thread=*/static_cast<double>(wpt) * 4.0 +
           sizeof(WalkState)};
   const sim::OpId kernel = device_.launch(
-      compute_stream_, "Generate(init)", threads, cost,
-      [this, wpt, init_len, policy, mode](std::uint64_t tid) {
+      compute_stream_, "Generate(init)", fresh, cost,
+      [this, first, wpt, init_len, policy, mode](std::uint64_t tid) {
         auto bin = device_bin_[0].device_span().subspan(
             static_cast<std::size_t>(tid * wpt),
             static_cast<std::size_t>(wpt));
@@ -125,16 +138,23 @@ void HybridPrng::initialize(std::uint64_t threads) {
         s.v = Vertex::from_id((hi << 40) | (mid << 16) | lo);
         s.side = Side::X;
         expander::walk(s, bits, init_len, policy, mode);
-        states_.device_span()[static_cast<std::size_t>(tid)] = s;
+        states_.device_span()[static_cast<std::size_t>(first + tid)] = s;
       },
       {copy});
   slot_consumer_[0] = kernel;
   slot_transfer_[0] = copy;
   device_.synchronize();
+  if (device_.take_transfer_faults() + feeder_.take_faults() != 0) {
+    // The init round lost its payload: the fresh walks' states are garbage.
+    // initialized_threads_ stays at `first`, so the next call re-runs
+    // Algorithm 1 for them (docs/FAULTS.md).
+    return false;
+  }
   initialized_threads_ = threads;
   if (metrics_ != nullptr) {
     ins_.initialized_threads->set(static_cast<double>(threads));
   }
+  return true;
 }
 
 HybridPrng::Round HybridPrng::begin_round(std::uint64_t threads,
@@ -222,43 +242,170 @@ std::uint64_t HybridPrng::ThreadRng::next() {
   return cfg_->finalize_output ? prng::splitmix64_mix(id) : id;
 }
 
-double HybridPrng::fill_leased(std::span<const LeasedDraw> draws) {
-  if (draws.empty()) return 0.0;
+namespace {
+/// Split domain separating the serve-path counter feed from every other
+/// SeedSequence child of the generator's seed.
+constexpr std::uint64_t kServeFeedDomain = 0x5EEDF00Dull;
+}  // namespace
+
+std::uint64_t HybridPrng::serve_feed_root(std::uint64_t walk) const {
+  return prng::SeedSequence(cfg_.seed)
+      .split(kServeFeedDomain)
+      .split(walk)
+      .root();
+}
+
+HybridPrng::LeasedFill HybridPrng::fill_leased(
+    std::span<const LeasedDraw> draws) {
+  LeasedFill res;
+  if (draws.empty()) return res;
   std::uint64_t threads = 0;
   std::uint64_t max_draws = 1;
   for (const LeasedDraw& d : draws) {
     threads = std::max(threads, d.walk + 1);
     max_draws = std::max<std::uint64_t>(max_draws, d.out.size());
   }
-  initialize(threads);
+  if (!initialize(threads)) {  // incremental: live walks keep their state
+    res.ok = false;
+    return res;
+  }
+
+  // One packed wpd-per-draw feed slice per listed walk, one kernel thread
+  // per listed walk (walks not listed cost nothing — unlike the batched
+  // path, the serve pass is sized by the requests, not the walk range).
+  const std::uint64_t wpd = words_per_draw();
+  std::vector<std::uint64_t> offset(draws.size() + 1, 0);
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    offset[i + 1] = offset[i] + wpd * draws[i].out.size();
+  }
+  const std::uint64_t words = offset.back();
+  if (serve_host_bin_.size() < words || serve_device_bin_.size() < words) {
+    // Growth may move storage that pending ops hold spans into.
+    device_.synchronize();
+    if (serve_host_bin_.size() < words) {
+      serve_host_bin_.resize(static_cast<std::size_t>(words));
+    }
+    if (serve_device_bin_.size() < words) {
+      serve_device_bin_.resize(words);
+    }
+  }
+  if (serve_feed_pos_.size() < threads) {
+    serve_feed_pos_.resize(static_cast<std::size_t>(threads), 0);
+  }
+
+  // Duplicate-walk check + transactional snapshot of the listed states.
+  std::vector<std::pair<std::uint64_t, WalkState>> snapshot;
+  snapshot.reserve(draws.size());
+  {
+    std::vector<char> seen(static_cast<std::size_t>(threads), 0);
+    for (const LeasedDraw& d : draws) {
+      char& flag = seen[static_cast<std::size_t>(d.walk)];
+      HPRNG_CHECK(flag == 0, "fill_leased: walk listed twice");
+      flag = 1;
+      snapshot.emplace_back(
+          d.walk, states_.device_span()[static_cast<std::size_t>(d.walk)]);
+    }
+  }
+
   device_.engine().fence();  // fill latency excludes earlier untimed work
   const double sim_start = device_.engine().now();
-  Round round = begin_round(threads, max_draws);
-  std::vector<std::uint32_t> lookup(static_cast<std::size_t>(threads),
-                                    UINT32_MAX);
+
+  // FEED: each listed walk's counter-addressed words into the packed
+  // staging buffer. Charged at the feeder's production cost model; the
+  // injector is consulted at enqueue time, under the owner's lock, so
+  // event ordinals are deterministic (docs/FAULTS.md).
+  std::vector<std::uint64_t> roots(draws.size());
   for (std::size_t i = 0; i < draws.size(); ++i) {
-    std::uint32_t& slot = lookup[static_cast<std::size_t>(draws[i].walk)];
-    HPRNG_CHECK(slot == UINT32_MAX, "fill_leased: walk listed twice");
-    slot = static_cast<std::uint32_t>(i);
+    roots[i] = serve_feed_root(draws[i].walk);
   }
+  std::vector<LeasedDraw> fills(draws.begin(), draws.end());
+  double feed_seconds =
+      feeder_.seconds_for_words(static_cast<std::size_t>(words)) +
+      device_.spec().host_api_call_overhead_us * 1e-6;
+  bool feed_drop = false;
+  if (fault_injector_ != nullptr) {
+    const fault::Outcome o =
+        fault_injector_->on_event(fault::Site::kFeedFill, fault_target_);
+    feed_seconds += o.delay_seconds;
+    feed_drop = o.fail();
+  }
+  serve_feed_faults_ = 0;
+  const sim::OpId feed = device_.host_task(
+      feed_stream_, "FEED", feed_seconds,
+      [this, feed_drop, wpd, offset, roots, fills] {
+        if (feed_drop) {
+          // Underrun: positions are uncommitted, so the retry's feed is
+          // exactly the one this fill owed.
+          ++serve_feed_faults_;
+          return;
+        }
+        for (std::size_t i = 0; i < fills.size(); ++i) {
+          const prng::SeedSequence seq(roots[i]);
+          const std::uint64_t pos =
+              serve_feed_pos_[static_cast<std::size_t>(fills[i].walk)];
+          std::uint32_t* out = serve_host_bin_.data() + offset[i];
+          const std::uint64_t n = wpd * fills[i].out.size();
+          for (std::uint64_t k = 0; k < n; ++k) {
+            out[k] = static_cast<std::uint32_t>(seq.derive(pos + k));
+          }
+        }
+      });
+
+  sim::Stream xfer;
+  const sim::OpId copy = device_.memcpy_h2d(
+      xfer,
+      std::span<const std::uint32_t>(serve_host_bin_)
+          .first(static_cast<std::size_t>(words)),
+      serve_device_bin_, {feed});
+
+  // GENERATE: every draw starts on a fresh word-aligned reader over its
+  // own wpd-word slice — the same per-draw budget the batched path
+  // provisions per round — which is what makes a walk's stream invariant
+  // to how its draws are batched across fills.
   const sim::KernelCost cost{
       device_ops_for_draws(static_cast<double>(max_draws)),
-      static_cast<double>(round.words_per_thread) * 4.0 +
+      static_cast<double>(wpd * max_draws) * 4.0 +
           8.0 * static_cast<double>(max_draws)};
-  std::vector<LeasedDraw> fills(draws.begin(), draws.end());
   const sim::OpId kernel = device_.launch(
-      compute_stream_, "Generate(serve)", threads, cost,
-      [this, round, lookup = std::move(lookup),
-       fills = std::move(fills)](std::uint64_t tid) {
-        const std::uint32_t idx = lookup[static_cast<std::size_t>(tid)];
-        if (idx == UINT32_MAX) return;
-        ThreadRng rng = thread_rng(round, tid);
-        for (std::uint64_t& out : fills[idx].out) out = rng.next();
+      compute_stream_, "Generate(serve)",
+      static_cast<std::uint64_t>(fills.size()), cost,
+      [this, wpd, offset, fills](std::uint64_t tid) {
+        const LeasedDraw& d = fills[static_cast<std::size_t>(tid)];
+        WalkState* state =
+            &states_.device_span()[static_cast<std::size_t>(d.walk)];
+        auto bin = serve_device_bin_.device_span().subspan(
+            static_cast<std::size_t>(offset[tid]),
+            static_cast<std::size_t>(offset[tid + 1] - offset[tid]));
+        for (std::size_t j = 0; j < d.out.size(); ++j) {
+          BitReader bits{bin.subspan(static_cast<std::size_t>(j * wpd),
+                                     static_cast<std::size_t>(wpd))};
+          ThreadRng rng(state, bits, &cfg_);
+          d.out[j] = rng.next();
+        }
       },
-      {round.ready});
-  end_round(round, kernel);
+      {copy});
+  (void)kernel;
   device_.synchronize();
-  return device_.engine().now() - sim_start;
+  res.sim_seconds = device_.engine().now() - sim_start;
+  if (metrics_ != nullptr) ins_.rounds->add(1);
+
+  const std::uint64_t faults = device_.take_transfer_faults() +
+                               feeder_.take_faults() + serve_feed_faults_;
+  serve_feed_faults_ = 0;
+  if (faults != 0) {
+    // Roll the transaction back: listed walks return to their pre-call
+    // states and (by never committing) feed positions.
+    for (const auto& [walk, state] : snapshot) {
+      states_.device_span()[static_cast<std::size_t>(walk)] = state;
+    }
+    res.ok = false;
+    return res;
+  }
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    serve_feed_pos_[static_cast<std::size_t>(draws[i].walk)] +=
+        wpd * draws[i].out.size();
+  }
+  return res;
 }
 
 sim::OpId HybridPrng::enqueue_batch_round(std::uint64_t threads,

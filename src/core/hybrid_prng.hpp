@@ -8,6 +8,7 @@
 
 #include "expander/bit_reader.hpp"
 #include "expander/gabber_galil.hpp"
+#include "fault/fault.hpp"
 #include "expander/walk.hpp"
 #include "host/bit_feeder.hpp"
 #include "obs/metrics.hpp"
@@ -96,7 +97,13 @@ class HybridPrng {
   /// Algorithm 1: place every walk at a seed vertex and mix with an
   /// init_walk_len-step walk, with FEED/TRANSFER/GENERATE pipelined.
   /// Called lazily by the other entry points; idempotent per thread count.
-  void initialize(std::uint64_t threads);
+  /// Growing is incremental: only walks [current, threads) are initialised
+  /// and live walks keep their positions, so the serving layer can attach
+  /// new leases mid-traffic without resetting anyone's stream.
+  /// Returns false when an injected transfer/feed fault corrupted the init
+  /// round (docs/FAULTS.md): the fresh walks stay uninitialised and the
+  /// next call re-runs Algorithm 1 for them. Always true without faults.
+  bool initialize(std::uint64_t threads);
 
   /// Generate n 64-bit numbers into device memory (throughput path used by
   /// the figures; results stay on the GPU exactly as in the paper's
@@ -186,14 +193,44 @@ class HybridPrng {
     std::span<std::uint64_t> out;
   };
 
+  /// Result of one serve-layer fill: whether it landed, and the fenced
+  /// simulated seconds the attempt cost (charged whether or not it landed —
+  /// a dropped DMA still burns PCIe time).
+  struct LeasedFill {
+    bool ok = true;
+    double sim_seconds = 0.0;
+  };
+
   /// Serve-layer batched fill (hprng::serve::RngService): provision ONE
-  /// pipelined round sized for the largest request and advance every listed
-  /// walk independently inside a single kernel — this is how small client
-  /// requests coalesce into one FEED/TRANSFER/GENERATE pass. Walks not
-  /// listed idle (their feed slice is provisioned but unread, exactly like
-  /// an application kernel that skips threads). Each walk may appear at
-  /// most once per call. Returns fenced simulated seconds for the fill.
-  double fill_leased(std::span<const LeasedDraw> draws);
+  /// pipelined FEED/TRANSFER/GENERATE pass with a packed feed slice per
+  /// listed walk and one kernel thread per listed walk — this is how small
+  /// client requests coalesce. Each walk may appear at most once per call.
+  ///
+  /// Reproducibility contract (the serving layer's bit-identical-replay
+  /// guarantee rests on it): each walk draws from its own counter-addressed
+  /// feed — word k of walk w is a pure function of (config seed, w, k) —
+  /// and each draw starts on a fresh word-aligned reader. A walk's output
+  /// stream therefore depends only on how many draws it has made, never on
+  /// which requests it was coalesced with or on scheduler timing.
+  ///
+  /// The fill is transactional: on an injected transfer/feed fault the
+  /// listed walks roll back to their pre-call states and feed positions
+  /// (result.ok = false), so a retry — possibly in a different batch —
+  /// reproduces exactly the words the failed attempt owed.
+  LeasedFill fill_leased(std::span<const LeasedDraw> draws);
+
+  /// Attach (or with nullptr, detach) a fault injector (docs/FAULTS.md):
+  /// forwards to Device::set_fault_injector and BitFeeder::
+  /// set_fault_injector, and consults Site::kFeedFill for the serve-path
+  /// counter feed. With an injector attached, initialize() and
+  /// fill_leased() turn injected transfer/feed failures into explicit
+  /// failed results with the walks rolled back (see their contracts).
+  void set_fault_injector(fault::Injector* injector, int target = 0) {
+    device_.set_fault_injector(injector, target);
+    feeder_.set_fault_injector(injector, target);
+    fault_injector_ = injector;
+    fault_target_ = target;
+  }
 
   // -- Observability (docs/OBSERVABILITY.md) -------------------------------
 
@@ -218,6 +255,9 @@ class HybridPrng {
                                 sim::Buffer<std::uint64_t>& out,
                                 std::uint64_t out_offset,
                                 std::uint64_t count);
+
+  /// Root of walk `walk`'s serve-path counter feed (see fill_leased).
+  [[nodiscard]] std::uint64_t serve_feed_root(std::uint64_t walk) const;
 
   /// Pipeline instruments, resolved once in set_metrics().
   struct Instruments {
@@ -259,6 +299,16 @@ class HybridPrng {
   int next_slot_ = 0;
   sim::Stream feed_stream_;
   sim::Stream compute_stream_;
+
+  // Serve-path fill state (fill_leased): packed staging + device bin, and
+  // each walk's feed position — committed only when a fill lands, so a
+  // failed fill's retry replays the exact words the failure owed.
+  std::vector<std::uint32_t> serve_host_bin_;
+  sim::Buffer<std::uint32_t> serve_device_bin_;
+  std::vector<std::uint64_t> serve_feed_pos_;
+  std::uint64_t serve_feed_faults_ = 0;
+  fault::Injector* fault_injector_ = nullptr;
+  int fault_target_ = 0;
 };
 
 }  // namespace hprng::core

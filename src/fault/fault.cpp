@@ -1,0 +1,234 @@
+#include "fault/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "prng/seed_seq.hpp"
+#include "util/check.hpp"
+
+namespace hprng::fault {
+
+namespace {
+
+const char* kSiteNames[kNumSites] = {"h2d", "d2h", "feed", "shard", "worker"};
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t next = text.find(sep, pos);
+    if (next == std::string::npos) next = text.size();
+    parts.push_back(text.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return parts;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_double(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Site site) {
+  const int i = static_cast<int>(site);
+  return (i >= 0 && i < kNumSites) ? kSiteNames[i] : "?";
+}
+
+bool parse_site(const std::string& text, Site* out) {
+  for (int i = 0; i < kNumSites; ++i) {
+    if (text == kSiteNames[i]) {
+      *out = static_cast<Site>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* to_string(Action action) {
+  switch (action) {
+    case Action::kNone:
+      return "none";
+    case Action::kFail:
+      return "fail";
+    case Action::kDelay:
+      return "delay";
+  }
+  return "?";
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultPoint& p : points_) {
+    if (!out.empty()) out += ';';
+    out += fault::to_string(p.site);
+    out += ':';
+    out += p.target == kAnyTarget ? std::string("*")
+                                  : std::to_string(p.target);
+    out += ':';
+    out += fault::to_string(p.action);
+    out += ':';
+    out += std::to_string(p.after);
+    out += ':';
+    out += std::to_string(p.count);
+    if (p.action == Action::kDelay) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ":%g", p.delay_seconds);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
+                                          std::string* error) {
+  FaultPlan plan;
+  if (text.empty()) return plan;
+  for (const std::string& spec : split(text, ';')) {
+    if (spec.empty()) continue;
+    const std::vector<std::string> f = split(spec, ':');
+    const auto fail = [&](const char* why) -> std::optional<FaultPlan> {
+      if (error != nullptr) *error = "bad fault point `" + spec + "`: " + why;
+      return std::nullopt;
+    };
+    if (f.size() < 5 || f.size() > 6) {
+      return fail("want <site>:<target|*>:<action>:<after>:<count>[:<sec>]");
+    }
+    FaultPoint p;
+    if (!parse_site(f[0], &p.site)) return fail("unknown site");
+    if (f[1] == "*") {
+      p.target = kAnyTarget;
+    } else {
+      std::uint64_t t = 0;
+      if (!parse_u64(f[1], &t)) return fail("bad target");
+      p.target = static_cast<int>(t);
+    }
+    if (f[2] == "fail") {
+      p.action = Action::kFail;
+    } else if (f[2] == "delay") {
+      p.action = Action::kDelay;
+    } else {
+      return fail("action must be fail|delay");
+    }
+    if (!parse_u64(f[3], &p.after)) return fail("bad after");
+    if (!parse_u64(f[4], &p.count) || p.count == 0) return fail("bad count");
+    if (p.action == Action::kDelay) {
+      if (f.size() != 6 || !parse_double(f[5], &p.delay_seconds) ||
+          p.delay_seconds < 0.0) {
+        return fail("delay needs a non-negative seconds field");
+      }
+    } else if (f.size() == 6) {
+      return fail("fail takes no seconds field");
+    }
+    plan.add(p);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t points,
+                            int max_target, std::uint64_t max_after) {
+  HPRNG_CHECK(max_target >= 0, "FaultPlan::random: max_target >= 0");
+  FaultPlan plan;
+  prng::SeedSequence seq(seed);
+  for (std::size_t i = 0; i < points; ++i) {
+    const std::uint64_t r = seq.derive(i);
+    FaultPoint p;
+    // kWorker is deliberately excluded: wall-clock perturbation is a
+    // separate dial, random plans target the pipeline itself.
+    p.site = static_cast<Site>(r % 4);
+    p.target = static_cast<int>((r >> 8) %
+                                (static_cast<std::uint64_t>(max_target) + 1));
+    p.after = max_after == 0 ? 0 : (r >> 16) % max_after;
+    p.count = 1 + ((r >> 32) % 8);
+    if (((r >> 40) & 1) == 0) {
+      p.action = Action::kFail;
+    } else {
+      p.action = Action::kDelay;
+      // 0..~1ms of simulated delay, quantised so plans print cleanly.
+      p.delay_seconds = static_cast<double>((r >> 44) % 1000) * 1e-6;
+    }
+    plan.add(p);
+  }
+  return plan;
+}
+
+void register_catalogue(obs::MetricsRegistry& registry) {
+  registry.counter("hprng.fault.events");
+  registry.counter("hprng.fault.injected");
+  registry.counter("hprng.fault.failures");
+  registry.counter("hprng.fault.delays");
+  registry.counter("hprng.fault.delay_seconds");
+}
+
+Injector::Injector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+void Injector::set_metrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lk(mu_);
+  metrics_ = registry;
+  ins_ = {};
+  if (registry == nullptr) return;
+  register_catalogue(*registry);
+  ins_.events = &registry->counter("hprng.fault.events");
+  ins_.injected = &registry->counter("hprng.fault.injected");
+  ins_.failures = &registry->counter("hprng.fault.failures");
+  ins_.delays = &registry->counter("hprng.fault.delays");
+  ins_.delay_seconds = &registry->counter("hprng.fault.delay_seconds");
+}
+
+Outcome Injector::on_event(Site site, int target) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t ordinal =
+      counters_[{static_cast<int>(site), target}]++;
+  Outcome out;
+  for (const FaultPoint& p : plan_.points()) {
+    if (p.site != site) continue;
+    if (p.target != kAnyTarget && p.target != target) continue;
+    if (ordinal < p.after || ordinal >= p.after + p.count) continue;
+    if (p.action == Action::kFail) {
+      out.action = Action::kFail;
+    } else if (out.action != Action::kFail) {
+      out.action = Action::kDelay;
+    }
+    out.delay_seconds += p.delay_seconds;
+  }
+  if (ins_.events != nullptr) ins_.events->add();
+  if (out.action != Action::kNone) {
+    ++injected_;
+    if (ins_.injected != nullptr) {
+      ins_.injected->add();
+      if (out.action == Action::kFail) ins_.failures->add();
+      if (out.action == Action::kDelay) ins_.delays->add();
+      if (out.delay_seconds > 0.0) {
+        ins_.delay_seconds->add(out.delay_seconds);
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t Injector::events(Site site, int target) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = counters_.find({static_cast<int>(site), target});
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::uint64_t Injector::injected_total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return injected_;
+}
+
+}  // namespace hprng::fault

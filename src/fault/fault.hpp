@@ -1,0 +1,171 @@
+#pragma once
+
+// hprng::fault — deterministic fault injection (docs/FAULTS.md).
+//
+// The hybrid pipeline's overlap story (Figures 1/4) assumes FEED, TRANSFER
+// and GENERATE all stay healthy; the serving layer's robustness story
+// (docs/SERVING.md §7) is about what happens when they don't. This library
+// is the shared vocabulary: a FaultPlan names *where* (a Site + target),
+// *when* (after the site's Nth event, for the next `count` events) and
+// *what* (fail the operation, or delay it by simulated/wall seconds), and
+// an Injector evaluates the plan at runtime.
+//
+// Determinism is the design constraint — parallel-RNG failures are silent
+// stream-corruption failures (Shoverand; the MTGP reliable-initialization
+// work), so every chaos result must be replayable. Event counters are kept
+// per (site, target) key, and every hook site is serialised by the lock
+// that already guards the faulted subsystem (the shard mutex for backend
+// fills and device copies, the feeder's owner for refills), so a given
+// plan trips at the same per-shard event ordinals on every run regardless
+// of thread interleaving across shards.
+//
+// Hook sites (consulted by the instrumented layers, never by clients):
+//   kH2D / kD2H — sim::Device transfer enqueues (target = device owner id)
+//   kFeedFill   — host feed production: BitFeeder::fill and the serving
+//                 round's per-walk feed stage in core::HybridPrng
+//   kShardFill  — serve::RngService backend dispatch (target = shard)
+//   kWorker     — serve worker pass start (wall-clock perturbation only)
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace hprng::fault {
+
+/// Where a fault point attaches. Values are stable (plan text format).
+enum class Site : int {
+  kH2D = 0,    ///< host-to-device transfer enqueue
+  kD2H,        ///< device-to-host transfer enqueue
+  kFeedFill,   ///< host feed production (BitFeeder / serve feed stage)
+  kShardFill,  ///< serve-layer backend fill dispatch
+  kWorker,     ///< serve worker batch start (wall-clock delay only)
+};
+inline constexpr int kNumSites = 5;
+
+[[nodiscard]] const char* to_string(Site site);
+bool parse_site(const std::string& text, Site* out);
+
+/// What an armed fault point does to the operation that trips it.
+enum class Action : int {
+  kNone = 0,  ///< no fault (the Injector's "nothing armed" answer)
+  kFail,      ///< the operation fails (skipped payload, error reported up)
+  kDelay,     ///< the operation is charged `delay_seconds` extra
+};
+
+[[nodiscard]] const char* to_string(Action action);
+
+/// The Injector's per-event verdict.
+struct Outcome {
+  Action action = Action::kNone;
+  double delay_seconds = 0.0;
+  [[nodiscard]] bool fail() const { return action == Action::kFail; }
+  [[nodiscard]] bool delay() const { return action == Action::kDelay; }
+};
+
+/// Matches any target index (all shards / devices at the site).
+inline constexpr int kAnyTarget = -1;
+
+/// One scheduled fault: at `site` (optionally restricted to `target`),
+/// skip the first `after` matching events, then apply `action` to the
+/// next `count` events. Points are independent; when several match the
+/// same event, kFail wins over kDelay and delays accumulate.
+struct FaultPoint {
+  Site site = Site::kShardFill;
+  int target = kAnyTarget;
+  std::uint64_t after = 0;
+  std::uint64_t count = 1;
+  Action action = Action::kFail;
+  double delay_seconds = 0.0;
+};
+
+/// An ordered set of fault points plus the plan's identity seed. Value
+/// type: copy freely, feed to as many Injectors as you like.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& add(FaultPoint point) {
+    points_.push_back(point);
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<FaultPoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// Canonical text form (docs/FAULTS.md §3): points joined by ';', each
+  ///   <site>:<target|*>:<action>:<after>:<count>[:<delay_seconds>]
+  /// e.g. "shard:1:fail:8:1000000" or "h2d:*:delay:0:4:0.0005".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse the canonical text form; nullopt (and *error, if given) on any
+  /// malformed point. Empty input parses to an empty plan.
+  static std::optional<FaultPlan> parse(const std::string& text,
+                                        std::string* error = nullptr);
+
+  /// A seeded pseudo-random plan for chaos runs: `points` faults spread
+  /// over the first four sites, targets in [0, max_target], trip ordinals
+  /// in [0, max_after), burst lengths in [1, 8], ~half failures and half
+  /// sub-millisecond delays. Same seed -> same plan, always.
+  static FaultPlan random(std::uint64_t seed, std::size_t points,
+                          int max_target, std::uint64_t max_after);
+
+ private:
+  std::vector<FaultPoint> points_;
+};
+
+/// Pre-resolve the `hprng.fault.*` catalogue on a registry so snapshots
+/// are complete (every documented instrument present at value zero) even
+/// before — or entirely without — fault traffic. RngService calls this.
+void register_catalogue(obs::MetricsRegistry& registry);
+
+/// Runtime evaluator of a FaultPlan. Thread-safe; hooks call on_event()
+/// and apply the outcome. Counters are per (site, target) so concurrent
+/// subsystems (shards) trip their points deterministically — see the file
+/// header for the exact guarantee.
+class Injector {
+ public:
+  explicit Injector(FaultPlan plan);
+
+  /// Count one event at (site, target) and return the armed outcome.
+  /// A point with target kAnyTarget matches every target but still counts
+  /// against the per-target ordinal, keeping shards independent.
+  Outcome on_event(Site site, int target);
+
+  /// Events observed so far at (site, target) — test introspection.
+  [[nodiscard]] std::uint64_t events(Site site, int target) const;
+
+  /// Outcomes applied so far with action != kNone.
+  [[nodiscard]] std::uint64_t injected_total() const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Attach (or with nullptr, detach) a metrics registry; on_event() then
+  /// maintains the `hprng.fault.*` instruments (docs/OBSERVABILITY.md).
+  void set_metrics(obs::MetricsRegistry* registry);
+
+ private:
+  struct Instruments {
+    obs::Counter* events = nullptr;
+    obs::Counter* injected = nullptr;
+    obs::Counter* failures = nullptr;
+    obs::Counter* delays = nullptr;
+    obs::Counter* delay_seconds = nullptr;
+  };
+
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::map<std::pair<int, int>, std::uint64_t> counters_;
+  std::uint64_t injected_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments ins_;
+};
+
+}  // namespace hprng::fault

@@ -11,8 +11,19 @@ BitFeeder::BitFeeder(const sim::DeviceSpec& spec,
       ns_per_bit_(spec.host_ns_per_random_bit) {}
 
 double BitFeeder::fill(std::span<std::uint32_t> out) {
+  double seconds = seconds_for_words(out.size());
+  if (fault_injector_ != nullptr) {
+    const fault::Outcome o =
+        fault_injector_->on_event(fault::Site::kFeedFill, fault_target_);
+    seconds += o.delay_seconds;
+    if (o.fail()) {
+      // Underrun: the words are owed, not produced, and the generator
+      // keeps its position so a retry replays the exact fault-free feed.
+      faults_.fetch_add(1, std::memory_order_acq_rel);
+      return seconds;
+    }
+  }
   for (auto& w : out) w = gen_->next_u32();
-  const double seconds = seconds_for_words(out.size());
   if (metrics_ != nullptr) {
     ins_.bits_produced->add(static_cast<double>(out.size()) * 32.0);
     ins_.fill_calls->add(1);

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "prng/generator.hpp"
 #include "sim/spec.hpp"
@@ -43,6 +45,22 @@ class BitFeeder {
   /// the staging buffer last filled.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Attach (or with nullptr, detach) a fault injector (docs/FAULTS.md):
+  /// fill() then consults Site::kFeedFill with `target`. An injected
+  /// delay lengthens the returned simulated seconds (a feeder stall); an
+  /// injected failure is an underrun — no words are produced and, key for
+  /// retry reproducibility, the generator does NOT advance, so the next
+  /// successful fill produces exactly the words the failed one owed.
+  void set_fault_injector(fault::Injector* injector, int target = 0) {
+    fault_injector_ = injector;
+    fault_target_ = target;
+  }
+
+  /// Failed (underrun) fills since the last call (consume-on-read).
+  std::uint64_t take_faults() {
+    return faults_.exchange(0, std::memory_order_acq_rel);
+  }
+
  private:
   /// Producer instruments, resolved once in set_metrics().
   struct Instruments {
@@ -57,6 +75,9 @@ class BitFeeder {
   double ns_per_bit_;
   obs::MetricsRegistry* metrics_ = nullptr;
   Instruments ins_;
+  fault::Injector* fault_injector_ = nullptr;
+  int fault_target_ = 0;
+  std::atomic<std::uint64_t> faults_{0};
 };
 
 }  // namespace hprng::host

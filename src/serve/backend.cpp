@@ -36,19 +36,25 @@ class HybridShard final : public ShardBackend {
 
   void attach(std::uint64_t slot, std::uint64_t /*client_seed*/) override {
     // Warm the walk state eagerly so first-fill latency is not charged the
-    // Algorithm 1 initialisation of the whole prefix.
-    prng_->initialize(slot + 1);
+    // Algorithm 1 initialisation of the whole prefix. A fault-corrupted
+    // init reports false and is retried by the first fill's initialize.
+    (void)prng_->initialize(slot + 1);
   }
 
   void detach(std::uint64_t /*slot*/) override {}
 
-  double fill(std::span<const Fill> fills) override {
+  FillResult fill(std::span<const Fill> fills) override {
     draws_.clear();
     draws_.reserve(fills.size());
     for (const Fill& f : fills) {
       draws_.push_back({f.slot, f.out});
     }
-    return prng_->fill_leased(draws_);
+    const core::HybridPrng::LeasedFill r = prng_->fill_leased(draws_);
+    return FillResult{r.ok, r.sim_seconds};
+  }
+
+  void set_fault_injector(fault::Injector* injector, int target) override {
+    prng_->set_fault_injector(injector, target);
   }
 
   [[nodiscard]] std::string name() const override { return "hybrid"; }
@@ -77,13 +83,13 @@ class CpuWalkShard final : public ShardBackend {
     slots_.at(static_cast<std::size_t>(slot)).reset();
   }
 
-  double fill(std::span<const Fill> fills) override {
+  FillResult fill(std::span<const Fill> fills) override {
     for (const Fill& f : fills) {
       core::CpuWalkPrng* g = slots_.at(static_cast<std::size_t>(f.slot)).get();
       HPRNG_CHECK(g != nullptr, "CpuWalkShard::fill: slot not attached");
       for (std::uint64_t& out : f.out) out = g->next_u64();
     }
-    return 0.0;
+    return {};
   }
 
   [[nodiscard]] std::string name() const override { return "cpu-walk"; }
@@ -111,13 +117,13 @@ class BaselineShard final : public ShardBackend {
     slots_.at(static_cast<std::size_t>(slot)).reset();
   }
 
-  double fill(std::span<const Fill> fills) override {
+  FillResult fill(std::span<const Fill> fills) override {
     for (const Fill& f : fills) {
       prng::Generator* g = slots_.at(static_cast<std::size_t>(f.slot)).get();
       HPRNG_CHECK(g != nullptr, "BaselineShard::fill: slot not attached");
       for (std::uint64_t& out : f.out) out = g->next_u64();
     }
-    return 0.0;
+    return {};
   }
 
   [[nodiscard]] std::string name() const override { return generator_; }

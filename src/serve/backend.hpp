@@ -25,6 +25,10 @@
 
 #include "serve/options.hpp"
 
+namespace hprng::fault {
+class Injector;
+}  // namespace hprng::fault
+
 namespace hprng::serve {
 
 class ShardBackend {
@@ -37,6 +41,16 @@ class ShardBackend {
     std::span<std::uint64_t> out;
   };
 
+  /// Outcome of one batched pass: whether every fill landed, and the
+  /// simulated device seconds charged (0 for host backends). A failed
+  /// pass leaves every listed stream exactly where it was — backends are
+  /// transactional (HybridPrng::fill_leased), so a retry reproduces the
+  /// words the failed pass owed.
+  struct FillResult {
+    bool ok = true;
+    double sim_seconds = 0.0;
+  };
+
   /// Bind `slot` to a fresh client stream seeded with `client_seed` (the
   /// SeedSequence-derived lease seed).
   virtual void attach(std::uint64_t slot, std::uint64_t client_seed) = 0;
@@ -46,8 +60,16 @@ class ShardBackend {
 
   /// Serve every fill in one batched pass. Each slot appears at most once
   /// per call — the service splits duplicate-slot batches into passes.
-  /// Returns the simulated device seconds charged (0 for host backends).
-  virtual double fill(std::span<const Fill> fills) = 0;
+  virtual FillResult fill(std::span<const Fill> fills) = 0;
+
+  /// Attach (or with nullptr, detach) a fault injector; `target` is this
+  /// shard's index. Default no-op — only backends with an instrumented
+  /// pipeline (hybrid) have sites of their own; the service-level
+  /// kShardFill site covers every backend regardless.
+  virtual void set_fault_injector(fault::Injector* injector, int target) {
+    (void)injector;
+    (void)target;
+  }
 
   /// Backend kind label for reports ("hybrid", "cpu-walk", "mt19937", ...).
   [[nodiscard]] virtual std::string name() const = 0;

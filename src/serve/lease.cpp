@@ -28,6 +28,24 @@ std::optional<Lease> LeaseManager::grant() {
   return grant_locked(best);
 }
 
+std::optional<Lease> LeaseManager::grant_if(
+    const std::function<bool(int)>& eligible) {
+  std::lock_guard<std::mutex> lk(mu_);
+  int best = -1;
+  std::uint64_t best_active = 0;
+  for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+    if (!eligible(s)) continue;
+    const ShardSlots& shard = shards_[static_cast<std::size_t>(s)];
+    if (shard.active >= slots_per_shard_) continue;
+    if (best < 0 || shard.active < best_active) {
+      best = s;
+      best_active = shard.active;
+    }
+  }
+  if (best < 0) return std::nullopt;
+  return grant_locked(best);
+}
+
 std::optional<Lease> LeaseManager::grant_on(std::uint64_t shard_key) {
   std::lock_guard<std::mutex> lk(mu_);
   return grant_locked(static_cast<int>(shard_key % shards_.size()));

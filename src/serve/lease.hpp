@@ -10,6 +10,7 @@
 // of sessions with a bounded number of generator states.
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -44,6 +45,11 @@ class LeaseManager {
   /// Lease a slot on shard `shard_key % num_shards` — client affinity
   /// pinning (sticky routing). nullopt when that shard is full.
   std::optional<Lease> grant_on(std::uint64_t shard_key);
+
+  /// Like grant(), restricted to shards for which `eligible(shard)` is
+  /// true — the health-aware path (ejected shards take no new leases;
+  /// docs/SERVING.md §7). nullopt when every eligible shard is full.
+  std::optional<Lease> grant_if(const std::function<bool(int)>& eligible);
 
   /// Return the lease's slot to its shard's free list. The id is retired
   /// forever; a later lease of the same slot gets a fresh id and seed.

@@ -39,6 +39,8 @@ const char* to_string(Status status) {
       return "timeout";
     case Status::kClosed:
       return "closed";
+    case Status::kFailed:
+      return "failed";
   }
   return "?";
 }

@@ -9,6 +9,10 @@
 #include <cstdint>
 #include <string>
 
+namespace hprng::fault {
+class Injector;
+}  // namespace hprng::fault
+
 namespace hprng::serve {
 
 /// What admission control does when the request queue is full.
@@ -18,7 +22,9 @@ enum class BackpressurePolicy {
   /// Fail immediately with kRejected; never waits.
   kReject,
   /// Admit by evicting a queued request whose deadline has already passed
-  /// (that request completes as kShed); if nothing is evictable, reject.
+  /// (that request completes as kShed); failing that, displace the lowest-
+  /// priority queued request strictly below the arrival's priority
+  /// (docs/SERVING.md §7); if nothing is evictable, reject.
   kShed,
 };
 
@@ -34,6 +40,8 @@ enum class Status {
   kShed,      ///< admitted, but its deadline passed before service
   kTimeout,   ///< block-policy admission wait exceeded the deadline
   kClosed,    ///< the service stopped before the request was admitted
+  kFailed,    ///< every fill attempt failed and no healthy shard could
+              ///< take over the lease (docs/SERVING.md §7)
 };
 
 [[nodiscard]] const char* to_string(Status status);
@@ -81,6 +89,28 @@ struct ServiceOptions {
   /// application operating point (DESIGN.md §5.3) — serving consumers are
   /// applications, not battery inputs; pass 32 for generator-grade streams.
   int walk_len = 8;
+
+  // -- Failure handling (docs/SERVING.md §7, docs/FAULTS.md) ---------------
+
+  /// Optional fault injector, not owned; must outlive the service. Wired
+  /// into every shard's pipeline (transfer/feed sites) and consulted by
+  /// the service itself at the shard-dispatch and worker sites.
+  fault::Injector* injector = nullptr;
+
+  /// Extra fill attempts per pass after the first fails (bounded retry).
+  int max_fill_retries = 3;
+
+  /// Exponential-backoff base and cap between retry attempts, wall-clock
+  /// milliseconds. The realised sleep is jittered by a SeedSequence-derived
+  /// factor in [0.5, 1.5) so retries across workers decorrelate while the
+  /// jitter stream itself stays seed-reproducible.
+  double retry_backoff_base_ms = 0.2;
+  double retry_backoff_max_ms = 5.0;
+
+  /// Consecutive failed fill passes (post-retry) after which a shard is
+  /// ejected: its leases fail over to surviving shards and it receives no
+  /// further traffic. Any pass success resets the count (degraded state).
+  int shard_eject_failures = 3;
 };
 
 }  // namespace hprng::serve

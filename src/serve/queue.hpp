@@ -15,6 +15,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -89,6 +90,44 @@ class BoundedQueue {
       not_full_.notify_all();
     }
     return n;
+  }
+
+  /// Put an already-admitted item back at the HEAD of the queue, ignoring
+  /// capacity and the closed flag — the retry/failover requeue path. The
+  /// item passed admission control once; re-subjecting it would let a full
+  /// queue turn a transient shard failure into a spurious rejection, and a
+  /// closing service still drains requeued items (workers settle them).
+  void requeue_front(T item) {
+    std::lock_guard<std::mutex> lk(mu_);
+    items_.push_front(std::move(item));
+    if (on_size_change_) on_size_change_(items_.size());
+    not_empty_.notify_one();
+  }
+
+  /// Remove and return the single queued item with the smallest `key`,
+  /// provided that key is strictly below `limit` — the graceful-degradation
+  /// eviction: under shed pressure the lowest-priority queued request makes
+  /// room for a strictly higher-priority incoming one, never for an equal
+  /// or lower one (no livelock between peers). nullopt when nothing
+  /// qualifies.
+  template <typename KeyFn>
+  std::optional<T> evict_min_below(KeyFn key, int limit) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto best = items_.end();
+    int best_key = limit;
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      const int k = key(*it);
+      if (k < best_key) {
+        best = it;
+        best_key = k;
+      }
+    }
+    if (best == items_.end()) return std::nullopt;
+    T out = std::move(*best);
+    items_.erase(best);
+    if (on_size_change_) on_size_change_(items_.size());
+    not_full_.notify_all();
+    return out;
   }
 
   /// Remove and return every queued item matching `pred` — the shed

@@ -1,8 +1,10 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "prng/seed_seq.hpp"
 #include "util/check.hpp"
 
@@ -14,9 +16,18 @@ double seconds(std::chrono::steady_clock::duration d) {
   return std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
 }
 
+void sleep_seconds(double s) {
+  if (s <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
 /// SeedSequence split index of the lease seed domain — distinct from the
 /// shard-backend domains (which use split(shard_index), small integers).
 constexpr std::uint64_t kLeaseSeedDomain = ~std::uint64_t{0};
+
+/// SeedSequence split index of the retry-jitter stream (distinct from the
+/// lease and shard domains above).
+constexpr std::uint64_t kBackoffJitterDomain = ~std::uint64_t{0} - 1;
 
 }  // namespace
 
@@ -33,9 +44,15 @@ RngService::RngService(ServiceOptions opts, obs::MetricsRegistry* metrics)
       metrics_(metrics),
       leases_(opts_.num_shards, opts_.max_leases_per_shard,
               prng::SeedSequence(opts_.seed).split(kLeaseSeedDomain).root()),
+      backoff_seq_(
+          prng::SeedSequence(opts_.seed).split(kBackoffJitterDomain).root()),
       queue_(opts_.queue_capacity, &paused_) {
   HPRNG_CHECK(opts_.queue_capacity > 0, "RngService: queue_capacity >= 1");
   HPRNG_CHECK(opts_.max_coalesce > 0, "RngService: max_coalesce >= 1");
+  HPRNG_CHECK(opts_.max_fill_retries >= 0,
+              "RngService: max_fill_retries >= 0");
+  HPRNG_CHECK(opts_.shard_eject_failures >= 1,
+              "RngService: shard_eject_failures >= 1");
 
   if (metrics_ != nullptr) {
     // Resolve the whole hprng.serve.* catalogue up front so a snapshot is
@@ -64,6 +81,17 @@ RngService::RngService(ServiceOptions opts, obs::MetricsRegistry* metrics)
         &metrics_->histogram("hprng.serve.fill_sim_seconds");
     ins_.fill_wall_seconds =
         &metrics_->histogram("hprng.serve.fill_wall_seconds");
+    ins_.requests_failed = &metrics_->counter("hprng.serve.requests_failed");
+    ins_.retry_attempts = &metrics_->counter("hprng.serve.retry.attempts");
+    ins_.retry_backoff_seconds =
+        &metrics_->counter("hprng.serve.retry.backoff_seconds");
+    ins_.retry_failovers = &metrics_->counter("hprng.serve.retry.failovers");
+    ins_.shards_ejected = &metrics_->counter("hprng.serve.shards_ejected");
+    ins_.shards_healthy = &metrics_->gauge("hprng.serve.shards_healthy");
+    ins_.shards_healthy->set(static_cast<double>(opts_.num_shards));
+    // The fault catalogue rides along even when no injector is attached,
+    // so snapshots are complete for any instrumented service.
+    fault::register_catalogue(*metrics_);
     // Updated under the queue lock, so the gauge is exactly size() at any
     // quiescent fence (the property the accounting tests assert).
     queue_.set_size_listener([this](std::size_t n) {
@@ -71,9 +99,17 @@ RngService::RngService(ServiceOptions opts, obs::MetricsRegistry* metrics)
     });
   }
 
+  health_ = std::make_unique<ShardHealth[]>(
+      static_cast<std::size_t>(opts_.num_shards));
+  if (opts_.injector != nullptr && metrics_ != nullptr) {
+    opts_.injector->set_metrics(metrics_);
+  }
   shards_.reserve(static_cast<std::size_t>(opts_.num_shards));
   for (int s = 0; s < opts_.num_shards; ++s) {
     shards_.push_back(make_shard_backend(opts_, s));
+    if (opts_.injector != nullptr) {
+      shards_.back()->set_fault_injector(opts_.injector, s);
+    }
   }
 
   const int workers = std::max(1, opts_.num_workers);
@@ -92,10 +128,14 @@ RngService::~RngService() {
 }
 
 std::optional<Session> RngService::try_open_session() {
-  return open_with(leases_.grant());
+  return open_with(
+      leases_.grant_if([this](int s) { return !shard_ejected(s); }));
 }
 
 std::optional<Session> RngService::try_open_session(std::uint64_t shard_key) {
+  const int s = static_cast<int>(
+      shard_key % static_cast<std::uint64_t>(num_shards()));
+  if (shard_ejected(s)) return std::nullopt;  // pinned shard is gone
   return open_with(leases_.grant_on(shard_key));
 }
 
@@ -142,9 +182,14 @@ RngService::RequestPtr RngService::submit(
   auto req = std::make_shared<detail::Request>();
   req->session = session;
   req->out = out;
+  // One clock read per request: submit time, deadline and the shed-policy
+  // expiry sweep below all derive from this single sample, so admission
+  // decisions are stable however long the intervening code takes to run
+  // (e.g. under TSan).
   req->submit_time = std::chrono::steady_clock::now();
   req->deadline =
       req->submit_time + (timeout.count() > 0 ? timeout : opts_.default_timeout);
+  req->priority = session->priority.load(std::memory_order_relaxed);
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (ins_.requests_submitted != nullptr) ins_.requests_submitted->add();
 
@@ -169,8 +214,9 @@ RngService::RequestPtr RngService::submit(
     case BackpressurePolicy::kShed: {
       result = queue_.try_push(req);
       if (result == PushResult::kFull) {
-        // Evict already-expired queued requests to make room.
-        const auto now = std::chrono::steady_clock::now();
+        // Evict already-expired queued requests to make room (the clock
+        // sample from above — no re-read).
+        const auto now = req->submit_time;
         std::vector<RequestPtr> evicted = queue_.evict_if(
             [now](const RequestPtr& r) { return now >= r->deadline; });
         for (RequestPtr& victim : evicted) {
@@ -182,6 +228,21 @@ RngService::RequestPtr RngService::submit(
           }
         }
         result = queue_.try_push(req);
+      }
+      if (result == PushResult::kFull) {
+        // Graceful degradation: a strictly higher-priority arrival may
+        // displace the lowest-priority queued request (docs/SERVING.md §7).
+        std::optional<RequestPtr> victim = queue_.evict_min_below(
+            [](const RequestPtr& r) { return r->priority; }, req->priority);
+        if (victim.has_value()) {
+          int expected = detail::Request::kPending;
+          if ((*victim)->phase.compare_exchange_strong(
+                  expected, detail::Request::kAbandoned,
+                  std::memory_order_acq_rel)) {
+            settle(*victim, Status::kShed);
+          }
+          result = queue_.try_push(req);
+        }
       }
       break;
     }
@@ -226,14 +287,12 @@ Status RngService::wait(const RequestPtr& req) {
 }
 
 void RngService::settle(const RequestPtr& req, Status status) {
-  {
-    std::lock_guard<std::mutex> lk(req->mu);
-    if (req->done) return;  // exactly-once terminal transition
-    req->done = true;
-    req->status = status;
-  }
-  req->cv.notify_all();
+  std::unique_lock<std::mutex> lk(req->mu);
+  if (req->done) return;  // exactly-once terminal transition
+  req->status = status;
 
+  // Account BEFORE publishing `done`: a waiter returning from fill() must
+  // observe the terminal status already reflected in stats()/metrics.
   switch (status) {
     case Status::kOk:
       completed_.fetch_add(1, std::memory_order_relaxed);
@@ -258,7 +317,15 @@ void RngService::settle(const RequestPtr& req, Status status) {
     case Status::kClosed:
       closed_.fetch_add(1, std::memory_order_relaxed);
       break;
+    case Status::kFailed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      if (ins_.requests_failed != nullptr) ins_.requests_failed->add();
+      break;
   }
+
+  req->done = true;
+  lk.unlock();
+  req->cv.notify_all();
 }
 
 void RngService::worker_loop() {
@@ -279,11 +346,25 @@ void RngService::worker_loop() {
 }
 
 void RngService::serve_batch(std::vector<RequestPtr>& batch) {
-  // Claim what is still live and group it by shard.
+  if (opts_.injector != nullptr) {
+    // kWorker: a slow worker. Wall-clock perturbation only — a "failed"
+    // worker is indistinguishable from a slow one, so kFail is ignored.
+    const fault::Outcome o =
+        opts_.injector->on_event(fault::Site::kWorker, 0);
+    sleep_seconds(o.delay_seconds);
+  }
+
+  // One clock read for the whole claim sweep: every expiry decision in
+  // this batch uses the same sample, so a slow sweep (TSan, a preempted
+  // worker) cannot expire requests mid-iteration.
+  const auto now = std::chrono::steady_clock::now();
+
+  // Claim what is still live and group it by the owning session's CURRENT
+  // shard (the lease is mutable under failover — read under its lock).
   std::vector<std::vector<RequestPtr>> by_shard(shards_.size());
   for (RequestPtr& req : batch) {
     int expected = detail::Request::kPending;
-    if (std::chrono::steady_clock::now() >= req->deadline) {
+    if (now >= req->deadline) {
       // Expired in the queue: shed it (unless the waiter got there first).
       if (req->phase.compare_exchange_strong(expected,
                                              detail::Request::kAbandoned,
@@ -297,52 +378,111 @@ void RngService::serve_batch(std::vector<RequestPtr>& batch) {
                                             std::memory_order_acq_rel)) {
       continue;  // abandoned by its waiter — the span is off limits
     }
-    by_shard[static_cast<std::size_t>(req->session->lease.shard)].push_back(
-        req);
+    int shard = 0;
+    {
+      std::lock_guard<std::mutex> lk(req->session->mu);
+      shard = req->session->lease.shard;
+    }
+    by_shard[static_cast<std::size_t>(shard)].push_back(req);
   }
 
   for (std::size_t s = 0; s < by_shard.size(); ++s) {
-    std::vector<RequestPtr>& group = by_shard[s];
-    if (group.empty()) continue;
+    serve_shard_group(s, by_shard[s]);
+  }
+}
 
-    // A backend fill takes each slot at most once, so a session with two
-    // requests in the batch needs them in separate passes (served in
-    // order, preserving its stream sequence).
-    struct Pass {
-      std::vector<ShardBackend::Fill> fills;
-      std::vector<RequestPtr> reqs;
-    };
-    std::vector<Pass> passes;
-    for (RequestPtr& req : group) {
-      const std::uint64_t slot = req->session->lease.slot;
-      Pass* target = nullptr;
-      for (Pass& pass : passes) {
-        bool duplicate = false;
-        for (const ShardBackend::Fill& f : pass.fills) {
-          if (f.slot == slot) {
-            duplicate = true;
-            break;
-          }
-        }
-        if (!duplicate) {
-          target = &pass;
+void RngService::serve_shard_group(std::size_t s,
+                                   std::vector<RequestPtr>& group) {
+  if (group.empty()) return;
+
+  // A backend fill takes each slot at most once, so a session with two
+  // requests in the batch needs them in separate passes (served in
+  // order, preserving its stream sequence).
+  struct Pass {
+    std::vector<ShardBackend::Fill> fills;
+    std::vector<RequestPtr> reqs;
+  };
+  std::vector<Pass> passes;
+  std::vector<RequestPtr> displaced;  ///< claimed but not served here
+  for (RequestPtr& req : group) {
+    std::uint64_t slot = 0;
+    bool moved = false;
+    {
+      std::lock_guard<std::mutex> lk(req->session->mu);
+      moved = req->session->lease.shard != static_cast<int>(s);
+      slot = req->session->lease.slot;
+    }
+    if (moved) {
+      // The lease failed over between claim and serve: let the request
+      // re-route through the queue to its session's new shard.
+      displaced.push_back(req);
+      continue;
+    }
+    Pass* target = nullptr;
+    for (Pass& pass : passes) {
+      bool duplicate = false;
+      for (const ShardBackend::Fill& f : pass.fills) {
+        if (f.slot == slot) {
+          duplicate = true;
           break;
         }
       }
-      if (target == nullptr) {
-        passes.emplace_back();
-        target = &passes.back();
+      if (!duplicate) {
+        target = &pass;
+        break;
       }
-      target->fills.push_back({slot, req->out});
-      target->reqs.push_back(req);
     }
+    if (target == nullptr) {
+      passes.emplace_back();
+      target = &passes.back();
+    }
+    target->fills.push_back({slot, req->out});
+    target->reqs.push_back(req);
+  }
 
+  {
     ShardBackend& shard = *shards_[s];
-    std::lock_guard<std::mutex> lk(shard.mu);
+    std::unique_lock<std::mutex> lk(shard.mu);
+    bool abandon_rest = false;
     for (Pass& pass : passes) {
+      if (abandon_rest) {
+        // A session whose earlier pass failed may have later requests in
+        // this tail: serving them now would reorder its stream, so the
+        // whole tail is displaced (requeued in order below).
+        displaced.insert(displaced.end(), pass.reqs.begin(),
+                         pass.reqs.end());
+        continue;
+      }
+
       const auto wall_start = std::chrono::steady_clock::now();
-      const double sim_seconds = shard.fill(pass.fills);
+      ShardBackend::FillResult result;
+      for (int attempt = 0;; ++attempt) {
+        bool dispatch_drop = false;
+        if (opts_.injector != nullptr) {
+          // kShardFill: the dispatch itself fails or stalls. Consulted
+          // under the shard lock, so ordinals are per-shard deterministic.
+          const fault::Outcome o = opts_.injector->on_event(
+              fault::Site::kShardFill, static_cast<int>(s));
+          sleep_seconds(o.delay_seconds);
+          dispatch_drop = o.fail();
+        }
+        result = dispatch_drop ? ShardBackend::FillResult{false, 0.0}
+                               : shard.fill(pass.fills);
+        if (result.ok || attempt >= opts_.max_fill_retries) break;
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        if (ins_.retry_attempts != nullptr) ins_.retry_attempts->add();
+        backoff(attempt);
+      }
       const auto wall_end = std::chrono::steady_clock::now();
+
+      if (!result.ok) {
+        record_shard_failure(s);
+        abandon_rest = true;
+        displaced.insert(displaced.end(), pass.reqs.begin(),
+                         pass.reqs.end());
+        continue;
+      }
+      health_[s].consecutive_failures.store(0, std::memory_order_release);
 
       batches_.fetch_add(1, std::memory_order_relaxed);
       std::uint64_t words = 0;
@@ -352,7 +492,7 @@ void RngService::serve_batch(std::vector<RequestPtr>& batch) {
         ins_.batches->add();
         ins_.numbers_served->add(static_cast<double>(words));
         ins_.batch_requests->observe(static_cast<double>(pass.fills.size()));
-        ins_.fill_sim_seconds->observe(sim_seconds);
+        ins_.fill_sim_seconds->observe(result.sim_seconds);
         ins_.fill_wall_seconds->observe(seconds(wall_end - wall_start));
       }
       for (RequestPtr& req : pass.reqs) {
@@ -363,7 +503,105 @@ void RngService::serve_batch(std::vector<RequestPtr>& batch) {
         settle(req, Status::kOk);
       }
     }
+  }  // shard lock released before touching session/lease state
+
+  if (displaced.empty()) return;
+  // Re-route the displaced tail: move sessions off an ejected shard, then
+  // hand the requests back to the queue head. Requeueing in reverse keeps
+  // their original relative order, which keeps multi-request sessions'
+  // streams sequential.
+  std::vector<RequestPtr> requeue;
+  requeue.reserve(displaced.size());
+  for (RequestPtr& req : displaced) {
+    if (!failover_session(req->session)) {
+      settle(req, Status::kFailed);
+      continue;
+    }
+    int expected = detail::Request::kClaimed;
+    if (req->phase.compare_exchange_strong(expected,
+                                           detail::Request::kPending,
+                                           std::memory_order_acq_rel)) {
+      requeue.push_back(req);
+    }
   }
+  for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+    queue_.requeue_front(std::move(*it));
+  }
+}
+
+void RngService::record_shard_failure(std::size_t s) {
+  const int fails =
+      health_[s].consecutive_failures.fetch_add(1, std::memory_order_acq_rel) +
+      1;
+  if (fails >= opts_.shard_eject_failures) eject_shard(s);
+}
+
+void RngService::eject_shard(std::size_t s) {
+  bool expected = false;
+  if (!health_[s].ejected.compare_exchange_strong(expected, true,
+                                                  std::memory_order_acq_rel)) {
+    return;  // someone else ejected it
+  }
+  const int ejected = ejected_count_.fetch_add(1, std::memory_order_acq_rel)
+                      + 1;
+  if (ins_.shards_ejected != nullptr) {
+    ins_.shards_ejected->add();
+    ins_.shards_healthy->set(
+        static_cast<double>(num_shards() - ejected));
+  }
+}
+
+bool RngService::failover_session(
+    const std::shared_ptr<detail::SessionState>& state) {
+  std::lock_guard<std::mutex> lk(state->mu);
+  const Lease old = state->lease;
+  if (!shard_ejected(old.shard)) {
+    return true;  // transient failure (or already moved): retry in place
+  }
+  std::optional<Lease> fresh =
+      leases_.grant_if([this](int s) { return !shard_ejected(s); });
+  if (!fresh.has_value()) return false;  // no healthy capacity anywhere
+  {
+    ShardBackend& shard = *shards_[static_cast<std::size_t>(fresh->shard)];
+    std::lock_guard<std::mutex> slk(shard.mu);
+    shard.attach(fresh->slot, fresh->seed);
+  }
+  {
+    // Symmetric detach; the freed slot returns to the EJECTED shard's free
+    // list, and grant_if above never hands ejected-shard slots out again,
+    // so no live stream can collide with the abandoned walk.
+    ShardBackend& shard = *shards_[static_cast<std::size_t>(old.shard)];
+    std::lock_guard<std::mutex> slk(shard.mu);
+    shard.detach(old.slot);
+  }
+  leases_.release(old);
+  state->lease = *fresh;
+  failovers_.fetch_add(1, std::memory_order_relaxed);
+  if (ins_.retry_failovers != nullptr) {
+    ins_.retry_failovers->add();
+    ins_.leases_granted->add();
+    ins_.leases_released->add();
+    ins_.active_leases->set(static_cast<double>(leases_.active()));
+  }
+  return true;
+}
+
+void RngService::backoff(int attempt) {
+  const double base = opts_.retry_backoff_base_ms * 1e-3;
+  const double cap = opts_.retry_backoff_max_ms * 1e-3;
+  double wait = base * std::pow(2.0, attempt);
+  if (wait > cap) wait = cap;
+  // Jitter in [0.5, 1.5): decorrelates workers retrying the same shard
+  // while staying a pure function of (service seed, global retry index).
+  const std::uint64_t idx =
+      backoff_idx_.fetch_add(1, std::memory_order_relaxed);
+  const double jitter =
+      0.5 + static_cast<double>(backoff_seq_.derive(idx) >> 11) * 0x1.0p-53;
+  wait *= jitter;
+  if (ins_.retry_backoff_seconds != nullptr) {
+    ins_.retry_backoff_seconds->add(wait);
+  }
+  sleep_seconds(wait);
 }
 
 void RngService::pause() {
@@ -403,13 +641,27 @@ RngService::Stats RngService::stats() const {
   s.shed = shed_.load(std::memory_order_relaxed);
   s.timed_out = timed_out_.load(std::memory_order_relaxed);
   s.closed = closed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
   s.numbers_served = numbers_served_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.shards_ejected = static_cast<std::uint64_t>(
+      ejected_count_.load(std::memory_order_acquire));
   s.queue_depth = queue_.size();
   s.active_leases = leases_.active();
   s.leases_granted = leases_.granted_total();
   s.leases_released = leases_.released_total();
   return s;
+}
+
+int RngService::healthy_shards() const {
+  return num_shards() - ejected_count_.load(std::memory_order_acquire);
+}
+
+bool RngService::shard_ejected(int shard) const {
+  return health_[static_cast<std::size_t>(shard)].ejected.load(
+      std::memory_order_acquire);
 }
 
 // -- Session / Ticket --------------------------------------------------------
@@ -432,6 +684,22 @@ std::vector<std::uint64_t> Session::draw(std::size_t n) {
   const Status status = fill(out);
   HPRNG_CHECK(status == Status::kOk, "Session::draw: fill failed");
   return out;
+}
+
+Lease Session::lease() const {
+  HPRNG_CHECK(valid(), "Session::lease: empty session");
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->lease;
+}
+
+void Session::set_priority(int priority) {
+  HPRNG_CHECK(valid(), "Session::set_priority: empty session");
+  state_->priority.store(priority, std::memory_order_relaxed);
+}
+
+int Session::priority() const {
+  HPRNG_CHECK(valid(), "Session::priority: empty session");
+  return state_->priority.load(std::memory_order_relaxed);
 }
 
 Status Ticket::wait() {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "prng/seed_seq.hpp"
 #include "serve/backend.hpp"
 #include "serve/lease.hpp"
 #include "serve/options.hpp"
@@ -61,6 +62,7 @@ struct Request {
   std::span<std::uint64_t> out;
   std::chrono::steady_clock::time_point submit_time;
   std::chrono::steady_clock::time_point deadline;
+  int priority = 0;  ///< session priority at submit time (shed order)
 
   std::atomic<int> phase{kPending};
 
@@ -71,10 +73,14 @@ struct Request {
 };
 
 /// Shared session state: releasing the last reference returns the lease
-/// (slot + backend stream) to the pool.
+/// (slot + backend stream) to the pool. The lease is mutable — failover
+/// moves it to a surviving shard when its home shard is ejected — so every
+/// read goes through `mu` (lock order: session mu before any shard mu).
 struct SessionState {
   RngService* service = nullptr;
-  Lease lease;
+  std::mutex mu;
+  Lease lease;                   ///< guarded by mu
+  std::atomic<int> priority{0};  ///< shed order; higher survives longer
   ~SessionState();
 };
 
@@ -121,8 +127,15 @@ class Session {
   /// (use fill() where failure is expected).
   std::vector<std::uint64_t> draw(std::size_t n);
 
-  /// The lease this session draws through.
-  [[nodiscard]] const Lease& lease() const { return state_->lease; }
+  /// The lease this session currently draws through (a snapshot copy —
+  /// failover may move the lease between calls; docs/SERVING.md §7).
+  [[nodiscard]] Lease lease() const;
+
+  /// Shed priority of this session's future requests (default 0). Under
+  /// shed-policy overload the lowest-priority queued request is evicted
+  /// first, and only for a strictly higher-priority arrival.
+  void set_priority(int priority);
+  [[nodiscard]] int priority() const;
 
  private:
   friend class RngService;
@@ -167,14 +180,25 @@ class RngService {
     std::uint64_t shed = 0;
     std::uint64_t timed_out = 0;
     std::uint64_t closed = 0;
+    std::uint64_t failed = 0;  ///< kFailed (no healthy shard left)
     std::uint64_t numbers_served = 0;
-    std::uint64_t batches = 0;  ///< backend fill passes
+    std::uint64_t batches = 0;       ///< backend fill passes (successful)
+    std::uint64_t retries = 0;       ///< extra fill attempts after failures
+    std::uint64_t failovers = 0;     ///< leases moved off ejected shards
+    std::uint64_t shards_ejected = 0;
     std::size_t queue_depth = 0;
     std::uint64_t active_leases = 0;
     std::uint64_t leases_granted = 0;
     std::uint64_t leases_released = 0;
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Shards currently accepting traffic (total minus ejected).
+  [[nodiscard]] int healthy_shards() const;
+
+  /// True once shard `s` has been ejected (ejection is permanent for the
+  /// service's lifetime — a replaced shard would be a new pool member).
+  [[nodiscard]] bool shard_ejected(int shard) const;
 
   // -- Maintenance / test fences -------------------------------------------
 
@@ -216,6 +240,12 @@ class RngService {
     obs::Counter* batches = nullptr;
     obs::Counter* leases_granted = nullptr;
     obs::Counter* leases_released = nullptr;
+    obs::Counter* requests_failed = nullptr;
+    obs::Counter* retry_attempts = nullptr;
+    obs::Counter* retry_backoff_seconds = nullptr;
+    obs::Counter* retry_failovers = nullptr;
+    obs::Counter* shards_ejected = nullptr;
+    obs::Gauge* shards_healthy = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* active_leases = nullptr;
     obs::Histogram* batch_requests = nullptr;
@@ -223,6 +253,13 @@ class RngService {
     obs::Histogram* queue_wait_seconds = nullptr;
     obs::Histogram* fill_sim_seconds = nullptr;
     obs::Histogram* fill_wall_seconds = nullptr;
+  };
+
+  /// Per-shard health: healthy (no recent failures) -> degraded (some
+  /// consecutive failed passes) -> ejected (threshold reached; permanent).
+  struct ShardHealth {
+    std::atomic<int> consecutive_failures{0};
+    std::atomic<bool> ejected{false};
   };
 
   std::optional<Session> open_with(std::optional<Lease> lease);
@@ -235,12 +272,29 @@ class RngService {
   void release_lease(const Lease& lease);
   void worker_loop();
   void serve_batch(std::vector<RequestPtr>& batch);
+  /// Serve one shard's claimed requests: split into unique-slot passes,
+  /// fill each with bounded retry + backoff, and on a persistent failure
+  /// displace the unserved tail (failover / requeue / kFailed).
+  void serve_shard_group(std::size_t s, std::vector<RequestPtr>& group);
+  /// Mark one failed pass on shard `s` (ejecting it at the threshold).
+  void record_shard_failure(std::size_t s);
+  void eject_shard(std::size_t s);
+  /// Move `state`'s lease off its (ejected) home shard onto a healthy one.
+  /// True when the session can keep going — either the lease moved, or its
+  /// current shard turned out healthy already. False = no healthy capacity.
+  bool failover_session(const std::shared_ptr<detail::SessionState>& state);
+  /// Jittered exponential-backoff sleep before retry `attempt` (wall).
+  void backoff(int attempt);
 
   ServiceOptions opts_;
   obs::MetricsRegistry* metrics_;
   Instruments ins_;
   LeaseManager leases_;
   std::vector<std::unique_ptr<ShardBackend>> shards_;
+  std::unique_ptr<ShardHealth[]> health_;  ///< one per shard
+  std::atomic<int> ejected_count_{0};
+  prng::SeedSequence backoff_seq_;  ///< jitter stream (const derive)
+  std::atomic<std::uint64_t> backoff_idx_{0};
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> paused_{false};
@@ -253,8 +307,11 @@ class RngService {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> numbers_served_{0};
   std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> failovers_{0};
 
   std::atomic<int> serving_{0};  ///< workers with a popped, unfinished batch
   std::mutex state_mu_;

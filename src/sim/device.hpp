@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -7,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "sim/buffer.hpp"
 #include "sim/engine.hpp"
 #include "sim/spec.hpp"
@@ -84,6 +86,25 @@ class Device {
   /// bytes per direction, kernel launches and threads, host tasks).
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Attach (or with nullptr, detach) a fault injector (docs/FAULTS.md):
+  /// every transfer enqueue then consults `injector` at Site::kH2D/kD2H
+  /// with `target` (the owner's id — the serve layer passes its shard
+  /// index). An injected delay lengthens the transfer's simulated
+  /// duration; an injected failure charges full PCIe time but skips the
+  /// data movement — the simulated equivalent of a dropped DMA — and is
+  /// reported through take_transfer_faults().
+  void set_fault_injector(fault::Injector* injector, int target = 0) {
+    fault_injector_ = injector;
+    fault_target_ = target;
+  }
+
+  /// Failed transfers executed since the last call (consume-on-read).
+  /// Pipelines poll this after synchronize() to turn dropped copies into
+  /// an explicit fill failure instead of silent stream corruption.
+  std::uint64_t take_transfer_faults() {
+    return transfer_faults_.exchange(0, std::memory_order_acq_rel);
+  }
+
   /// Simulated duration of one H2D/D2H transfer of `bytes`.
   [[nodiscard]] double copy_seconds(std::size_t bytes) const;
 
@@ -102,9 +123,15 @@ class Device {
       ins_.copy_bytes_h2d->add(static_cast<double>(src.size_bytes()));
     }
     auto deps = with_stream_dep(stream, extra_deps);
+    double duration = copy_seconds(src.size_bytes());
+    const bool drop = consult_fault(fault::Site::kH2D, &duration);
     const OpId id = engine_.submit(
-        Resource::kPcieH2D, "Transfer", copy_seconds(src.size_bytes()), deps,
-        [src, out = dst.device_span()]() mutable {
+        Resource::kPcieH2D, "Transfer", duration, deps,
+        [this, drop, src, out = dst.device_span()]() mutable {
+          if (drop) {
+            transfer_faults_.fetch_add(1, std::memory_order_acq_rel);
+            return;
+          }
           std::copy(src.begin(), src.end(), out.begin());
         });
     stream.set_last(id);
@@ -120,9 +147,15 @@ class Device {
       ins_.copy_bytes_d2h->add(static_cast<double>(src.size_bytes()));
     }
     auto deps = with_stream_dep(stream, extra_deps);
+    double duration = copy_seconds(src.size_bytes());
+    const bool drop = consult_fault(fault::Site::kD2H, &duration);
     const OpId id = engine_.submit(
-        Resource::kPcieD2H, "transfer-d2h", copy_seconds(src.size_bytes()),
-        deps, [in = src.device_span(), dst]() mutable {
+        Resource::kPcieD2H, "transfer-d2h", duration, deps,
+        [this, drop, in = src.device_span(), dst]() mutable {
+          if (drop) {
+            transfer_faults_.fetch_add(1, std::memory_order_acq_rel);
+            return;
+          }
           std::copy(in.begin(), in.end(), dst.begin());
         });
     stream.set_last(id);
@@ -157,6 +190,18 @@ class Device {
   std::vector<OpId> with_stream_dep(Stream& stream,
                                     const std::vector<OpId>& extra) const;
 
+  /// Consult the fault injector (if any) at a transfer site. Adds any
+  /// injected delay to *duration; returns true when the transfer must
+  /// drop its payload. Consulted at enqueue time — enqueues are already
+  /// serialised by the device owner's lock, keeping event ordinals
+  /// deterministic (docs/FAULTS.md §2).
+  bool consult_fault(fault::Site site, double* duration) {
+    if (fault_injector_ == nullptr) return false;
+    const fault::Outcome o = fault_injector_->on_event(site, fault_target_);
+    *duration += o.delay_seconds;
+    return o.fail();
+  }
+
   /// Device-level instruments, resolved once in set_metrics().
   struct Instruments {
     obs::Counter* copy_bytes_h2d = nullptr;
@@ -171,6 +216,9 @@ class Device {
   Engine engine_;
   obs::MetricsRegistry* metrics_ = nullptr;
   Instruments ins_;
+  fault::Injector* fault_injector_ = nullptr;
+  int fault_target_ = 0;
+  std::atomic<std::uint64_t> transfer_faults_{0};
 };
 
 }  // namespace hprng::sim

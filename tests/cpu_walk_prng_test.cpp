@@ -34,6 +34,43 @@ TEST(CpuWalkPrng, OutputsAreWellSpread) {
   EXPECT_NEAR(sum / kN, 0.5, 5.0 / std::sqrt(12.0 * kN));
 }
 
+TEST(CpuWalkPrng, DiscardMatchesSequentialDrawsAcrossConfigs) {
+  // The jump-ahead contract (lease reclamation): discard(n) must land on
+  // EXACTLY the state after n next_u64() calls — across walk lengths and
+  // neighbour policies, since the serving layer may host any config.
+  for (int walk_len : {1, 8, 32}) {
+    for (auto policy : {expander::NeighborPolicy::kMod7,
+                        expander::NeighborPolicy::kRejection}) {
+      CpuWalkConfig cfg;
+      cfg.walk_len = walk_len;
+      cfg.policy = policy;
+      for (std::uint64_t n : {std::uint64_t{1}, std::uint64_t{7},
+                              std::uint64_t{64}, std::uint64_t{1000}}) {
+        CpuWalkPrng a(0xD15C, cfg), b(0xD15C, cfg);
+        a.discard(n);
+        for (std::uint64_t i = 0; i < n; ++i) (void)b.next_u64();
+        for (int i = 0; i < 32; ++i) {
+          ASSERT_EQ(a.next_u64(), b.next_u64())
+              << "walk_len " << walk_len << " n " << n << " draw " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(CpuWalkPrng, DiscardIsAdditiveAndZeroIsANoop) {
+  CpuWalkPrng a(99), b(99), c(99);
+  a.discard(0);
+  ASSERT_EQ(a.next_u64(), b.next_u64());  // discard(0) changed nothing
+  a.discard(13);
+  a.discard(29);
+  b.discard(42);  // 1 (drawn above) + 13 + 29 == 1 + 42
+  c.discard(43);
+  const std::uint64_t va = a.next_u64();
+  EXPECT_EQ(va, b.next_u64());
+  EXPECT_EQ(va, c.next_u64());
+}
+
 TEST(CpuWalkPrng, WalkLengthOneIsWeakByDesign) {
   // With l = 1 the next output is one of only ~7 neighbours of the current
   // vertex — successive outputs share an entire coordinate. The ablation

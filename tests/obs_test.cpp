@@ -84,6 +84,75 @@ TEST(Histogram, BucketBoundsArePowersOfTwo) {
   EXPECT_DOUBLE_EQ(obs::Histogram::bucket_upper_bound(s - 1), 0.5);
 }
 
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  obs::Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileOfSingleValueIsThatValue) {
+  // The min/max clamp makes a one-value histogram exact — not the power-
+  // of-two bucket bound — at EVERY q, including the 0 and 1 extremes.
+  obs::Histogram h;
+  h.observe(0.37);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 0.37) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileClampsQOutsideUnitInterval) {
+  obs::Histogram h;
+  h.observe(1.0);
+  h.observe(8.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(42.0), h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);  // clamped up to min
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);  // top bucket, clamped to max
+}
+
+TEST(Histogram, QuantileHandlesNonPositiveObservations) {
+  // Non-positive values land in bucket 0, whose documented upper bound is
+  // 2^-kBucketShift; mixed-sign data answers that bound (the contract is
+  // an upper bound clamped to [min, max], and instrument values — times,
+  // counts — are non-negative in practice).
+  obs::Histogram h;
+  h.observe(-4.0);
+  h.observe(-1.0);
+  h.observe(16.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), obs::Histogram::bucket_upper_bound(0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 16.0);
+
+  // All-negative data: the max clamp keeps the answer a real observation.
+  obs::Histogram neg;
+  neg.observe(-4.0);
+  neg.observe(-1.0);
+  EXPECT_DOUBLE_EQ(neg.quantile(0.5), -1.0);
+  EXPECT_DOUBLE_EQ(neg.quantile(1.0), -1.0);
+}
+
+TEST(Histogram, QuantileOverflowBucketReportsMax) {
+  // Values past the largest finite bucket (2^31) land in overflow; the
+  // quantile there must answer the exact max, not infinity.
+  obs::Histogram h;
+  h.observe(1.0);
+  h.observe(1e12);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1e12);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.0);
+}
+
+TEST(Histogram, QuantileIsWithinTheDocumentedTwoXBound) {
+  // Power-of-two buckets promise estimates within 2x of the truth; check
+  // the median of a known uniform spread honours that.
+  obs::Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  const double p50 = h.quantile(0.5);  // true median 500.5
+  EXPECT_GE(p50, 500.5 / 2.0);
+  EXPECT_LE(p50, 500.5 * 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+}
+
 TEST(MetricsRegistry, GetOrCreateReturnsStableReferences) {
   obs::MetricsRegistry reg;
   obs::Counter& a = reg.counter("hprng.test.events");
