@@ -3,8 +3,10 @@
 // cuRAND device API. Paper: "the hybrid generator outperforms both ... by a
 // factor of 2 in most cases".
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -42,6 +44,12 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry metrics;
   double max_busy_disagreement = 0.0;
   double ratio_sum = 0.0;
+  double ratio_sum_xw = 0.0;
+  double hybrid_wall_seconds = 0.0;  ///< functional-execution wall time
+  double hybrid_sim_seconds = 0.0;
+  std::uint64_t total_numbers = 0;
+  std::string sizes_json = "[", hybrid_ms_json = "[", mt_ms_json = "[",
+              xw_ms_json = "[";
   for (const std::uint64_t m : paper_sizes_m) {
     const std::uint64_t n = m * 1000000ull / scale_div;
     double t_h, t_mt, t_xw;
@@ -60,7 +68,14 @@ int main(int argc, char** argv) {
                                 sim::metric_suffix(static_cast<sim::Resource>(r)))
                        .value();
       }
+      const auto wall0 = std::chrono::steady_clock::now();
       t_h = prng.generate_device(n, 100, out);
+      hybrid_wall_seconds +=
+          std::chrono::duration_cast<std::chrono::duration<double>>(
+              std::chrono::steady_clock::now() - wall0)
+              .count();
+      hybrid_sim_seconds += t_h;
+      total_numbers += n;
       const double t1 = dev.engine().now();
       const double t0 = t1 - t_h;
       for (int r = 0; r < sim::kNumResources; ++r) {
@@ -94,6 +109,12 @@ int main(int argc, char** argv) {
     }
     hybrid_always_fastest &= t_h < t_mt && t_h < t_xw;
     ratio_sum += t_mt / t_h;
+    ratio_sum_xw += t_xw / t_h;
+    const char* sep = sizes_json.size() > 1 ? ", " : "";
+    sizes_json += util::strf("%s%llu", sep, static_cast<unsigned long long>(n));
+    hybrid_ms_json += util::strf("%s%.6f", sep, t_h * 1e3);
+    mt_ms_json += util::strf("%s%.6f", sep, t_mt * 1e3);
+    xw_ms_json += util::strf("%s%.6f", sep, t_xw * 1e3);
     t.add_row({util::strf("%llu", static_cast<unsigned long long>(m)),
                util::strf("%llu", static_cast<unsigned long long>(n)),
                bench::ms(t_h), bench::ms(t_mt), bench::ms(t_xw),
@@ -103,6 +124,17 @@ int main(int argc, char** argv) {
   std::printf("%s", t.to_string().c_str());
   const double mean_ratio = ratio_sum / static_cast<double>(paper_sizes_m.size());
   std::printf("mean MT/Hybrid speedup: %.2fx (paper: ~2x)\n", mean_ratio);
+  const double sim_numbers_per_s =
+      hybrid_sim_seconds > 0.0
+          ? static_cast<double>(total_numbers) / hybrid_sim_seconds
+          : 0.0;
+  const double wall_numbers_per_s =
+      hybrid_wall_seconds > 0.0
+          ? static_cast<double>(total_numbers) / hybrid_wall_seconds
+          : 0.0;
+  std::printf("hybrid throughput: %.3g numbers/sim-second, "
+              "%.3g numbers/wall-second (functional execution)\n",
+              sim_numbers_per_s, wall_numbers_per_s);
 
   bool metrics_agree = true;
   if (obs::kEnabled) {
@@ -115,6 +147,29 @@ int main(int argc, char** argv) {
 
   const bool shape = hybrid_always_fastest && mean_ratio > 1.3 &&
                      metrics_agree;
+
+  {
+    // Flat perf summary (BENCH_throughput.json in CI): simulated and wall
+    // throughput plus the per-size series, one parseable file per run.
+    bench::BenchJson json;
+    json.add("bench", std::string("fig3_throughput"));
+    json.add("scale_div", static_cast<double>(scale_div));
+    json.add("total_numbers", static_cast<double>(total_numbers));
+    json.add("hybrid_sim_seconds", hybrid_sim_seconds);
+    json.add("hybrid_wall_seconds", hybrid_wall_seconds);
+    json.add("sim_numbers_per_s", sim_numbers_per_s);
+    json.add("wall_numbers_per_s", wall_numbers_per_s);
+    json.add("mean_mt_over_hybrid", mean_ratio);
+    json.add("mean_curand_over_hybrid",
+             ratio_sum_xw / static_cast<double>(paper_sizes_m.size()));
+    json.add("shape_ok", shape ? 1.0 : 0.0);
+    json.add_raw("run_n", sizes_json + "]");
+    json.add_raw("hybrid_sim_ms", hybrid_ms_json + "]");
+    json.add_raw("mt_sim_ms", mt_ms_json + "]");
+    json.add_raw("curand_sim_ms", xw_ms_json + "]");
+    bench::export_bench_json(cli, json);
+  }
+
   bench::verdict(shape, "hybrid fastest at every size, baselines ~2x slower");
   return shape ? 0 : 1;
 }

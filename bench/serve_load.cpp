@@ -8,13 +8,20 @@
 // Flags: --clients --requests --n (words per request) --shards --slots
 //        --workers --capacity --coalesce --policy=block|reject|shed
 //        --timeout-ms --backend=hybrid|cpu-walk|<baseline> --seed
+//        --inflight=K  async requests each client keeps outstanding
+//                      (K >= 2 exercises the pipelined serve path: a worker
+//                      coalescing one session's queued requests issues them
+//                      as overlapped begin/finish passes)
 //        --metrics-json=<path>
+//        --bench-json=<path>  flat perf summary (BENCH_serve.json in CI)
 //        --fault-plan=<plan>  deterministic chaos run (docs/FAULTS.md §3),
 //                             e.g. --fault-plan="shard:1:fail:0:1000000"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -33,6 +40,8 @@ int main(int argc, char** argv) {
   const int clients = static_cast<int>(cli.get_u64("clients", 32));
   const int requests = static_cast<int>(cli.get_u64("requests", 64));
   const std::size_t words = cli.get_u64("n", 256);
+  const int inflight =
+      static_cast<int>(std::max<std::uint64_t>(1, cli.get_u64("inflight", 1)));
 
   serve::ServiceOptions opts;
   opts.backend = cli.get_string("backend", "hybrid");
@@ -74,9 +83,9 @@ int main(int argc, char** argv) {
       "serve_load — closed-loop multi-client serving",
       "the on-demand generator serves many small consumers by coalescing "
       "their requests into batched pipeline rounds",
-      util::strf("%d clients x %d requests x %zu words, %d %s shards, "
-                 "%d workers, queue %zu, policy %s",
-                 clients, requests, words, opts.num_shards,
+      util::strf("%d clients x %d requests x %zu words (%d in flight), "
+                 "%d %s shards, %d workers, queue %zu, policy %s",
+                 clients, requests, words, inflight, opts.num_shards,
                  opts.backend.c_str(), opts.num_workers, opts.queue_capacity,
                  policy_name.c_str())
           .c_str());
@@ -109,14 +118,30 @@ int main(int argc, char** argv) {
     threads.reserve(static_cast<std::size_t>(clients));
     for (int c = 0; c < clients; ++c) {
       threads.emplace_back([&, c] {
-        std::vector<std::uint64_t> buf(words);
-        for (int r = 0; r < requests; ++r) {
-          if (sessions[c].fill(buf) == serve::Status::kOk) {
+        // Each client keeps up to `inflight` async requests outstanding
+        // (inflight == 1 degenerates to the classic closed loop). A
+        // request's buffer is recycled only after its ticket settles, so
+        // slot r % inflight is always free when request r is issued.
+        std::vector<std::vector<std::uint64_t>> bufs(
+            static_cast<std::size_t>(inflight),
+            std::vector<std::uint64_t>(words));
+        std::deque<serve::Ticket> window;
+        const auto settle_front = [&] {
+          if (window.front().wait() == serve::Status::kOk) {
             ok.fetch_add(1, std::memory_order_relaxed);
           } else {
             failed.fetch_add(1, std::memory_order_relaxed);
           }
+          window.pop_front();
+        };
+        for (int r = 0; r < requests; ++r) {
+          if (window.size() == static_cast<std::size_t>(inflight)) {
+            settle_front();
+          }
+          window.push_back(sessions[c].fill_async(
+              bufs[static_cast<std::size_t>(r % inflight)]));
         }
+        while (!window.empty()) settle_front();
       });
     }
     for (std::thread& t : threads) t.join();
@@ -172,15 +197,36 @@ int main(int argc, char** argv) {
                util::strf("%.2f", static_cast<double>(stats.numbers_served) /
                                       wall_seconds / 1e6)});
   }
+  double lat_p50 = 0.0, lat_p99 = 0.0, lat_max = 0.0, qw_p99 = 0.0;
+  double overlap_seconds = 0.0, fill_span_seconds = 0.0;
+  double overlap_fraction = 0.0;
   if (obs::kEnabled) {
     // Latency quantiles from the registry histogram — the same numbers a
     // dashboard would read (power-of-two buckets: within 2x).
     const auto& lat = metrics.histogram("hprng.serve.request_latency_seconds");
     const auto& qw = metrics.histogram("hprng.serve.queue_wait_seconds");
-    t.add_row({"latency p50 (ms)", bench::ms(lat.quantile(0.5))});
-    t.add_row({"latency p99 (ms)", bench::ms(lat.quantile(0.99))});
-    t.add_row({"latency max (ms)", bench::ms(lat.max())});
-    t.add_row({"queue wait p99 (ms)", bench::ms(qw.quantile(0.99))});
+    lat_p50 = lat.quantile(0.5);
+    lat_p99 = lat.quantile(0.99);
+    lat_max = lat.max();
+    qw_p99 = qw.quantile(0.99);
+    t.add_row({"latency p50 (ms)", bench::ms(lat_p50)});
+    t.add_row({"latency p99 (ms)", bench::ms(lat_p99)});
+    t.add_row({"latency max (ms)", bench::ms(lat_max)});
+    t.add_row({"queue wait p99 (ms)", bench::ms(qw_p99)});
+    // Pipelined-fill overlap (hybrid backend, docs/PERFORMANCE.md): the
+    // simulated time fill N+1's FEED/TRANSFER spent running under fill N's
+    // GENERATE kernel, as a fraction of total fill span. Zero unless
+    // same-session passes queued back to back (--inflight >= 2).
+    overlap_seconds =
+        metrics.counter("hprng.core.serve_overlap_seconds").value();
+    fill_span_seconds =
+        metrics.counter("hprng.core.serve_fill_span_seconds").value();
+    if (fill_span_seconds > 0.0) {
+      overlap_fraction = overlap_seconds / fill_span_seconds;
+      t.add_row({"pipeline overlap (sim ms)", bench::ms(overlap_seconds)});
+      t.add_row({"overlap fraction",
+                 util::strf("%.3f", overlap_fraction)});
+    }
   }
   std::printf("%s", t.to_string().c_str());
 
@@ -208,6 +254,39 @@ int main(int argc, char** argv) {
               conserved ? "OK" : "MISMATCH");
 
   bench::export_metrics_json(cli, metrics);
+
+  {
+    // Flat perf summary (BENCH_serve.json in CI): wall throughput, tail
+    // latency and pipeline overlap, one parseable file per run.
+    bench::BenchJson json;
+    json.add("bench", std::string("serve_load"));
+    json.add("backend", opts.backend);
+    json.add("clients", static_cast<double>(clients));
+    json.add("requests_per_client", static_cast<double>(requests));
+    json.add("words_per_request", static_cast<double>(words));
+    json.add("inflight", static_cast<double>(inflight));
+    json.add("wall_seconds", wall_seconds);
+    json.add("requests_ok", static_cast<double>(ok.load()));
+    json.add("requests_failed", static_cast<double>(failed.load()));
+    json.add("backend_passes", static_cast<double>(stats.batches));
+    json.add("numbers_served", static_cast<double>(stats.numbers_served));
+    json.add("wall_req_per_s",
+             wall_seconds > 0.0
+                 ? static_cast<double>(ok.load()) / wall_seconds
+                 : 0.0);
+    json.add("wall_words_per_s",
+             wall_seconds > 0.0
+                 ? static_cast<double>(stats.numbers_served) / wall_seconds
+                 : 0.0);
+    json.add("latency_p50_s", lat_p50);
+    json.add("latency_p99_s", lat_p99);
+    json.add("latency_max_s", lat_max);
+    json.add("queue_wait_p99_s", qw_p99);
+    json.add("overlap_sim_seconds", overlap_seconds);
+    json.add("fill_span_sim_seconds", fill_span_seconds);
+    json.add("overlap_fraction", overlap_fraction);
+    bench::export_bench_json(cli, json);
+  }
 
   const bool shape = conserved && leases_clean && coalesced && ok.load() > 0;
   bench::verdict(shape, "every request reaches one terminal status, leases "

@@ -7,6 +7,7 @@
 #include "prng/splitmix64.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hprng::core {
 
@@ -22,6 +23,9 @@ HybridPrng::HybridPrng(sim::Device& device, HybridPrngConfig cfg)
       feeder_(device.spec(), cfg.feeder_generator, cfg.seed) {
   HPRNG_CHECK(cfg_.walk_len >= 1, "walk_len must be at least 1");
   HPRNG_CHECK(cfg_.init_walk_len >= 0, "init_walk_len must be >= 0");
+  // The feeder shares the device's worker pool: a pooled platform
+  // parallelises its FEED refills too (bit-identically — see BitFeeder).
+  feeder_.set_pool(device.pool());
 }
 
 void HybridPrng::set_metrics(obs::MetricsRegistry* registry) {
@@ -45,6 +49,12 @@ void HybridPrng::set_metrics(obs::MetricsRegistry* registry) {
       &registry->histogram("hprng.core.round_transfer_seconds");
   ins_.round_generate_seconds =
       &registry->histogram("hprng.core.round_generate_seconds");
+  ins_.serve_overlap_seconds =
+      &registry->counter("hprng.core.serve_overlap_seconds");
+  ins_.serve_fill_span_seconds =
+      &registry->counter("hprng.core.serve_fill_span_seconds");
+  ins_.serve_pipeline_depth =
+      &registry->gauge("hprng.core.serve_pipeline_depth");
   ins_.initialized_threads->set(
       static_cast<double>(initialized_threads_));
 }
@@ -248,17 +258,39 @@ namespace {
 constexpr std::uint64_t kServeFeedDomain = 0x5EEDF00Dull;
 }  // namespace
 
-std::uint64_t HybridPrng::serve_feed_root(std::uint64_t walk) const {
-  return prng::SeedSequence(cfg_.seed)
-      .split(kServeFeedDomain)
-      .split(walk)
-      .root();
+std::uint64_t HybridPrng::serve_feed_root(std::uint64_t walk) {
+  // Pure function of (cfg_.seed, walk): derived once per walk, then served
+  // from the cache — the old path paid two SeedSequence splits per listed
+  // walk on every fill.
+  const auto w = static_cast<std::size_t>(walk);
+  if (w >= serve_root_cache_.size()) {
+    serve_root_cache_.resize(w + 1, 0);
+    serve_root_known_.resize(w + 1, 0);
+  }
+  if (serve_root_known_[w] == 0) {
+    serve_root_cache_[w] = prng::SeedSequence(cfg_.seed)
+                               .split(kServeFeedDomain)
+                               .split(walk)
+                               .root();
+    serve_root_known_[w] = 1;
+  }
+  return serve_root_cache_[w];
 }
 
-HybridPrng::LeasedFill HybridPrng::fill_leased(
-    std::span<const LeasedDraw> draws) {
-  LeasedFill res;
-  if (draws.empty()) return res;
+std::shared_ptr<HybridPrng::ServeScratch> HybridPrng::acquire_serve_scratch() {
+  if (!serve_scratch_pool_.empty()) {
+    std::shared_ptr<ServeScratch> rec = std::move(serve_scratch_pool_.back());
+    serve_scratch_pool_.pop_back();
+    return rec;
+  }
+  ++serve_scratch_allocs_;
+  return std::make_shared<ServeScratch>();
+}
+
+bool HybridPrng::begin_fill_leased(std::span<const LeasedDraw> draws) {
+  HPRNG_CHECK(!draws.empty(), "begin_fill_leased: empty draw list");
+  HPRNG_CHECK(serve_inflight_count_ < max_inflight_fills(),
+              "begin_fill_leased: pipeline full — finish_fill_leased first");
   std::uint64_t threads = 0;
   std::uint64_t max_draws = 1;
   for (const LeasedDraw& d : draws) {
@@ -266,59 +298,85 @@ HybridPrng::LeasedFill HybridPrng::fill_leased(
     max_draws = std::max<std::uint64_t>(max_draws, d.out.size());
   }
   if (!initialize(threads)) {  // incremental: live walks keep their state
-    res.ok = false;
-    return res;
+    return false;              // nothing was enqueued
   }
 
   // One packed wpd-per-draw feed slice per listed walk, one kernel thread
   // per listed walk (walks not listed cost nothing — unlike the batched
   // path, the serve pass is sized by the requests, not the walk range).
   const std::uint64_t wpd = words_per_draw();
-  std::vector<std::uint64_t> offset(draws.size() + 1, 0);
+  const int slot = serve_next_slot_;
+  serve_next_slot_ ^= 1;
+
+  std::shared_ptr<ServeScratch> rec = acquire_serve_scratch();
+  rec->fills.assign(draws.begin(), draws.end());
+  rec->offset.resize(draws.size() + 1);
+  rec->pos.resize(draws.size());
+  rec->roots.resize(draws.size());
+  rec->snapshot.clear();
+  rec->offset[0] = 0;
   for (std::size_t i = 0; i < draws.size(); ++i) {
-    offset[i + 1] = offset[i] + wpd * draws[i].out.size();
+    rec->offset[i + 1] = rec->offset[i] + wpd * draws[i].out.size();
   }
-  const std::uint64_t words = offset.back();
-  if (serve_host_bin_.size() < words || serve_device_bin_.size() < words) {
+  const std::uint64_t words = rec->offset.back();
+  if (serve_host_bin_[slot].size() < words ||
+      serve_device_bin_[slot].size() < words) {
     // Growth may move storage that pending ops hold spans into.
     device_.synchronize();
-    if (serve_host_bin_.size() < words) {
-      serve_host_bin_.resize(static_cast<std::size_t>(words));
+    if (serve_host_bin_[slot].size() < words) {
+      serve_host_bin_[slot].resize(static_cast<std::size_t>(words));
     }
-    if (serve_device_bin_.size() < words) {
-      serve_device_bin_.resize(words);
+    if (serve_device_bin_[slot].size() < words) {
+      serve_device_bin_[slot].resize(words);
     }
   }
   if (serve_feed_pos_.size() < threads) {
     serve_feed_pos_.resize(static_cast<std::size_t>(threads), 0);
+    serve_feed_pending_.resize(static_cast<std::size_t>(threads), 0);
+    serve_seen_.resize(static_cast<std::size_t>(threads), 0);
   }
 
-  // Duplicate-walk check + transactional snapshot of the listed states.
-  std::vector<std::pair<std::uint64_t, WalkState>> snapshot;
-  snapshot.reserve(draws.size());
-  {
-    std::vector<char> seen(static_cast<std::size_t>(threads), 0);
-    for (const LeasedDraw& d : draws) {
-      char& flag = seen[static_cast<std::size_t>(d.walk)];
-      HPRNG_CHECK(flag == 0, "fill_leased: walk listed twice");
-      flag = 1;
-      snapshot.emplace_back(
+  // Duplicate-walk check over the reusable arena (flags reset below), plus
+  // — only when faults are possible, i.e. depth 1 under an injector — the
+  // transactional snapshot of the listed states. With fills in flight the
+  // states are not current (earlier kernels have not executed), which is
+  // exactly why max_inflight_fills() is 1 whenever a rollback could occur.
+  for (const LeasedDraw& d : draws) {
+    char& flag = serve_seen_[static_cast<std::size_t>(d.walk)];
+    HPRNG_CHECK(flag == 0, "fill_leased: walk listed twice");
+    flag = 1;
+    if (fault_injector_ != nullptr) {
+      rec->snapshot.emplace_back(
           d.walk, states_.device_span()[static_cast<std::size_t>(d.walk)]);
     }
   }
-
-  device_.engine().fence();  // fill latency excludes earlier untimed work
-  const double sim_start = device_.engine().now();
-
-  // FEED: each listed walk's counter-addressed words into the packed
-  // staging buffer. Charged at the feeder's production cost model; the
-  // injector is consulted at enqueue time, under the owner's lock, so
-  // event ordinals are deterministic (docs/FAULTS.md).
-  std::vector<std::uint64_t> roots(draws.size());
-  for (std::size_t i = 0; i < draws.size(); ++i) {
-    roots[i] = serve_feed_root(draws[i].walk);
+  for (const LeasedDraw& d : draws) {
+    serve_seen_[static_cast<std::size_t>(d.walk)] = 0;
   }
-  std::vector<LeasedDraw> fills(draws.begin(), draws.end());
+
+  // Absolute feed counters captured at begin time: committed position plus
+  // whatever earlier in-flight passes still owe this walk, so overlapped
+  // fills read consecutive counter ranges exactly as serial fills would.
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    const auto w = static_cast<std::size_t>(draws[i].walk);
+    rec->roots[i] = serve_feed_root(draws[i].walk);
+    rec->pos[i] = serve_feed_pos_[w] + serve_feed_pending_[w];
+    serve_feed_pending_[w] += wpd * draws[i].out.size();
+  }
+
+  if (serve_inflight_count_ == 0) {
+    // Serial semantics preserved: a fill entering an idle pipeline is
+    // timed from an idle machine, exactly like the old synchronous path.
+    // A fill entering a busy pipeline must NOT fence — the overlap with
+    // the in-flight fill's GENERATE is the whole point.
+    device_.engine().fence();
+  }
+
+  // FEED: each listed walk's counter-addressed words into this slot's
+  // packed staging buffer. Charged at the feeder's production cost model;
+  // the injector is consulted at enqueue time, under the owner's lock, so
+  // event ordinals are deterministic (docs/FAULTS.md). May not overwrite
+  // the staging slot until the slot's previous TRANSFER has read it.
   double feed_seconds =
       feeder_.seconds_for_words(static_cast<std::size_t>(words)) +
       device_.spec().host_api_call_overhead_us * 1e-6;
@@ -329,53 +387,84 @@ HybridPrng::LeasedFill HybridPrng::fill_leased(
     feed_seconds += o.delay_seconds;
     feed_drop = o.fail();
   }
-  serve_feed_faults_ = 0;
+  std::vector<sim::OpId> feed_deps;
+  if (serve_slot_transfer_[slot] != sim::kNoOp) {
+    feed_deps.push_back(serve_slot_transfer_[slot]);
+  }
+  util::ThreadPool* pool = device_.pool();
   const sim::OpId feed = device_.host_task(
       feed_stream_, "FEED", feed_seconds,
-      [this, feed_drop, wpd, offset, roots, fills] {
+      [this, rec, slot, feed_drop, pool] {
         if (feed_drop) {
           // Underrun: positions are uncommitted, so the retry's feed is
           // exactly the one this fill owed.
           ++serve_feed_faults_;
           return;
         }
-        for (std::size_t i = 0; i < fills.size(); ++i) {
-          const prng::SeedSequence seq(roots[i]);
-          const std::uint64_t pos =
-              serve_feed_pos_[static_cast<std::size_t>(fills[i].walk)];
-          std::uint32_t* out = serve_host_bin_.data() + offset[i];
-          const std::uint64_t n = wpd * fills[i].out.size();
-          for (std::uint64_t k = 0; k < n; ++k) {
-            out[k] = static_cast<std::uint32_t>(seq.derive(pos + k));
+        std::uint32_t* bin = serve_host_bin_[slot].data();
+        for (std::size_t i = 0; i < rec->fills.size(); ++i) {
+          const prng::SeedSequence seq(rec->roots[i]);
+          const std::uint64_t pos = rec->pos[i];
+          std::uint32_t* out = bin + rec->offset[i];
+          const std::uint64_t n = rec->offset[i + 1] - rec->offset[i];
+          // Counter-addressed derive is embarrassingly parallel: word k is
+          // a pure function of (root, pos + k), so any split of the index
+          // range is bit-exact; the fixed chunk grid matches BitFeeder's.
+          constexpr std::uint64_t kChunk = host::BitFeeder::kChunkWords;
+          if (pool != nullptr && pool->num_workers() > 0 &&
+              n >= 2 * kChunk) {
+            const std::uint64_t chunks = (n + kChunk - 1) / kChunk;
+            pool->parallel_for(0, chunks, [&](std::uint64_t c) {
+              const std::uint64_t lo = c * kChunk;
+              const std::uint64_t hi = std::min(n, lo + kChunk);
+              for (std::uint64_t k = lo; k < hi; ++k) {
+                out[k] = static_cast<std::uint32_t>(seq.derive(pos + k));
+              }
+            });
+          } else {
+            for (std::uint64_t k = 0; k < n; ++k) {
+              out[k] = static_cast<std::uint32_t>(seq.derive(pos + k));
+            }
           }
         }
-      });
+      },
+      feed_deps);
 
+  // TRANSFER: may not overwrite the device bin until the kernel that
+  // consumed it last has finished (double-buffer discipline).
+  std::vector<sim::OpId> copy_deps{feed};
+  if (serve_slot_consumer_[slot] != sim::kNoOp) {
+    copy_deps.push_back(serve_slot_consumer_[slot]);
+  }
   sim::Stream xfer;
   const sim::OpId copy = device_.memcpy_h2d(
       xfer,
-      std::span<const std::uint32_t>(serve_host_bin_)
+      std::span<const std::uint32_t>(serve_host_bin_[slot])
           .first(static_cast<std::size_t>(words)),
-      serve_device_bin_, {feed});
+      serve_device_bin_[slot], copy_deps);
+  serve_slot_transfer_[slot] = copy;
 
   // GENERATE: every draw starts on a fresh word-aligned reader over its
   // own wpd-word slice — the same per-draw budget the batched path
   // provisions per round — which is what makes a walk's stream invariant
-  // to how its draws are batched across fills.
+  // to how its draws are batched across fills. Kernels chain in order on
+  // the compute stream, so overlapped fills advance walk states in exactly
+  // the order the fills were begun.
   const sim::KernelCost cost{
       device_ops_for_draws(static_cast<double>(max_draws)),
       static_cast<double>(wpd * max_draws) * 4.0 +
           8.0 * static_cast<double>(max_draws)};
   const sim::OpId kernel = device_.launch(
       compute_stream_, "Generate(serve)",
-      static_cast<std::uint64_t>(fills.size()), cost,
-      [this, wpd, offset, fills](std::uint64_t tid) {
-        const LeasedDraw& d = fills[static_cast<std::size_t>(tid)];
+      static_cast<std::uint64_t>(draws.size()), cost,
+      [this, rec, slot, wpd](std::uint64_t tid) {
+        const LeasedDraw& d = rec->fills[static_cast<std::size_t>(tid)];
         WalkState* state =
             &states_.device_span()[static_cast<std::size_t>(d.walk)];
-        auto bin = serve_device_bin_.device_span().subspan(
-            static_cast<std::size_t>(offset[tid]),
-            static_cast<std::size_t>(offset[tid + 1] - offset[tid]));
+        auto bin = serve_device_bin_[slot].device_span().subspan(
+            static_cast<std::size_t>(rec->offset[tid]),
+            static_cast<std::size_t>(rec->offset[tid + 1] -
+                                     rec->offset[tid]));
         for (std::size_t j = 0; j < d.out.size(); ++j) {
           BitReader bits{bin.subspan(static_cast<std::size_t>(j * wpd),
                                      static_cast<std::size_t>(wpd))};
@@ -384,28 +473,98 @@ HybridPrng::LeasedFill HybridPrng::fill_leased(
         }
       },
       {copy});
-  (void)kernel;
-  device_.synchronize();
-  res.sim_seconds = device_.engine().now() - sim_start;
-  if (metrics_ != nullptr) ins_.rounds->add(1);
+  serve_slot_consumer_[slot] = kernel;
 
+  const int tail = (serve_inflight_head_ + serve_inflight_count_) % 2;
+  serve_inflight_[tail] =
+      ServeInflight{std::move(rec), slot, feed, copy, kernel};
+  ++serve_inflight_count_;
+  if (metrics_ != nullptr) {
+    ins_.rounds->add(1);
+    ins_.serve_pipeline_depth->set(
+        static_cast<double>(serve_inflight_count_));
+  }
+  return true;
+}
+
+HybridPrng::LeasedFill HybridPrng::finish_fill_leased() {
+  HPRNG_CHECK(serve_inflight_count_ > 0,
+              "finish_fill_leased: nothing in flight");
+  ServeInflight inf = std::move(serve_inflight_[serve_inflight_head_]);
+  serve_inflight_[serve_inflight_head_] = ServeInflight{};
+  serve_inflight_head_ = (serve_inflight_head_ + 1) % 2;
+  --serve_inflight_count_;
+
+  device_.synchronize();  // no-op when a later fill's finish already ran it
+
+  sim::Engine& engine = device_.engine();
+  const double feed_start = engine.start_time(inf.feed);
+  const double copy_end = engine.end_time(inf.copy);
+  const double kernel_start = engine.start_time(inf.kernel);
+  const double kernel_end = engine.end_time(inf.kernel);
+
+  LeasedFill res;
+  res.sim_seconds = kernel_end - feed_start;
+
+  if (metrics_ != nullptr) {
+    ins_.serve_fill_span_seconds->add(res.sim_seconds);
+    // Overlap realised against the previous fill's GENERATE: the part of
+    // this fill's FEED→TRANSFER window that ran during that kernel. Zero
+    // whenever a fence separated the fills (idle pipeline), by construction.
+    const double lo = std::max(feed_start, serve_prev_kernel_start_);
+    const double hi = std::min(copy_end, serve_prev_kernel_end_);
+    if (hi > lo) ins_.serve_overlap_seconds->add(hi - lo);
+    ins_.serve_pipeline_depth->set(
+        static_cast<double>(serve_inflight_count_));
+  }
+  serve_prev_kernel_start_ = kernel_start;
+  serve_prev_kernel_end_ = kernel_end;
+
+  const std::uint64_t wpd = words_per_draw();
   const std::uint64_t faults = device_.take_transfer_faults() +
                                feeder_.take_faults() + serve_feed_faults_;
   serve_feed_faults_ = 0;
   if (faults != 0) {
     // Roll the transaction back: listed walks return to their pre-call
-    // states and (by never committing) feed positions.
-    for (const auto& [walk, state] : snapshot) {
+    // states and (by never committing) feed positions. Faults require an
+    // injector, which caps the pipeline at depth 1 — so the snapshot taken
+    // at begin time is the state this fill actually started from.
+    for (const auto& [walk, state] : inf.rec->snapshot) {
       states_.device_span()[static_cast<std::size_t>(walk)] = state;
     }
+    for (const LeasedDraw& d : inf.rec->fills) {
+      serve_feed_pending_[static_cast<std::size_t>(d.walk)] -=
+          wpd * d.out.size();
+    }
+    res.ok = false;
+  } else {
+    for (const LeasedDraw& d : inf.rec->fills) {
+      const auto w = static_cast<std::size_t>(d.walk);
+      const std::uint64_t n = wpd * d.out.size();
+      serve_feed_pos_[w] += n;
+      serve_feed_pending_[w] -= n;
+    }
+  }
+
+  // Recycle the scratch record: run_all() above released the pipeline
+  // closures' references, so ours is normally the last one. If anything
+  // still holds the record, let that reference own it and allocate fresh
+  // next time (never reuse a record someone can still read).
+  if (inf.rec.use_count() == 1) {
+    serve_scratch_pool_.push_back(std::move(inf.rec));
+  }
+  return res;
+}
+
+HybridPrng::LeasedFill HybridPrng::fill_leased(
+    std::span<const LeasedDraw> draws) {
+  LeasedFill res;
+  if (draws.empty()) return res;
+  if (!begin_fill_leased(draws)) {
     res.ok = false;
     return res;
   }
-  for (std::size_t i = 0; i < draws.size(); ++i) {
-    serve_feed_pos_[static_cast<std::size_t>(draws[i].walk)] +=
-        wpd * draws[i].out.size();
-  }
-  return res;
+  return finish_fill_leased();
 }
 
 sim::OpId HybridPrng::enqueue_batch_round(std::uint64_t threads,

@@ -44,6 +44,27 @@ class Generator {
   /// Fresh instance of the same algorithm re-seeded with `seed`.
   [[nodiscard]] virtual std::unique_ptr<Generator> clone_reseeded(
       std::uint64_t seed) const = 0;
+
+  // -- Jump-ahead hooks (parallel chunked feeds, docs/PERFORMANCE.md) -------
+
+  /// True when discard_u32() is asymptotically cheaper than drawing — a
+  /// closed-form state jump (LCG affine power, counter add). Parallel
+  /// chunked consumers (host::BitFeeder) only split work when this holds;
+  /// otherwise per-chunk skips would cost as much as the serial fill.
+  [[nodiscard]] virtual bool cheap_jump() const { return false; }
+
+  /// Advance the stream past `n` next_u32() draws. The default draws and
+  /// drops (O(n)); generators with a closed-form jump override it.
+  virtual void discard_u32(std::uint64_t n) {
+    while (n-- != 0) (void)next_u32();
+  }
+
+  /// Independent copy at the *current* stream position (unlike
+  /// clone_reseeded, which restarts). nullptr when the generator cannot be
+  /// duplicated; Adapter-wrapped generators always can.
+  [[nodiscard]] virtual std::unique_ptr<Generator> clone_state() const {
+    return nullptr;
+  }
 };
 
 /// Wraps a concrete generator type G (providing next_u32(), optionally
@@ -69,6 +90,22 @@ class Adapter final : public Generator {
   [[nodiscard]] std::unique_ptr<Generator> clone_reseeded(
       std::uint64_t seed) const override {
     return std::make_unique<Adapter<G>>(seed);
+  }
+
+  [[nodiscard]] bool cheap_jump() const override {
+    return requires(G& g, std::uint64_t n) { g.discard_u32(n); };
+  }
+
+  void discard_u32(std::uint64_t n) override {
+    if constexpr (requires(G& g) { g.discard_u32(n); }) {
+      g_.discard_u32(n);
+    } else {
+      Generator::discard_u32(n);
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Generator> clone_state() const override {
+    return std::make_unique<Adapter<G>>(g_);
   }
 
   /// Access to the wrapped concrete generator (used by tests).

@@ -29,6 +29,25 @@ struct GlibcLcg {
     return (a << 16) | b;
   }
 
+  /// Skip `draws` next_u32() outputs in O(log draws): the k-step map is the
+  /// affine composition x -> A^k x + C_k (mod 2^32), built by
+  /// square-and-multiply over (A, C) pairs. One u32 output = two raw steps.
+  void discard_u32(std::uint64_t draws) {
+    std::uint64_t k = draws * 2;
+    std::uint32_t a = 1, c = 0;                     // accumulated f^k
+    std::uint32_t ap = 1103515245u, cp = 12345u;    // f^(2^i)
+    while (k != 0) {
+      if ((k & 1) != 0) {
+        c = ap * c + cp;
+        a = ap * a;
+      }
+      cp = ap * cp + cp;
+      ap = ap * ap;
+      k >>= 1;
+    }
+    state = a * state + c;
+  }
+
   std::uint32_t state;
 };
 
@@ -74,6 +93,21 @@ struct Minstd {
     const std::uint32_t a = next_31() >> 15;
     const std::uint32_t b = next_31() >> 15;
     return (a << 16) | b;
+  }
+
+  /// Skip `draws` next_u32() outputs in O(log draws): a multiplicative LCG
+  /// jumps by modular exponentiation, state *= 48271^(2*draws) mod M.
+  void discard_u32(std::uint64_t draws) {
+    constexpr std::uint64_t kMod = 2147483647u;
+    std::uint64_t k = draws * 2;
+    std::uint64_t m = 48271u;
+    std::uint64_t acc = 1;
+    while (k != 0) {
+      if ((k & 1) != 0) acc = acc * m % kMod;
+      m = m * m % kMod;
+      k >>= 1;
+    }
+    state = static_cast<std::uint32_t>(state * acc % kMod);
   }
 
   std::uint32_t state;

@@ -21,6 +21,12 @@ struct SplitMix64 {
 
   std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
 
+  /// Skip `draws` next_u32() outputs in O(1): the state is a counter —
+  /// each u32 draw consumes exactly one gamma increment.
+  void discard_u32(std::uint64_t draws) {
+    state += 0x9E3779B97F4A7C15ull * draws;
+  }
+
   std::uint64_t state;
 };
 

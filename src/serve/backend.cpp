@@ -9,6 +9,7 @@
 #include "prng/seed_seq.hpp"
 #include "sim/device.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hprng::serve {
 
@@ -26,7 +27,9 @@ namespace {
 class HybridShard final : public ShardBackend {
  public:
   HybridShard(const ServiceOptions& opts, std::uint64_t shard_seed)
-      : device_(sim::DeviceSpec::tesla_c1060()) {
+      : device_(sim::DeviceSpec::tesla_c1060(),
+                opts.parallel_kernels ? &util::ThreadPool::global()
+                                      : nullptr) {
     core::HybridPrngConfig cfg;
     cfg.seed = shard_seed;
     cfg.walk_len = opts.walk_len;
@@ -44,12 +47,28 @@ class HybridShard final : public ShardBackend {
   void detach(std::uint64_t /*slot*/) override {}
 
   FillResult fill(std::span<const Fill> fills) override {
-    draws_.clear();
-    draws_.reserve(fills.size());
-    for (const Fill& f : fills) {
-      draws_.push_back({f.slot, f.out});
-    }
-    const core::HybridPrng::LeasedFill r = prng_->fill_leased(draws_);
+    const core::HybridPrng::LeasedFill r = prng_->fill_leased(to_draws(fills));
+    return FillResult{r.ok, r.sim_seconds};
+  }
+
+  [[nodiscard]] int pipeline_depth() const override {
+    return prng_->max_inflight_fills();
+  }
+
+  void begin_fill(std::span<const Fill> fills) override {
+    // begin_fill_leased copies the draw list into its own scratch record,
+    // so the arena is free for the next begin immediately. A false return
+    // (fault-corrupted initialize — injector only) means nothing was
+    // enqueued; the matching finish_fill() reports it as a failed pass.
+    begun_ok_.push_back(prng_->begin_fill_leased(to_draws(fills)));
+  }
+
+  FillResult finish_fill() override {
+    HPRNG_CHECK(!begun_ok_.empty(), "HybridShard::finish_fill: nothing begun");
+    const bool ok = begun_ok_.front();
+    begun_ok_.erase(begun_ok_.begin());
+    if (!ok) return FillResult{false, 0.0};
+    const core::HybridPrng::LeasedFill r = prng_->finish_fill_leased();
     return FillResult{r.ok, r.sim_seconds};
   }
 
@@ -57,12 +76,27 @@ class HybridShard final : public ShardBackend {
     prng_->set_fault_injector(injector, target);
   }
 
+  void set_metrics(obs::MetricsRegistry* registry) override {
+    prng_->set_metrics(registry);
+  }
+
   [[nodiscard]] std::string name() const override { return "hybrid"; }
 
  private:
+  std::span<const core::HybridPrng::LeasedDraw> to_draws(
+      std::span<const Fill> fills) {
+    draws_.clear();
+    draws_.reserve(fills.size());
+    for (const Fill& f : fills) {
+      draws_.push_back({f.slot, f.out});
+    }
+    return draws_;
+  }
+
   sim::Device device_;
   std::unique_ptr<core::HybridPrng> prng_;
   std::vector<core::HybridPrng::LeasedDraw> draws_;
+  std::vector<bool> begun_ok_;  ///< begin results, FIFO with the pipeline
 };
 
 /// The paper's CPU-only variant: one CpuWalkPrng per slot, seeded from the

@@ -1,7 +1,7 @@
 #include "sim/device.hpp"
 
 #include <algorithm>
-#include <mutex>
+#include <vector>
 
 namespace hprng::sim {
 
@@ -84,17 +84,28 @@ OpId Device::launch_dynamic(Stream& stream, std::string label,
   const OpId id = engine_.submit_dynamic(
       Resource::kDevice, std::move(label), base, deps,
       [this, pool, spec, threads, body = std::move(body)]() -> double {
-        double total_ops = 0.0;
+        // Per-chunk partial sums, reduced once in chunk order: no lock on
+        // the hottest kernel path, and — because the chunk size is fixed
+        // rather than derived from the worker count — the floating-point
+        // reduction is bit-identical for any pool size (including none),
+        // keeping the virtual-time schedule independent of the pool.
+        constexpr std::uint64_t kChunk = 2048;
+        const std::uint64_t chunks = (threads + kChunk - 1) / kChunk;
+        std::vector<double> partial(static_cast<std::size_t>(chunks), 0.0);
+        const auto chunk_body = [&](std::uint64_t c) {
+          const std::uint64_t lo = c * kChunk;
+          const std::uint64_t hi = std::min(threads, lo + kChunk);
+          double ops = 0.0;
+          for (std::uint64_t t = lo; t < hi; ++t) ops += body(t);
+          partial[static_cast<std::size_t>(c)] = ops;
+        };
         if (pool != nullptr && pool->num_workers() > 0) {
-          std::mutex mu;
-          pool->parallel_for(0, threads, [&](std::uint64_t t) {
-            const double ops = body(t);
-            std::lock_guard<std::mutex> lk(mu);
-            total_ops += ops;
-          });
+          pool->parallel_for(0, chunks, chunk_body);
         } else {
-          for (std::uint64_t t = 0; t < threads; ++t) total_ops += body(t);
+          for (std::uint64_t c = 0; c < chunks; ++c) chunk_body(c);
         }
+        double total_ops = 0.0;
+        for (const double p : partial) total_ops += p;
         // Convert realised ops into seconds through the same cost model,
         // without double charging the launch overhead (already in `base`).
         const double extra = kernel_seconds(

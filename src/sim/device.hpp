@@ -75,6 +75,11 @@ class Device {
   /// The underlying discrete-event executor (fences, op timestamps).
   [[nodiscard]] Engine& engine() { return engine_; }
 
+  /// The worker pool kernel bodies run on (nullptr = inline execution).
+  /// Exposed so pipeline stages that do their own host-side work (the
+  /// serve counter feed, BitFeeder refills) can share the device's pool.
+  [[nodiscard]] util::ThreadPool* pool() const { return pool_; }
+
   /// The engine's recorded virtual-time schedule.
   [[nodiscard]] const Timeline& timeline() const {
     return engine_.timeline();

@@ -1,0 +1,302 @@
+// Feed-parallelism determinism (docs/PERFORMANCE.md): every chunked
+// parallel path introduced for the serve/feed hot paths must be
+// bit-identical to its serial loop for ANY worker count — the chunk grids
+// are fixed functions of the request size, never of the pool. This suite
+// pins that property across BitFeeder refills, the generator jump-ahead
+// hooks they rely on, batched generation, and serial-vs-pipelined serve
+// fills, plus the serve scratch arena's zero-steady-state-allocation
+// guarantee.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/hybrid_prng.hpp"
+#include "host/bit_feeder.hpp"
+#include "obs/metrics.hpp"
+#include "prng/registry.hpp"
+#include "sim/device.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using hprng::core::HybridPrng;
+using hprng::core::HybridPrngConfig;
+using hprng::host::BitFeeder;
+using hprng::util::ThreadPool;
+
+constexpr std::uint64_t kSeed = 0x5EEDBA5Eu;
+
+// -- Generator jump-ahead hooks ----------------------------------------------
+
+TEST(JumpAheadTest, DiscardMatchesSequentialDraws) {
+  // discard_u32(k) must land exactly where k sequential draws land, for
+  // every generator advertising a cheap jump.
+  const std::uint64_t skips[] = {0, 1, 2, 7, 4096, 12345, 100003};
+  for (const std::string name : {"glibc-lcg", "minstd", "splitmix64"}) {
+    for (const std::uint64_t k : skips) {
+      auto jumped = hprng::prng::make_by_name(name, kSeed);
+      auto drawn = hprng::prng::make_by_name(name, kSeed);
+      ASSERT_TRUE(jumped->cheap_jump()) << name;
+      jumped->discard_u32(k);
+      for (std::uint64_t i = 0; i < k; ++i) (void)drawn->next_u32();
+      for (int i = 0; i < 16; ++i) {
+        ASSERT_EQ(jumped->next_u32(), drawn->next_u32())
+            << name << " diverges after discard_u32(" << k << ")";
+      }
+    }
+  }
+}
+
+TEST(JumpAheadTest, CloneStateContinuesTheStream) {
+  for (const std::string name : {"glibc-lcg", "minstd", "splitmix64",
+                                 "mt19937"}) {
+    auto g = hprng::prng::make_by_name(name, kSeed);
+    for (int i = 0; i < 37; ++i) (void)g->next_u32();
+    auto clone = g->clone_state();
+    ASSERT_NE(clone, nullptr) << name;
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_EQ(clone->next_u32(), g->next_u32()) << name;
+    }
+  }
+}
+
+TEST(JumpAheadTest, SequentialGeneratorsReportNoCheapJump) {
+  // mt19937 has no closed-form u32 jump here: the feeder must keep its
+  // serial path (falling back would cost as much as filling).
+  auto g = hprng::prng::make_by_name("mt19937", kSeed);
+  EXPECT_FALSE(g->cheap_jump());
+}
+
+// -- BitFeeder chunked refills -----------------------------------------------
+
+std::vector<std::uint32_t> feeder_fill(const std::string& generator,
+                                       std::size_t words, ThreadPool* pool) {
+  BitFeeder feeder(hprng::sim::DeviceSpec::tesla_c1060(), generator, kSeed);
+  feeder.set_pool(pool);
+  std::vector<std::uint32_t> out(words);
+  feeder.fill(out);
+  return out;
+}
+
+TEST(BitFeederPoolTest, ChunkedFillMatchesSerialForAnyWorkerCount) {
+  // Sizes straddling the chunk grid: below the parallel threshold, exactly
+  // on chunk boundaries, and with a ragged tail.
+  const std::size_t sizes[] = {1, BitFeeder::kChunkWords,
+                               2 * BitFeeder::kChunkWords,
+                               3 * BitFeeder::kChunkWords + 123};
+  for (const std::string name : {"glibc-lcg", "minstd", "splitmix64"}) {
+    for (const std::size_t words : sizes) {
+      const std::vector<std::uint32_t> serial =
+          feeder_fill(name, words, nullptr);
+      for (const std::size_t workers : {1u, 3u, 8u}) {
+        ThreadPool pool(workers);
+        EXPECT_EQ(serial, feeder_fill(name, words, &pool))
+            << name << " with " << workers << " workers, " << words
+            << " words";
+      }
+    }
+  }
+}
+
+TEST(BitFeederPoolTest, SerialFallbackGeneratorIgnoresThePool) {
+  // No cheap_jump -> the pooled fill must take the serial path and still
+  // produce the serial stream.
+  const std::size_t words = 3 * BitFeeder::kChunkWords;
+  const std::vector<std::uint32_t> serial =
+      feeder_fill("mt19937", words, nullptr);
+  ThreadPool pool(3);
+  EXPECT_EQ(serial, feeder_fill("mt19937", words, &pool));
+}
+
+TEST(BitFeederPoolTest, PooledFeederKeepsItsPositionAcrossFills) {
+  // Successive pooled fills must continue the stream exactly where a
+  // serial feeder would be (the master generator jumps past each block).
+  BitFeeder serial(hprng::sim::DeviceSpec::tesla_c1060(), "glibc-lcg", kSeed);
+  BitFeeder pooled(hprng::sim::DeviceSpec::tesla_c1060(), "glibc-lcg", kSeed);
+  ThreadPool pool(3);
+  pooled.set_pool(&pool);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::uint32_t> a(2 * BitFeeder::kChunkWords + 17);
+    std::vector<std::uint32_t> b(a.size());
+    serial.fill(a);
+    pooled.fill(b);
+    ASSERT_EQ(a, b) << "round " << round;
+  }
+}
+
+// -- Batched generation under a pool -----------------------------------------
+
+TEST(HybridPoolTest, GenerateMatchesSerialForAnyWorkerCount) {
+  std::vector<std::uint64_t> serial;
+  {
+    hprng::sim::Device dev;
+    HybridPrng prng(dev);
+    serial = prng.generate(20000, 100);
+  }
+  for (const std::size_t workers : {1u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    hprng::sim::Device dev(hprng::sim::DeviceSpec::tesla_c1060(), &pool);
+    HybridPrng prng(dev);
+    EXPECT_EQ(serial, prng.generate(20000, 100)) << workers << " workers";
+  }
+}
+
+// -- Serve fills: serial vs pipelined vs pooled -------------------------------
+
+struct ServeHarness {
+  explicit ServeHarness(ThreadPool* pool)
+      : dev(hprng::sim::DeviceSpec::tesla_c1060(), pool), prng(dev, config()) {}
+
+  static HybridPrngConfig config() {
+    HybridPrngConfig cfg;
+    cfg.seed = kSeed;
+    cfg.walk_len = 8;
+    return cfg;
+  }
+
+  hprng::sim::Device dev;
+  HybridPrng prng;
+};
+
+/// Build the draw lists for two passes over `bufs` (reused by every
+/// harness so the outputs are comparable): pass 0 fills walks 0..2, pass 1
+/// fills walks 0 and 3 — walk 0 appears in both, pinning the cross-pass
+/// feed-position bookkeeping.
+std::vector<std::vector<HybridPrng::LeasedDraw>> make_passes(
+    std::vector<std::vector<std::uint64_t>>& bufs) {
+  bufs.assign(5, std::vector<std::uint64_t>(32));
+  return {
+      {{0, std::span(bufs[0])}, {1, std::span(bufs[1])},
+       {2, std::span(bufs[2])}},
+      {{0, std::span(bufs[3])}, {3, std::span(bufs[4])}},
+  };
+}
+
+TEST(ServePipelineTest, PipelinedFillsMatchSerialFills) {
+  std::vector<std::vector<std::uint64_t>> serial_bufs;
+  {
+    ServeHarness h(nullptr);
+    const auto passes = make_passes(serial_bufs);
+    for (const auto& pass : passes) ASSERT_TRUE(h.prng.fill_leased(pass).ok);
+  }
+  {
+    ServeHarness h(nullptr);
+    std::vector<std::vector<std::uint64_t>> bufs;
+    const auto passes = make_passes(bufs);
+    ASSERT_EQ(h.prng.max_inflight_fills(), 2);
+    ASSERT_TRUE(h.prng.begin_fill_leased(passes[0]));
+    ASSERT_TRUE(h.prng.begin_fill_leased(passes[1]));
+    EXPECT_EQ(h.prng.in_flight_fills(), 2);
+    EXPECT_TRUE(h.prng.finish_fill_leased().ok);
+    EXPECT_TRUE(h.prng.finish_fill_leased().ok);
+    EXPECT_EQ(h.prng.in_flight_fills(), 0);
+    EXPECT_EQ(serial_bufs, bufs);
+  }
+}
+
+TEST(ServePipelineTest, PooledFillsMatchSerialFills) {
+  std::vector<std::vector<std::uint64_t>> serial_bufs;
+  {
+    ServeHarness h(nullptr);
+    const auto passes = make_passes(serial_bufs);
+    for (const auto& pass : passes) ASSERT_TRUE(h.prng.fill_leased(pass).ok);
+  }
+  for (const std::size_t workers : {1u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    ServeHarness h(&pool);
+    std::vector<std::vector<std::uint64_t>> bufs;
+    const auto passes = make_passes(bufs);
+    ASSERT_TRUE(h.prng.begin_fill_leased(passes[0]));
+    ASSERT_TRUE(h.prng.begin_fill_leased(passes[1]));
+    EXPECT_TRUE(h.prng.finish_fill_leased().ok);
+    EXPECT_TRUE(h.prng.finish_fill_leased().ok);
+    EXPECT_EQ(serial_bufs, bufs) << workers << " workers";
+  }
+}
+
+TEST(ServePipelineTest, StreamsContinueCorrectlyAfterPipelinedPasses) {
+  // After two overlapped passes, a THIRD pass must read the exact feed
+  // words a fully serial history would have: committed + pending position
+  // bookkeeping is what this pins.
+  std::vector<std::uint64_t> serial_third(32), pipelined_third(32);
+  {
+    ServeHarness h(nullptr);
+    std::vector<std::vector<std::uint64_t>> bufs;
+    const auto passes = make_passes(bufs);
+    for (const auto& pass : passes) ASSERT_TRUE(h.prng.fill_leased(pass).ok);
+    const HybridPrng::LeasedDraw third{0, std::span(serial_third)};
+    ASSERT_TRUE(h.prng.fill_leased(std::span(&third, 1)).ok);
+  }
+  {
+    ServeHarness h(nullptr);
+    std::vector<std::vector<std::uint64_t>> bufs;
+    const auto passes = make_passes(bufs);
+    ASSERT_TRUE(h.prng.begin_fill_leased(passes[0]));
+    ASSERT_TRUE(h.prng.begin_fill_leased(passes[1]));
+    EXPECT_TRUE(h.prng.finish_fill_leased().ok);
+    EXPECT_TRUE(h.prng.finish_fill_leased().ok);
+    const HybridPrng::LeasedDraw third{0, std::span(pipelined_third)};
+    ASSERT_TRUE(h.prng.fill_leased(std::span(&third, 1)).ok);
+  }
+  EXPECT_EQ(serial_third, pipelined_third);
+}
+
+TEST(ServePipelineTest, SteadyStateFillsAllocateNoScratchRecords) {
+  ServeHarness h(nullptr);
+  std::vector<std::vector<std::uint64_t>> bufs;
+  const auto passes = make_passes(bufs);
+
+  // Warm-up: both pipeline slots see traffic.
+  ASSERT_TRUE(h.prng.begin_fill_leased(passes[0]));
+  ASSERT_TRUE(h.prng.begin_fill_leased(passes[1]));
+  EXPECT_TRUE(h.prng.finish_fill_leased().ok);
+  EXPECT_TRUE(h.prng.finish_fill_leased().ok);
+  const std::uint64_t warm = h.prng.serve_scratch_allocations();
+  EXPECT_LE(warm, 2u);  // at most one record per pipeline slot
+
+  // Steady state: serial and pipelined traffic of the same shape recycles
+  // the warm records — the allocation counter must not move.
+  for (int round = 0; round < 16; ++round) {
+    ASSERT_TRUE(h.prng.begin_fill_leased(passes[0]));
+    ASSERT_TRUE(h.prng.begin_fill_leased(passes[1]));
+    EXPECT_TRUE(h.prng.finish_fill_leased().ok);
+    EXPECT_TRUE(h.prng.finish_fill_leased().ok);
+    EXPECT_TRUE(h.prng.fill_leased(passes[0]).ok);
+  }
+  EXPECT_EQ(h.prng.serve_scratch_allocations(), warm);
+}
+
+TEST(ServePipelineTest, OverlapMetricIsPositiveWithTwoFillsInFlight) {
+  if (!hprng::obs::kEnabled) {
+    GTEST_SKIP() << "observability disabled";
+  }
+  hprng::obs::MetricsRegistry metrics;
+  ServeHarness h(nullptr);
+  h.prng.set_metrics(&metrics);
+  std::vector<std::vector<std::uint64_t>> bufs;
+  const auto passes = make_passes(bufs);
+  ASSERT_TRUE(h.prng.begin_fill_leased(passes[0]));
+  ASSERT_TRUE(h.prng.begin_fill_leased(passes[1]));
+  EXPECT_TRUE(h.prng.finish_fill_leased().ok);
+  EXPECT_TRUE(h.prng.finish_fill_leased().ok);
+  // Fill 1's TRANSFER shares the PCIe release point of fill 0's kernel
+  // dependency chain, so some of its FEED->TRANSFER window must land
+  // inside fill 0's GENERATE span.
+  EXPECT_GT(metrics.counter("hprng.core.serve_overlap_seconds").value(), 0.0);
+  EXPECT_GT(metrics.counter("hprng.core.serve_fill_span_seconds").value(),
+            0.0);
+
+  // Serial fills through the same instance fence first: no new overlap.
+  const double overlap =
+      metrics.counter("hprng.core.serve_overlap_seconds").value();
+  EXPECT_TRUE(h.prng.fill_leased(passes[0]).ok);
+  EXPECT_DOUBLE_EQ(
+      metrics.counter("hprng.core.serve_overlap_seconds").value(), overlap);
+}
+
+}  // namespace
