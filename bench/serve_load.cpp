@@ -16,13 +16,26 @@
 //        --bench-json=<path>  flat perf summary (BENCH_serve.json in CI)
 //        --fault-plan=<plan>  deterministic chaos run (docs/FAULTS.md §3),
 //                             e.g. --fault-plan="shard:1:fail:0:1000000"
+//        --checkpoint-every=MS  periodic snapshots while the load runs
+//                               (docs/STATE.md §6; a final checkpoint is
+//                               taken after the run so the file is usable
+//                               with --restore-from)
+//        --checkpoint-path=<path>  snapshot destination
+//                                  (default serve-checkpoint.snap)
+//        --restore-from=<path>  build the service from a snapshot instead
+//                               of fresh options: restored leases are
+//                               adopted first, extra clients lease fresh
+//                               slots; service-shape flags are ignored
+//        --help  print the flag listing and exit
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <deque>
+#include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -30,13 +43,47 @@
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "serve/service.hpp"
+#include "state/checkpointer.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace hprng;
 
+namespace {
+
+void print_help() {
+  std::printf(
+      "serve_load — closed-loop multi-client serving bench\n\n"
+      "usage: serve_load [--flag=value ...]\n\n"
+      "load shape:\n"
+      "  --clients=N         client threads (default 32)\n"
+      "  --requests=N        requests per client (default 64)\n"
+      "  --n=WORDS           words per request (default 256)\n"
+      "  --inflight=K        async requests outstanding per client\n"
+      "service shape (ignored with --restore-from):\n"
+      "  --backend=NAME      hybrid|cpu-walk|<baseline> (default hybrid)\n"
+      "  --shards=N --slots=N --workers=N --capacity=N --coalesce=N\n"
+      "  --policy=P          block|reject|shed (default block)\n"
+      "  --timeout-ms=MS --seed=S\n"
+      "faults (docs/FAULTS.md):\n"
+      "  --fault-plan=PLAN   e.g. shard:1:fail:0:1000000\n"
+      "checkpoint/restore (docs/STATE.md):\n"
+      "  --checkpoint-every=MS   periodic snapshots during the run\n"
+      "  --checkpoint-path=PATH  default serve-checkpoint.snap\n"
+      "  --restore-from=PATH     rebuild the service from a snapshot\n"
+      "output:\n"
+      "  --metrics-json=PATH --bench-json=PATH\n"
+      "  --help              this listing\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    print_help();
+    return 0;
+  }
   const int clients = static_cast<int>(cli.get_u64("clients", 32));
   const int requests = static_cast<int>(cli.get_u64("requests", 64));
   const std::size_t words = cli.get_u64("n", 256);
@@ -93,17 +140,56 @@ int main(int argc, char** argv) {
     std::printf("fault plan: %s\n\n", plan->to_string().c_str());
   }
 
+  // Checkpoint/restore wiring (docs/STATE.md).
+  const std::string restore_from = cli.get_string("restore-from", "");
+  const std::uint64_t checkpoint_every_ms = cli.get_u64("checkpoint-every", 0);
+  const std::string checkpoint_path =
+      cli.get_string("checkpoint-path", "serve-checkpoint.snap");
+
   obs::MetricsRegistry metrics;
   double wall_seconds = 0.0;
   std::atomic<std::uint64_t> ok{0}, failed{0};
   serve::RngService::Stats stats;
   int healthy = opts.num_shards;
+  std::uint64_t checkpoints_taken = 0, checkpoints_failed = 0;
+  std::uint64_t adopted_leases = 0;
   {
-    serve::RngService service(opts, &metrics);
+    std::unique_ptr<serve::RngService> owned;
+    if (restore_from.empty()) {
+      owned = std::make_unique<serve::RngService>(opts, &metrics);
+    } else {
+      serve::RngService::RestoreOptions ro;
+      ro.metrics = &metrics;
+      ro.injector = opts.injector;
+      std::string error;
+      owned = serve::RngService::restore(restore_from, ro, &error);
+      if (owned == nullptr) {
+        std::fprintf(stderr, "cannot restore from %s: %s\n",
+                     restore_from.c_str(), error.c_str());
+        return 2;
+      }
+      opts = owned->options();
+      healthy = owned->healthy_shards();
+      std::printf("restored service from %s: backend %s, %d shards, "
+                  "%zu adoptable leases\n\n",
+                  restore_from.c_str(), opts.backend.c_str(), opts.num_shards,
+                  owned->adoptable_lease_ids().size());
+    }
+    serve::RngService& service = *owned;
 
     std::vector<serve::Session> sessions;
     sessions.reserve(static_cast<std::size_t>(clients));
-    for (int c = 0; c < clients; ++c) {
+    // A restored service hands its snapshot leases back first: each client
+    // continues a pre-checkpoint stream exactly where it left off.
+    for (const std::uint64_t id : service.adoptable_lease_ids()) {
+      if (sessions.size() == static_cast<std::size_t>(clients)) break;
+      auto session = service.adopt_session(id);
+      if (session.has_value()) {
+        sessions.push_back(*session);
+        ++adopted_leases;
+      }
+    }
+    for (int c = static_cast<int>(sessions.size()); c < clients; ++c) {
       auto session = service.try_open_session();
       if (!session.has_value()) {
         std::fprintf(stderr,
@@ -111,6 +197,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       sessions.push_back(*session);
+    }
+
+    // Periodic background snapshots; scoped so it stops (and its last tick
+    // finishes) before the service is torn down.
+    std::optional<state::BackgroundCheckpointer> checkpointer;
+    if (checkpoint_every_ms > 0) {
+      checkpointer.emplace(std::chrono::milliseconds(checkpoint_every_ms),
+                           [&service, &checkpoint_path] {
+                             return service.checkpoint(checkpoint_path);
+                           });
     }
 
     const auto wall_start = std::chrono::steady_clock::now();
@@ -149,6 +245,20 @@ int main(int argc, char** argv) {
                        std::chrono::steady_clock::now() - wall_start)
                        .count();
     service.drain();
+    if (checkpointer.has_value()) {
+      checkpointer->stop();
+      checkpoints_taken = checkpointer->runs() - checkpointer->failures();
+      checkpoints_failed = checkpointer->failures();
+      // One final snapshot at the drained boundary, while the leases are
+      // still live — the file a --restore-from run continues from.
+      std::string error;
+      if (service.checkpoint(checkpoint_path, &error)) {
+        ++checkpoints_taken;
+      } else {
+        ++checkpoints_failed;
+        std::fprintf(stderr, "final checkpoint failed: %s\n", error.c_str());
+      }
+    }
     sessions.clear();  // release every lease before the final snapshot
     stats = service.stats();
     healthy = service.healthy_shards();
@@ -188,6 +298,20 @@ int main(int argc, char** argv) {
     t.add_row({"requests/pass",
                util::strf("%.2f", static_cast<double>(stats.completed) /
                                       static_cast<double>(stats.batches))});
+  }
+  if (adopted_leases > 0) {
+    t.add_row({"adopted leases",
+               util::strf("%llu",
+                          static_cast<unsigned long long>(adopted_leases))});
+  }
+  if (checkpoint_every_ms > 0) {
+    t.add_row({"checkpoints taken",
+               util::strf("%llu",
+                          static_cast<unsigned long long>(checkpoints_taken))});
+    t.add_row({"checkpoint failures",
+               util::strf("%llu", static_cast<unsigned long long>(
+                                      checkpoints_failed))});
+    t.add_row({"checkpoint path", checkpoint_path});
   }
   t.add_row({"wall time (ms)", bench::ms(wall_seconds)});
   if (wall_seconds > 0.0) {

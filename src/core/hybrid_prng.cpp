@@ -5,6 +5,7 @@
 #include "core/calibration.hpp"
 #include "prng/seed_seq.hpp"
 #include "prng/splitmix64.hpp"
+#include "state/snapshot.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -641,6 +642,104 @@ std::vector<std::uint64_t> HybridPrng::generate(std::uint64_t n,
   device_.memcpy_d2h(s, out, std::span<std::uint64_t>(host));
   device_.synchronize();
   return host;
+}
+
+void HybridPrng::save_state(state::SnapshotWriter& writer) const {
+  HPRNG_CHECK(serve_inflight_count_ == 0,
+              "HybridPrng::save_state: serve fills in flight (quiesce first)");
+  for (const std::uint64_t pending : serve_feed_pending_) {
+    HPRNG_CHECK(pending == 0,
+                "HybridPrng::save_state: uncommitted feed words pending");
+  }
+  // Config echo: enough to prove a restore target would replay the exact
+  // stream. Everything here changes either the feed stream or the walk.
+  writer.put_u64(cfg_.seed);
+  writer.put_u32(static_cast<std::uint32_t>(cfg_.init_walk_len));
+  writer.put_u32(static_cast<std::uint32_t>(cfg_.walk_len));
+  writer.put_u32(static_cast<std::uint32_t>(cfg_.policy));
+  writer.put_u32(static_cast<std::uint32_t>(cfg_.mode));
+  writer.put_u32(cfg_.finalize_output ? 1 : 0);
+  writer.put_str(cfg_.feeder_generator);
+  // Feeder stream position: initialize() of walks beyond the checkpoint
+  // consumes feeder words from here, so the position — not just the seed —
+  // is load-bearing for post-restore initialisation equivalence.
+  writer.put_u64(feeder_.words_produced());
+  writer.put_u64(initialized_threads_);
+  const auto states = states_.device_span();
+  for (std::uint64_t w = 0; w < initialized_threads_; ++w) {
+    const WalkState& s = states[static_cast<std::size_t>(w)];
+    writer.put_u32(s.v.x);
+    writer.put_u32(s.v.y);
+    writer.put_u32(static_cast<std::uint32_t>(s.side));
+  }
+  writer.put_u64(serve_feed_pos_.size());
+  for (const std::uint64_t pos : serve_feed_pos_) writer.put_u64(pos);
+}
+
+bool HybridPrng::load_state(state::SectionReader& reader, std::string* error) {
+  HPRNG_CHECK(serve_inflight_count_ == 0,
+              "HybridPrng::load_state: serve fills in flight");
+  const std::uint64_t seed = reader.get_u64();
+  const auto init_walk_len = static_cast<int>(reader.get_u32());
+  const auto walk_len = static_cast<int>(reader.get_u32());
+  const std::uint32_t policy = reader.get_u32();
+  const std::uint32_t mode = reader.get_u32();
+  const std::uint32_t finalize = reader.get_u32();
+  const std::string feeder_name = reader.get_str();
+  if (reader.ok()) {
+    if (seed != cfg_.seed || init_walk_len != cfg_.init_walk_len ||
+        walk_len != cfg_.walk_len ||
+        policy != static_cast<std::uint32_t>(cfg_.policy) ||
+        mode != static_cast<std::uint32_t>(cfg_.mode) ||
+        finalize != (cfg_.finalize_output ? 1u : 0u) ||
+        feeder_name != cfg_.feeder_generator) {
+      reader.fail("generator config mismatch (snapshot taken under a "
+                  "different HybridPrngConfig)");
+    }
+  }
+  const std::uint64_t feeder_words = reader.get_u64();
+  const std::uint64_t threads = reader.get_u64();
+  if (reader.ok() && threads > (1ull << 32)) {
+    reader.fail("implausible initialised-thread count");
+  }
+  if (reader.ok()) {
+    device_.synchronize();
+    states_.resize(static_cast<std::size_t>(threads));
+    const auto states = states_.device_span();
+    for (std::uint64_t w = 0; w < threads && reader.ok(); ++w) {
+      WalkState s;
+      const std::uint32_t x = reader.get_u32();
+      const std::uint32_t y = reader.get_u32();
+      const std::uint32_t side = reader.get_u32();
+      s.v = Vertex{x, y};
+      s.side = side == 0 ? Side::X : Side::Y;
+      states[static_cast<std::size_t>(w)] = s;
+    }
+  }
+  const std::uint64_t pos_count = reader.get_u64();
+  if (reader.ok() && pos_count > (1ull << 32)) {
+    reader.fail("implausible feed-cursor count");
+  }
+  std::vector<std::uint64_t> pos(reader.ok()
+                                     ? static_cast<std::size_t>(pos_count)
+                                     : 0);
+  for (auto& p : pos) p = reader.get_u64();
+  if (!reader.ok()) {
+    if (error != nullptr) *error = reader.error();
+    return false;
+  }
+  initialized_threads_ = threads;
+  feeder_.advance_to(feeder_words);
+  serve_feed_pos_ = std::move(pos);
+  serve_feed_pending_.assign(serve_feed_pos_.size(), 0);
+  serve_seen_.assign(serve_feed_pos_.size(), 0);
+  // Root caches are pure functions of (seed, walk): recomputed on demand.
+  serve_root_cache_.clear();
+  serve_root_known_.clear();
+  if (metrics_ != nullptr) {
+    ins_.initialized_threads->set(static_cast<double>(threads));
+  }
+  return true;
 }
 
 }  // namespace hprng::core

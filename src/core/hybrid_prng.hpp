@@ -17,6 +17,11 @@
 #include "sim/device.hpp"
 #include "util/check.hpp"
 
+namespace hprng::state {
+class SnapshotWriter;
+class SectionReader;
+}  // namespace hprng::state
+
 namespace hprng::core {
 
 /// Configuration of the hybrid expander-walk PRNG (Sec. III).
@@ -284,6 +289,22 @@ class HybridPrng {
     fault_injector_ = injector;
     fault_target_ = target;
   }
+
+  // -- Checkpoint/restore (docs/STATE.md) -----------------------------------
+
+  /// Serialise the generator's complete deterministic state into the
+  /// currently-open snapshot section: a config echo, the feeder's stream
+  /// position, every initialised walk's vertex, and the committed serve
+  /// feed cursors. Requires a quiesced pipeline — no in-flight serve
+  /// fills and no pending (uncommitted) feed words; both are checked.
+  void save_state(state::SnapshotWriter& writer) const;
+
+  /// Restore state written by save_state() into a generator constructed
+  /// with the same config. Validates the config echo field by field, so a
+  /// snapshot can never be silently replayed onto a generator that would
+  /// diverge from it. Returns false (with *error) on any mismatch or
+  /// malformed section; the generator must be discarded on failure.
+  bool load_state(state::SectionReader& reader, std::string* error);
 
   // -- Observability (docs/OBSERVABILITY.md) -------------------------------
 

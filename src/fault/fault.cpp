@@ -10,7 +10,10 @@ namespace hprng::fault {
 
 namespace {
 
-const char* kSiteNames[kNumSites] = {"h2d", "d2h", "feed", "shard", "worker"};
+const char* kSiteNames[kNumSites] = {"h2d",    "d2h",
+                                     "feed",   "shard",
+                                     "worker", "checkpoint_write",
+                                     "restore_read"};
 
 std::vector<std::string> split(const std::string& text, char sep) {
   std::vector<std::string> parts;
@@ -147,8 +150,9 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t points,
   for (std::size_t i = 0; i < points; ++i) {
     const std::uint64_t r = seq.derive(i);
     FaultPoint p;
-    // kWorker is deliberately excluded: wall-clock perturbation is a
-    // separate dial, random plans target the pipeline itself.
+    // kWorker and the snapshot-I/O sites are deliberately excluded:
+    // wall-clock perturbation and checkpoint corruption are separate
+    // dials, random plans target the pipeline itself.
     p.site = static_cast<Site>(r % 4);
     p.target = static_cast<int>((r >> 8) %
                                 (static_cast<std::uint64_t>(max_target) + 1));

@@ -25,6 +25,9 @@
 //                 round's per-walk feed stage in core::HybridPrng
 //   kShardFill  — serve::RngService backend dispatch (target = shard)
 //   kWorker     — serve worker pass start (wall-clock perturbation only)
+//   kCheckpointWrite / kRestoreRead — snapshot file I/O in hprng::state
+//                 (docs/STATE.md): chaos runs fail checkpoint writes and
+//                 restore reads to prove clean rejection paths
 
 #include <cstdint>
 #include <map>
@@ -44,8 +47,10 @@ enum class Site : int {
   kFeedFill,   ///< host feed production (BitFeeder / serve feed stage)
   kShardFill,  ///< serve-layer backend fill dispatch
   kWorker,     ///< serve worker batch start (wall-clock delay only)
+  kCheckpointWrite,  ///< state snapshot file write (docs/STATE.md)
+  kRestoreRead,      ///< state snapshot file read / parse (docs/STATE.md)
 };
-inline constexpr int kNumSites = 5;
+inline constexpr int kNumSites = 7;
 
 [[nodiscard]] const char* to_string(Site site);
 bool parse_site(const std::string& text, Site* out);

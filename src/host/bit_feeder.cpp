@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "prng/registry.hpp"
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hprng::host {
@@ -45,6 +46,7 @@ double BitFeeder::fill(std::span<std::uint32_t> out) {
   } else {
     for (auto& w : out) w = gen_->next_u32();
   }
+  words_produced_ += out.size();
   if (metrics_ != nullptr) {
     ins_.bits_produced->add(static_cast<double>(out.size()) * 32.0);
     ins_.fill_calls->add(1);
@@ -65,6 +67,13 @@ void BitFeeder::set_metrics(obs::MetricsRegistry* registry) {
   ins_.feed_chunks = &registry->counter("hprng.host.feed_chunks");
   ins_.buffer_occupancy_words =
       &registry->gauge("hprng.host.buffer_occupancy_words");
+}
+
+void BitFeeder::advance_to(std::uint64_t words) {
+  HPRNG_CHECK(words >= words_produced_,
+              "BitFeeder::advance_to: cannot rewind the feed stream");
+  gen_->discard_u32(words - words_produced_);
+  words_produced_ = words;
 }
 
 double BitFeeder::seconds_for_words(std::size_t words) const {

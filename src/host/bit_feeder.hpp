@@ -81,6 +81,21 @@ class BitFeeder {
     return faults_.exchange(0, std::memory_order_acq_rel);
   }
 
+  /// Words successfully produced over the feeder's lifetime — the feed
+  /// stream position. Together with (generator_name, seed) this is the
+  /// feeder's complete state, which is what checkpoints store
+  /// (docs/STATE.md): failed fills do not advance it, matching the
+  /// retry-reproducibility contract above.
+  [[nodiscard]] std::uint64_t words_produced() const {
+    return words_produced_;
+  }
+
+  /// Fast-forward a freshly-constructed feeder to stream position `words`
+  /// (restore path). Requires words >= words_produced(); the skipped words
+  /// are discarded through the generator so the next fill() produces
+  /// exactly what an uninterrupted feeder would have produced.
+  void advance_to(std::uint64_t words);
+
  private:
   /// Producer instruments, resolved once in set_metrics().
   struct Instruments {
@@ -100,6 +115,7 @@ class BitFeeder {
   fault::Injector* fault_injector_ = nullptr;
   int fault_target_ = 0;
   std::atomic<std::uint64_t> faults_{0};
+  std::uint64_t words_produced_ = 0;  // guarded by the owner's serialisation
 };
 
 }  // namespace hprng::host

@@ -8,12 +8,53 @@
 #include "prng/registry.hpp"
 #include "prng/seed_seq.hpp"
 #include "sim/device.hpp"
+#include "state/snapshot.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hprng::serve {
 
 namespace {
+
+/// Per-slot bookkeeping for the seed-addressed host backends: their
+/// generators are pure functions of (seed, draws so far), so that pair IS
+/// the slot's checkpointable state (the restore path replays the draws).
+struct SlotMeta {
+  bool attached = false;
+  std::uint64_t seed = 0;
+  std::uint64_t draws = 0;
+};
+
+void save_slot_metas(state::SnapshotWriter& writer,
+                     const std::vector<SlotMeta>& metas) {
+  writer.put_u64(metas.size());
+  for (const SlotMeta& m : metas) {
+    writer.put_u32(m.attached ? 1 : 0);
+    writer.put_u64(m.seed);
+    writer.put_u64(m.draws);
+  }
+}
+
+bool load_slot_metas(state::SectionReader& reader, std::size_t want,
+                     std::vector<SlotMeta>* metas, std::string* error) {
+  const std::uint64_t count = reader.get_u64();
+  if (reader.ok() && count != want) {
+    reader.fail("slot count mismatch (snapshot has " + std::to_string(count) +
+                ", shard has " + std::to_string(want) + ")");
+  }
+  std::vector<SlotMeta> restored(reader.ok() ? want : 0);
+  for (SlotMeta& m : restored) {
+    m.attached = reader.get_u32() != 0;
+    m.seed = reader.get_u64();
+    m.draws = reader.get_u64();
+  }
+  if (!reader.ok()) {
+    if (error != nullptr) *error = reader.error();
+    return false;
+  }
+  *metas = std::move(restored);
+  return true;
+}
 
 /// The paper's generator as a pool member: one simulated device per shard,
 /// one device walk per lease slot. attach/detach are no-ops by design —
@@ -80,6 +121,19 @@ class HybridShard final : public ShardBackend {
     prng_->set_metrics(registry);
   }
 
+  bool save_state(state::SnapshotWriter& writer,
+                  std::string* error) const override {
+    (void)error;
+    HPRNG_CHECK(begun_ok_.empty(),
+                "HybridShard::save_state: passes in flight");
+    prng_->save_state(writer);
+    return true;
+  }
+
+  bool load_state(state::SectionReader& reader, std::string* error) override {
+    return prng_->load_state(reader, error);
+  }
+
   [[nodiscard]] std::string name() const override { return "hybrid"; }
 
  private:
@@ -106,15 +160,18 @@ class CpuWalkShard final : public ShardBackend {
   explicit CpuWalkShard(const ServiceOptions& opts) {
     cfg_.walk_len = opts.walk_len;
     slots_.resize(static_cast<std::size_t>(opts.max_leases_per_shard));
+    metas_.resize(slots_.size());
   }
 
   void attach(std::uint64_t slot, std::uint64_t client_seed) override {
     slots_.at(static_cast<std::size_t>(slot)) =
         std::make_unique<core::CpuWalkPrng>(client_seed, cfg_);
+    metas_.at(static_cast<std::size_t>(slot)) = {true, client_seed, 0};
   }
 
   void detach(std::uint64_t slot) override {
     slots_.at(static_cast<std::size_t>(slot)).reset();
+    metas_.at(static_cast<std::size_t>(slot)) = {};
   }
 
   FillResult fill(std::span<const Fill> fills) override {
@@ -122,8 +179,33 @@ class CpuWalkShard final : public ShardBackend {
       core::CpuWalkPrng* g = slots_.at(static_cast<std::size_t>(f.slot)).get();
       HPRNG_CHECK(g != nullptr, "CpuWalkShard::fill: slot not attached");
       for (std::uint64_t& out : f.out) out = g->next_u64();
+      metas_.at(static_cast<std::size_t>(f.slot)).draws += f.out.size();
     }
     return {};
+  }
+
+  bool save_state(state::SnapshotWriter& writer,
+                  std::string* error) const override {
+    (void)error;
+    save_slot_metas(writer, metas_);
+    return true;
+  }
+
+  bool load_state(state::SectionReader& reader, std::string* error) override {
+    std::vector<SlotMeta> metas;
+    if (!load_slot_metas(reader, slots_.size(), &metas, error)) return false;
+    // CpuWalkPrng::discard() is documented draw-exact (the lease
+    // reclamation contract), so seed + replay lands on the same vertex.
+    for (std::size_t s = 0; s < metas.size(); ++s) {
+      if (!metas[s].attached) {
+        slots_[s].reset();
+        continue;
+      }
+      slots_[s] = std::make_unique<core::CpuWalkPrng>(metas[s].seed, cfg_);
+      slots_[s]->discard(metas[s].draws);
+    }
+    metas_ = std::move(metas);
+    return true;
   }
 
   [[nodiscard]] std::string name() const override { return "cpu-walk"; }
@@ -131,6 +213,7 @@ class CpuWalkShard final : public ShardBackend {
  private:
   core::CpuWalkConfig cfg_;
   std::vector<std::unique_ptr<core::CpuWalkPrng>> slots_;
+  std::vector<SlotMeta> metas_;
 };
 
 /// Any registry baseline ("mt19937", "xorwow", ...): one generator
@@ -140,15 +223,18 @@ class BaselineShard final : public ShardBackend {
   BaselineShard(const ServiceOptions& opts, std::string generator)
       : generator_(std::move(generator)) {
     slots_.resize(static_cast<std::size_t>(opts.max_leases_per_shard));
+    metas_.resize(slots_.size());
   }
 
   void attach(std::uint64_t slot, std::uint64_t client_seed) override {
     slots_.at(static_cast<std::size_t>(slot)) =
         prng::make_by_name(generator_, client_seed);
+    metas_.at(static_cast<std::size_t>(slot)) = {true, client_seed, 0};
   }
 
   void detach(std::uint64_t slot) override {
     slots_.at(static_cast<std::size_t>(slot)).reset();
+    metas_.at(static_cast<std::size_t>(slot)) = {};
   }
 
   FillResult fill(std::span<const Fill> fills) override {
@@ -156,8 +242,36 @@ class BaselineShard final : public ShardBackend {
       prng::Generator* g = slots_.at(static_cast<std::size_t>(f.slot)).get();
       HPRNG_CHECK(g != nullptr, "BaselineShard::fill: slot not attached");
       for (std::uint64_t& out : f.out) out = g->next_u64();
+      metas_.at(static_cast<std::size_t>(f.slot)).draws += f.out.size();
     }
     return {};
+  }
+
+  bool save_state(state::SnapshotWriter& writer,
+                  std::string* error) const override {
+    (void)error;
+    save_slot_metas(writer, metas_);
+    return true;
+  }
+
+  bool load_state(state::SectionReader& reader, std::string* error) override {
+    std::vector<SlotMeta> metas;
+    if (!load_slot_metas(reader, slots_.size(), &metas, error)) return false;
+    // Replay through next_u64() rather than discard_u32(): generators with
+    // a native 64-bit path (mt19937-64, splitmix64) are not 2-u32-per-u64,
+    // so only replaying the exact call sequence is draw-exact.
+    for (std::size_t s = 0; s < metas.size(); ++s) {
+      if (!metas[s].attached) {
+        slots_[s].reset();
+        continue;
+      }
+      slots_[s] = prng::make_by_name(generator_, metas[s].seed);
+      for (std::uint64_t d = 0; d < metas[s].draws; ++d) {
+        (void)slots_[s]->next_u64();
+      }
+    }
+    metas_ = std::move(metas);
+    return true;
   }
 
   [[nodiscard]] std::string name() const override { return generator_; }
@@ -165,6 +279,7 @@ class BaselineShard final : public ShardBackend {
  private:
   std::string generator_;
   std::vector<std::unique_ptr<prng::Generator>> slots_;
+  std::vector<SlotMeta> metas_;
 };
 
 }  // namespace

@@ -35,6 +35,11 @@ namespace hprng::obs {
 class MetricsRegistry;
 }  // namespace hprng::obs
 
+namespace hprng::state {
+class SnapshotWriter;
+class SectionReader;
+}  // namespace hprng::state
+
 namespace hprng::serve {
 
 class ShardBackend {
@@ -111,6 +116,29 @@ class ShardBackend {
   virtual void set_metrics(obs::MetricsRegistry* registry) {
     (void)registry;
   }
+
+  // -- Checkpoint/restore (docs/STATE.md) -----------------------------------
+  //
+  // save_state() serialises every attached slot's stream state into the
+  // currently-open snapshot section; load_state() restores it into a
+  // freshly-constructed shard of the same configuration WITHOUT attach()
+  // calls — the slots come back mid-stream exactly where the snapshot left
+  // them. Both run under `mu` with no passes in flight (the service
+  // quiesces first). Host backends are seed-addressed, so they restore by
+  // replaying each slot's recorded draw count from its lease seed; the
+  // hybrid backend delegates to HybridPrng::save_state/load_state (walk
+  // vertices + committed feed cursors — O(state), no replay).
+
+  /// Returns false (with *error) if the shard cannot be snapshotted in its
+  /// current state. Must not be called with passes in flight.
+  virtual bool save_state(state::SnapshotWriter& writer,
+                          std::string* error) const = 0;
+
+  /// Restore a section written by save_state() on an identically-configured
+  /// shard. Returns false (with *error) on malformed or mismatched input;
+  /// the shard must be discarded on failure.
+  virtual bool load_state(state::SectionReader& reader,
+                          std::string* error) = 0;
 
   /// Backend kind label for reports ("hybrid", "cpu-walk", "mt19937", ...).
   [[nodiscard]] virtual std::string name() const = 0;

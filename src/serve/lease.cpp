@@ -1,5 +1,6 @@
 #include "serve/lease.hpp"
 
+#include "state/snapshot.hpp"
 #include "util/check.hpp"
 
 namespace hprng::serve {
@@ -100,6 +101,61 @@ std::uint64_t LeaseManager::granted_total() const {
 std::uint64_t LeaseManager::released_total() const {
   std::lock_guard<std::mutex> lk(mu_);
   return released_;
+}
+
+void LeaseManager::save_state(state::SnapshotWriter& writer) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  writer.put_u64(static_cast<std::uint64_t>(shards_.size()));
+  writer.put_u64(slots_per_shard_);
+  writer.put_u64(next_id_);
+  writer.put_u64(granted_);
+  writer.put_u64(released_);
+  for (const ShardSlots& shard : shards_) {
+    writer.put_u64(shard.next_fresh);
+    writer.put_u64(shard.active);
+    writer.put_u64(shard.free_list.size());
+    for (const std::uint64_t slot : shard.free_list) writer.put_u64(slot);
+  }
+}
+
+bool LeaseManager::load_state(state::SectionReader& reader,
+                              std::string* error) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t num_shards = reader.get_u64();
+  const std::uint64_t slots = reader.get_u64();
+  if (reader.ok() && (num_shards != shards_.size() ||
+                      slots != slots_per_shard_)) {
+    reader.fail("lease pool shape mismatch (snapshot has " +
+                std::to_string(num_shards) + " shards x " +
+                std::to_string(slots) + " slots)");
+  }
+  const std::uint64_t next_id = reader.get_u64();
+  const std::uint64_t granted = reader.get_u64();
+  const std::uint64_t released = reader.get_u64();
+  std::vector<ShardSlots> restored(reader.ok() ? shards_.size() : 0);
+  for (ShardSlots& shard : restored) {
+    shard.next_fresh = reader.get_u64();
+    shard.active = reader.get_u64();
+    const std::uint64_t free_count = reader.get_u64();
+    if (!reader.ok()) break;
+    if (shard.next_fresh > slots_per_shard_ ||
+        free_count > slots_per_shard_ ||
+        shard.active + free_count > shard.next_fresh) {
+      reader.fail("inconsistent shard slot accounting");
+      break;
+    }
+    shard.free_list.resize(static_cast<std::size_t>(free_count));
+    for (auto& slot : shard.free_list) slot = reader.get_u64();
+  }
+  if (!reader.ok()) {
+    if (error != nullptr) *error = reader.error();
+    return false;
+  }
+  next_id_ = next_id;
+  granted_ = granted;
+  released_ = released;
+  shards_ = std::move(restored);
+  return true;
 }
 
 }  // namespace hprng::serve

@@ -17,6 +17,11 @@
 
 #include "prng/seed_seq.hpp"
 
+namespace hprng::state {
+class SnapshotWriter;
+class SectionReader;
+}  // namespace hprng::state
+
 namespace hprng::serve {
 
 /// A leased substream: shard + slot locate the backend stream, `seed` is
@@ -64,6 +69,21 @@ class LeaseManager {
   [[nodiscard]] std::uint64_t slots_per_shard() const {
     return slots_per_shard_;
   }
+
+  // -- Checkpoint/restore (docs/STATE.md) ----------------------------------
+
+  /// Serialise the full inventory — id counter, grant/release totals and
+  /// every shard's free list / fresh cursor / active count — into the
+  /// currently-open snapshot section. The id counter is the critical
+  /// field: restoring it preserves the ids-are-never-reused invariant (and
+  /// with it seed collision freedom) across a restart.
+  void save_state(state::SnapshotWriter& writer) const;
+
+  /// Restore state written by save_state() into a manager constructed with
+  /// the same shape (shard count, slots per shard — both validated).
+  /// Returns false (with *error) on mismatch or malformed input, leaving
+  /// the manager unchanged.
+  bool load_state(state::SectionReader& reader, std::string* error);
 
  private:
   std::optional<Lease> grant_locked(int shard);

@@ -6,6 +6,7 @@
 
 #include "fault/fault.hpp"
 #include "prng/seed_seq.hpp"
+#include "state/snapshot.hpp"
 #include "util/check.hpp"
 
 namespace hprng::serve {
@@ -89,6 +90,17 @@ RngService::RngService(ServiceOptions opts, obs::MetricsRegistry* metrics)
     ins_.shards_ejected = &metrics_->counter("hprng.serve.shards_ejected");
     ins_.shards_healthy = &metrics_->gauge("hprng.serve.shards_healthy");
     ins_.shards_healthy->set(static_cast<double>(opts_.num_shards));
+    // hprng.state.* — checkpoint/restore (docs/STATE.md).
+    ins_.state_checkpoints = &metrics_->counter("hprng.state.checkpoints");
+    ins_.state_checkpoint_failures =
+        &metrics_->counter("hprng.state.checkpoint_failures");
+    ins_.state_checkpoint_bytes =
+        &metrics_->counter("hprng.state.checkpoint_bytes");
+    ins_.state_restores = &metrics_->counter("hprng.state.restores");
+    ins_.state_restore_failures =
+        &metrics_->counter("hprng.state.restore_failures");
+    ins_.state_checkpoint_seconds =
+        &metrics_->histogram("hprng.state.checkpoint_seconds");
     // The fault catalogue rides along even when no injector is attached,
     // so snapshots are complete for any instrumented service.
     fault::register_catalogue(*metrics_);
@@ -162,6 +174,10 @@ std::optional<Session> RngService::open_with(std::optional<Lease> lease) {
     ins_.leases_granted->add();
     ins_.active_leases->set(static_cast<double>(leases_.active()));
   }
+  {
+    std::lock_guard<std::mutex> lk(live_mu_);
+    live_leases_[lease->id] = *lease;
+  }
   auto state = std::make_shared<detail::SessionState>();
   state->service = this;
   state->lease = *lease;
@@ -175,6 +191,11 @@ void RngService::release_lease(const Lease& lease) {
     shard.detach(lease.slot);
   }
   leases_.release(lease);
+  {
+    std::lock_guard<std::mutex> lk(live_mu_);
+    live_leases_.erase(lease.id);
+    adoptable_.erase(lease.id);
+  }
   if (ins_.leases_released != nullptr) {
     ins_.leases_released->add();
     ins_.active_leases->set(static_cast<double>(leases_.active()));
@@ -618,6 +639,11 @@ bool RngService::failover_session(
     shard.detach(old.slot);
   }
   leases_.release(old);
+  {
+    std::lock_guard<std::mutex> llk(live_mu_);
+    live_leases_.erase(old.id);
+    live_leases_[fresh->id] = *fresh;
+  }
   state->lease = *fresh;
   failovers_.fetch_add(1, std::memory_order_relaxed);
   if (ins_.retry_failovers != nullptr) {
@@ -705,6 +731,299 @@ int RngService::healthy_shards() const {
 bool RngService::shard_ejected(int shard) const {
   return health_[static_cast<std::size_t>(shard)].ejected.load(
       std::memory_order_acquire);
+}
+
+// -- Checkpoint / restore (docs/STATE.md) ------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kTagMeta = state::fourcc("META");
+constexpr std::uint32_t kTagOpts = state::fourcc("OPTS");
+constexpr std::uint32_t kTagLeas = state::fourcc("LEAS");
+constexpr std::uint32_t kTagHlth = state::fourcc("HLTH");
+constexpr std::uint32_t kTagShrd = state::fourcc("SHRD");
+
+void save_options(state::SnapshotWriter& w, const ServiceOptions& o) {
+  w.put_str(o.backend);
+  w.put_u32(static_cast<std::uint32_t>(o.num_shards));
+  w.put_u64(o.max_leases_per_shard);
+  w.put_u32(static_cast<std::uint32_t>(o.num_workers));
+  w.put_u64(o.queue_capacity);
+  w.put_u64(o.max_coalesce);
+  w.put_u32(static_cast<std::uint32_t>(o.policy));
+  w.put_u64(static_cast<std::uint64_t>(o.default_timeout.count()));
+  w.put_u64(o.seed);
+  w.put_u32(static_cast<std::uint32_t>(o.walk_len));
+  w.put_u32(o.parallel_kernels ? 1 : 0);
+  w.put_u32(static_cast<std::uint32_t>(o.max_fill_retries));
+  w.put_f64(o.retry_backoff_base_ms);
+  w.put_f64(o.retry_backoff_max_ms);
+  w.put_u32(static_cast<std::uint32_t>(o.shard_eject_failures));
+}
+
+bool load_options(state::SectionReader& r, ServiceOptions* o) {
+  o->backend = r.get_str();
+  o->num_shards = static_cast<int>(r.get_u32());
+  o->max_leases_per_shard = r.get_u64();
+  o->num_workers = static_cast<int>(r.get_u32());
+  o->queue_capacity = static_cast<std::size_t>(r.get_u64());
+  o->max_coalesce = static_cast<std::size_t>(r.get_u64());
+  const std::uint32_t policy = r.get_u32();
+  o->default_timeout = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(r.get_u64()));
+  o->seed = r.get_u64();
+  o->walk_len = static_cast<int>(r.get_u32());
+  o->parallel_kernels = r.get_u32() != 0;
+  o->max_fill_retries = static_cast<int>(r.get_u32());
+  o->retry_backoff_base_ms = r.get_f64();
+  o->retry_backoff_max_ms = r.get_f64();
+  o->shard_eject_failures = static_cast<int>(r.get_u32());
+  if (r.ok() &&
+      (o->num_shards < 1 || o->max_leases_per_shard < 1 ||
+       o->queue_capacity < 1 || o->max_coalesce < 1 || policy > 2 ||
+       o->max_fill_retries < 0 || o->shard_eject_failures < 1)) {
+    r.fail("implausible service options");
+  }
+  o->policy = static_cast<BackpressurePolicy>(policy);
+  return r.ok();
+}
+
+}  // namespace
+
+bool RngService::checkpoint(const std::string& path, std::string* error) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  // Quiesce: pause() returns only once every in-flight batched pass has
+  // finished, and every begin/finish pair completes within a pass under
+  // the shard mutex — so this IS the pass boundary: no in-flight fills,
+  // no pending feed words, committed cursors everywhere.
+  pause();
+  state::SnapshotWriter w;
+
+  {
+    std::lock_guard<std::mutex> lk(live_mu_);
+    std::string meta = "{\"format\":\"hprng-snapshot\",\"format_version\":";
+    meta += std::to_string(state::kFormatVersion);
+    meta += ",\"writer\":\"hprng::serve::RngService\",\"backend\":\"";
+    meta += opts_.backend;
+    meta += "\",\"num_shards\":";
+    meta += std::to_string(opts_.num_shards);
+    meta += ",\"live_leases\":";
+    meta += std::to_string(live_leases_.size());
+    meta += ",\"spec\":\"docs/STATE.md\"}";
+    w.begin_section(kTagMeta);
+    w.put_raw(meta);
+
+    w.begin_section(kTagOpts);
+    save_options(w, opts_);
+
+    w.begin_section(kTagLeas);
+    leases_.save_state(w);
+    w.put_u64(live_leases_.size());
+    for (const auto& [id, lease] : live_leases_) {
+      w.put_u64(id);
+      w.put_u32(static_cast<std::uint32_t>(lease.shard));
+      w.put_u64(lease.slot);
+      w.put_u64(lease.seed);
+    }
+  }
+
+  w.begin_section(kTagHlth);
+  w.put_u64(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    w.put_u32(health_[s].ejected.load(std::memory_order_acquire) ? 1 : 0);
+    w.put_u32(static_cast<std::uint32_t>(
+        health_[s].consecutive_failures.load(std::memory_order_acquire)));
+  }
+
+  bool ok = true;
+  std::string err;
+  for (std::size_t s = 0; s < shards_.size() && ok; ++s) {
+    ShardBackend& shard = *shards_[s];
+    std::lock_guard<std::mutex> lk(shard.mu);
+    w.begin_section(kTagShrd);
+    w.put_u32(static_cast<std::uint32_t>(s));
+    w.put_str(shard.name());
+    ok = shard.save_state(w, &err);
+  }
+  const std::string image = ok ? w.finish() : std::string();
+  if (ok) ok = w.write_file(path, &err, opts_.injector, /*target=*/0);
+  resume();
+
+  if (!ok) {
+    if (ins_.state_checkpoint_failures != nullptr) {
+      ins_.state_checkpoint_failures->add();
+    }
+    if (error != nullptr) *error = err;
+    return false;
+  }
+  if (ins_.state_checkpoints != nullptr) {
+    ins_.state_checkpoints->add();
+    ins_.state_checkpoint_bytes->add(static_cast<double>(image.size()));
+    ins_.state_checkpoint_seconds->observe(
+        seconds(std::chrono::steady_clock::now() - wall_start));
+  }
+  return true;
+}
+
+std::unique_ptr<RngService> RngService::restore(const std::string& path,
+                                                const RestoreOptions& ro,
+                                                std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::unique_ptr<RngService> {
+    if (ro.metrics != nullptr) {
+      ro.metrics->counter("hprng.state.restore_failures").add();
+    }
+    if (error != nullptr) *error = why;
+    return nullptr;
+  };
+  std::string err;
+  std::optional<state::Snapshot> snap =
+      state::Snapshot::read_file(path, &err, ro.injector, /*target=*/0);
+  if (!snap.has_value()) return fail(err);
+
+  const state::Section* opts_sec = snap->find(kTagOpts);
+  if (opts_sec == nullptr) {
+    return fail("snapshot rejected: missing OPTS section");
+  }
+  ServiceOptions opts;
+  state::SectionReader r(*opts_sec);
+  if (!load_options(r, &opts)) return fail(r.error());
+  opts.injector = ro.injector;
+  if (ro.num_workers > 0) opts.num_workers = ro.num_workers;
+
+  auto svc = std::make_unique<RngService>(std::move(opts), ro.metrics);
+  if (!svc->load_snapshot(*snap, &err)) return fail(err);
+  if (svc->ins_.state_restores != nullptr) svc->ins_.state_restores->add();
+  return svc;
+}
+
+bool RngService::load_snapshot(const state::Snapshot& snap,
+                               std::string* error) {
+  const auto missing = [&](const char* tag) {
+    if (error != nullptr) {
+      *error = std::string("snapshot rejected: missing ") + tag + " section";
+    }
+    return false;
+  };
+
+  const state::Section* leas = snap.find(kTagLeas);
+  if (leas == nullptr) return missing("LEAS");
+  {
+    state::SectionReader r(*leas);
+    if (!leases_.load_state(r, error)) return false;
+    const std::uint64_t live_count = r.get_u64();
+    if (r.ok() && live_count > leases_.active()) {
+      r.fail("more live leases than active slots");
+    }
+    std::lock_guard<std::mutex> lk(live_mu_);
+    for (std::uint64_t i = 0; i < live_count && r.ok(); ++i) {
+      Lease lease;
+      lease.id = r.get_u64();
+      lease.shard = static_cast<int>(r.get_u32());
+      lease.slot = r.get_u64();
+      lease.seed = r.get_u64();
+      if (!r.ok()) break;
+      if (lease.id == 0 || lease.shard < 0 || lease.shard >= num_shards() ||
+          lease.slot >= opts_.max_leases_per_shard) {
+        r.fail("live lease out of range");
+        break;
+      }
+      live_leases_[lease.id] = lease;
+      adoptable_[lease.id] = lease;
+    }
+    if (!r.ok()) {
+      if (error != nullptr) *error = r.error();
+      return false;
+    }
+  }
+
+  const state::Section* hlth = snap.find(kTagHlth);
+  if (hlth == nullptr) return missing("HLTH");
+  {
+    state::SectionReader r(*hlth);
+    const std::uint64_t count = r.get_u64();
+    if (r.ok() && count != shards_.size()) {
+      r.fail("shard count mismatch");
+    }
+    int ejected = 0;
+    for (std::size_t s = 0; s < shards_.size() && r.ok(); ++s) {
+      const bool is_ejected = r.get_u32() != 0;
+      const auto fails = static_cast<int>(r.get_u32());
+      health_[s].ejected.store(is_ejected, std::memory_order_release);
+      health_[s].consecutive_failures.store(fails, std::memory_order_release);
+      if (is_ejected) ++ejected;
+    }
+    if (!r.ok()) {
+      if (error != nullptr) *error = r.error();
+      return false;
+    }
+    ejected_count_.store(ejected, std::memory_order_release);
+    if (ins_.shards_healthy != nullptr) {
+      ins_.shards_healthy->set(static_cast<double>(num_shards() - ejected));
+    }
+  }
+
+  const std::vector<const state::Section*> shard_secs =
+      snap.find_all(kTagShrd);
+  if (shard_secs.size() != shards_.size()) {
+    if (error != nullptr) {
+      *error = "snapshot rejected: " + std::to_string(shard_secs.size()) +
+               " SHRD sections for " + std::to_string(shards_.size()) +
+               " shards";
+    }
+    return false;
+  }
+  std::vector<char> seen(shards_.size(), 0);
+  for (const state::Section* sec : shard_secs) {
+    state::SectionReader r(*sec);
+    const std::uint32_t index = r.get_u32();
+    const std::string name = r.get_str();
+    if (r.ok() && (index >= shards_.size() || seen[index] != 0)) {
+      r.fail("bad or repeated shard index");
+    }
+    if (r.ok() && name != shards_[index]->name()) {
+      r.fail("backend kind mismatch (snapshot `" + name + "`, pool `" +
+             shards_[index]->name() + "`)");
+    }
+    if (!r.ok()) {
+      if (error != nullptr) *error = r.error();
+      return false;
+    }
+    seen[index] = 1;
+    ShardBackend& shard = *shards_[index];
+    std::lock_guard<std::mutex> lk(shard.mu);
+    if (!shard.load_state(r, error)) return false;
+  }
+
+  if (ins_.active_leases != nullptr) {
+    ins_.active_leases->set(static_cast<double>(leases_.active()));
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> RngService::adoptable_lease_ids() const {
+  std::lock_guard<std::mutex> lk(live_mu_);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(adoptable_.size());
+  for (const auto& [id, lease] : adoptable_) ids.push_back(id);
+  return ids;
+}
+
+std::optional<Session> RngService::adopt_session(std::uint64_t lease_id) {
+  Lease lease;
+  {
+    std::lock_guard<std::mutex> lk(live_mu_);
+    const auto it = adoptable_.find(lease_id);
+    if (it == adoptable_.end()) return std::nullopt;
+    lease = it->second;
+    adoptable_.erase(it);
+  }
+  // No attach(): the backend slot was restored mid-stream and an attach
+  // would reset it. The SessionState releases the lease normally, so an
+  // adopted session's lifecycle is indistinguishable from an opened one.
+  auto state = std::make_shared<detail::SessionState>();
+  state->service = this;
+  state->lease = lease;
+  return Session(std::move(state));
 }
 
 // -- Session / Ticket --------------------------------------------------------

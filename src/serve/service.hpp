@@ -27,10 +27,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -40,6 +42,10 @@
 #include "serve/lease.hpp"
 #include "serve/options.hpp"
 #include "serve/queue.hpp"
+
+namespace hprng::state {
+class Snapshot;
+}  // namespace hprng::state
 
 namespace hprng::serve {
 
@@ -215,6 +221,63 @@ class RngService {
   /// resumed service (a paused service with a backlog never drains).
   void drain();
 
+  // -- Checkpoint / restore (docs/STATE.md) ---------------------------------
+  //
+  // checkpoint() captures the service's complete deterministic state — the
+  // options, the lease inventory and every live lease, shard health, and
+  // each shard backend's stream state — into one CRC-sectioned snapshot
+  // file. It quiesces internally (pause(): every in-flight batched pass
+  // finishes, which IS the pass boundary — no pending feed words anywhere)
+  // and resumes afterwards, so it is safe to call concurrently with
+  // traffic. Queued-but-unserved requests are deliberately NOT part of a
+  // snapshot: they drain in the checkpointing process after resume; the
+  // snapshot's unit of durability is the lease stream, not the request.
+  // Callers must not open or release sessions while a checkpoint is being
+  // taken (lease table and backend sections must agree).
+  //
+  // restore() rebuilds an equivalent service in a fresh process. Restored
+  // leases are not bound to Sessions yet — clients re-attach with
+  // adopt_session(lease_id) and continue their streams byte-exactly where
+  // the snapshot left them (the golden-equivalence guarantee
+  // serve_checkpoint_test pins). Corrupt, truncated or version-mismatched
+  // snapshots are rejected with a diagnostic and construct nothing.
+
+  /// Write a snapshot of the whole service to `path` (atomically: temp
+  /// file + rename). Returns false (with *error) on I/O failure or an
+  /// injected `checkpoint_write` fault; the service keeps serving either
+  /// way and an existing snapshot at `path` is never clobbered by a
+  /// failed attempt.
+  bool checkpoint(const std::string& path, std::string* error = nullptr);
+
+  /// Runtime wiring a snapshot cannot carry (registries and injectors are
+  /// process-local objects).
+  struct RestoreOptions {
+    obs::MetricsRegistry* metrics = nullptr;
+    fault::Injector* injector = nullptr;  ///< not owned; may be nullptr
+    int num_workers = 0;                  ///< 0 = the snapshot's value
+  };
+
+  /// Reconstruct a service from a snapshot written by checkpoint().
+  /// Returns nullptr (with *error) on any rejection — bad magic, format
+  /// version gate, CRC/framing corruption, configuration mismatch, or an
+  /// injected `restore_read` fault. Rejection constructs nothing, so a
+  /// corrupt snapshot can never yield a partially-restored service.
+  static std::unique_ptr<RngService> restore(const std::string& path,
+                                             const RestoreOptions& ro,
+                                             std::string* error = nullptr);
+  static std::unique_ptr<RngService> restore(const std::string& path,
+                                             std::string* error = nullptr) {
+    return restore(path, RestoreOptions{}, error);
+  }
+
+  /// Leases restored from a snapshot and not yet re-claimed, in id order.
+  [[nodiscard]] std::vector<std::uint64_t> adoptable_lease_ids() const;
+
+  /// Re-claim a restored lease as a live Session (no re-attach — the
+  /// backend slot is already mid-stream). nullopt when `lease_id` is not
+  /// adoptable (unknown, or already adopted). Each lease adopts once.
+  std::optional<Session> adopt_session(std::uint64_t lease_id);
+
   [[nodiscard]] const ServiceOptions& options() const { return opts_; }
   [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
   [[nodiscard]] int num_shards() const {
@@ -253,6 +316,13 @@ class RngService {
     obs::Histogram* queue_wait_seconds = nullptr;
     obs::Histogram* fill_sim_seconds = nullptr;
     obs::Histogram* fill_wall_seconds = nullptr;
+    // `hprng.state.*` — checkpoint/restore (docs/STATE.md).
+    obs::Counter* state_checkpoints = nullptr;
+    obs::Counter* state_checkpoint_failures = nullptr;
+    obs::Counter* state_checkpoint_bytes = nullptr;
+    obs::Counter* state_restores = nullptr;
+    obs::Counter* state_restore_failures = nullptr;
+    obs::Histogram* state_checkpoint_seconds = nullptr;
   };
 
   /// Per-shard health: healthy (no recent failures) -> degraded (some
@@ -285,6 +355,10 @@ class RngService {
   bool failover_session(const std::shared_ptr<detail::SessionState>& state);
   /// Jittered exponential-backoff sleep before retry `attempt` (wall).
   void backoff(int attempt);
+  /// Load every snapshot section into this freshly-constructed service
+  /// (restore() discards the service when this fails, so there is no
+  /// partially-restored state to observe).
+  bool load_snapshot(const state::Snapshot& snap, std::string* error);
 
   ServiceOptions opts_;
   obs::MetricsRegistry* metrics_;
@@ -316,6 +390,14 @@ class RngService {
   std::atomic<int> serving_{0};  ///< workers with a popped, unfinished batch
   std::mutex state_mu_;
   std::condition_variable state_cv_;
+
+  // Live-lease table (checkpoint payload): every currently-leased stream,
+  // by id. Maintained on open/release/failover; snapshotted verbatim. In a
+  // restored service, `adoptable_` additionally holds the ids clients may
+  // still re-claim via adopt_session().
+  mutable std::mutex live_mu_;
+  std::map<std::uint64_t, Lease> live_leases_;
+  std::map<std::uint64_t, Lease> adoptable_;
 
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,74 @@
+#pragma once
+
+// state::BackgroundCheckpointer — periodic snapshot driver (docs/STATE.md §6).
+//
+// Owns one thread that invokes a caller-supplied tick (normally
+// `service.checkpoint(path)`) every `interval`, counting successes and
+// failures. The tick runs on the checkpointer's thread, so it must be
+// safe to call concurrently with traffic — RngService::checkpoint() is
+// (it quiesces via pause()/resume() internally). Stop order matters:
+// destroy (or stop()) the checkpointer *before* the service it captures.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace hprng::state {
+
+class BackgroundCheckpointer {
+ public:
+  /// Starts ticking immediately; the first tick fires after one interval.
+  BackgroundCheckpointer(std::chrono::milliseconds interval,
+                         std::function<bool()> tick)
+      : interval_(interval), tick_(std::move(tick)) {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~BackgroundCheckpointer() { stop(); }
+
+  BackgroundCheckpointer(const BackgroundCheckpointer&) = delete;
+  BackgroundCheckpointer& operator=(const BackgroundCheckpointer&) = delete;
+
+  /// Stop and join. Idempotent; no tick runs after stop() returns.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stop_) return;
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] std::uint64_t runs() const { return runs_.load(); }
+  [[nodiscard]] std::uint64_t failures() const { return failures_.load(); }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stop_) {
+      if (cv_.wait_for(lk, interval_, [this] { return stop_; })) break;
+      lk.unlock();
+      const bool ok = tick_();
+      runs_.fetch_add(1);
+      if (!ok) failures_.fetch_add(1);
+      lk.lock();
+    }
+  }
+
+  std::chrono::milliseconds interval_;
+  std::function<bool()> tick_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> runs_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::thread thread_;
+};
+
+}  // namespace hprng::state

@@ -1,0 +1,181 @@
+#pragma once
+
+// hprng::state — versioned, self-describing snapshots (docs/STATE.md).
+//
+// The paper's on-demand property makes the whole hybrid pipeline
+// checkpointable: every walk position is an explicit vertex, every feed
+// cursor an explicit counter (Algorithm 2 resumes GetNextRand() from
+// stored state). This library is the container format that serialises
+// that state — a small sectioned binary file with a JSON preamble — plus
+// the bounded-cursor reader that restores it without ever aborting on
+// malformed input.
+//
+// Format (normative spec in docs/STATE.md):
+//
+//   header   = magic "HPRNGSNP" | u32 format_version | u32 section_count
+//   section  = u32 tag (FourCC) | u32 section_version | u64 payload_len
+//            | payload bytes | u32 crc32(section header + payload)
+//
+// All integers little-endian. The first section of every service snapshot
+// is a "META" section whose payload is human-readable JSON describing the
+// file (self-describing: `head -c 512 file` tells you what it is). Readers
+// reject unknown format versions, bad magic, truncated sections and CRC
+// mismatches with a diagnostic — corruption can never yield a partial
+// restore.
+//
+// Fault hooks: file writes consult fault::Site::kCheckpointWrite and file
+// reads consult fault::Site::kRestoreRead, so chaos tests can fail either
+// side deterministically (docs/FAULTS.md).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace hprng::state {
+
+/// The format version this build writes and the only one it restores.
+/// Bump on any layout change; readers hard-reject other versions
+/// (docs/STATE.md §3 — snapshots are short-lived operational artifacts,
+/// not archives, so there is no cross-version migration path).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// File magic, first 8 bytes of every snapshot.
+inline constexpr char kMagic[8] = {'H', 'P', 'R', 'N', 'G', 'S', 'N', 'P'};
+
+/// CRC-32 (IEEE 802.3, poly 0xEDB88320, reflected) of a byte range.
+[[nodiscard]] std::uint32_t crc32(std::string_view data);
+
+/// Four-character section tag, e.g. fourcc("META").
+[[nodiscard]] constexpr std::uint32_t fourcc(const char (&tag)[5]) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(tag[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(tag[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(tag[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(tag[3])) << 24;
+}
+
+/// Decode a FourCC back to printable text for diagnostics.
+[[nodiscard]] std::string tag_name(std::uint32_t tag);
+
+/// Serialises a snapshot: begin_section / scalar appends / end_section,
+/// then bytes() or write_file(). Scalars are little-endian; strings and
+/// byte blobs are u64-length-prefixed. The writer itself cannot fail —
+/// only write_file() can (I/O or an injected checkpoint_write fault).
+class SnapshotWriter {
+ public:
+  SnapshotWriter();
+
+  /// Open a section. Sections cannot nest; the previous one (if any) is
+  /// finalised by the next begin_section()/finish() call via end_section.
+  void begin_section(std::uint32_t tag, std::uint32_t version = 1);
+  void end_section();
+
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_f64(double v);
+  /// u64 length + raw bytes.
+  void put_str(std::string_view s);
+  /// Raw bytes, no length prefix — for whole-payload text sections (META's
+  /// JSON preamble stays greppable in the binary file).
+  void put_raw(std::string_view s);
+
+  /// Finalise the open section (if any) and return the complete file
+  /// image, header section-count patched.
+  [[nodiscard]] std::string finish();
+
+  /// finish() + atomic write: the image lands at `path + ".tmp"` first and
+  /// is renamed over `path`, so a crash or injected fault never leaves a
+  /// half-written snapshot under the final name. If `injector` is given,
+  /// one fault::Site::kCheckpointWrite event is consulted per call; a kFail
+  /// outcome fails the write before any bytes are spilled (kDelay sleeps
+  /// for the wall-clock duration — checkpointing is a host-side op).
+  bool write_file(const std::string& path, std::string* error = nullptr,
+                  fault::Injector* injector = nullptr, int target = 0);
+
+ private:
+  std::string buf_;
+  std::size_t section_start_ = 0;  // offset of open section header, 0 = none
+  std::uint32_t section_count_ = 0;
+  bool open_ = false;
+};
+
+/// One parsed (and CRC-verified) section of a snapshot.
+struct Section {
+  std::uint32_t tag = 0;
+  std::uint32_t version = 0;
+  std::string_view payload;  // views into the owning Snapshot's buffer
+};
+
+/// A fully-validated snapshot image. Parsing verifies magic, format
+/// version, section framing and every section CRC up front; a Snapshot in
+/// hand is structurally sound (field-level validation is the reader's
+/// job). Sections keep file order; repeated tags are allowed.
+class Snapshot {
+ public:
+  /// Parse an in-memory image. nullopt + *error on any malformation.
+  static std::optional<Snapshot> parse(std::string data,
+                                       std::string* error = nullptr);
+
+  /// Read + parse a file. Consults one fault::Site::kRestoreRead event if
+  /// an injector is given (kFail rejects before the file is opened).
+  static std::optional<Snapshot> read_file(const std::string& path,
+                                           std::string* error = nullptr,
+                                           fault::Injector* injector = nullptr,
+                                           int target = 0);
+
+  [[nodiscard]] const std::vector<Section>& sections() const {
+    return sections_;
+  }
+  /// First section with `tag`, nullptr if absent.
+  [[nodiscard]] const Section* find(std::uint32_t tag) const;
+  /// All sections with `tag`, in file order.
+  [[nodiscard]] std::vector<const Section*> find_all(std::uint32_t tag) const;
+
+  Snapshot(Snapshot&&) = default;
+  Snapshot& operator=(Snapshot&&) = default;
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+ private:
+  Snapshot() = default;
+  // unique_ptr keeps payload string_views stable across moves.
+  std::unique_ptr<std::string> data_;
+  std::vector<Section> sections_;
+};
+
+/// Bounded cursor over one section's payload. Reads past the end (or a
+/// corrupt length prefix) latch a failure instead of aborting; callers
+/// stream their reads and check ok() once at the end. After a failure all
+/// further reads return zero values.
+class SectionReader {
+ public:
+  explicit SectionReader(const Section& section)
+      : data_(section.payload), tag_(section.tag) {}
+
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] double get_f64();
+  [[nodiscard]] std::string get_str();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::string error() const { return error_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// Latch an application-level validation failure (same channel as
+  /// framing failures, so callers still only check ok() once).
+  void fail(const std::string& why);
+
+ private:
+  bool take(std::size_t n, const char** out);
+
+  std::string_view data_;
+  std::uint32_t tag_ = 0;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace hprng::state

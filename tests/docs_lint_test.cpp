@@ -1,7 +1,10 @@
 // Documentation lint (run as `ctest -R docs_lint`): every relative
 // markdown link in the repo's top-level *.md files and docs/*.md must
 // resolve to an existing file, and every same-file `#anchor` link must
-// match a heading. Keeps README/DESIGN/OBSERVABILITY cross-references from
+// match a heading; every `hprng.serve.*` / `hprng.state.*` instrument a
+// live service registers must be catalogued in docs/OBSERVABILITY.md;
+// and every `--flag` the docs mention must exist in a source tree that
+// parses it. Keeps README/DESIGN/OBSERVABILITY cross-references from
 // rotting as files move.
 
 #include <gtest/gtest.h>
@@ -9,9 +12,12 @@
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
 #include "util/file.hpp"
 
 #ifndef HPRNG_SOURCE_DIR
@@ -144,6 +150,102 @@ TEST(DocsLint, RelativeLinksResolve) {
   // The repo documents itself heavily; an empty scan means the extractor
   // broke, not that the docs are clean.
   EXPECT_GE(checked, 10u);
+}
+
+// The inverse direction of obs_test's EveryDocumentedMetricIsEmitted:
+// every serving/state instrument the code registers must be catalogued
+// in docs/OBSERVABILITY.md, so new instruments cannot land undocumented.
+TEST(DocsLint, ServeAndStateInstrumentsAreCatalogued) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with -DHPRNG_ENABLE_OBS=OFF";
+  obs::MetricsRegistry metrics;
+  serve::ServiceOptions opts;
+  opts.backend = "cpu-walk";
+  opts.num_shards = 1;
+  opts.max_leases_per_shard = 2;
+  opts.num_workers = 1;
+  serve::RngService service(opts, &metrics);  // pre-resolves the catalogue
+
+  std::string doc;
+  ASSERT_TRUE(util::read_file(
+      std::string(HPRNG_SOURCE_DIR) + "/docs/OBSERVABILITY.md", &doc));
+  std::size_t checked = 0;
+  for (const std::string& name : metrics.names()) {
+    if (name.rfind("hprng.serve.", 0) != 0 &&
+        name.rfind("hprng.state.", 0) != 0) {
+      continue;
+    }
+    ++checked;
+    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+        << "registered instrument `" << name
+        << "` is not catalogued in docs/OBSERVABILITY.md";
+  }
+  // The serve catalogue alone is > a dozen instruments; the state
+  // catalogue adds six more. A tiny count means pre-resolution broke.
+  EXPECT_GE(checked, 18u);
+}
+
+/// Extracts `--flag` tokens (two dashes, then [a-z][a-z0-9-]+) from text,
+/// code fences included — flags mostly live in shell examples.
+std::set<std::string> flag_tokens(const std::string& text) {
+  std::set<std::string> flags;
+  for (std::size_t pos = text.find("--"); pos != std::string::npos;
+       pos = text.find("--", pos + 1)) {
+    if (pos > 0 && text[pos - 1] == '-') continue;  // --- rules etc.
+    std::size_t end = pos + 2;
+    while (end < text.size() &&
+           (std::islower(static_cast<unsigned char>(text[end])) != 0 ||
+            std::isdigit(static_cast<unsigned char>(text[end])) != 0 ||
+            text[end] == '-')) {
+      ++end;
+    }
+    if (end - (pos + 2) >= 2) {  // skip one-letter flags like --n
+      flags.insert(text.substr(pos + 2, end - (pos + 2)));
+    }
+  }
+  return flags;
+}
+
+// Every `--flag` the docs mention must be parsed somewhere in the repo's
+// own sources (as the quoted bare name a util::Cli lookup uses, or as the
+// dashed literal), so the docs cannot advertise flags that do not exist.
+TEST(DocsLint, DocumentedCliFlagsExistInSources) {
+  // Flags that belong to external tools (cmake/ctest invocations quoted
+  // in build instructions), not to any binary in this repo.
+  const std::set<std::string> external = {"build", "test-dir",
+                                          "output-on-failure"};
+
+  std::set<std::string> documented;
+  for (const fs::path& file : markdown_files()) {
+    std::string text;
+    ASSERT_TRUE(util::read_file(file.string(), &text)) << file;
+    for (const std::string& flag : flag_tokens(text)) {
+      if (external.count(flag) == 0) documented.insert(flag);
+    }
+  }
+  ASSERT_GE(documented.size(), 10u) << "flag extractor broke";
+
+  std::string corpus;
+  const fs::path root(HPRNG_SOURCE_DIR);
+  for (const char* dir : {"src", "bench", "tests", "examples"}) {
+    for (const auto& entry :
+         fs::recursive_directory_iterator(root / dir)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      std::string text;
+      ASSERT_TRUE(util::read_file(entry.path().string(), &text))
+          << entry.path();
+      corpus += text;
+      corpus += '\n';
+    }
+  }
+  for (const std::string& flag : documented) {
+    const bool found =
+        corpus.find("\"" + flag + "\"") != std::string::npos ||
+        corpus.find("--" + flag) != std::string::npos;
+    EXPECT_TRUE(found) << "docs mention `--" << flag
+                       << "` but no source parses it";
+  }
 }
 
 }  // namespace

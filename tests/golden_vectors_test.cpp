@@ -1,15 +1,20 @@
 // Golden-vector regression pins (tests/golden/): the first 64 words of
 // every registry baseline, the CPU walk generator and the hybrid pipeline
-// at two fixed seeds. Any change to an output stream — intended or not —
-// trips this suite; an intended change is re-pinned by running the binary
-// with --regen and committing the rewritten vectors.
+// at two fixed seeds, plus the checkpoint/restore path (docs/STATE.md) —
+// a serve lease stream drawn half before a checkpoint and half after a
+// restore in a fresh service. Any change to an output stream — intended
+// or not — trips this suite; an intended change is re-pinned by running
+// the binary with --regen and committing the rewritten vectors.
 //
 // The hybrid/cpu-walk pins use an explicitly spelled-out config (below),
 // so config default changes do NOT silently re-pin them.
 
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,6 +24,7 @@
 #include "core/cpu_walk_prng.hpp"
 #include "core/hybrid_prng.hpp"
 #include "prng/registry.hpp"
+#include "serve/service.hpp"
 #include "sim/device.hpp"
 
 namespace hprng {
@@ -35,11 +41,59 @@ std::string golden_path(const std::string& name, int seed_index) {
   return golden_dir() + name + (seed_index == 0 ? "-a" : "-b") + ".txt";
 }
 
+/// The restore-path pin: one lease on a 1-shard service draws the first
+/// half of its stream, the service checkpoints and dies, a restored
+/// service adopts the lease and draws the second half. The concatenation
+/// is pinned, so a regression anywhere in checkpoint/restore (cursor
+/// drift, replay off-by-one, section decode) trips a golden diff — the
+/// bit-exactness guarantee of docs/STATE.md §5, pinned.
+std::vector<std::uint64_t> serve_restore_stream(const std::string& backend,
+                                                std::uint64_t seed) {
+  using namespace std::chrono_literals;
+  serve::ServiceOptions opts;
+  opts.backend = backend;
+  opts.num_shards = 1;
+  opts.max_leases_per_shard = 4;
+  opts.num_workers = 1;
+  opts.walk_len = 32;
+  opts.seed = seed;
+  const std::string path = testing::TempDir() + "hprng_golden_serve.snap";
+  std::vector<std::uint64_t> words(kWords, 0);
+  std::uint64_t lease_id = 0;
+  {
+    serve::RngService service(opts);
+    serve::Session session = service.open_session();
+    lease_id = session.lease().id;
+    EXPECT_EQ(session.fill(std::span(words.data(), kWords / 2), 30s),
+              serve::Status::kOk);
+    service.drain();
+    EXPECT_TRUE(service.checkpoint(path));
+  }
+  std::string error;
+  auto restored = serve::RngService::restore(path, &error);
+  EXPECT_NE(restored, nullptr) << error;
+  if (restored != nullptr) {
+    auto session = restored->adopt_session(lease_id);
+    EXPECT_TRUE(session.has_value());
+    if (session.has_value()) {
+      EXPECT_EQ(
+          session->fill(std::span(words.data() + kWords / 2, kWords / 2), 30s),
+          serve::Status::kOk);
+    }
+  }
+  std::remove(path.c_str());
+  return words;
+}
+
 /// The pinned stream: 64 words of `name` at `seed`. "hybrid" and
 /// "cpu-walk" pin the paper's generators at the generator-grade operating
-/// point (walk_len 32); everything else is a registry baseline.
+/// point (walk_len 32); "serve-<backend>" pins the checkpoint/restore
+/// path; everything else is a registry baseline.
 std::vector<std::uint64_t> golden_stream(const std::string& name,
                                          std::uint64_t seed) {
+  if (name.rfind("serve-", 0) == 0) {
+    return serve_restore_stream(name.substr(6), seed);
+  }
   if (name == "hybrid") {
     sim::Device device;
     core::HybridPrngConfig cfg;
@@ -66,7 +120,8 @@ std::vector<std::uint64_t> golden_stream(const std::string& name,
 }
 
 std::vector<std::string> golden_names() {
-  std::vector<std::string> names = {"hybrid", "cpu-walk"};
+  std::vector<std::string> names = {"hybrid", "cpu-walk", "serve-hybrid",
+                                    "serve-cpu-walk"};
   for (const std::string& n : prng::known_generators()) names.push_back(n);
   return names;
 }
