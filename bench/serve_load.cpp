@@ -7,7 +7,7 @@
 //
 // Flags: --clients --requests --n (words per request) --shards --slots
 //        --workers --capacity --coalesce --policy=block|reject|shed
-//        --timeout-ms --backend=hybrid|cpu-walk|<baseline> --seed
+//        --timeout-ms --backend=NAME (serve registry, docs/BACKENDS.md) --seed
 //        --inflight=K  async requests each client keeps outstanding
 //                      (K >= 2 exercises the pipelined serve path: a worker
 //                      coalescing one session's queued requests issues them
@@ -42,6 +42,7 @@
 #include "bench/common.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
+#include "serve/backend.hpp"
 #include "serve/service.hpp"
 #include "state/checkpointer.hpp"
 #include "util/cli.hpp"
@@ -50,6 +51,18 @@
 using namespace hprng;
 
 namespace {
+
+// The --backend flag accepts exactly the names in the serve registry
+// (docs/BACKENDS.md §1), so the help text is built from it rather than
+// hard-coding a list that would drift as backends are added.
+std::string backend_values() {
+  std::string out;
+  for (const std::string& name : serve::known_backends()) {
+    if (!out.empty()) out += '|';
+    out += name;
+  }
+  return out;
+}
 
 void print_help() {
   std::printf(
@@ -61,7 +74,10 @@ void print_help() {
       "  --n=WORDS           words per request (default 256)\n"
       "  --inflight=K        async requests outstanding per client\n"
       "service shape (ignored with --restore-from):\n"
-      "  --backend=NAME      hybrid|cpu-walk|<baseline> (default hybrid)\n"
+      "  --backend=NAME      one of: %s\n"
+      "                      (default hybrid; see docs/BACKENDS.md)\n",
+      backend_values().c_str());
+  std::printf(
       "  --shards=N --slots=N --workers=N --capacity=N --coalesce=N\n"
       "  --policy=P          block|reject|shed (default block)\n"
       "  --timeout-ms=MS --seed=S\n"
@@ -92,6 +108,11 @@ int main(int argc, char** argv) {
 
   serve::ServiceOptions opts;
   opts.backend = cli.get_string("backend", "hybrid");
+  if (!serve::backend_known(opts.backend)) {
+    std::fprintf(stderr, "unknown --backend=%s (one of: %s)\n",
+                 opts.backend.c_str(), backend_values().c_str());
+    return 2;
+  }
   opts.num_shards = static_cast<int>(cli.get_u64("shards", 4));
   opts.max_leases_per_shard =
       cli.get_u64("slots", (static_cast<std::uint64_t>(clients) +

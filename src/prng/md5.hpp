@@ -59,10 +59,53 @@ struct CudppMd5Rng {
     return v;
   }
 
+  /// O(1) jump-ahead over n u32 draws — counter arithmetic plus at most
+  /// one compress_block for a mid-block landing. Equivalent to n
+  /// next_u32() calls; detected by prng::Adapter as the cheap_jump hook.
+  void discard_u32(std::uint64_t n) {
+    if (lane != 0) {
+      const std::uint64_t left = static_cast<std::uint64_t>(4 - lane);
+      if (n < left) {
+        lane += static_cast<int>(n);
+        return;
+      }
+      n -= left;
+      lane = 0;
+    }
+    add_counter(n >> 2);
+    const int rem = static_cast<int>(n & 3);
+    if (rem != 0) {
+      // Re-evaluate the landing block the same way next_u32 would.
+      std::array<std::uint32_t, 16> block{};
+      block[0] = seed_lo;
+      block[1] = seed_hi;
+      block[2] = tid;
+      block[3] = counter_lo;
+      block[4] = counter_hi;
+      for (int i = 5; i < 16; ++i) {
+        block[static_cast<std::size_t>(i)] =
+            0x5A827999u * static_cast<std::uint32_t>(i);
+      }
+      out = Md5::compress_block(block);
+      add_counter(1);
+      lane = rem;
+    }
+  }
+
   std::uint32_t seed_lo, seed_hi, tid;
   std::uint32_t counter_lo = 0, counter_hi = 0;
   Md5::Digest out{};
   int lane = 0;
+
+ private:
+  /// 64-bit counter += n.
+  void add_counter(std::uint64_t n) {
+    std::uint64_t c = (static_cast<std::uint64_t>(counter_hi) << 32) |
+                      counter_lo;
+    c += n;
+    counter_lo = static_cast<std::uint32_t>(c);
+    counter_hi = static_cast<std::uint32_t>(c >> 32);
+  }
 };
 
 }  // namespace hprng::prng

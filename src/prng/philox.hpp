@@ -57,10 +57,47 @@ struct Philox4x32 {
     return (hi << 32) | next_u32();
   }
 
+  /// O(1) jump-ahead over n u32 draws — counter arithmetic, no block
+  /// evaluations beyond at most one for a mid-block landing. Equivalent to
+  /// n next_u32() calls; detected by prng::Adapter as the cheap_jump hook.
+  void discard_u32(std::uint64_t n) {
+    if (lane != 0) {
+      const std::uint64_t left = static_cast<std::uint64_t>(4 - lane);
+      if (n < left) {
+        lane += static_cast<int>(n);
+        return;
+      }
+      n -= left;
+      lane = 0;
+    }
+    add_counter(n >> 2);
+    const int rem = static_cast<int>(n & 3);
+    if (rem != 0) {
+      out = block(counter, key);
+      add_counter(1);
+      lane = rem;
+    }
+  }
+
   std::array<std::uint32_t, 2> key;
   std::array<std::uint32_t, 4> counter;
   std::array<std::uint32_t, 4> out{};
   int lane = 0;
+
+ private:
+  /// 128-bit counter += n.
+  void add_counter(std::uint64_t n) {
+    std::uint64_t lo = (static_cast<std::uint64_t>(counter[1]) << 32) |
+                       counter[0];
+    std::uint64_t hi = (static_cast<std::uint64_t>(counter[3]) << 32) |
+                       counter[2];
+    lo += n;
+    if (lo < n) ++hi;
+    counter = {static_cast<std::uint32_t>(lo),
+               static_cast<std::uint32_t>(lo >> 32),
+               static_cast<std::uint32_t>(hi),
+               static_cast<std::uint32_t>(hi >> 32)};
+  }
 };
 
 }  // namespace hprng::prng

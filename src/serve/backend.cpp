@@ -5,8 +5,10 @@
 
 #include "core/cpu_walk_prng.hpp"
 #include "core/hybrid_prng.hpp"
+#include "obs/metrics.hpp"
 #include "prng/registry.hpp"
 #include "prng/seed_seq.hpp"
+#include "serve/counter_backend.hpp"
 #include "sim/device.hpp"
 #include "state/snapshot.hpp"
 #include "util/check.hpp"
@@ -216,6 +218,115 @@ class CpuWalkShard final : public ShardBackend {
   std::vector<SlotMeta> metas_;
 };
 
+/// Counter backends ("philox", "md5-counter"): one stateless block
+/// function per shard, one CounterStream coordinate per slot. Everything
+/// a walk backend does with stored state, this family does with
+/// arithmetic (docs/BACKENDS.md §3):
+///
+///  * attach is O(1) — the lease's SeedSequence-derived client seed IS
+///    the stream coordinate, collision-free at any fan-out;
+///  * the per-slot checkpoint is the fixed triple {attached, stream,
+///    draws} (20 bytes), and restore is an O(1) CounterStream::jump_to —
+///    never a replay of the draw history;
+///  * fills are pure functions, so the default staged begin/finish
+///    protocol is safely pipelined at depth 2 (nothing to roll back).
+class CounterShard final : public ShardBackend {
+ public:
+  CounterShard(const ServiceOptions& opts, std::uint64_t shard_seed,
+               std::unique_ptr<CounterBackend> engine)
+      : engine_(std::move(engine)), key_(shard_seed) {
+    slots_.resize(static_cast<std::size_t>(opts.max_leases_per_shard));
+    metas_.resize(slots_.size());
+  }
+
+  void attach(std::uint64_t slot, std::uint64_t client_seed) override {
+    slots_.at(static_cast<std::size_t>(slot)) =
+        CounterStream(engine_.get(), key_, client_seed);
+    metas_.at(static_cast<std::size_t>(slot)) = {true, client_seed, 0};
+  }
+
+  void detach(std::uint64_t slot) override {
+    slots_.at(static_cast<std::size_t>(slot)) = CounterStream();
+    metas_.at(static_cast<std::size_t>(slot)) = {};
+  }
+
+  FillResult fill(std::span<const Fill> fills) override {
+    std::uint64_t blocks = 0;
+    for (const Fill& f : fills) {
+      CounterStream& s = slots_.at(static_cast<std::size_t>(f.slot));
+      HPRNG_CHECK(s.valid(), "CounterShard::fill: slot not attached");
+      if (!f.out.empty()) {
+        const std::uint64_t first = s.position() >> 1;
+        const std::uint64_t last = (s.position() + f.out.size() - 1) >> 1;
+        blocks += last - first + 1;
+      }
+      for (std::uint64_t& out : f.out) out = s.next_u64();
+      metas_.at(static_cast<std::size_t>(f.slot)).draws += f.out.size();
+    }
+    if (counter_blocks_ != nullptr) {
+      counter_blocks_->add(static_cast<double>(blocks));
+    }
+    return {};
+  }
+
+  /// Pure-function fills have nothing to roll back, so the inherited
+  /// staged begin/finish protocol is correct at any depth; 2 matches the
+  /// hybrid pipeline's in-flight budget and exercises the service's
+  /// pipelined drive path (pool_determinism-style bit-equality pinned in
+  /// tests/counter_backend_test.cpp).
+  [[nodiscard]] int pipeline_depth() const override { return 2; }
+
+  void set_metrics(obs::MetricsRegistry* registry) override {
+    if (registry == nullptr) {
+      counter_blocks_ = nullptr;
+      counter_jumps_ = nullptr;
+      return;
+    }
+    counter_blocks_ = &registry->counter("hprng.serve.backend.counter_blocks");
+    counter_jumps_ = &registry->counter("hprng.serve.backend.counter_jumps");
+  }
+
+  bool save_state(state::SnapshotWriter& writer,
+                  std::string* error) const override {
+    (void)error;
+    save_slot_metas(writer, metas_);
+    return true;
+  }
+
+  bool load_state(state::SectionReader& reader, std::string* error) override {
+    std::vector<SlotMeta> metas;
+    if (!load_slot_metas(reader, slots_.size(), &metas, error)) return false;
+    // O(1) per slot: draw k of a stream is a pure function of
+    // (key, stream, k), so restore is a reposition, never a replay —
+    // the counter-backend checkpoint contract (docs/BACKENDS.md §5).
+    std::uint64_t jumps = 0;
+    for (std::size_t s = 0; s < metas.size(); ++s) {
+      if (!metas[s].attached) {
+        slots_[s] = CounterStream();
+        continue;
+      }
+      slots_[s] = CounterStream(engine_.get(), key_, metas[s].seed);
+      slots_[s].jump_to(metas[s].draws);
+      ++jumps;
+    }
+    metas_ = std::move(metas);
+    if (counter_jumps_ != nullptr) {
+      counter_jumps_->add(static_cast<double>(jumps));
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string name() const override { return engine_->name(); }
+
+ private:
+  std::unique_ptr<CounterBackend> engine_;
+  std::uint64_t key_;
+  std::vector<CounterStream> slots_;
+  std::vector<SlotMeta> metas_;
+  obs::Counter* counter_blocks_ = nullptr;
+  obs::Counter* counter_jumps_ = nullptr;
+};
+
 /// Any registry baseline ("mt19937", "xorwow", ...): one generator
 /// instance per slot — the apples-to-apples comparison backend.
 class BaselineShard final : public ShardBackend {
@@ -299,7 +410,26 @@ std::unique_ptr<ShardBackend> make_shard_backend(const ServiceOptions& opts,
   if (opts.backend == "cpu-walk") {
     return std::make_unique<CpuWalkShard>(opts);
   }
+  if (auto engine = make_counter_backend(opts.backend)) {
+    return std::make_unique<CounterShard>(opts, shard_seed, std::move(engine));
+  }
+  HPRNG_CHECK(backend_known(opts.backend),
+              "make_shard_backend: unknown backend '" + opts.backend + "'");
   return std::make_unique<BaselineShard>(opts, opts.backend);
+}
+
+std::vector<std::string> known_backends() {
+  std::vector<std::string> names{"hybrid", "cpu-walk"};
+  for (const std::string& n : known_counter_backends()) names.push_back(n);
+  for (const std::string& n : prng::known_generators()) names.push_back(n);
+  return names;
+}
+
+bool backend_known(const std::string& name) {
+  for (const std::string& n : known_backends()) {
+    if (n == name) return true;
+  }
+  return false;
 }
 
 }  // namespace hprng::serve

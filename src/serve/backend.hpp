@@ -1,14 +1,20 @@
 #pragma once
 
-// Backend shards for hprng::serve (docs/SERVING.md §2).
+// Backend shards for hprng::serve (docs/SERVING.md §2; normative backend
+// contracts in docs/BACKENDS.md).
 //
 // A shard is one generator pool member: it owns the stream state behind
-// every lease slot the LeaseManager maps to it. Three implementations:
+// every lease slot the LeaseManager maps to it. Four families:
 //
 //  * hybrid   — a core::HybridPrng on its own simulated device; each slot
 //               is one device walk, small requests coalesce into one
 //               FEED/TRANSFER/GENERATE pass (HybridPrng::fill_leased).
 //  * cpu-walk — one core::CpuWalkPrng per slot (the paper's CPU variant).
+//  * counter  — "philox" / "md5-counter": a stateless CounterBackend block
+//               function; each slot is a (key, stream, position) coordinate
+//               (counter_backend.hpp). Leases are arithmetic partitions of
+//               counter space: O(1) creation, O(1) jump-ahead, fixed-size
+//               checkpoints with O(1) restore.
 //  * any prng::make_by_name name — one baseline generator per slot, for
 //               apples-to-apples serving comparisons in bench/serve_load.
 //
@@ -154,8 +160,18 @@ class ShardBackend {
 /// Build shard `shard_index` of the pool described by `opts`. The shard
 /// derives its seed domain from opts.seed via SeedSequence::split, so no
 /// two shards (and no two slots anywhere) share stream seeds. Aborts on
-/// unknown backend names.
+/// unknown backend names (probe with backend_known / known_backends).
 std::unique_ptr<ShardBackend> make_shard_backend(const ServiceOptions& opts,
                                                  int shard_index);
+
+/// The backend registry: every name make_shard_backend accepts, in
+/// presentation order — the walk backends ("hybrid", "cpu-walk"), the
+/// counter backends ("philox", "md5-counter"), then every registry
+/// baseline. serve_load --help and docs_lint_test (every registered
+/// backend has a docs/BACKENDS.md section) both enumerate this.
+std::vector<std::string> known_backends();
+
+/// True when `name` is a registered backend.
+bool backend_known(const std::string& name);
 
 }  // namespace hprng::serve

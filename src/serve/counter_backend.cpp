@@ -1,0 +1,73 @@
+#include "serve/counter_backend.hpp"
+
+#include "prng/md5.hpp"
+#include "prng/philox.hpp"
+
+namespace hprng::serve {
+
+namespace {
+
+/// Philox4x32-10 coordinates (docs/BACKENDS.md §3): the 128-bit Philox
+/// counter is {index_lo, index_hi, stream_lo, stream_hi} — the block
+/// index occupies the low 64 bits, the stream id the high 64 — and the
+/// 64-bit shard key splits into the two Philox key words. With the
+/// stream id pinned to its own counter half, index arithmetic can never
+/// reach another stream's blocks, which is the partition-disjointness
+/// property counter leases rely on.
+class PhiloxCounterBackend final : public CounterBackend {
+ public:
+  [[nodiscard]] Block block(std::uint64_t key, std::uint64_t stream,
+                            std::uint64_t index) const override {
+    return prng::Philox4x32::block(
+        {static_cast<std::uint32_t>(index),
+         static_cast<std::uint32_t>(index >> 32),
+         static_cast<std::uint32_t>(stream),
+         static_cast<std::uint32_t>(stream >> 32)},
+        {static_cast<std::uint32_t>(key),
+         static_cast<std::uint32_t>(key >> 32)});
+  }
+
+  [[nodiscard]] std::string name() const override { return "philox"; }
+};
+
+/// The CUDPP-style MD5 counter generator (prng::CudppMd5Rng) generalised
+/// to 64-bit coordinates: the registry generator hashes
+/// (seed, tid:u32, counter:u64); here the 16-word MD5 block carries the
+/// full (key, stream, index) coordinate — words 0-1 the key, 2-3 the
+/// stream, 4-5 the index — with the remaining words holding the same
+/// domain-separation constants CudppMd5Rng uses, so the block is always
+/// fully specified (docs/BACKENDS.md §3).
+class Md5CounterBackend final : public CounterBackend {
+ public:
+  [[nodiscard]] Block block(std::uint64_t key, std::uint64_t stream,
+                            std::uint64_t index) const override {
+    std::array<std::uint32_t, 16> input{};
+    input[0] = static_cast<std::uint32_t>(key);
+    input[1] = static_cast<std::uint32_t>(key >> 32);
+    input[2] = static_cast<std::uint32_t>(stream);
+    input[3] = static_cast<std::uint32_t>(stream >> 32);
+    input[4] = static_cast<std::uint32_t>(index);
+    input[5] = static_cast<std::uint32_t>(index >> 32);
+    for (int i = 6; i < 16; ++i) {
+      input[static_cast<std::size_t>(i)] =
+          0x5A827999u * static_cast<std::uint32_t>(i);
+    }
+    return prng::Md5::compress_block(input);
+  }
+
+  [[nodiscard]] std::string name() const override { return "md5-counter"; }
+};
+
+}  // namespace
+
+std::unique_ptr<CounterBackend> make_counter_backend(const std::string& name) {
+  if (name == "philox") return std::make_unique<PhiloxCounterBackend>();
+  if (name == "md5-counter") return std::make_unique<Md5CounterBackend>();
+  return nullptr;
+}
+
+std::vector<std::string> known_counter_backends() {
+  return {"philox", "md5-counter"};
+}
+
+}  // namespace hprng::serve

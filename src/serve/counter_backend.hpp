@@ -1,0 +1,119 @@
+#pragma once
+
+// Counter-based backends for hprng::serve (docs/BACKENDS.md §3).
+//
+// A counter-based generator is a pure block function: 128 output bits are
+// a function of (key, stream, index) and nothing else. All "state" is a
+// coordinate, which is what makes these the scale backends:
+//
+//  * lease creation is O(1) arithmetic — a lease IS a stream coordinate,
+//    collision-free at any fan-out because lease seeds are injective
+//    (prng::SeedSequence);
+//  * discard / jump-ahead is O(1) — set the position, done;
+//  * a lease's checkpoint is a fixed few words {stream, position}, and
+//    restore is an O(1) reposition, never a replay.
+//
+// Two engines implement the interface: Philox4x32-10 (Salmon et al.,
+// SC'11 — the reference counter-based design) and the CUDPP-style
+// MD5 counter generator (Tzeng & Wei, I3D'08) generalised to 64-bit
+// stream/index coordinates. Both are from-scratch implementations in
+// src/prng/ — this layer only assigns coordinates.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hprng::serve {
+
+/// A stateless counter-based generator core. block() must be a pure
+/// function of its arguments — implementations hold configuration only,
+/// never stream state — so one engine instance serves every slot of a
+/// shard concurrently and two evaluations of the same coordinates are
+/// always bit-identical (the property every lease/checkpoint guarantee
+/// in docs/BACKENDS.md reduces to).
+class CounterBackend {
+ public:
+  /// 128 bits per evaluation, as four 32-bit words.
+  using Block = std::array<std::uint32_t, 4>;
+
+  virtual ~CounterBackend() = default;
+
+  /// Evaluate the block at coordinate (key, stream, index). `key` is the
+  /// shard's key domain, `stream` the lease's substream id, `index` the
+  /// block counter within the stream. Index arithmetic is mod 2^64 and
+  /// never carries into `stream` — partitions cannot be crossed.
+  [[nodiscard]] virtual Block block(std::uint64_t key, std::uint64_t stream,
+                                    std::uint64_t index) const = 0;
+
+  /// Registry name ("philox", "md5-counter") — also the backend kind
+  /// label in reports and snapshot SHRD sections.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Construct a counter engine by name ("philox", "md5-counter").
+/// Returns nullptr for any other name (the caller falls through to the
+/// walk/baseline backends).
+std::unique_ptr<CounterBackend> make_counter_backend(const std::string& name);
+
+/// Names accepted by make_counter_backend, in presentation order.
+std::vector<std::string> known_counter_backends();
+
+/// One leased substream over a CounterBackend: a (key, stream) coordinate
+/// plus a position measured in emitted u64 draws. Draw k of a stream is a
+/// pure function of (key, stream, k) — next_u64() is just the cursor walk,
+/// and jump_to() is the O(1) reposition that backs lease discard and
+/// checkpoint restore (docs/BACKENDS.md §3).
+///
+/// Word layout (normative): block `b` yields draws 2b and 2b+1 as
+/// `(u64(word[0]) << 32) | word[1]` and `(u64(word[2]) << 32) | word[3]`.
+/// The position wraps mod 2^64, re-entering this stream's own partition
+/// start — never an adjacent stream's.
+class CounterStream {
+ public:
+  using Block = CounterBackend::Block;
+
+  CounterStream() = default;
+  CounterStream(const CounterBackend* backend, std::uint64_t key,
+                std::uint64_t stream)
+      : backend_(backend), key_(key), stream_(stream) {}
+
+  [[nodiscard]] bool valid() const { return backend_ != nullptr; }
+  [[nodiscard]] std::uint64_t stream() const { return stream_; }
+  [[nodiscard]] std::uint64_t key() const { return key_; }
+
+  /// Draws emitted so far (equivalently: the index of the next draw).
+  [[nodiscard]] std::uint64_t position() const { return pos_; }
+
+  /// O(1) reposition to draw index `draws` — the cheap-jump primitive.
+  /// jump_to(position() + n) is the counter-backend discard.
+  void jump_to(std::uint64_t draws) {
+    pos_ = draws;
+    have_block_ = false;
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t index = pos_ >> 1;
+    const unsigned half = static_cast<unsigned>(pos_ & 1);
+    if (!have_block_ || index != cached_index_) {
+      cached_ = backend_->block(key_, stream_, index);
+      cached_index_ = index;
+      have_block_ = true;
+    }
+    ++pos_;
+    return (static_cast<std::uint64_t>(cached_[2 * half]) << 32) |
+           cached_[2 * half + 1];
+  }
+
+ private:
+  const CounterBackend* backend_ = nullptr;  ///< not owned; shard-owned
+  std::uint64_t key_ = 0;
+  std::uint64_t stream_ = 0;
+  std::uint64_t pos_ = 0;
+  Block cached_{};
+  std::uint64_t cached_index_ = 0;
+  bool have_block_ = false;
+};
+
+}  // namespace hprng::serve

@@ -6,6 +6,7 @@
 
 #include "fault/fault.hpp"
 #include "prng/seed_seq.hpp"
+#include "state/sections.hpp"
 #include "state/snapshot.hpp"
 #include "util/check.hpp"
 
@@ -90,6 +91,16 @@ RngService::RngService(ServiceOptions opts, obs::MetricsRegistry* metrics)
     ins_.shards_ejected = &metrics_->counter("hprng.serve.shards_ejected");
     ins_.shards_healthy = &metrics_->gauge("hprng.serve.shards_healthy");
     ins_.shards_healthy->set(static_cast<double>(opts_.num_shards));
+    // hprng.serve.backend.* — backend slot churn plus the counter-family
+    // instruments (docs/BACKENDS.md §6). The counter_* pair is resolved
+    // here too — not only by CounterShard::set_metrics — so the catalogue
+    // is identical whichever backend the pool runs.
+    ins_.backend_attaches =
+        &metrics_->counter("hprng.serve.backend.attaches");
+    ins_.backend_detaches =
+        &metrics_->counter("hprng.serve.backend.detaches");
+    metrics_->counter("hprng.serve.backend.counter_blocks");
+    metrics_->counter("hprng.serve.backend.counter_jumps");
     // hprng.state.* — checkpoint/restore (docs/STATE.md).
     ins_.state_checkpoints = &metrics_->counter("hprng.state.checkpoints");
     ins_.state_checkpoint_failures =
@@ -172,6 +183,7 @@ std::optional<Session> RngService::open_with(std::optional<Lease> lease) {
   }
   if (ins_.leases_granted != nullptr) {
     ins_.leases_granted->add();
+    ins_.backend_attaches->add();
     ins_.active_leases->set(static_cast<double>(leases_.active()));
   }
   {
@@ -198,6 +210,7 @@ void RngService::release_lease(const Lease& lease) {
   }
   if (ins_.leases_released != nullptr) {
     ins_.leases_released->add();
+    ins_.backend_detaches->add();
     ins_.active_leases->set(static_cast<double>(leases_.active()));
   }
 }
@@ -650,6 +663,8 @@ bool RngService::failover_session(
     ins_.retry_failovers->add();
     ins_.leases_granted->add();
     ins_.leases_released->add();
+    ins_.backend_attaches->add();
+    ins_.backend_detaches->add();
     ins_.active_leases->set(static_cast<double>(leases_.active()));
   }
   return true;
@@ -737,11 +752,11 @@ bool RngService::shard_ejected(int shard) const {
 
 namespace {
 
-constexpr std::uint32_t kTagMeta = state::fourcc("META");
-constexpr std::uint32_t kTagOpts = state::fourcc("OPTS");
-constexpr std::uint32_t kTagLeas = state::fourcc("LEAS");
-constexpr std::uint32_t kTagHlth = state::fourcc("HLTH");
-constexpr std::uint32_t kTagShrd = state::fourcc("SHRD");
+using state::kTagHlth;
+using state::kTagLeas;
+using state::kTagMeta;
+using state::kTagOpts;
+using state::kTagShrd;
 
 void save_options(state::SnapshotWriter& w, const ServiceOptions& o) {
   w.put_str(o.backend);

@@ -308,6 +308,9 @@ class RngService {
     obs::Counter* retry_backoff_seconds = nullptr;
     obs::Counter* retry_failovers = nullptr;
     obs::Counter* shards_ejected = nullptr;
+    // `hprng.serve.backend.*` — backend slot churn (docs/BACKENDS.md §6).
+    obs::Counter* backend_attaches = nullptr;
+    obs::Counter* backend_detaches = nullptr;
     obs::Gauge* shards_healthy = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* active_leases = nullptr;

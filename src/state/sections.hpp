@@ -1,0 +1,29 @@
+#pragma once
+
+// Canonical section tags of the service snapshot (docs/STATE.md §4,
+// docs/BACKENDS.md §5). Declared here — next to the container format —
+// rather than in the serve layer, so the normative docs, the writer
+// (RngService::checkpoint) and external inspection tools all name one
+// set of constants. docs_lint_test verifies every FourCC documented in
+// BACKENDS.md resolves to a `fourcc("…")` literal under src/state/.
+
+#include <cstdint>
+
+#include "state/snapshot.hpp"
+
+namespace hprng::state {
+
+/// Self-describing raw-JSON preamble; always the first section.
+inline constexpr std::uint32_t kTagMeta = fourcc("META");
+/// The full serve::ServiceOptions echo restore validates against.
+inline constexpr std::uint32_t kTagOpts = fourcc("OPTS");
+/// Lease inventory: the never-reused id counter, per-shard slot state,
+/// and the live-lease table (the adoptable set after a restore).
+inline constexpr std::uint32_t kTagLeas = fourcc("LEAS");
+/// Per-shard health (ejected flag + consecutive-failure count).
+inline constexpr std::uint32_t kTagHlth = fourcc("HLTH");
+/// One per shard: backend kind label + the backend's stream state
+/// (per-backend payload layouts in docs/BACKENDS.md §5).
+inline constexpr std::uint32_t kTagShrd = fourcc("SHRD");
+
+}  // namespace hprng::state

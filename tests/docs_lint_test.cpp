@@ -184,6 +184,73 @@ TEST(DocsLint, ServeAndStateInstrumentsAreCatalogued) {
   EXPECT_GE(checked, 18u);
 }
 
+// docs/BACKENDS.md is the normative backend spec: every backend name the
+// registry accepts must appear there (as `name` — at minimum a registry-
+// table row), so a backend cannot land unspecified.
+TEST(DocsLint, RegisteredBackendsAreSpecified) {
+  std::string doc;
+  ASSERT_TRUE(util::read_file(
+      std::string(HPRNG_SOURCE_DIR) + "/docs/BACKENDS.md", &doc));
+  const std::vector<std::string> backends = serve::known_backends();
+  // Walk pair + counter pair + the baseline registry; a short list means
+  // known_backends() regressed, not that the docs are clean.
+  ASSERT_GE(backends.size(), 10u);
+  for (const std::string& name : backends) {
+    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+        << "backend `" << name
+        << "` is registered in src/serve/backend.cpp but has no section "
+        << "in docs/BACKENDS.md";
+  }
+}
+
+// Every snapshot section FourCC documented in BACKENDS.md (the `| `TAG` |`
+// rows of its checkpoint-layout table) must resolve to a fourcc("TAG")
+// constant under src/state/ — the docs cannot describe sections the
+// format does not define, and renamed tags must update the spec.
+TEST(DocsLint, DocumentedSectionTagsExistInState) {
+  std::string doc;
+  ASSERT_TRUE(util::read_file(
+      std::string(HPRNG_SOURCE_DIR) + "/docs/BACKENDS.md", &doc));
+  std::set<std::string> tags;
+  std::size_t pos = 0;
+  while (pos < doc.size()) {
+    std::size_t eol = doc.find('\n', pos);
+    if (eol == std::string::npos) eol = doc.size();
+    const std::string line = doc.substr(pos, eol - pos);
+    // A table row naming a section tag: "| `META` | ...".
+    if (line.size() >= 9 && line.rfind("| `", 0) == 0 && line[7] == '`') {
+      const std::string tag = line.substr(3, 4);
+      if (std::all_of(tag.begin(), tag.end(), [](const char c) {
+            return std::isupper(static_cast<unsigned char>(c)) != 0;
+          })) {
+        tags.insert(tag);
+      }
+    }
+    pos = eol + 1;
+  }
+  ASSERT_GE(tags.size(), 5u) << "tag extractor broke (META/OPTS/LEAS/"
+                                "HLTH/SHRD should all be documented)";
+
+  std::string corpus;
+  const fs::path state_dir = fs::path(HPRNG_SOURCE_DIR) / "src" / "state";
+  for (const auto& entry : fs::directory_iterator(state_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext != ".cpp" && ext != ".hpp") continue;
+    std::string text;
+    ASSERT_TRUE(util::read_file(entry.path().string(), &text))
+        << entry.path();
+    corpus += text;
+    corpus += '\n';
+  }
+  for (const std::string& tag : tags) {
+    EXPECT_NE(corpus.find("fourcc(\"" + tag + "\")"), std::string::npos)
+        << "docs/BACKENDS.md documents section tag `" << tag
+        << "` but no fourcc(\"" << tag << "\") constant exists in "
+        << "src/state/";
+  }
+}
+
 /// Extracts `--flag` tokens (two dashes, then [a-z][a-z0-9-]+) from text,
 /// code fences included — flags mostly live in shell examples.
 std::set<std::string> flag_tokens(const std::string& text) {

@@ -37,7 +37,8 @@ TEST(JumpAheadTest, DiscardMatchesSequentialDraws) {
   // discard_u32(k) must land exactly where k sequential draws land, for
   // every generator advertising a cheap jump.
   const std::uint64_t skips[] = {0, 1, 2, 7, 4096, 12345, 100003};
-  for (const std::string name : {"glibc-lcg", "minstd", "splitmix64"}) {
+  for (const std::string name : {"glibc-lcg", "minstd", "splitmix64",
+                                 "philox4x32-10", "cudpp-md5"}) {
     for (const std::uint64_t k : skips) {
       auto jumped = hprng::prng::make_by_name(name, kSeed);
       auto drawn = hprng::prng::make_by_name(name, kSeed);
@@ -47,6 +48,32 @@ TEST(JumpAheadTest, DiscardMatchesSequentialDraws) {
       for (int i = 0; i < 16; ++i) {
         ASSERT_EQ(jumped->next_u32(), drawn->next_u32())
             << name << " diverges after discard_u32(" << k << ")";
+      }
+    }
+  }
+}
+
+TEST(JumpAheadTest, CounterDiscardComposesFromMidBlock) {
+  // The counter generators emit 4 u32 lanes per block; a discard_u32
+  // issued mid-block (after j draws) must land exactly where j + k
+  // sequential draws land — the lane-carry path of the counter jump.
+  const std::uint64_t ks[] = {0, 1, 2, 3, 4, 5, 9, 4097};
+  for (const std::string name : {"philox4x32-10", "cudpp-md5"}) {
+    for (const std::uint64_t j : {1u, 2u, 3u}) {
+      for (const std::uint64_t k : ks) {
+        auto jumped = hprng::prng::make_by_name(name, kSeed);
+        auto drawn = hprng::prng::make_by_name(name, kSeed);
+        for (std::uint64_t i = 0; i < j; ++i) {
+          (void)jumped->next_u32();
+          (void)drawn->next_u32();
+        }
+        jumped->discard_u32(k);
+        for (std::uint64_t i = 0; i < k; ++i) (void)drawn->next_u32();
+        for (int i = 0; i < 8; ++i) {
+          ASSERT_EQ(jumped->next_u32(), drawn->next_u32())
+              << name << " diverges after " << j << " draws + discard_u32("
+              << k << ")";
+        }
       }
     }
   }
@@ -89,7 +116,8 @@ TEST(BitFeederPoolTest, ChunkedFillMatchesSerialForAnyWorkerCount) {
   const std::size_t sizes[] = {1, BitFeeder::kChunkWords,
                                2 * BitFeeder::kChunkWords,
                                3 * BitFeeder::kChunkWords + 123};
-  for (const std::string name : {"glibc-lcg", "minstd", "splitmix64"}) {
+  for (const std::string name : {"glibc-lcg", "minstd", "splitmix64",
+                                 "philox4x32-10"}) {
     for (const std::size_t words : sizes) {
       const std::vector<std::uint32_t> serial =
           feeder_fill(name, words, nullptr);

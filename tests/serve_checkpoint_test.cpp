@@ -26,6 +26,7 @@
 #include "obs/metrics.hpp"
 #include "serve/service.hpp"
 #include "state/checkpointer.hpp"
+#include "state/sections.hpp"
 #include "state/snapshot.hpp"
 #include "util/file.hpp"
 
@@ -82,11 +83,14 @@ void run_traffic(std::vector<serve::Session>& sessions, int fills,
 /// The equivalence experiment, per backend: an uninterrupted reference run
 /// vs. a run that checkpoints halfway, is destroyed, and continues in a
 /// restored service via lease adoption. Streams must match byte-exactly.
-void expect_restore_equivalence(const std::string& backend) {
+/// `fills`/`words` shape each half's traffic (odd products park counter
+/// backends mid-block at the checkpoint).
+void expect_restore_equivalence(const std::string& backend, int fills = 4,
+                                std::size_t words = 96) {
   SCOPED_TRACE("backend " + backend);
   constexpr int kClients = 5;
-  constexpr int kFills = 4;
-  constexpr std::size_t kWords = 96;
+  const int kFills = fills;
+  const std::size_t kWords = words;
   const std::string path = tmp_path("equiv_" + backend + ".snap");
 
   // Reference: one service, full streams, never interrupted.
@@ -151,6 +155,56 @@ TEST(RestoreEquivalence, CpuWalkStreamsAreBitExactAcrossCheckpoint) {
 
 TEST(RestoreEquivalence, BaselineStreamsAreBitExactAcrossCheckpoint) {
   expect_restore_equivalence("mt19937");
+}
+
+TEST(RestoreEquivalence, PhiloxStreamsAreBitExactAcrossCheckpoint) {
+  expect_restore_equivalence("philox");
+}
+
+TEST(RestoreEquivalence, Md5CounterStreamsAreBitExactAcrossCheckpoint) {
+  expect_restore_equivalence("md5-counter");
+}
+
+TEST(RestoreEquivalence, CounterBackendsRestoreMidBlock) {
+  // 3 fills x 11 words = 33 u64 draws per client at the checkpoint — an
+  // odd position, so the snapshot cuts each stream between the two u64
+  // halves of one counter block. Restore must land on the same block
+  // half (docs/BACKENDS.md §3), which the byte-exact continuation proves.
+  expect_restore_equivalence("philox", 3, 11);
+  expect_restore_equivalence("md5-counter", 3, 11);
+}
+
+TEST(CheckpointFormat, CounterShardSectionsAreFixedSizePerLease) {
+  // The counter-backend checkpoint contract (docs/BACKENDS.md §5): a
+  // shard's SHRD payload is the fixed framing plus exactly 20 bytes per
+  // slot — {attached:u32, stream:u64, draws:u64} — regardless of how
+  // much traffic ran (a position is an address, not a history). Well
+  // under the 64-bytes-per-lease design budget.
+  for (const std::string backend : {"philox", "md5-counter"}) {
+    SCOPED_TRACE("backend " + backend);
+    const std::string path = tmp_path("shrd_size_" + backend + ".snap");
+    serve::RngService service(small_options(backend));
+    auto sessions = open_pinned(service, 5);
+    std::vector<std::vector<std::uint64_t>> streams;
+    run_traffic(sessions, 2, 64, &streams);
+    service.drain();
+    std::string error;
+    ASSERT_TRUE(service.checkpoint(path, &error)) << error;
+
+    auto snap = state::Snapshot::read_file(path, &error);
+    ASSERT_TRUE(snap.has_value()) << error;
+    const auto shards = snap->find_all(state::kTagShrd);
+    const serve::ServiceOptions opts = small_options(backend);
+    ASSERT_EQ(shards.size(), static_cast<std::size_t>(opts.num_shards));
+    // index:u32 + name str (u64 length + bytes) + count:u64 + 20/slot.
+    const std::size_t expected =
+        4 + 8 + backend.size() + 8 +
+        20 * static_cast<std::size_t>(opts.max_leases_per_shard);
+    for (const state::Section* s : shards) {
+      EXPECT_EQ(s->payload.size(), expected);
+    }
+    std::remove(path.c_str());
+  }
 }
 
 TEST(RestoreEquivalence, SurvivesReleaseAndRegrantBeforeCheckpoint) {
