@@ -27,6 +27,27 @@
 //                               adopted first, extra clients lease fresh
 //                               slots; service-shape flags are ignored
 //        --help  print the flag listing and exit
+//
+// Wire mode (docs/NETWORK.md): with --listen or --connect the same load
+// shapes run through net::NetClient instead of in-process Sessions —
+// every fill crosses the frame protocol, so this is the harness that
+// produces BENCH_net.json and drives the multi-process rolling-restart
+// demo against a serve_net process.
+//        --listen=EP    host a NetServer in-process and aim the clients
+//                       at it (self-contained wire bench)
+//        --connect=EP   aim the clients at an external server (serve_net)
+//        --open-loop    Poisson arrivals instead of the closed loop:
+//                       --rate=R total requests/second, split across
+//                       clients, gaps drawn from a deterministic
+//                       per-client exponential stream (same --seed =
+//                       same arrival schedule)
+//        --keep-leases  do not release leases at the end: the server
+//                       parks them as orphans, so a serve_net shutdown
+//                       checkpoint carries them and a --restore-from
+//                       successor offers them for re-adoption
+//        --adopt        adopt the server's adoptable leases first (the
+//                       second half of the restart demo)
+//        --max-pending-fills=N --completers=N   in-process server shape
 
 #include <algorithm>
 #include <atomic>
@@ -34,13 +55,17 @@
 #include <cstdio>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "fault/fault.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "serve/backend.hpp"
 #include "serve/service.hpp"
@@ -81,6 +106,14 @@ void print_help() {
       "  --shards=N --slots=N --workers=N --capacity=N --coalesce=N\n"
       "  --policy=P          block|reject|shed (default block)\n"
       "  --timeout-ms=MS --seed=S\n"
+      "wire mode (docs/NETWORK.md):\n"
+      "  --listen=EP         host a NetServer in-process; clients use the\n"
+      "                      frame protocol (unix:PATH | tcp:HOST:PORT)\n"
+      "  --connect=EP        drive an external server (serve_net)\n"
+      "  --open-loop --rate=R  Poisson arrivals, R total req/s\n"
+      "  --keep-leases       leave leases live (orphaned) on exit\n"
+      "  --adopt             adopt the server's adoptable leases first\n"
+      "  --max-pending-fills=N --completers=N  in-process server shape\n"
       "faults (docs/FAULTS.md):\n"
       "  --fault-plan=PLAN   e.g. shard:1:fail:0:1000000\n"
       "checkpoint/restore (docs/STATE.md):\n"
@@ -92,6 +125,386 @@ void print_help() {
       "  --help              this listing\n");
 }
 
+// ---------------------------------------------------------------------------
+// Wire mode: the same client population, but every fill crosses the frame
+// protocol through a net::NetClient — against an in-process NetServer
+// (--listen) or an external serve_net (--connect). Latency is measured
+// client-side (steady_clock around each request) and reported as sorted-
+// vector quantiles, since the server's histograms only see its half of
+// the round trip.
+int run_wire(const util::Cli& cli) {
+  const int clients = static_cast<int>(cli.get_u64("clients", 8));
+  const int requests = static_cast<int>(cli.get_u64("requests", 64));
+  const std::size_t words = cli.get_u64("n", 256);
+  const int inflight =
+      static_cast<int>(std::max<std::uint64_t>(1, cli.get_u64("inflight", 1)));
+  const bool open_loop = cli.has("open-loop");
+  const double rate = cli.get_double("rate", 256.0);  // total req/s
+  const bool keep_leases = cli.has("keep-leases");
+  const bool adopt = cli.has("adopt");
+  const std::uint64_t seed = cli.get_u64("seed", 0x243F6A8885A308D3ull);
+  std::string connect_ep = cli.get_string("connect", "");
+  const std::string listen_ep = cli.get_string("listen", "");
+  const bool in_process = connect_ep.empty();
+
+  obs::MetricsRegistry metrics;
+
+  std::optional<fault::FaultPlan> plan;
+  std::optional<fault::Injector> injector;
+  const std::string plan_text = cli.get_string("fault-plan", "");
+  if (!plan_text.empty()) {
+    plan = fault::FaultPlan::parse(plan_text);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "bad --fault-plan=%s (see docs/FAULTS.md)\n",
+                   plan_text.c_str());
+      return 2;
+    }
+    injector.emplace(*plan);
+  }
+
+  // --listen: the server half lives in this process (still a real socket
+  // round trip — the wire cost is what this mode measures).
+  std::unique_ptr<serve::RngService> service;
+  std::unique_ptr<net::NetServer> server;
+  if (in_process) {
+    serve::ServiceOptions opts;
+    opts.backend = cli.get_string("backend", "hybrid");
+    if (!serve::backend_known(opts.backend)) {
+      std::fprintf(stderr, "unknown --backend=%s (one of: %s)\n",
+                   opts.backend.c_str(), backend_values().c_str());
+      return 2;
+    }
+    opts.num_shards = static_cast<int>(cli.get_u64("shards", 4));
+    opts.max_leases_per_shard = cli.get_u64(
+        "slots", (static_cast<std::uint64_t>(clients) +
+                  static_cast<std::uint64_t>(opts.num_shards) - 1) /
+                     static_cast<std::uint64_t>(opts.num_shards));
+    opts.num_workers = static_cast<int>(cli.get_u64("workers", 4));
+    opts.queue_capacity = cli.get_u64("capacity", 256);
+    opts.max_coalesce = cli.get_u64("coalesce", 8);
+    opts.seed = seed;
+    const std::string policy_name = cli.get_string("policy", "block");
+    if (!serve::parse_policy(policy_name, &opts.policy)) {
+      std::fprintf(stderr, "unknown --policy=%s (block|reject|shed)\n",
+                   policy_name.c_str());
+      return 2;
+    }
+    opts.default_timeout =
+        std::chrono::milliseconds(cli.get_u64("timeout-ms", 30000));
+    opts.injector = injector.has_value() ? &*injector : nullptr;
+    service = std::make_unique<serve::RngService>(opts, &metrics);
+
+    net::ServerOptions sopts;
+    sopts.listen = {listen_ep};
+    sopts.max_pending_fills = cli.get_u64("max-pending-fills", 64);
+    sopts.completer_threads = static_cast<int>(cli.get_u64("completers", 2));
+    sopts.injector = opts.injector;
+    server = std::make_unique<net::NetServer>(*service, sopts, &metrics);
+    if (!server->ok()) {
+      std::fprintf(stderr, "cannot listen on %s: %s\n", listen_ep.c_str(),
+                   server->error().c_str());
+      return 2;
+    }
+    connect_ep = server->endpoints().front();
+  }
+
+  bench::banner(
+      "serve_load — wire-mode serving bench (docs/NETWORK.md)",
+      "RNG-as-a-service holds its serving contract when every fill "
+      "crosses a socket: leases, backpressure and adoption are protocol "
+      "messages",
+      util::strf("%d clients x %d requests x %zu words over %s (%s, %s "
+                 "loop%s)",
+                 clients, requests, words, connect_ep.c_str(),
+                 in_process ? "in-process server" : "external server",
+                 open_loop ? "open" : "closed",
+                 open_loop
+                     ? util::strf(", %.0f req/s Poisson", rate).c_str()
+                     : "")
+          .c_str());
+  if (plan.has_value()) {
+    std::printf("fault plan: %s\n\n", plan->to_string().c_str());
+  }
+
+  net::ClientOptions copts;
+  copts.endpoint = connect_ep;
+  copts.metrics = &metrics;
+  copts.timeout = std::chrono::milliseconds(cli.get_u64("timeout-ms", 30000));
+
+  // --adopt: the restart-demo second half — claim the restored generation's
+  // leases before opening any fresh ones.
+  std::vector<std::uint64_t> adoptable;
+  {
+    net::ClientOptions bopts = copts;
+    bopts.name = "serve_load-bootstrap";
+    net::NetClient bootstrap(bopts);
+    std::string err;
+    if (!bootstrap.connect(&err)) {
+      std::fprintf(stderr, "cannot reach %s: %s\n", connect_ep.c_str(),
+                   err.c_str());
+      return 2;
+    }
+    if (adopt) adoptable = bootstrap.adoptables(&err);
+  }
+
+  std::atomic<std::uint64_t> ok{0}, failed{0};
+  std::atomic<std::uint64_t> reconnects{0}, adoptions{0};
+  std::vector<std::vector<double>> lat_per_client(
+      static_cast<std::size_t>(clients));
+  std::atomic<bool> setup_failed{false};
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::ClientOptions my = copts;
+      my.name = util::strf("serve_load#%d", c);
+      net::NetClient client(my);
+      std::string err;
+      std::uint64_t lease_id = 0;
+      if (static_cast<std::size_t>(c) < adoptable.size()) {
+        lease_id = adoptable[static_cast<std::size_t>(c)];
+        if (!client.adopt(lease_id, &err)) {
+          std::fprintf(stderr, "client %d: adopt(%llu) failed: %s\n", c,
+                       static_cast<unsigned long long>(lease_id), err.c_str());
+          setup_failed.store(true);
+          return;
+        }
+      } else {
+        const auto fresh = client.lease(&err);
+        if (!fresh.has_value()) {
+          std::fprintf(stderr, "client %d: lease failed: %s\n", c,
+                       err.c_str());
+          setup_failed.store(true);
+          return;
+        }
+        lease_id = *fresh;
+      }
+
+      std::vector<double>& lats = lat_per_client[static_cast<std::size_t>(c)];
+      lats.reserve(static_cast<std::size_t>(requests));
+      const auto tally = [&](serve::Status st,
+                             std::chrono::steady_clock::time_point t0) {
+        if (st == serve::Status::kOk) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        lats.push_back(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+      };
+
+      if (!open_loop) {
+        // Closed loop: back-to-back synchronous fills (transparent
+        // reconnect + retry — the restart-riding path).
+        std::vector<std::uint64_t> buf(words);
+        for (int r = 0; r < requests; ++r) {
+          const auto t0 = std::chrono::steady_clock::now();
+          tally(client.fill(lease_id, buf, &err), t0);
+        }
+      } else {
+        // Open loop: arrivals are a deterministic Poisson process — a
+        // per-client exponential-gap stream at rate/clients req/s. An
+        // arrival submits without waiting for earlier replies (up to
+        // `inflight` pipelined on the wire); latency runs from the
+        // scheduled arrival, so client-side queueing counts, as open-loop
+        // convention demands.
+        std::mt19937_64 rng(seed ^
+                            (0x9E3779B97F4A7C15ull *
+                             (static_cast<std::uint64_t>(c) + 1)));
+        std::exponential_distribution<double> gap(
+            rate / static_cast<double>(clients));
+        struct InFlight {
+          std::uint64_t request_id;
+          std::chrono::steady_clock::time_point arrival;
+          std::size_t buf_index;
+        };
+        std::vector<std::vector<std::uint64_t>> bufs(
+            static_cast<std::size_t>(inflight),
+            std::vector<std::uint64_t>(words));
+        std::deque<InFlight> window;
+        const auto settle_front = [&] {
+          const InFlight f = window.front();
+          window.pop_front();
+          const serve::Status st =
+              client.fill_wait(f.request_id, bufs[f.buf_index], &err);
+          tally(st, f.arrival);
+        };
+        auto next_arrival = std::chrono::steady_clock::now();
+        for (int r = 0; r < requests; ++r) {
+          next_arrival += std::chrono::duration_cast<
+              std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(gap(rng)));
+          std::this_thread::sleep_until(next_arrival);
+          if (window.size() == static_cast<std::size_t>(inflight)) {
+            settle_front();
+          }
+          const std::uint64_t id = client.fill_submit(
+              lease_id, static_cast<std::uint32_t>(words));
+          if (id == 0) {
+            failed.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          window.push_back({id, next_arrival,
+                            static_cast<std::size_t>(r % inflight)});
+        }
+        while (!window.empty()) settle_front();
+      }
+
+      if (!keep_leases) client.release(lease_id, &err);
+      reconnects.fetch_add(client.stats().reconnects,
+                           std::memory_order_relaxed);
+      adoptions.fetch_add(client.stats().adoptions,
+                          std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  // Server-side view at the quiescent fence: protocol stats over the wire
+  // (works for both modes), wire-layer stats directly when in-process.
+  net::NetStats sstats;
+  bool have_sstats = false;
+  {
+    net::ClientOptions bopts = copts;
+    bopts.name = "serve_load-stat";
+    net::NetClient bootstrap(bopts);
+    std::string err;
+    const auto s = bootstrap.stat(&err);
+    if (s.has_value()) {
+      sstats = *s;
+      have_sstats = true;
+    }
+  }
+
+  std::vector<double> lats;
+  for (const auto& v : lat_per_client) lats.insert(lats.end(), v.begin(),
+                                                   v.end());
+  std::sort(lats.begin(), lats.end());
+  const auto quantile = [&](double q) {
+    if (lats.empty()) return 0.0;
+    const std::size_t i = static_cast<std::size_t>(
+        q * static_cast<double>(lats.size() - 1));
+    return lats[i];
+  };
+  const double lat_p50 = quantile(0.5), lat_p99 = quantile(0.99);
+  const double lat_max = lats.empty() ? 0.0 : lats.back();
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(clients) *
+      static_cast<std::uint64_t>(requests);
+  util::Table t({"metric", "value"});
+  t.add_row({"requests issued",
+             util::strf("%llu", static_cast<unsigned long long>(total))});
+  t.add_row({"served ok",
+             util::strf("%llu", static_cast<unsigned long long>(ok.load()))});
+  t.add_row({"failed", util::strf("%llu", static_cast<unsigned long long>(
+                                              failed.load()))});
+  t.add_row({"client reconnects",
+             util::strf("%llu",
+                        static_cast<unsigned long long>(reconnects.load()))});
+  if (adopt) {
+    t.add_row({"adopted leases",
+               util::strf("%llu",
+                          static_cast<unsigned long long>(adoptions.load()))});
+  }
+  if (have_sstats) {
+    t.add_row({"server numbers served",
+               util::strf("%llu", static_cast<unsigned long long>(
+                                      sstats.numbers_served))});
+    t.add_row({"server active leases",
+               util::strf("%llu", static_cast<unsigned long long>(
+                                      sstats.active_leases))});
+    t.add_row({"server adoptable leases",
+               util::strf("%llu",
+                          static_cast<unsigned long long>(sstats.adoptable))});
+  }
+  t.add_row({"wall time (ms)", bench::ms(wall_seconds)});
+  if (wall_seconds > 0.0) {
+    t.add_row({"throughput (req/s)",
+               util::strf("%.0f",
+                          static_cast<double>(ok.load()) / wall_seconds)});
+    t.add_row({"throughput (Mwords/s)",
+               util::strf("%.2f", static_cast<double>(ok.load()) *
+                                      static_cast<double>(words) /
+                                      wall_seconds / 1e6)});
+  }
+  t.add_row({"latency p50 (ms)", bench::ms(lat_p50)});
+  t.add_row({"latency p99 (ms)", bench::ms(lat_p99)});
+  t.add_row({"latency max (ms)", bench::ms(lat_max)});
+  std::printf("%s", t.to_string().c_str());
+
+  net::NetServer::Stats wire{};
+  if (server != nullptr) {
+    wire = server->stats();
+    std::printf("\nwire: frames_rx=%llu frames_tx=%llu bytes_rx=%llu "
+                "bytes_tx=%llu frame_errors=%llu fills_rejected=%llu\n",
+                static_cast<unsigned long long>(wire.frames_rx),
+                static_cast<unsigned long long>(wire.frames_tx),
+                static_cast<unsigned long long>(wire.bytes_rx),
+                static_cast<unsigned long long>(wire.bytes_tx),
+                static_cast<unsigned long long>(wire.frame_errors),
+                static_cast<unsigned long long>(wire.fills_rejected));
+  }
+
+  bench::export_metrics_json(cli, metrics);
+  {
+    // BENCH_net.json: the wire-serving perf artifact (docs/PERFORMANCE.md;
+    // baseline snapshot in bench/baselines/).
+    bench::BenchJson json;
+    json.add("bench", std::string("serve_load_net"));
+    json.add("mode", std::string(in_process ? "listen" : "connect"));
+    json.add("loop", std::string(open_loop ? "open" : "closed"));
+    json.add("endpoint", connect_ep);
+    json.add("clients", static_cast<double>(clients));
+    json.add("requests_per_client", static_cast<double>(requests));
+    json.add("words_per_request", static_cast<double>(words));
+    json.add("inflight", static_cast<double>(inflight));
+    json.add("open_loop_rate", open_loop ? rate : 0.0);
+    json.add("wall_seconds", wall_seconds);
+    json.add("requests_ok", static_cast<double>(ok.load()));
+    json.add("requests_failed", static_cast<double>(failed.load()));
+    json.add("client_reconnects", static_cast<double>(reconnects.load()));
+    json.add("wall_req_per_s",
+             wall_seconds > 0.0
+                 ? static_cast<double>(ok.load()) / wall_seconds
+                 : 0.0);
+    json.add("wall_words_per_s",
+             wall_seconds > 0.0
+                 ? static_cast<double>(ok.load()) *
+                       static_cast<double>(words) / wall_seconds
+                 : 0.0);
+    json.add("latency_p50_s", lat_p50);
+    json.add("latency_p99_s", lat_p99);
+    json.add("latency_max_s", lat_max);
+    json.add("frames_rx", static_cast<double>(wire.frames_rx));
+    json.add("frames_tx", static_cast<double>(wire.frames_tx));
+    json.add("frame_errors", static_cast<double>(wire.frame_errors));
+    bench::export_bench_json(cli, json);
+  }
+
+  // Shape: without an injected fault plan, every request must land kOk;
+  // leases reclaim (or deliberately persist with --keep-leases).
+  const bool clean_requests =
+      plan.has_value() ? ok.load() > 0 : failed.load() == 0 && ok.load() > 0;
+  const bool leases_accounted =
+      !have_sstats ||
+      (keep_leases ? sstats.active_leases + sstats.adoptable >= 1
+                   : sstats.active_leases == 0);
+  const bool shape = !setup_failed.load() && clean_requests &&
+                     leases_accounted;
+  bench::verdict(shape,
+                 "wire fills land kOk end-to-end and leases are accounted "
+                 "for (released, or parked for adoption)");
+  if (server != nullptr) server->stop();
+  return shape ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,6 +513,8 @@ int main(int argc, char** argv) {
     print_help();
     return 0;
   }
+  // Wire mode is a separate harness: socket clients, client-side latency.
+  if (cli.has("listen") || cli.has("connect")) return run_wire(cli);
   const int clients = static_cast<int>(cli.get_u64("clients", 32));
   const int requests = static_cast<int>(cli.get_u64("requests", 64));
   const std::size_t words = cli.get_u64("n", 256);

@@ -13,7 +13,8 @@ namespace {
 const char* kSiteNames[kNumSites] = {"h2d",    "d2h",
                                      "feed",   "shard",
                                      "worker", "checkpoint_write",
-                                     "restore_read"};
+                                     "restore_read", "net_accept",
+                                     "net_read", "net_write"};
 
 std::vector<std::string> split(const std::string& text, char sep) {
   std::vector<std::string> parts;

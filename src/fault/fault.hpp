@@ -28,6 +28,10 @@
 //   kCheckpointWrite / kRestoreRead — snapshot file I/O in hprng::state
 //                 (docs/STATE.md): chaos runs fail checkpoint writes and
 //                 restore reads to prove clean rejection paths
+//   kNetAccept / kNetRead / kNetWrite — net::NetServer socket I/O
+//                 (docs/NETWORK.md): chaos runs drop fresh connections,
+//                 tear reads mid-frame and fail write flushes to prove
+//                 clients reconnect and re-adopt without stream corruption
 
 #include <cstdint>
 #include <map>
@@ -49,8 +53,11 @@ enum class Site : int {
   kWorker,     ///< serve worker batch start (wall-clock delay only)
   kCheckpointWrite,  ///< state snapshot file write (docs/STATE.md)
   kRestoreRead,      ///< state snapshot file read / parse (docs/STATE.md)
+  kNetAccept,        ///< net::NetServer connection accept (docs/NETWORK.md)
+  kNetRead,          ///< net::NetServer per-connection socket read
+  kNetWrite,         ///< net::NetServer per-connection socket write flush
 };
-inline constexpr int kNumSites = 7;
+inline constexpr int kNumSites = 10;
 
 [[nodiscard]] const char* to_string(Site site);
 bool parse_site(const std::string& text, Site* out);

@@ -1,0 +1,212 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "state/snapshot.hpp"  // state::crc32 — one CRC for files and wire
+#include "util/check.hpp"
+
+namespace hprng::net {
+
+namespace {
+
+void append_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void append_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t read_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t read_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kHello: return "hello";
+    case Op::kHelloAck: return "hello_ack";
+    case Op::kLease: return "lease";
+    case Op::kLeaseAck: return "lease_ack";
+    case Op::kFill: return "fill";
+    case Op::kFillAck: return "fill_ack";
+    case Op::kRelease: return "release";
+    case Op::kReleaseAck: return "release_ack";
+    case Op::kAdopt: return "adopt";
+    case Op::kAdoptAck: return "adopt_ack";
+    case Op::kStat: return "stat";
+    case Op::kStatAck: return "stat_ack";
+    case Op::kError: return "error";
+    case Op::kCkpt: return "ckpt";
+    case Op::kCkptAck: return "ckpt_ack";
+    case Op::kAdoptables: return "adoptables";
+    case Op::kAdoptablesAck: return "adoptables_ack";
+  }
+  return "?";
+}
+
+bool known_op(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(Op::kHello) &&
+         raw <= static_cast<std::uint8_t>(Op::kAdoptablesAck);
+}
+
+const char* to_string(ErrCode code) {
+  switch (code) {
+    case ErrCode::kBadFrame: return "bad_frame";
+    case ErrCode::kVersionMismatch: return "version_mismatch";
+    case ErrCode::kBadRequest: return "bad_request";
+    case ErrCode::kUnknownLease: return "unknown_lease";
+    case ErrCode::kLeaseExhausted: return "lease_exhausted";
+    case ErrCode::kBackpressure: return "backpressure";
+    case ErrCode::kClosing: return "closing";
+  }
+  return "?";
+}
+
+bool fatal(ErrCode code) {
+  switch (code) {
+    case ErrCode::kBadFrame:
+    case ErrCode::kVersionMismatch:
+    case ErrCode::kBadRequest:
+      return true;
+    case ErrCode::kUnknownLease:
+    case ErrCode::kLeaseExhausted:
+    case ErrCode::kBackpressure:
+    case ErrCode::kClosing:
+      return false;
+  }
+  return true;
+}
+
+std::string encode(const Frame& frame) {
+  HPRNG_CHECK(frame.payload.size() <= kMaxFrameLen - kMinFrameLen,
+              "net::encode: payload exceeds kMaxFrameLen");
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(kHeaderRest + frame.payload.size() + 4);
+  std::string out;
+  out.reserve(4 + len);
+  append_u32(out, len);
+  out.push_back(static_cast<char>(frame.version));
+  out.push_back(static_cast<char>(frame.op));
+  out.push_back(static_cast<char>(frame.flags & 0xFF));
+  out.push_back(static_cast<char>((frame.flags >> 8) & 0xFF));
+  append_u64(out, frame.request_id);
+  out.append(frame.payload);
+  const std::uint32_t crc = state::crc32(
+      std::string_view(out.data() + 4, kHeaderRest + frame.payload.size()));
+  append_u32(out, crc);
+  return out;
+}
+
+Decode decode(std::string_view buf, Frame* out, std::size_t* consumed,
+              std::string* error) {
+  const auto bad = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return Decode::kBad;
+  };
+  if (buf.size() < 4) return Decode::kNeedMore;
+  const std::uint32_t len = read_u32(buf.data());
+  if (len > kMaxFrameLen) {
+    return bad("frame length " + std::to_string(len) + " exceeds cap " +
+               std::to_string(kMaxFrameLen));
+  }
+  if (len < kMinFrameLen) {
+    return bad("frame length " + std::to_string(len) + " below minimum " +
+               std::to_string(kMinFrameLen));
+  }
+  if (buf.size() < 4 + static_cast<std::size_t>(len)) return Decode::kNeedMore;
+  const std::size_t covered = len - 4;  // version..payload
+  const std::uint32_t want = read_u32(buf.data() + 4 + covered);
+  const std::uint32_t got =
+      state::crc32(std::string_view(buf.data() + 4, covered));
+  if (want != got) return bad("frame CRC mismatch");
+  out->version = static_cast<std::uint8_t>(buf[4]);
+  out->op = static_cast<Op>(static_cast<std::uint8_t>(buf[5]));
+  out->flags = static_cast<std::uint16_t>(
+      static_cast<unsigned char>(buf[6]) |
+      (static_cast<unsigned char>(buf[7]) << 8));
+  out->request_id = read_u64(buf.data() + 8);
+  out->payload.assign(buf.data() + 4 + kHeaderRest, covered - kHeaderRest);
+  *consumed = 4 + static_cast<std::size_t>(len);
+  return Decode::kFrame;
+}
+
+void WireWriter::put_u32(std::uint32_t v) { append_u32(buf_, v); }
+
+void WireWriter::put_u64(std::uint64_t v) { append_u64(buf_, v); }
+
+void WireWriter::put_str(std::string_view s) {
+  HPRNG_CHECK(s.size() <= kMaxFrameLen, "net::WireWriter: string too long");
+  append_u32(buf_, static_cast<std::uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+void WireWriter::put_words(std::span<const std::uint64_t> words) {
+  buf_.reserve(buf_.size() + words.size() * 8);
+  for (const std::uint64_t w : words) append_u64(buf_, w);
+}
+
+bool WireReader::take(std::size_t n, const char** out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t WireReader::get_u8() {
+  const char* p = nullptr;
+  if (!take(1, &p)) return 0;
+  return static_cast<std::uint8_t>(*p);
+}
+
+std::uint32_t WireReader::get_u32() {
+  const char* p = nullptr;
+  if (!take(4, &p)) return 0;
+  return read_u32(p);
+}
+
+std::uint64_t WireReader::get_u64() {
+  const char* p = nullptr;
+  if (!take(8, &p)) return 0;
+  return read_u64(p);
+}
+
+std::string WireReader::get_str() {
+  const std::uint32_t n = get_u32();
+  const char* p = nullptr;
+  if (!take(n, &p)) return {};
+  return std::string(p, n);
+}
+
+void WireReader::get_words(std::span<std::uint64_t> out) {
+  const char* p = nullptr;
+  if (!take(out.size() * 8, &p)) {
+    for (std::uint64_t& w : out) w = 0;
+    return;
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = read_u64(p + 8 * i);
+}
+
+}  // namespace hprng::net

@@ -1,0 +1,177 @@
+#pragma once
+
+// hprng::net — wire format for RNG-as-a-service (docs/NETWORK.md).
+//
+// The paper's on-demand property only scales past one process if the
+// serving layer can hand leased substreams across the wire. This header
+// is the normative frame codec: a compact length-prefixed binary framing
+// with a versioned header, one op byte, a client correlation id and a
+// CRC-32 trailer over everything the length covers. The codec is the
+// trust boundary — decode() never crashes, never over-reads, and never
+// yields a frame whose bytes were damaged in flight (the CRC catches
+// every single-bit flip; net_frame_test proves it exhaustively).
+//
+// Frame layout (all integers little-endian; docs/NETWORK.md §2):
+//
+//   u32 len         byte count of everything after this field
+//   u8  version     wire version (kWireVersion); the server rejects
+//                   mismatches with kError/kVersionMismatch
+//   u8  op          op code (Op)
+//   u16 flags       reserved, zero on the wire today
+//   u64 request_id  client-chosen correlation id, echoed in replies
+//   ..  payload     op-specific body (len - 16 bytes)
+//   u32 crc         CRC-32 (state::crc32) over version..payload
+//
+// Payload schemas are built with WireWriter and read with WireReader, a
+// bounded fail-latching cursor in the style of state::SectionReader: a
+// malformed payload reads as zeros and reports !ok() once at the end, so
+// op handlers validate with a single branch instead of aborting.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace hprng::net {
+
+/// The wire version this build speaks and the only one it accepts.
+/// Bump on any frame-layout or payload-schema change (docs/NETWORK.md §7:
+/// connections are short-lived operational links, not archives — there is
+/// no cross-version negotiation, the hello handshake hard-gates).
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Hello payload magic ("HPRN" little-endian) — rejects non-hprng peers
+/// that happen to produce a CRC-valid frame.
+inline constexpr std::uint32_t kHelloMagic = 0x4E525048u;
+
+/// Hard cap on the `len` field. A frame announcing more is rejected
+/// immediately (kBad), before any buffering — the oversized-length guard
+/// that keeps a hostile or corrupt peer from ballooning the read buffer.
+inline constexpr std::size_t kMaxFrameLen = (1u << 24);  // 16 MiB
+
+/// Bytes of header covered by `len` besides payload + crc.
+inline constexpr std::size_t kHeaderRest = 1 + 1 + 2 + 8;
+/// Smallest legal `len` (empty payload).
+inline constexpr std::size_t kMinFrameLen = kHeaderRest + 4;
+
+/// Largest fill the protocol serves in one request, in u64 words. Keeps
+/// the largest legal kFillAck inside kMaxFrameLen with header headroom.
+inline constexpr std::size_t kMaxFillWords = (1u << 20);  // 8 MiB of words
+
+/// Op codes (docs/NETWORK.md §3). Values are wire-stable.
+enum class Op : std::uint8_t {
+  kHello = 1,      ///< client → server: magic, proto version, client name
+  kHelloAck,       ///< server → client: proto, backend, shards, max fill
+  kLease,          ///< open a fresh lease (optional shard-affinity key)
+  kLeaseAck,       ///< lease id + its (shard, slot) placement
+  kFill,           ///< serve the lease's next n words
+  kFillAck,        ///< serve::Status + the words (kOk only)
+  kRelease,        ///< return the lease to the pool
+  kReleaseAck,     ///< ok flag
+  kAdopt,          ///< re-claim an orphaned / restored lease by id
+  kAdoptAck,       ///< ok flag
+  kStat,           ///< service statistics probe
+  kStatAck,        ///< the Stats fields (docs/NETWORK.md §3.6)
+  kError,          ///< server → client: ErrCode + message
+  kCkpt,           ///< checkpoint the service to a server-side path
+  kCkptAck,        ///< ok flag + error text
+  kAdoptables,     ///< list adoptable lease ids (orphans + restored)
+  kAdoptablesAck,  ///< u32 count + ids
+};
+
+[[nodiscard]] const char* to_string(Op op);
+[[nodiscard]] bool known_op(std::uint8_t raw);
+
+/// Protocol-level error codes carried by kError frames. Fatal codes close
+/// the connection after the reply flushes; non-fatal ones leave it open
+/// (docs/NETWORK.md §4).
+enum class ErrCode : std::uint32_t {
+  kBadFrame = 1,     ///< framing/CRC damage (fatal)
+  kVersionMismatch,  ///< wire or hello version gate (fatal)
+  kBadRequest,       ///< malformed payload / op out of sequence (fatal)
+  kUnknownLease,     ///< fill/release/adopt of a lease this server lacks
+  kLeaseExhausted,   ///< pool full — retry later or elsewhere
+  kBackpressure,     ///< per-connection pending-fill window full (shed)
+  kClosing,          ///< server is shutting down
+};
+
+[[nodiscard]] const char* to_string(ErrCode code);
+[[nodiscard]] bool fatal(ErrCode code);
+
+/// One decoded frame. `payload` owns its bytes (copied out of the read
+/// buffer), so frames outlive buffer compaction.
+struct Frame {
+  std::uint8_t version = kWireVersion;
+  Op op = Op::kHello;
+  std::uint16_t flags = 0;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Encode a frame to its exact wire image. Aborts (HPRNG_CHECK) if the
+/// payload alone exceeds kMaxFrameLen — internal senders size payloads by
+/// kMaxFillWords, so an oversized encode is a programming error.
+[[nodiscard]] std::string encode(const Frame& frame);
+
+/// Streaming decode outcome.
+enum class Decode {
+  kNeedMore,  ///< the buffer holds a frame prefix; read more bytes
+  kFrame,     ///< *out holds the frame; *consumed bytes were used
+  kBad,       ///< unrecoverable framing damage; close the connection
+};
+
+/// Try to decode one frame from the front of `buf`. On kFrame, *consumed
+/// is the full frame size to drop from the buffer. On kBad, *error names
+/// the damage (oversized length, short length, CRC mismatch). kNeedMore
+/// consumes nothing. Never reads past buf, never aborts.
+Decode decode(std::string_view buf, Frame* out, std::size_t* consumed,
+              std::string* error);
+
+/// Payload serialiser: little-endian scalars, u32-length-prefixed strings,
+/// raw word spans.
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  /// u32 length + raw bytes.
+  void put_str(std::string_view s);
+  /// Raw little-endian u64 words, no length prefix (kFillAck bodies — the
+  /// word count travels in its own field).
+  void put_words(std::span<const std::uint64_t> words);
+
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+  [[nodiscard]] const std::string& str() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounded fail-latching payload cursor (state::SectionReader's contract:
+/// reads past the end or through a corrupt length prefix latch !ok() and
+/// return zero values; callers stream reads and check ok() once).
+class WireReader {
+ public:
+  explicit WireReader(std::string_view payload) : data_(payload) {}
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] std::string get_str();
+  /// Read exactly out.size() little-endian words.
+  void get_words(std::span<std::uint64_t> out);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// Latch an application-level validation failure.
+  void fail() { ok_ = false; }
+
+ private:
+  bool take(std::size_t n, const char** out);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace hprng::net

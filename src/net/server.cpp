@@ -1,0 +1,716 @@
+#include "net/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace hprng::net {
+
+namespace {
+
+/// Wall sleep for an injected kDelay outcome (net I/O is host-side, so
+/// delays are wall-clock, like the kWorker site).
+void apply_delay(const fault::Outcome& outcome) {
+  if (outcome.delay() && outcome.delay_seconds > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(outcome.delay_seconds));
+  }
+}
+
+}  // namespace
+
+void register_catalogue(obs::MetricsRegistry& registry) {
+  registry.counter("hprng.net.accepted");
+  registry.counter("hprng.net.disconnects");
+  registry.counter("hprng.net.frames_rx");
+  registry.counter("hprng.net.frames_tx");
+  registry.counter("hprng.net.bytes_rx");
+  registry.counter("hprng.net.bytes_tx");
+  registry.counter("hprng.net.frame_errors");
+  registry.counter("hprng.net.protocol_errors");
+  registry.counter("hprng.net.fills_ok");
+  registry.counter("hprng.net.fills_rejected");
+  registry.counter("hprng.net.leases_opened");
+  registry.counter("hprng.net.leases_adopted");
+  registry.counter("hprng.net.leases_released");
+  registry.counter("hprng.net.checkpoints");
+  registry.gauge("hprng.net.connections");
+  registry.gauge("hprng.net.orphaned_leases");
+  registry.histogram("hprng.net.fill_seconds");
+  registry.counter("hprng.net.client.connects");
+  registry.counter("hprng.net.client.reconnects");
+  registry.counter("hprng.net.client.requests");
+  registry.counter("hprng.net.client.timeouts");
+  registry.counter("hprng.net.client.adoptions");
+}
+
+NetServer::NetServer(serve::RngService& service, ServerOptions opts,
+                     obs::MetricsRegistry* metrics)
+    : service_(service), opts_(std::move(opts)), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    register_catalogue(*metrics_);
+    ins_.accepted = &metrics_->counter("hprng.net.accepted");
+    ins_.disconnects = &metrics_->counter("hprng.net.disconnects");
+    ins_.frames_rx = &metrics_->counter("hprng.net.frames_rx");
+    ins_.frames_tx = &metrics_->counter("hprng.net.frames_tx");
+    ins_.bytes_rx = &metrics_->counter("hprng.net.bytes_rx");
+    ins_.bytes_tx = &metrics_->counter("hprng.net.bytes_tx");
+    ins_.frame_errors = &metrics_->counter("hprng.net.frame_errors");
+    ins_.protocol_errors = &metrics_->counter("hprng.net.protocol_errors");
+    ins_.fills_ok = &metrics_->counter("hprng.net.fills_ok");
+    ins_.fills_rejected = &metrics_->counter("hprng.net.fills_rejected");
+    ins_.leases_opened = &metrics_->counter("hprng.net.leases_opened");
+    ins_.leases_adopted = &metrics_->counter("hprng.net.leases_adopted");
+    ins_.leases_released = &metrics_->counter("hprng.net.leases_released");
+    ins_.checkpoints = &metrics_->counter("hprng.net.checkpoints");
+    ins_.connections = &metrics_->gauge("hprng.net.connections");
+    ins_.orphaned = &metrics_->gauge("hprng.net.orphaned_leases");
+    ins_.fill_seconds = &metrics_->histogram("hprng.net.fill_seconds");
+  }
+  if (opts_.listen.empty()) {
+    error_ = "NetServer: no listen endpoints";
+    return;
+  }
+  for (const std::string& text : opts_.listen) {
+    std::string err;
+    const auto ep = Endpoint::parse(text, &err);
+    if (!ep.has_value()) {
+      error_ = err;
+      break;
+    }
+    Listener lis;
+    lis.fd = listen_on(*ep, &lis.resolved, &err);
+    if (lis.fd < 0) {
+      error_ = err;
+      break;
+    }
+    set_nonblocking(lis.fd);
+    listeners_.push_back(lis);
+  }
+  if (!error_.empty() || pipe(wake_pipe_) != 0) {
+    if (error_.empty()) error_ = "NetServer: pipe failed";
+    for (const Listener& lis : listeners_) close_fd(lis.fd);
+    listeners_.clear();
+    return;
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+  ok_ = true;
+  loop_thread_ = std::thread([this] { loop(); });
+  const int completers = std::max(1, opts_.completer_threads);
+  completers_.reserve(static_cast<std::size_t>(completers));
+  for (int i = 0; i < completers; ++i) {
+    completers_.emplace_back([this] { completer_loop(); });
+  }
+}
+
+NetServer::~NetServer() { stop(); }
+
+std::vector<std::string> NetServer::endpoints() const {
+  std::vector<std::string> out;
+  out.reserve(listeners_.size());
+  for (const Listener& lis : listeners_) {
+    out.push_back(lis.resolved.to_string());
+  }
+  return out;
+}
+
+void NetServer::wake() {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = write(wake_pipe_[1], &byte, 1);
+}
+
+void NetServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (loop_thread_.joinable()) loop_thread_.join();
+    for (std::thread& t : completers_) {
+      if (t.joinable()) t.join();
+    }
+    return;
+  }
+  wake();
+  cq_cv_.notify_all();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  for (std::thread& t : completers_) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [id, c] : conns_) {
+    // Leases still bound to live connections park as orphans so a future
+    // server over the same (still-running) service could hand them back.
+    for (auto& [lease_id, session] : c->sessions) {
+      orphans_.emplace(lease_id, std::move(session));
+    }
+    close_fd(c->fd);
+  }
+  conns_.clear();
+  for (const Listener& lis : listeners_) {
+    close_fd(lis.fd);
+    if (lis.resolved.kind == Endpoint::Kind::kUnix) {
+      ::unlink(lis.resolved.path.c_str());
+    }
+  }
+  listeners_.clear();
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void NetServer::begin_drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  wake();
+}
+
+bool NetServer::quiescent() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (inflight_fills_ != 0) return false;
+  for (const auto& [id, c] : conns_) {
+    if (!c->wbuf.empty()) return false;
+  }
+  return true;
+}
+
+NetServer::Stats NetServer::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats out = stats_;
+  out.connections = conns_.size();
+  out.orphaned = orphans_.size();
+  return out;
+}
+
+void NetServer::loop() {
+  std::vector<pollfd> pfds;
+  std::vector<std::uint64_t> conn_of_pfd;  // 0 = not a connection slot
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const bool draining = draining_.load(std::memory_order_relaxed);
+    pfds.clear();
+    conn_of_pfd.clear();
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    conn_of_pfd.push_back(0);
+    for (const Listener& lis : listeners_) {
+      // While draining: listener stays bound (the endpoint is still ours)
+      // but no new connections are admitted.
+      pfds.push_back({lis.fd, static_cast<short>(draining ? 0 : POLLIN), 0});
+      conn_of_pfd.push_back(0);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (const auto& [id, c] : conns_) {
+        // While draining: never read — bytes left on the wire were never
+        // served, which is the whole graceful-restart guarantee.
+        short events = draining ? 0 : POLLIN;
+        if (!c->wbuf.empty()) events |= POLLOUT;
+        pfds.push_back({c->fd, events, 0});
+        conn_of_pfd.push_back(id);
+      }
+    }
+    const int rc = poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 100);
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll itself failing is unrecoverable for the loop
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    if ((pfds[0].revents & POLLIN) != 0) {
+      char drain[256];
+      while (read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    for (std::size_t i = 0; i < listeners_.size(); ++i) {
+      if (!draining && (pfds[1 + i].revents & POLLIN) != 0) {
+        accept_ready(i);
+      }
+    }
+    for (std::size_t i = 1 + listeners_.size(); i < pfds.size(); ++i) {
+      const std::uint64_t id = conn_of_pfd[i];
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // dropped while handling others
+      const std::shared_ptr<Conn> c = it->second;
+      if ((pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+        drop(c);
+        continue;
+      }
+      if (!draining && (pfds[i].revents & POLLIN) != 0) read_ready(c);
+    }
+    // Flush every dirty connection once per iteration: replies written by
+    // op handlers above (and by completers between polls) go out now
+    // instead of waiting for the next POLLOUT wakeup.
+    std::vector<std::shared_ptr<Conn>> dirty;
+    for (const auto& [id, c] : conns_) {
+      if (!c->wbuf.empty()) dirty.push_back(c);
+    }
+    for (const std::shared_ptr<Conn>& c : dirty) write_ready(c);
+  }
+}
+
+void NetServer::accept_ready(std::size_t listener_idx) {
+  const Listener& lis = listeners_[listener_idx];
+  for (;;) {
+    const int fd = accept(lis.fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failure; poll will retry
+    }
+    if (opts_.injector != nullptr) {
+      const fault::Outcome outcome = opts_.injector->on_event(
+          fault::Site::kNetAccept, static_cast<int>(listener_idx));
+      apply_delay(outcome);
+      if (outcome.fail()) {
+        // Injected accept fault: the peer sees an immediate disconnect —
+        // the "listener flake" weather a reconnecting client must ride.
+        close_fd(fd);
+        continue;
+      }
+    }
+    set_nonblocking(fd);
+    auto c = std::make_shared<Conn>();
+    c->fd = fd;
+    c->id = next_conn_id_++;
+    conns_.emplace(c->id, c);
+    ++stats_.accepted;
+    if (ins_.accepted != nullptr) ins_.accepted->add();
+    if (ins_.connections != nullptr) {
+      ins_.connections->set(static_cast<double>(conns_.size()));
+    }
+  }
+}
+
+void NetServer::read_ready(const std::shared_ptr<Conn>& c) {
+  if (opts_.injector != nullptr) {
+    const fault::Outcome outcome = opts_.injector->on_event(
+        fault::Site::kNetRead, static_cast<int>(c->id & 0x7FFFFFFF));
+    apply_delay(outcome);
+    if (outcome.fail()) {
+      drop(c);
+      return;
+    }
+  }
+  char tmp[1 << 16];
+  for (;;) {
+    const ssize_t n = read(c->fd, tmp, sizeof(tmp));
+    if (n > 0) {
+      c->rbuf.append(tmp, static_cast<std::size_t>(n));
+      stats_.bytes_rx += static_cast<std::uint64_t>(n);
+      if (ins_.bytes_rx != nullptr) {
+        ins_.bytes_rx->add(static_cast<double>(n));
+      }
+      if (static_cast<std::size_t>(n) < sizeof(tmp)) break;
+      continue;
+    }
+    if (n == 0) {  // orderly EOF
+      drop(c);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+    drop(c);
+    return;
+  }
+  while (!c->closing) {
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string err;
+    const Decode dr = decode(c->rbuf, &frame, &consumed, &err);
+    if (dr == Decode::kNeedMore) break;
+    if (dr == Decode::kBad) {
+      ++stats_.frame_errors;
+      if (ins_.frame_errors != nullptr) ins_.frame_errors->add();
+      send_error(c, 0, ErrCode::kBadFrame, err);
+      break;
+    }
+    c->rbuf.erase(0, consumed);
+    ++stats_.frames_rx;
+    if (ins_.frames_rx != nullptr) ins_.frames_rx->add();
+    handle_frame(c, frame);
+    if (conns_.count(c->id) == 0) return;  // handler dropped the conn
+  }
+}
+
+void NetServer::write_ready(const std::shared_ptr<Conn>& c) {
+  if (c->wbuf.empty()) return;
+  if (opts_.injector != nullptr) {
+    const fault::Outcome outcome = opts_.injector->on_event(
+        fault::Site::kNetWrite, static_cast<int>(c->id & 0x7FFFFFFF));
+    apply_delay(outcome);
+    if (outcome.fail()) {
+      drop(c);
+      return;
+    }
+  }
+  // MSG_NOSIGNAL: a peer that closed mid-reply must surface as EPIPE,
+  // never as a process-wide SIGPIPE.
+  const ssize_t n =
+      ::send(c->fd, c->wbuf.data(), c->wbuf.size(), MSG_NOSIGNAL);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    drop(c);
+    return;
+  }
+  stats_.bytes_tx += static_cast<std::uint64_t>(n);
+  if (ins_.bytes_tx != nullptr) ins_.bytes_tx->add(static_cast<double>(n));
+  c->wbuf.erase(0, static_cast<std::size_t>(n));
+  if (c->wbuf.empty() && c->closing) drop(c);
+}
+
+void NetServer::drop(const std::shared_ptr<Conn>& c) {
+  if (conns_.erase(c->id) == 0) return;  // already dropped
+  // Park the connection's leases for re-adoption instead of releasing:
+  // a vanished peer is indistinguishable from one about to reconnect,
+  // and the substream must survive for kAdopt (docs/NETWORK.md §6).
+  for (auto& [lease_id, session] : c->sessions) {
+    orphans_.emplace(lease_id, std::move(session));
+  }
+  c->sessions.clear();
+  close_fd(c->fd);
+  c->fd = -1;
+  ++stats_.disconnects;
+  if (ins_.disconnects != nullptr) ins_.disconnects->add();
+  if (ins_.connections != nullptr) {
+    ins_.connections->set(static_cast<double>(conns_.size()));
+  }
+  if (ins_.orphaned != nullptr) {
+    ins_.orphaned->set(static_cast<double>(orphans_.size()));
+  }
+}
+
+void NetServer::send(const std::shared_ptr<Conn>& c, const Frame& frame) {
+  c->wbuf += encode(frame);
+  ++stats_.frames_tx;
+  if (ins_.frames_tx != nullptr) ins_.frames_tx->add();
+}
+
+void NetServer::send_error(const std::shared_ptr<Conn>& c,
+                           std::uint64_t request_id, ErrCode code,
+                           const std::string& message) {
+  WireWriter w;
+  w.put_u32(static_cast<std::uint32_t>(code));
+  w.put_str(message);
+  Frame reply;
+  reply.op = Op::kError;
+  reply.request_id = request_id;
+  reply.payload = w.take();
+  send(c, reply);
+  ++stats_.protocol_errors;
+  if (ins_.protocol_errors != nullptr) ins_.protocol_errors->add();
+  if (fatal(code)) c->closing = true;
+}
+
+void NetServer::handle_frame(const std::shared_ptr<Conn>& c,
+                             const Frame& frame) {
+  if (frame.version != kWireVersion) {
+    send_error(c, frame.request_id, ErrCode::kVersionMismatch,
+               "wire version " + std::to_string(frame.version) +
+                   ", this server speaks " + std::to_string(kWireVersion));
+    return;
+  }
+  if (!known_op(static_cast<std::uint8_t>(frame.op))) {
+    send_error(c, frame.request_id, ErrCode::kBadRequest, "unknown op");
+    return;
+  }
+  if (!c->hello_done && frame.op != Op::kHello) {
+    send_error(c, frame.request_id, ErrCode::kBadRequest,
+               "first frame must be hello");
+    return;
+  }
+  WireReader r(frame.payload);
+  switch (frame.op) {
+    case Op::kHello: {
+      const std::uint32_t magic = r.get_u32();
+      const std::uint32_t proto = r.get_u32();
+      const std::string client = r.get_str();
+      (void)client;
+      if (!r.ok() || magic != kHelloMagic) {
+        send_error(c, frame.request_id, ErrCode::kBadRequest, "bad hello");
+        return;
+      }
+      if (proto != kWireVersion) {
+        send_error(c, frame.request_id, ErrCode::kVersionMismatch,
+                   "hello proto " + std::to_string(proto) +
+                       ", this server speaks " +
+                       std::to_string(kWireVersion));
+        return;
+      }
+      c->hello_done = true;
+      WireWriter w;
+      w.put_u32(kWireVersion);
+      w.put_str(service_.options().backend);
+      w.put_u32(static_cast<std::uint32_t>(service_.num_shards()));
+      w.put_u64(static_cast<std::uint64_t>(opts_.max_fill_words));
+      Frame reply;
+      reply.op = Op::kHelloAck;
+      reply.request_id = frame.request_id;
+      reply.payload = w.take();
+      send(c, reply);
+      return;
+    }
+    case Op::kLease: {
+      const std::uint8_t has_key = r.get_u8();
+      const std::uint64_t key = r.get_u64();
+      if (!r.ok()) {
+        send_error(c, frame.request_id, ErrCode::kBadRequest, "bad lease");
+        return;
+      }
+      auto session = has_key != 0 ? service_.try_open_session(key)
+                                  : service_.try_open_session();
+      if (!session.has_value()) {
+        send_error(c, frame.request_id, ErrCode::kLeaseExhausted,
+                   "lease pool exhausted");
+        return;
+      }
+      const serve::Lease lease = session->lease();
+      c->sessions.emplace(lease.id, *session);
+      ++stats_.leases_opened;
+      if (ins_.leases_opened != nullptr) ins_.leases_opened->add();
+      WireWriter w;
+      w.put_u64(lease.id);
+      w.put_u32(static_cast<std::uint32_t>(lease.shard));
+      w.put_u64(lease.slot);
+      Frame reply;
+      reply.op = Op::kLeaseAck;
+      reply.request_id = frame.request_id;
+      reply.payload = w.take();
+      send(c, reply);
+      return;
+    }
+    case Op::kFill: {
+      const std::uint64_t lease_id = r.get_u64();
+      const std::uint32_t words = r.get_u32();
+      const std::uint32_t timeout_ms = r.get_u32();
+      if (!r.ok() || words == 0 ||
+          static_cast<std::size_t>(words) > opts_.max_fill_words) {
+        send_error(c, frame.request_id, ErrCode::kBadRequest, "bad fill");
+        return;
+      }
+      const auto it = c->sessions.find(lease_id);
+      if (it == c->sessions.end()) {
+        send_error(c, frame.request_id, ErrCode::kUnknownLease,
+                   "lease " + std::to_string(lease_id) +
+                       " is not bound to this connection");
+        return;
+      }
+      if (c->pending_fills >= opts_.max_pending_fills) {
+        // Protocol-level shed: the connection's fill window is full. The
+        // client sees an explicit kBackpressure reply, not a stall.
+        ++stats_.fills_rejected;
+        if (ins_.fills_rejected != nullptr) ins_.fills_rejected->add();
+        send_error(c, frame.request_id, ErrCode::kBackpressure,
+                   "per-connection fill window full");
+        return;
+      }
+      auto buf = std::make_shared<std::vector<std::uint64_t>>(words);
+      const std::chrono::nanoseconds timeout =
+          timeout_ms == 0 ? std::chrono::nanoseconds{}
+                          : std::chrono::milliseconds(timeout_ms);
+      PendingFill pending;
+      pending.conn_id = c->id;
+      pending.request_id = frame.request_id;
+      pending.lease_id = lease_id;
+      pending.buf = buf;
+      pending.ticket = it->second.fill_async(
+          std::span<std::uint64_t>(buf->data(), buf->size()), timeout);
+      ++c->pending_fills;
+      ++inflight_fills_;
+      ++stats_.fills;
+      {
+        std::lock_guard<std::mutex> cq(cq_mu_);
+        completer_queue_.push_back(std::move(pending));
+      }
+      cq_cv_.notify_one();
+      return;
+    }
+    case Op::kRelease: {
+      const std::uint64_t lease_id = r.get_u64();
+      if (!r.ok()) {
+        send_error(c, frame.request_id, ErrCode::kBadRequest, "bad release");
+        return;
+      }
+      bool released = c->sessions.erase(lease_id) > 0;
+      if (!released) released = orphans_.erase(lease_id) > 0;
+      if (released) {
+        ++stats_.leases_released;
+        if (ins_.leases_released != nullptr) ins_.leases_released->add();
+        if (ins_.orphaned != nullptr) {
+          ins_.orphaned->set(static_cast<double>(orphans_.size()));
+        }
+      }
+      WireWriter w;
+      w.put_u64(lease_id);
+      w.put_u8(released ? 1 : 0);
+      Frame reply;
+      reply.op = Op::kReleaseAck;
+      reply.request_id = frame.request_id;
+      reply.payload = w.take();
+      send(c, reply);
+      return;
+    }
+    case Op::kAdopt: {
+      const std::uint64_t lease_id = r.get_u64();
+      if (!r.ok()) {
+        send_error(c, frame.request_id, ErrCode::kBadRequest, "bad adopt");
+        return;
+      }
+      bool ok = c->sessions.count(lease_id) > 0;  // idempotent re-adopt
+      if (!ok) {
+        const auto orphan = orphans_.find(lease_id);
+        if (orphan != orphans_.end()) {
+          c->sessions.emplace(lease_id, std::move(orphan->second));
+          orphans_.erase(orphan);
+          ok = true;
+        } else {
+          auto session = service_.adopt_session(lease_id);
+          if (session.has_value()) {
+            c->sessions.emplace(lease_id, *session);
+            ok = true;
+          }
+        }
+        if (ok) {
+          ++stats_.leases_adopted;
+          if (ins_.leases_adopted != nullptr) ins_.leases_adopted->add();
+          if (ins_.orphaned != nullptr) {
+            ins_.orphaned->set(static_cast<double>(orphans_.size()));
+          }
+        }
+      }
+      WireWriter w;
+      w.put_u64(lease_id);
+      w.put_u8(ok ? 1 : 0);
+      Frame reply;
+      reply.op = Op::kAdoptAck;
+      reply.request_id = frame.request_id;
+      reply.payload = w.take();
+      send(c, reply);
+      return;
+    }
+    case Op::kAdoptables: {
+      std::vector<std::uint64_t> ids = service_.adoptable_lease_ids();
+      for (const auto& [lease_id, session] : orphans_) {
+        ids.push_back(lease_id);
+      }
+      std::sort(ids.begin(), ids.end());
+      WireWriter w;
+      w.put_u32(static_cast<std::uint32_t>(ids.size()));
+      for (const std::uint64_t id : ids) w.put_u64(id);
+      Frame reply;
+      reply.op = Op::kAdoptablesAck;
+      reply.request_id = frame.request_id;
+      reply.payload = w.take();
+      send(c, reply);
+      return;
+    }
+    case Op::kStat: {
+      const serve::RngService::Stats s = service_.stats();
+      WireWriter w;
+      w.put_u64(s.submitted);
+      w.put_u64(s.completed);
+      w.put_u64(s.rejected);
+      w.put_u64(s.shed);
+      w.put_u64(s.timed_out);
+      w.put_u64(s.closed);
+      w.put_u64(s.failed);
+      w.put_u64(s.numbers_served);
+      w.put_u64(s.active_leases);
+      w.put_u64(static_cast<std::uint64_t>(service_.healthy_shards()));
+      w.put_u64(static_cast<std::uint64_t>(
+          service_.adoptable_lease_ids().size() + orphans_.size()));
+      w.put_u64(static_cast<std::uint64_t>(conns_.size()));
+      Frame reply;
+      reply.op = Op::kStatAck;
+      reply.request_id = frame.request_id;
+      reply.payload = w.take();
+      send(c, reply);
+      return;
+    }
+    case Op::kCkpt: {
+      const std::string path = r.get_str();
+      if (!r.ok() || path.empty()) {
+        send_error(c, frame.request_id, ErrCode::kBadRequest, "bad ckpt");
+        return;
+      }
+      // Safe inline: the loop thread is the only session opener/releaser,
+      // so the no-lease-churn precondition of checkpoint() holds by
+      // construction while we block here.
+      std::string err;
+      const bool ok = service_.checkpoint(path, &err);
+      if (ok) {
+        ++stats_.checkpoints;
+        if (ins_.checkpoints != nullptr) ins_.checkpoints->add();
+      }
+      WireWriter w;
+      w.put_u8(ok ? 1 : 0);
+      w.put_str(err);
+      Frame reply;
+      reply.op = Op::kCkptAck;
+      reply.request_id = frame.request_id;
+      reply.payload = w.take();
+      send(c, reply);
+      return;
+    }
+    default:
+      send_error(c, frame.request_id, ErrCode::kBadRequest,
+                 std::string("server does not accept op ") +
+                     net::to_string(frame.op));
+      return;
+  }
+}
+
+void NetServer::completer_loop() {
+  for (;;) {
+    PendingFill job;
+    {
+      std::unique_lock<std::mutex> cq(cq_mu_);
+      cq_cv_.wait(cq, [this] {
+        return !completer_queue_.empty() ||
+               stopping_.load(std::memory_order_relaxed);
+      });
+      if (completer_queue_.empty()) {
+        if (stopping_.load(std::memory_order_relaxed)) return;
+        continue;
+      }
+      job = std::move(completer_queue_.front());
+      completer_queue_.pop_front();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const serve::Status status = job.ticket.wait();
+    const double seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::lock_guard<std::mutex> lk(mu_);
+    if (status == serve::Status::kOk) {
+      ++stats_.fills_ok;
+      if (ins_.fills_ok != nullptr) ins_.fills_ok->add();
+    } else {
+      ++stats_.fills_rejected;
+      if (ins_.fills_rejected != nullptr) ins_.fills_rejected->add();
+    }
+    if (ins_.fill_seconds != nullptr) ins_.fill_seconds->observe(seconds);
+    --inflight_fills_;
+    const auto it = conns_.find(job.conn_id);
+    if (it == conns_.end()) continue;  // peer left; words are orphaned
+    const std::shared_ptr<Conn>& c = it->second;
+    if (c->pending_fills > 0) --c->pending_fills;
+    WireWriter w;
+    w.put_u64(job.lease_id);
+    w.put_u32(static_cast<std::uint32_t>(status));
+    if (status == serve::Status::kOk) {
+      w.put_u32(static_cast<std::uint32_t>(job.buf->size()));
+      w.put_words(*job.buf);
+    } else {
+      w.put_u32(0);
+    }
+    Frame reply;
+    reply.op = Op::kFillAck;
+    reply.request_id = job.request_id;
+    reply.payload = w.take();
+    send(c, reply);
+    wake();  // the loop flushes dirty connections on wakeup
+  }
+}
+
+}  // namespace hprng::net

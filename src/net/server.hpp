@@ -1,0 +1,219 @@
+#pragma once
+
+// net::NetServer — RNG-as-a-service over the wire (docs/NETWORK.md).
+//
+// A poll()-driven event loop accepts TCP / Unix-domain connections and
+// speaks the frame protocol of net/frame.hpp, mapping every op 1:1 onto
+// serve::RngService: kLease → try_open_session, kFill → Session::
+// fill_async (the request lands on the service's existing bounded MPMC
+// worker queue — the wire adds no second queue, so the serve layer's
+// block/reject/shed admission policy IS the network backpressure policy),
+// kAdopt → adopt_session / the orphan table, kCkpt → checkpoint.
+//
+// Threading: one event-loop thread owns every connection (read buffers,
+// write buffers, the lease→Session maps); `completer_threads` completion
+// threads wait on fill Tickets — the only blocking step — and hand the
+// encoded kFillAck back to the loop through the server mutex plus a
+// self-pipe wakeup. All session open/release/adopt calls happen on the
+// loop thread, which is what makes kCkpt safe to run inline (RngService::
+// checkpoint demands no concurrent lease churn).
+//
+// Disconnect semantics (docs/NETWORK.md §6): a connection that drops
+// without releasing its leases orphans them — the streams stay live and a
+// later connection re-claims them with kAdopt, which is how a client
+// rides a reconnect (or a server rolling restart, where restore() makes
+// every checkpointed lease adoptable) without losing its substream.
+//
+// Fault sites (docs/FAULTS.md): kNetAccept per accepted connection,
+// kNetRead per readable event, kNetWrite per write flush. A kFail outcome
+// drops the connection — exactly the torn-read / dead-peer weather the
+// chaos suite replays deterministically.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+
+namespace hprng::net {
+
+/// Pre-resolve the full `hprng.net.*` catalogue (server and client
+/// instruments; docs/OBSERVABILITY.md) so registry snapshots are complete
+/// before traffic. NetServer / NetClient call this on attach.
+void register_catalogue(obs::MetricsRegistry& registry);
+
+struct ServerOptions {
+  /// Endpoints to listen on (unix:PATH / tcp:HOST:PORT). At least one;
+  /// all of them serve the same RngService.
+  std::vector<std::string> listen;
+
+  /// Per-request word cap; larger kFill asks are rejected kBadRequest.
+  std::size_t max_fill_words = kMaxFillWords;
+
+  /// Per-connection in-flight fill window. The (N+1)th concurrent fill on
+  /// one connection is shed with kError/kBackpressure instead of queueing
+  /// — protocol-level backpressure in front of the service queue's own
+  /// admission policy.
+  std::size_t max_pending_fills = 64;
+
+  /// Threads waiting on fill Tickets (each blocks on one fill at a time;
+  /// size to the expected concurrent-fill fan-in, not to client count).
+  int completer_threads = 2;
+
+  /// Optional deterministic fault injection at the net sites; not owned.
+  fault::Injector* injector = nullptr;
+};
+
+class NetServer {
+ public:
+  /// Binds every endpoint and starts the loop + completer threads. On any
+  /// listen failure nothing runs: ok() is false and error() explains.
+  /// The service must outlive the server; stop the server first.
+  NetServer(serve::RngService& service, ServerOptions opts,
+            obs::MetricsRegistry* metrics = nullptr);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::string error() const { return error_; }
+
+  /// Resolved listen endpoints (tcp:*:0 reports the kernel port).
+  [[nodiscard]] std::vector<std::string> endpoints() const;
+
+  /// Stop accepting, settle every in-flight fill, flush what can be
+  /// flushed, close all connections and join the threads. Idempotent.
+  void stop();
+
+  /// Graceful-restart drain (docs/NETWORK.md §8): stop accepting AND stop
+  /// reading — requests already on the wire stay unread (so they are
+  /// never served, and the peer's retry-after-EOF is bit-exact) — while
+  /// in-flight fills settle and their replies flush. Poll quiescent()
+  /// until true, then stop(). This ordering is what makes serve_net's
+  /// checkpoint-shutdown-restore cycle lossless: no fill is ever both
+  /// served and unreplied.
+  void begin_drain();
+
+  /// True when no fill is in flight and every reply has hit the socket.
+  [[nodiscard]] bool quiescent() const;
+
+  /// Ground-truth wire accounting (exact at quiescent fences).
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t disconnects = 0;
+    std::uint64_t frames_rx = 0;
+    std::uint64_t frames_tx = 0;
+    std::uint64_t bytes_rx = 0;
+    std::uint64_t bytes_tx = 0;
+    std::uint64_t frame_errors = 0;     ///< kBad decodes (framing/CRC)
+    std::uint64_t protocol_errors = 0;  ///< kError replies sent
+    std::uint64_t fills = 0;            ///< kFill frames accepted
+    std::uint64_t fills_ok = 0;
+    std::uint64_t fills_rejected = 0;   ///< non-kOk statuses + shed window
+    std::uint64_t leases_opened = 0;
+    std::uint64_t leases_adopted = 0;
+    std::uint64_t leases_released = 0;
+    std::uint64_t checkpoints = 0;
+    std::size_t connections = 0;        ///< currently open
+    std::size_t orphaned = 0;           ///< leases parked for re-adoption
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string rbuf;
+    std::string wbuf;
+    bool hello_done = false;
+    bool closing = false;  ///< flush wbuf, then close
+    std::size_t pending_fills = 0;
+    std::map<std::uint64_t, serve::Session> sessions;  ///< by lease id
+  };
+
+  struct PendingFill {
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+    std::uint64_t lease_id = 0;
+    serve::Ticket ticket;
+    std::shared_ptr<std::vector<std::uint64_t>> buf;
+  };
+
+  struct Instruments {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* disconnects = nullptr;
+    obs::Counter* frames_rx = nullptr;
+    obs::Counter* frames_tx = nullptr;
+    obs::Counter* bytes_rx = nullptr;
+    obs::Counter* bytes_tx = nullptr;
+    obs::Counter* frame_errors = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+    obs::Counter* fills_ok = nullptr;
+    obs::Counter* fills_rejected = nullptr;
+    obs::Counter* leases_opened = nullptr;
+    obs::Counter* leases_adopted = nullptr;
+    obs::Counter* leases_released = nullptr;
+    obs::Counter* checkpoints = nullptr;
+    obs::Gauge* connections = nullptr;
+    obs::Gauge* orphaned = nullptr;
+    obs::Histogram* fill_seconds = nullptr;
+  };
+
+  void loop();
+  void completer_loop();
+  void wake();
+  void accept_ready(std::size_t listener_idx);       // mu_ held
+  void read_ready(const std::shared_ptr<Conn>& c);   // mu_ held
+  void write_ready(const std::shared_ptr<Conn>& c);  // mu_ held
+  void drop(const std::shared_ptr<Conn>& c);         // mu_ held
+  void handle_frame(const std::shared_ptr<Conn>& c,
+                    const Frame& frame);             // mu_ held
+  void send(const std::shared_ptr<Conn>& c, const Frame& frame);  // mu_ held
+  void send_error(const std::shared_ptr<Conn>& c, std::uint64_t request_id,
+                  ErrCode code, const std::string& message);      // mu_ held
+
+  serve::RngService& service_;
+  ServerOptions opts_;
+  obs::MetricsRegistry* metrics_;
+  Instruments ins_;
+
+  bool ok_ = false;
+  std::string error_;
+
+  struct Listener {
+    int fd = -1;
+    Endpoint resolved;
+  };
+  std::vector<Listener> listeners_;
+  int wake_pipe_[2] = {-1, -1};
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<Conn>> conns_;
+  std::map<std::uint64_t, serve::Session> orphans_;  ///< by lease id
+  std::uint64_t next_conn_id_ = 1;
+  Stats stats_;
+
+  std::mutex cq_mu_;
+  std::condition_variable cq_cv_;
+  std::deque<PendingFill> completer_queue_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  int inflight_fills_ = 0;  ///< accepted, reply not yet queued (mu_)
+  std::thread loop_thread_;
+  std::vector<std::thread> completers_;
+};
+
+}  // namespace hprng::net

@@ -1,0 +1,192 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hprng::net {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool fill_sockaddr_un(const Endpoint& ep, sockaddr_un* sa,
+                      std::string* error) {
+  if (ep.path.size() >= sizeof(sa->sun_path)) {
+    if (error != nullptr) {
+      *error = "unix path too long (" + std::to_string(ep.path.size()) +
+               " >= " + std::to_string(sizeof(sa->sun_path)) + "): " + ep.path;
+    }
+    return false;
+  }
+  std::memset(sa, 0, sizeof(*sa));
+  sa->sun_family = AF_UNIX;
+  std::memcpy(sa->sun_path, ep.path.c_str(), ep.path.size() + 1);
+  return true;
+}
+
+bool fill_sockaddr_in(const Endpoint& ep, sockaddr_in* sa,
+                      std::string* error) {
+  std::memset(sa, 0, sizeof(*sa));
+  sa->sin_family = AF_INET;
+  sa->sin_port = htons(ep.port);
+  const std::string host = ep.host == "localhost" ? "127.0.0.1" : ep.host;
+  if (inet_pton(AF_INET, host.c_str(), &sa->sin_addr) != 1) {
+    if (error != nullptr) *error = "bad IPv4 host: " + ep.host;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+std::optional<Endpoint> Endpoint::parse(const std::string& text,
+                                        std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<Endpoint> {
+    if (error != nullptr) {
+      *error = "bad endpoint `" + text + "`: " + why +
+               " (want unix:PATH or tcp:HOST:PORT)";
+    }
+    return std::nullopt;
+  };
+  Endpoint ep;
+  if (text.rfind("unix:", 0) == 0) {
+    ep.kind = Kind::kUnix;
+    ep.path = text.substr(5);
+    if (ep.path.empty()) return fail("empty path");
+    return ep;
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    ep.kind = Kind::kTcp;
+    const std::string rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) return fail("missing port");
+    ep.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    if (port_text.empty()) return fail("empty port");
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port > 65535) {
+      return fail("bad port");
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  return fail("unknown scheme");
+}
+
+bool set_nonblocking(int fd, std::string* error) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    if (error != nullptr) *error = errno_text("fcntl");
+    return false;
+  }
+  return true;
+}
+
+int listen_on(const Endpoint& ep, Endpoint* resolved, std::string* error) {
+  int fd = -1;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un sa{};
+    if (!fill_sockaddr_un(ep, &sa, error)) return -1;
+    fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (error != nullptr) *error = errno_text("socket");
+      return -1;
+    }
+    ::unlink(ep.path.c_str());  // stale socket from a previous run
+    if (bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+      if (error != nullptr) *error = errno_text(("bind " + ep.path).c_str());
+      close_fd(fd);
+      return -1;
+    }
+  } else {
+    sockaddr_in sa{};
+    if (!fill_sockaddr_in(ep, &sa, error)) return -1;
+    fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (error != nullptr) *error = errno_text("socket");
+      return -1;
+    }
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+      if (error != nullptr) {
+        *error = errno_text(("bind " + ep.to_string()).c_str());
+      }
+      close_fd(fd);
+      return -1;
+    }
+  }
+  if (listen(fd, 64) < 0) {
+    if (error != nullptr) *error = errno_text("listen");
+    close_fd(fd);
+    return -1;
+  }
+  if (resolved != nullptr) {
+    *resolved = ep;
+    if (ep.kind == Endpoint::Kind::kTcp) {
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+        resolved->port = ntohs(bound.sin_port);
+      }
+    }
+  }
+  return fd;
+}
+
+int dial(const Endpoint& ep, std::string* error) {
+  int fd = -1;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un sa{};
+    if (!fill_sockaddr_un(ep, &sa, error)) return -1;
+    fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (error != nullptr) *error = errno_text("socket");
+      return -1;
+    }
+    if (connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+      if (error != nullptr) {
+        *error = errno_text(("connect " + ep.to_string()).c_str());
+      }
+      close_fd(fd);
+      return -1;
+    }
+  } else {
+    sockaddr_in sa{};
+    if (!fill_sockaddr_in(ep, &sa, error)) return -1;
+    fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (error != nullptr) *error = errno_text("socket");
+      return -1;
+    }
+    if (connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+      if (error != nullptr) {
+        *error = errno_text(("connect " + ep.to_string()).c_str());
+      }
+      close_fd(fd);
+      return -1;
+    }
+  }
+  return fd;
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace hprng::net

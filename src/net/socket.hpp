@@ -1,0 +1,52 @@
+#pragma once
+
+// POSIX socket plumbing shared by NetServer and NetClient
+// (docs/NETWORK.md §5): endpoint parsing, listen/dial, non-blocking mode.
+// Two transports, one address grammar:
+//
+//   unix:PATH            stream Unix-domain socket at PATH
+//   tcp:HOST:PORT        TCP over IPv4 (PORT 0 = kernel-assigned; the
+//                        resolved endpoint reports the real port)
+//
+// Everything returns errors by value (false/-1 + *error) — the net layer
+// treats socket failure as weather, never as a reason to abort.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hprng::net {
+
+/// A parsed listen/connect address.
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kUnix;
+  std::string path;         ///< unix: filesystem path
+  std::string host;         ///< tcp: dotted quad or "localhost"
+  std::uint16_t port = 0;   ///< tcp: 0 = kernel-assigned on listen
+
+  /// Canonical text form ("unix:/run/x.sock", "tcp:127.0.0.1:4700").
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse the grammar above; nullopt (+ *error) on malformed input.
+  static std::optional<Endpoint> parse(const std::string& text,
+                                       std::string* error = nullptr);
+};
+
+/// Put `fd` in non-blocking mode. False on fcntl failure.
+bool set_nonblocking(int fd, std::string* error = nullptr);
+
+/// Bind + listen on `ep`. Unix sockets unlink a stale path first; TCP
+/// sets SO_REUSEADDR. On success returns the fd and rewrites *resolved
+/// (when non-null) with the bound endpoint — for tcp:*:0 that carries the
+/// kernel-assigned port back to the caller. -1 + *error on failure.
+int listen_on(const Endpoint& ep, Endpoint* resolved = nullptr,
+              std::string* error = nullptr);
+
+/// Blocking connect to `ep`; returns the connected fd or -1 + *error.
+int dial(const Endpoint& ep, std::string* error = nullptr);
+
+/// close() wrapper that tolerates -1 (so teardown paths stay branch-free).
+void close_fd(int fd);
+
+}  // namespace hprng::net

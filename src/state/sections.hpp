@@ -25,5 +25,9 @@ inline constexpr std::uint32_t kTagHlth = fourcc("HLTH");
 /// One per shard: backend kind label + the backend's stream state
 /// (per-backend payload layouts in docs/BACKENDS.md §5).
 inline constexpr std::uint32_t kTagShrd = fourcc("SHRD");
+/// serve_net sidecar (`<snapshot>.net`, docs/NETWORK.md §8): the listen
+/// endpoints + server options a rolling restart re-binds without having
+/// the flags repeated on the restart command line.
+inline constexpr std::uint32_t kTagNetc = fourcc("NETC");
 
 }  // namespace hprng::state

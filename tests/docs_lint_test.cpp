@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "serve/service.hpp"
 #include "util/file.hpp"
@@ -182,6 +183,32 @@ TEST(DocsLint, ServeAndStateInstrumentsAreCatalogued) {
   // The serve catalogue alone is > a dozen instruments; the state
   // catalogue adds six more. A tiny count means pre-resolution broke.
   EXPECT_GE(checked, 18u);
+}
+
+// Same contract for the wire layer (docs/NETWORK.md §10): every
+// `hprng.net.*` instrument net::register_catalogue pre-resolves must be
+// catalogued in docs/OBSERVABILITY.md. register_catalogue IS the full
+// set — NetServer/NetClient resolve their instruments through it — so
+// linting it covers everything the layer can ever emit.
+TEST(DocsLint, NetInstrumentsAreCatalogued) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with -DHPRNG_ENABLE_OBS=OFF";
+  obs::MetricsRegistry metrics;
+  net::register_catalogue(metrics);
+
+  std::string doc;
+  ASSERT_TRUE(util::read_file(
+      std::string(HPRNG_SOURCE_DIR) + "/docs/OBSERVABILITY.md", &doc));
+  std::size_t checked = 0;
+  for (const std::string& name : metrics.names()) {
+    if (name.rfind("hprng.net.", 0) != 0) continue;
+    ++checked;
+    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+        << "registered instrument `" << name
+        << "` is not catalogued in docs/OBSERVABILITY.md";
+  }
+  // 17 server + 5 client instruments today; a small count means the
+  // catalogue pre-resolution broke, not that the docs are clean.
+  EXPECT_GE(checked, 22u);
 }
 
 // docs/BACKENDS.md is the normative backend spec: every backend name the

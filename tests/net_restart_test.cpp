@@ -1,0 +1,181 @@
+// The rolling-restart acceptance pin (docs/NETWORK.md §8): a client talks
+// to a server, the server checkpoints and goes away, a restored server
+// comes back on the same endpoint, and the client's next fill — via its
+// transparent reconnect + re-adopt path — continues the substream
+// BIT-EXACTLY against an uninterrupted in-process reference, with zero
+// failed fills. Proven for all three checkpointable backend families
+// (hybrid, philox, md5-counter). This in-process version is what CI's
+// net-restart job runs; the multi-process serve_net demo exercises the
+// same contract across real process boundaries.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/service.hpp"
+
+namespace hprng {
+namespace {
+
+std::string unique_unix_endpoint() {
+  static int counter = 0;
+  return "unix:/tmp/hprng-nr-" + std::to_string(::getpid()) + "-" +
+         std::to_string(++counter) + ".sock";
+}
+
+std::string unique_snapshot_path() {
+  static int counter = 0;
+  return "/tmp/hprng-nr-" + std::to_string(::getpid()) + "-" +
+         std::to_string(++counter) + ".snap";
+}
+
+serve::ServiceOptions small_options(const std::string& backend) {
+  serve::ServiceOptions opts;
+  opts.backend = backend;
+  opts.num_shards = 2;
+  opts.max_leases_per_shard = 8;
+  opts.num_workers = 2;
+  opts.queue_capacity = 64;
+  opts.max_coalesce = 4;
+  return opts;
+}
+
+class NetRestartTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NetRestartTest, RollingRestartContinuesStreamBitExactly) {
+  const std::string backend = GetParam();
+  const std::string ep = unique_unix_endpoint();
+  const std::string snap = unique_snapshot_path();
+
+  // Uninterrupted reference: one session, three consecutive fills.
+  serve::RngService reference(small_options(backend));
+  auto ref_session = reference.try_open_session();
+  ASSERT_TRUE(ref_session.has_value());
+  std::vector<std::uint64_t> local_f1(300), local_f2(171), local_f3(64);
+  ASSERT_EQ(ref_session->fill(local_f1), serve::Status::kOk);
+  ASSERT_EQ(ref_session->fill(local_f2), serve::Status::kOk);
+  ASSERT_EQ(ref_session->fill(local_f3), serve::Status::kOk);
+
+  net::ClientOptions copts;
+  copts.endpoint = ep;
+  copts.timeout = std::chrono::milliseconds(10000);
+  // The restart window: give the client room to ride it out.
+  copts.max_reconnects = 20;
+  copts.reconnect_backoff = std::chrono::milliseconds(10);
+  net::NetClient client(copts);
+
+  std::uint64_t lease_id = 0;
+  {  // ---- generation 1: serve F1, checkpoint over the wire, shut down.
+    serve::RngService service(small_options(backend));
+    net::NetServer server(service, {.listen = {ep}});
+    ASSERT_TRUE(server.ok()) << server.error();
+
+    std::string err;
+    const auto lease = client.lease(&err);
+    ASSERT_TRUE(lease.has_value()) << err;
+    lease_id = *lease;
+    std::vector<std::uint64_t> wire_f1(300);
+    ASSERT_EQ(client.fill(lease_id, wire_f1, &err), serve::Status::kOk)
+        << err;
+    EXPECT_EQ(wire_f1, local_f1) << backend << ": F1 diverged pre-restart";
+
+    ASSERT_TRUE(client.checkpoint(snap, &err)) << err;
+    server.stop();  // connection drops; the client does not know yet
+  }  // service destroyed — the old generation is gone
+
+  {  // ---- generation 2: restore on the same endpoint.
+    std::string err;
+    auto restored = serve::RngService::restore(snap, &err);
+    ASSERT_NE(restored, nullptr) << err;
+    EXPECT_EQ(restored->options().backend, backend);
+    // The checkpointed lease must be waiting for its owner.
+    const auto adoptable = restored->adoptable_lease_ids();
+    ASSERT_EQ(adoptable.size(), 1u);
+    EXPECT_EQ(adoptable[0], lease_id);
+
+    net::NetServer server(*restored, {.listen = {ep}});
+    ASSERT_TRUE(server.ok()) << server.error();
+
+    // F2 + F3 through the SAME client object: it discovers the dead
+    // connection, re-dials, re-runs hello, re-adopts, then retries —
+    // all inside fill().
+    std::vector<std::uint64_t> wire_f2(171), wire_f3(64);
+    ASSERT_EQ(client.fill(lease_id, wire_f2, &err), serve::Status::kOk)
+        << err;
+    EXPECT_EQ(wire_f2, local_f2)
+        << backend << ": F2 diverged across the restart";
+    ASSERT_EQ(client.fill(lease_id, wire_f3, &err), serve::Status::kOk)
+        << err;
+    EXPECT_EQ(wire_f3, local_f3)
+        << backend << ": F3 diverged across the restart";
+
+    EXPECT_GE(client.stats().reconnects, 1u);
+    EXPECT_GE(client.stats().adoptions, 1u);
+    const net::NetServer::Stats stats = server.stats();
+    EXPECT_EQ(stats.fills_ok, 2u);
+    EXPECT_EQ(stats.fills_rejected, 0u);  // zero failed fills
+    EXPECT_EQ(stats.leases_adopted, 1u);
+  }
+  std::remove(snap.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, NetRestartTest,
+                         ::testing::Values("hybrid", "philox", "md5-counter"));
+
+// A restart where the client also restarts (new process, new NetClient):
+// adoptables() + adopt() re-attach by lease id alone — the id is the only
+// durable client-side token the protocol requires.
+TEST(NetRestart, FreshClientAdoptsAfterRestore) {
+  const std::string backend = "philox";
+  const std::string ep = unique_unix_endpoint();
+  const std::string snap = unique_snapshot_path();
+
+  serve::RngService reference(small_options(backend));
+  auto ref_session = reference.try_open_session();
+  ASSERT_TRUE(ref_session.has_value());
+  std::vector<std::uint64_t> local_f1(128), local_f2(128);
+  ASSERT_EQ(ref_session->fill(local_f1), serve::Status::kOk);
+  ASSERT_EQ(ref_session->fill(local_f2), serve::Status::kOk);
+
+  std::uint64_t lease_id = 0;
+  {
+    serve::RngService service(small_options(backend));
+    net::NetServer server(service, {.listen = {ep}});
+    ASSERT_TRUE(server.ok()) << server.error();
+    net::NetClient old_client({.endpoint = ep});
+    std::string err;
+    const auto lease = old_client.lease(&err);
+    ASSERT_TRUE(lease.has_value()) << err;
+    lease_id = *lease;
+    std::vector<std::uint64_t> wire_f1(128);
+    ASSERT_EQ(old_client.fill(lease_id, wire_f1, &err), serve::Status::kOk)
+        << err;
+    EXPECT_EQ(wire_f1, local_f1);
+    ASSERT_TRUE(old_client.checkpoint(snap, &err)) << err;
+  }
+
+  std::string err;
+  auto restored = serve::RngService::restore(snap, &err);
+  ASSERT_NE(restored, nullptr) << err;
+  net::NetServer server(*restored, {.listen = {ep}});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::NetClient fresh({.endpoint = ep});
+  const std::vector<std::uint64_t> ids = fresh.adoptables(&err);
+  ASSERT_EQ(ids.size(), 1u) << err;
+  ASSERT_EQ(ids[0], lease_id);
+  ASSERT_TRUE(fresh.adopt(lease_id, &err)) << err;
+  std::vector<std::uint64_t> wire_f2(128);
+  ASSERT_EQ(fresh.fill(lease_id, wire_f2, &err), serve::Status::kOk) << err;
+  EXPECT_EQ(wire_f2, local_f2);
+  std::remove(snap.c_str());
+}
+
+}  // namespace
+}  // namespace hprng

@@ -1,0 +1,373 @@
+// End-to-end tests of NetServer + NetClient over real sockets
+// (docs/NETWORK.md): the hello gate, lease/fill/release round trips that
+// must be bit-identical to an in-process reference service, pipelining,
+// protocol-level backpressure, orphan adoption across connections, and
+// transparent client reconnection. Unix-domain sockets are the primary
+// transport (always available); the TCP test skips itself where the
+// sandbox forbids binding.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/service.hpp"
+
+namespace hprng {
+namespace {
+
+std::string unique_unix_endpoint() {
+  static int counter = 0;
+  return "unix:/tmp/hprng-nt-" + std::to_string(::getpid()) + "-" +
+         std::to_string(++counter) + ".sock";
+}
+
+serve::ServiceOptions small_options(const std::string& backend = "hybrid") {
+  serve::ServiceOptions opts;
+  opts.backend = backend;
+  opts.num_shards = 2;
+  opts.max_leases_per_shard = 8;
+  opts.num_workers = 2;
+  opts.queue_capacity = 64;
+  opts.max_coalesce = 4;
+  return opts;
+}
+
+net::ClientOptions client_options(const std::string& endpoint) {
+  net::ClientOptions opts;
+  opts.endpoint = endpoint;
+  opts.timeout = std::chrono::milliseconds(10000);
+  return opts;
+}
+
+TEST(NetService, HelloReportsBackendAndLimits) {
+  serve::RngService service(small_options());
+  const std::string ep = unique_unix_endpoint();
+  net::NetServer server(service, {.listen = {ep}});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::NetClient client(client_options(ep));
+  std::string err;
+  ASSERT_TRUE(client.connect(&err)) << err;
+  const net::ServerInfo info = client.server_info();
+  EXPECT_EQ(info.proto, net::kWireVersion);
+  EXPECT_EQ(info.backend, "hybrid");
+  EXPECT_EQ(info.num_shards, 2u);
+  EXPECT_EQ(info.max_fill_words, net::kMaxFillWords);
+}
+
+// The golden equivalence: words served over the wire are bit-identical to
+// the same lease sequence on an in-process service with the same options.
+TEST(NetService, WireFillsAreBitIdenticalToInProcessService) {
+  serve::RngService service(small_options());
+  serve::RngService reference(small_options());
+  const std::string ep = unique_unix_endpoint();
+  net::NetServer server(service, {.listen = {ep}});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::NetClient client(client_options(ep));
+  std::string err;
+  const auto lease = client.lease(&err);
+  ASSERT_TRUE(lease.has_value()) << err;
+
+  auto ref_session = reference.try_open_session();
+  ASSERT_TRUE(ref_session.has_value());
+  ASSERT_EQ(*lease, ref_session->lease().id);
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::uint64_t> wire(257);
+    std::vector<std::uint64_t> local(257);
+    ASSERT_EQ(client.fill(*lease, wire, &err), serve::Status::kOk) << err;
+    ASSERT_EQ(ref_session->fill(local), serve::Status::kOk);
+    EXPECT_EQ(wire, local) << "round " << round;
+  }
+  EXPECT_TRUE(client.release(*lease, &err)) << err;
+
+  const net::NetServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.fills_ok, 3u);
+  EXPECT_EQ(stats.leases_opened, 1u);
+  EXPECT_EQ(stats.leases_released, 1u);
+  EXPECT_EQ(stats.frame_errors, 0u);
+}
+
+TEST(NetService, PipelinedFillsPreserveStreamOrder) {
+  serve::RngService service(small_options());
+  serve::RngService reference(small_options());
+  const std::string ep = unique_unix_endpoint();
+  net::NetServer server(service, {.listen = {ep}});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::NetClient client(client_options(ep));
+  std::string err;
+  const auto lease = client.lease(&err);
+  ASSERT_TRUE(lease.has_value()) << err;
+  auto ref_session = reference.try_open_session();
+  ASSERT_TRUE(ref_session.has_value());
+
+  constexpr int kDepth = 8;
+  constexpr std::uint32_t kWords = 64;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < kDepth; ++i) {
+    const std::uint64_t id = client.fill_submit(*lease, kWords);
+    ASSERT_NE(id, 0u);
+    ids.push_back(id);
+  }
+  std::vector<std::uint64_t> wire;
+  for (const std::uint64_t id : ids) {
+    std::vector<std::uint64_t> chunk(kWords);
+    ASSERT_EQ(client.fill_wait(id, chunk, &err), serve::Status::kOk) << err;
+    wire.insert(wire.end(), chunk.begin(), chunk.end());
+  }
+  std::vector<std::uint64_t> local(kDepth * kWords);
+  ASSERT_EQ(ref_session->fill(local), serve::Status::kOk);
+  EXPECT_EQ(wire, local);
+}
+
+TEST(NetService, BackpressureWindowShedsWithExplicitReply) {
+  serve::RngService service(small_options());
+  const std::string ep = unique_unix_endpoint();
+  net::NetServer server(service, {.listen = {ep}, .max_pending_fills = 1});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::NetClient client(client_options(ep));
+  std::string err;
+  const auto lease = client.lease(&err);
+  ASSERT_TRUE(lease.has_value()) << err;
+
+  service.pause();  // the first fill cannot complete while paused
+  const std::uint64_t first = client.fill_submit(*lease, 32);
+  ASSERT_NE(first, 0u);
+  const std::uint64_t second = client.fill_submit(*lease, 32);
+  ASSERT_NE(second, 0u);
+  // The second submit exceeded max_pending_fills=1: explicit shed reply.
+  std::vector<std::uint64_t> out(32);
+  EXPECT_EQ(client.fill_wait(second, out, &err), serve::Status::kRejected);
+  EXPECT_NE(err.find("backpressure"), std::string::npos) << err;
+  service.resume();
+  EXPECT_EQ(client.fill_wait(first, out, &err), serve::Status::kOk) << err;
+  EXPECT_GE(server.stats().fills_rejected, 1u);
+}
+
+TEST(NetService, FillOnForeignLeaseIsUnknownLease) {
+  serve::RngService service(small_options());
+  const std::string ep = unique_unix_endpoint();
+  net::NetServer server(service, {.listen = {ep}});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::NetClient client(client_options(ep));
+  std::string err;
+  std::vector<std::uint64_t> out(16);
+  EXPECT_EQ(client.fill(99999, out, &err), serve::Status::kFailed);
+  EXPECT_NE(err.find("unknown_lease"), std::string::npos) << err;
+  // Non-fatal: the connection survives and can still open a lease.
+  EXPECT_TRUE(client.lease(&err).has_value()) << err;
+}
+
+TEST(NetService, LeasePoolExhaustionIsExplicit) {
+  serve::ServiceOptions opts = small_options();
+  opts.num_shards = 1;
+  opts.max_leases_per_shard = 1;
+  serve::RngService service(opts);
+  const std::string ep = unique_unix_endpoint();
+  net::NetServer server(service, {.listen = {ep}});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::NetClient client(client_options(ep));
+  std::string err;
+  ASSERT_TRUE(client.lease(&err).has_value()) << err;
+  EXPECT_FALSE(client.lease(&err).has_value());
+  EXPECT_NE(err.find("lease_exhausted"), std::string::npos) << err;
+}
+
+// Cross-version hello: a frame announcing a future protocol version in
+// its hello payload is rejected with kVersionMismatch and the connection
+// closes (fatal) — the hard gate of docs/NETWORK.md §7.
+TEST(NetService, HelloVersionGateRejectsFutureProto) {
+  serve::RngService service(small_options());
+  const std::string ep = unique_unix_endpoint();
+  net::NetServer server(service, {.listen = {ep}});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  const auto parsed = net::Endpoint::parse(ep);
+  ASSERT_TRUE(parsed.has_value());
+  const int fd = net::dial(*parsed);
+  ASSERT_GE(fd, 0);
+
+  net::WireWriter w;
+  w.put_u32(net::kHelloMagic);
+  w.put_u32(net::kWireVersion + 1);
+  w.put_str("future-client");
+  net::Frame hello;
+  hello.op = net::Op::kHello;
+  hello.request_id = 1;
+  hello.payload = w.take();
+  const std::string wire = net::encode(hello);
+  ASSERT_EQ(write(fd, wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+
+  std::string rbuf;
+  char tmp[4096];
+  for (;;) {  // read until EOF: the reply, then the server-side close
+    const ssize_t n = read(fd, tmp, sizeof(tmp));
+    if (n <= 0) break;
+    rbuf.append(tmp, static_cast<std::size_t>(n));
+  }
+  net::close_fd(fd);
+
+  net::Frame reply;
+  std::size_t consumed = 0;
+  std::string derr;
+  ASSERT_EQ(net::decode(rbuf, &reply, &consumed, &derr), net::Decode::kFrame)
+      << derr;
+  ASSERT_EQ(reply.op, net::Op::kError);
+  net::WireReader r(reply.payload);
+  EXPECT_EQ(static_cast<net::ErrCode>(r.get_u32()),
+            net::ErrCode::kVersionMismatch);
+}
+
+// Disconnect-orphan-adopt: a vanished client's lease survives on the
+// server and a second client continues the stream bit-exactly.
+TEST(NetService, OrphanedLeaseAdoptsAcrossConnections) {
+  serve::RngService service(small_options());
+  serve::RngService reference(small_options());
+  const std::string ep = unique_unix_endpoint();
+  net::NetServer server(service, {.listen = {ep}});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  auto ref_session = reference.try_open_session();
+  ASSERT_TRUE(ref_session.has_value());
+  std::vector<std::uint64_t> local_a(100), local_b(100);
+  ASSERT_EQ(ref_session->fill(local_a), serve::Status::kOk);
+  ASSERT_EQ(ref_session->fill(local_b), serve::Status::kOk);
+
+  std::uint64_t lease_id = 0;
+  {
+    net::NetClient first(client_options(ep));
+    std::string err;
+    const auto lease = first.lease(&err);
+    ASSERT_TRUE(lease.has_value()) << err;
+    lease_id = *lease;
+    std::vector<std::uint64_t> wire_a(100);
+    ASSERT_EQ(first.fill(lease_id, wire_a, &err), serve::Status::kOk) << err;
+    EXPECT_EQ(wire_a, local_a);
+  }  // destructor closes the connection without releasing — orphan
+
+  net::NetClient second(client_options(ep));
+  std::string err;
+  // The orphan must be discoverable, then adoptable.
+  const std::vector<std::uint64_t> ids = second.adoptables(&err);
+  ASSERT_NE(std::find(ids.begin(), ids.end(), lease_id), ids.end()) << err;
+  ASSERT_TRUE(second.adopt(lease_id, &err)) << err;
+  std::vector<std::uint64_t> wire_b(100);
+  ASSERT_EQ(second.fill(lease_id, wire_b, &err), serve::Status::kOk) << err;
+  EXPECT_EQ(wire_b, local_b);  // continues exactly where A stopped
+}
+
+// Transparent reconnect: close the client's socket under it; the next
+// fill re-dials, re-adopts the held lease and continues the stream.
+TEST(NetService, ClientReconnectsAndReadoptsTransparently) {
+  serve::RngService service(small_options());
+  serve::RngService reference(small_options());
+  const std::string ep = unique_unix_endpoint();
+  net::NetServer server(service, {.listen = {ep}});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  auto ref_session = reference.try_open_session();
+  ASSERT_TRUE(ref_session.has_value());
+
+  net::NetClient client(client_options(ep));
+  std::string err;
+  const auto lease = client.lease(&err);
+  ASSERT_TRUE(lease.has_value()) << err;
+
+  std::vector<std::uint64_t> wire(64), local(64);
+  ASSERT_EQ(client.fill(*lease, wire, &err), serve::Status::kOk) << err;
+  ASSERT_EQ(ref_session->fill(local), serve::Status::kOk);
+  EXPECT_EQ(wire, local);
+
+  client.close();  // simulated connection loss
+
+  ASSERT_EQ(client.fill(*lease, wire, &err), serve::Status::kOk) << err;
+  ASSERT_EQ(ref_session->fill(local), serve::Status::kOk);
+  EXPECT_EQ(wire, local);
+  EXPECT_GE(client.stats().reconnects, 1u);
+  EXPECT_GE(client.stats().adoptions, 1u);
+}
+
+TEST(NetService, StatReflectsServiceCounters) {
+  serve::RngService service(small_options());
+  const std::string ep = unique_unix_endpoint();
+  net::NetServer server(service, {.listen = {ep}});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::NetClient client(client_options(ep));
+  std::string err;
+  const auto lease = client.lease(&err);
+  ASSERT_TRUE(lease.has_value()) << err;
+  std::vector<std::uint64_t> out(128);
+  ASSERT_EQ(client.fill(*lease, out, &err), serve::Status::kOk) << err;
+
+  const auto stats = client.stat(&err);
+  ASSERT_TRUE(stats.has_value()) << err;
+  EXPECT_GE(stats->submitted, 1u);
+  EXPECT_GE(stats->completed, 1u);
+  EXPECT_GE(stats->numbers_served, 128u);
+  EXPECT_EQ(stats->active_leases, 1u);
+  EXPECT_EQ(stats->healthy_shards, 2u);
+  EXPECT_EQ(stats->connections, 1u);
+}
+
+TEST(NetService, MultipleClientsGetDisjointStreams) {
+  serve::RngService service(small_options());
+  const std::string ep = unique_unix_endpoint();
+  net::NetServer server(service, {.listen = {ep}});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::ClientPool pool(client_options(ep), 3);
+  std::vector<std::vector<std::uint64_t>> streams;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    net::NetClient* client = pool.at(i);
+    std::string err;
+    const auto lease = client->lease(&err);
+    ASSERT_TRUE(lease.has_value()) << err;
+    std::vector<std::uint64_t> out(200);
+    ASSERT_EQ(client->fill(*lease, out, &err), serve::Status::kOk) << err;
+    streams.push_back(std::move(out));
+  }
+  // Disjointness carries over the wire: no value in two streams.
+  for (std::size_t a = 0; a < streams.size(); ++a) {
+    for (std::size_t b = a + 1; b < streams.size(); ++b) {
+      for (const std::uint64_t v : streams[a]) {
+        EXPECT_EQ(std::count(streams[b].begin(), streams[b].end(), v), 0)
+            << "collision between wire streams " << a << " and " << b;
+      }
+    }
+  }
+}
+
+TEST(NetService, TcpTransportWhenSandboxAllows) {
+  serve::RngService service(small_options());
+  net::NetServer server(service, {.listen = {"tcp:127.0.0.1:0"}});
+  if (!server.ok()) {
+    GTEST_SKIP() << "TCP bind unavailable here: " << server.error();
+  }
+  const std::vector<std::string> eps = server.endpoints();
+  ASSERT_EQ(eps.size(), 1u);
+
+  net::NetClient client(client_options(eps[0]));
+  std::string err;
+  if (!client.connect(&err)) {
+    GTEST_SKIP() << "TCP connect unavailable here: " << err;
+  }
+  const auto lease = client.lease(&err);
+  ASSERT_TRUE(lease.has_value()) << err;
+  std::vector<std::uint64_t> out(64);
+  EXPECT_EQ(client.fill(*lease, out, &err), serve::Status::kOk) << err;
+}
+
+}  // namespace
+}  // namespace hprng

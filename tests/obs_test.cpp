@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/hybrid_prng.hpp"
+#include "net/server.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -401,6 +402,11 @@ class InstrumentedRunTest : public ::testing::Test {
     serve::Session session = service.open_session();
     std::vector<std::uint64_t> buf(64);
     ASSERT_EQ(session.fill(buf), serve::Status::kOk);
+
+    // The wire layer registers lazily per connection; pre-resolve its
+    // catalogue the same way NetServer/NetClient do at construction so
+    // the contract covers hprng.net.* without opening sockets.
+    net::register_catalogue(metrics_);
   }
 
   obs::Counter& busy_counter(sim::Resource r) {
