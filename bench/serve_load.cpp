@@ -67,6 +67,7 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
+#include "quality/quality.hpp"
 #include "serve/backend.hpp"
 #include "serve/service.hpp"
 #include "state/checkpointer.hpp"
@@ -104,6 +105,9 @@ void print_help() {
       backend_values().c_str());
   std::printf(
       "  --shards=N --slots=N --workers=N --capacity=N --coalesce=N\n"
+      "  --walk-len=N        expander walk length for the walk backends\n"
+      "                      (default 8 for throughput; 32 is the\n"
+      "                      battery-certified quality configuration)\n"
       "  --policy=P          block|reject|shed (default block)\n"
       "  --timeout-ms=MS --seed=S\n"
       "wire mode (docs/NETWORK.md):\n"
@@ -120,6 +124,15 @@ void print_help() {
       "  --checkpoint-every=MS   periodic snapshots during the run\n"
       "  --checkpoint-path=PATH  default serve-checkpoint.snap\n"
       "  --restore-from=PATH     rebuild the service from a snapshot\n"
+      "quality scrubbing (docs/QUALITY.md; local mode only):\n"
+      "  --scrub-tier=T          attach a QualityScrubber at resting tier T\n"
+      "                          (0|1|2); it scrubs in the background while\n"
+      "                          the load runs, then finishes with\n"
+      "                          --scrub-passes synchronous passes\n"
+      "  --scrub-passes=N        post-load deterministic passes (default 4)\n"
+      "  --scrub-streams=N --scrub-workers=N\n"
+      "  --scrub-scale=F         battery sample-size multiplier (default 1)\n"
+      "  --quality-json=PATH     write the machine-readable QualityReport\n"
       "output:\n"
       "  --metrics-json=PATH --bench-json=PATH\n"
       "  --help              this listing\n");
@@ -182,6 +195,8 @@ int run_wire(const util::Cli& cli) {
     opts.num_workers = static_cast<int>(cli.get_u64("workers", 4));
     opts.queue_capacity = cli.get_u64("capacity", 256);
     opts.max_coalesce = cli.get_u64("coalesce", 8);
+    opts.walk_len = static_cast<int>(
+        cli.get_u64("walk-len", static_cast<std::uint64_t>(opts.walk_len)));
     opts.seed = seed;
     const std::string policy_name = cli.get_string("policy", "block");
     if (!serve::parse_policy(policy_name, &opts.policy)) {
@@ -528,14 +543,34 @@ int main(int argc, char** argv) {
                  opts.backend.c_str(), backend_values().c_str());
     return 2;
   }
+  // Quality scrubbing (docs/QUALITY.md §5): the scrubber's leases ride the
+  // same pool as the clients', so the default slot count covers them too.
+  const bool scrub_enabled = cli.has("scrub-tier");
+  const int scrub_streams = static_cast<int>(cli.get_u64("scrub-streams", 2));
+  const int scrub_passes = static_cast<int>(cli.get_u64("scrub-passes", 4));
+  if (scrub_enabled) {
+    opts.scrub.enabled = true;
+    opts.scrub.tier = static_cast<int>(cli.get_u64("scrub-tier", 0));
+    opts.scrub.streams = scrub_streams;
+    opts.scrub.workers = static_cast<int>(cli.get_u64("scrub-workers", 1));
+    opts.scrub.battery_scale = cli.get_double("scrub-scale", 1.0);
+  }
+  const std::uint64_t lease_demand =
+      static_cast<std::uint64_t>(clients) +
+      static_cast<std::uint64_t>(scrub_enabled ? scrub_streams : 0);
   opts.num_shards = static_cast<int>(cli.get_u64("shards", 4));
   opts.max_leases_per_shard =
-      cli.get_u64("slots", (static_cast<std::uint64_t>(clients) +
+      cli.get_u64("slots", (lease_demand +
                             static_cast<std::uint64_t>(opts.num_shards) - 1) /
                                static_cast<std::uint64_t>(opts.num_shards));
   opts.num_workers = static_cast<int>(cli.get_u64("workers", 4));
   opts.queue_capacity = cli.get_u64("capacity", 256);
   opts.max_coalesce = cli.get_u64("coalesce", 8);
+  // The serving default (walk_len 8) trades battery quality for fill
+  // throughput; the quality-certified configuration is 32 (Table III,
+  // docs/QUALITY.md §3) — the scrub CI job passes --walk-len=32.
+  opts.walk_len = static_cast<int>(
+      cli.get_u64("walk-len", static_cast<std::uint64_t>(opts.walk_len)));
   opts.seed = cli.get_u64("seed", 0x243F6A8885A308D3ull);
   const std::string policy_name = cli.get_string("policy", "block");
   if (!serve::parse_policy(policy_name, &opts.policy)) {
@@ -589,6 +624,7 @@ int main(int argc, char** argv) {
   int healthy = opts.num_shards;
   std::uint64_t checkpoints_taken = 0, checkpoints_failed = 0;
   std::uint64_t adopted_leases = 0;
+  std::optional<quality::QualityReport> quality_report;
   {
     std::unique_ptr<serve::RngService> owned;
     if (restore_from.empty()) {
@@ -597,6 +633,7 @@ int main(int argc, char** argv) {
       serve::RngService::RestoreOptions ro;
       ro.metrics = &metrics;
       ro.injector = opts.injector;
+      if (scrub_enabled) ro.scrub = opts.scrub;
       std::string error;
       owned = serve::RngService::restore(restore_from, ro, &error);
       if (owned == nullptr) {
@@ -612,6 +649,12 @@ int main(int argc, char** argv) {
                   owned->adoptable_lease_ids().size());
     }
     serve::RngService& service = *owned;
+
+    // Constructed before the client adoption loop so that after a restore
+    // the scrubber re-claims its own recorded leases first and resumes its
+    // cursors bit-exactly (docs/QUALITY.md §6).
+    std::optional<quality::QualityScrubber> scrubber;
+    if (scrub_enabled) scrubber.emplace(service, &metrics);
 
     std::vector<serve::Session> sessions;
     sessions.reserve(static_cast<std::size_t>(clients));
@@ -644,6 +687,12 @@ int main(int argc, char** argv) {
                              return service.checkpoint(checkpoint_path);
                            });
     }
+
+    // Background scrubbing runs for the whole load window — the
+    // throughput figures below therefore INCLUDE the scrub overhead,
+    // which is what the <5% degradation acceptance compares against a
+    // no-scrub run of the same shape.
+    if (scrubber.has_value()) scrubber->start();
 
     const auto wall_start = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
@@ -680,6 +729,13 @@ int main(int argc, char** argv) {
     wall_seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
                        std::chrono::steady_clock::now() - wall_start)
                        .count();
+    if (scrubber.has_value()) {
+      // Load window over: park the background thread, then finish with a
+      // deterministic synchronous stint so the exported report always has
+      // a battery verdict in it.
+      scrubber->stop();
+      if (scrub_passes > 0) scrubber->run_passes(scrub_passes);
+    }
     service.drain();
     if (checkpointer.has_value()) {
       checkpointer->stop();
@@ -694,6 +750,12 @@ int main(int argc, char** argv) {
         ++checkpoints_failed;
         std::fprintf(stderr, "final checkpoint failed: %s\n", error.c_str());
       }
+    }
+    if (scrubber.has_value()) {
+      // Report taken after the final checkpoint (so the snapshot carries
+      // the same cursors), then the scrub leases release before the tally.
+      quality_report = scrubber->report();
+      scrubber.reset();
     }
     sessions.clear();  // release every lease before the final snapshot
     stats = service.stats();
@@ -788,17 +850,45 @@ int main(int argc, char** argv) {
                  util::strf("%.3f", overlap_fraction)});
     }
   }
+  if (quality_report.has_value()) {
+    const quality::QualityReport& q = *quality_report;
+    t.add_row({"scrub tier", util::strf("%d (resting %d)", q.tier,
+                                        q.resting_tier)});
+    t.add_row({"scrub passes", util::strf("%llu", static_cast<unsigned long long>(
+                                                      q.passes))});
+    t.add_row({"scrub words", util::strf("%llu", static_cast<unsigned long long>(
+                                                     q.words))});
+    t.add_row({"scrub anomalies",
+               util::strf("%llu",
+                          static_cast<unsigned long long>(q.anomalies))});
+    if (!q.last_battery.empty()) {
+      t.add_row({"scrub battery",
+                 util::strf("%s %d/%d%s", q.last_battery.c_str(),
+                            q.last_passed, q.last_total,
+                            q.last_ks_valid
+                                ? util::strf(" (ks_p=%.3g)", q.last_ks_p)
+                                      .c_str()
+                                : "")});
+    }
+    t.add_row({"scrub verdict", q.anomalous ? "ANOMALOUS" : "clean"});
+  }
   std::printf("%s", t.to_string().c_str());
 
   // Conservation: every submission reaches exactly one terminal status,
   // and the engine accounting agrees with the client-side tallies.
+  // With a scrubber attached its fills ride the same queue, so the exact
+  // client-tally equalities relax to inequalities (scrub requests are
+  // extra submissions/completions on top of the client population).
+  const bool scrub_ran = quality_report.has_value();
   const bool conserved =
-      stats.submitted == total &&
+      (scrub_ran ? stats.submitted >= total : stats.submitted == total) &&
       stats.submitted == stats.completed + stats.rejected + stats.shed +
                              stats.timed_out + stats.closed + stats.failed &&
-      ok.load() == stats.completed &&
-      failed.load() == stats.rejected + stats.shed + stats.timed_out +
-                           stats.closed + stats.failed;
+      (scrub_ran ? ok.load() <= stats.completed
+                 : ok.load() == stats.completed) &&
+      (scrub_ran ||
+       failed.load() == stats.rejected + stats.shed + stats.timed_out +
+                            stats.closed + stats.failed);
   const bool leases_clean = stats.active_leases == 0 &&
                             stats.leases_granted == stats.leases_released;
   const bool coalesced = stats.batches <= stats.completed;
@@ -845,7 +935,37 @@ int main(int argc, char** argv) {
     json.add("overlap_sim_seconds", overlap_seconds);
     json.add("fill_span_sim_seconds", fill_span_seconds);
     json.add("overlap_fraction", overlap_fraction);
+    if (quality_report.has_value()) {
+      json.add("scrub_tier", static_cast<double>(quality_report->tier));
+      json.add("scrub_passes", static_cast<double>(quality_report->passes));
+      json.add("scrub_words", static_cast<double>(quality_report->words));
+      json.add("scrub_anomalies",
+               static_cast<double>(quality_report->anomalies));
+      json.add("scrub_anomalous", quality_report->anomalous ? 1.0 : 0.0);
+      json.add("scrub_pass_ratio", quality_report->pass_ratio());
+    }
     bench::export_bench_json(cli, json);
+  }
+
+  // The machine-readable QualityReport artifact (the quality-scrub CI job
+  // uploads one per backend; docs/QUALITY.md §4).
+  const std::string quality_json = cli.get_string("quality-json", "");
+  if (!quality_json.empty()) {
+    if (!quality_report.has_value()) {
+      std::fprintf(stderr,
+                   "--quality-json needs --scrub-tier (no scrubber ran)\n");
+      return 2;
+    }
+    std::FILE* f = std::fopen(quality_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", quality_json.c_str());
+      return 2;
+    }
+    const std::string body = quality_report->to_json();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("quality report: %s\n", quality_json.c_str());
   }
 
   const bool shape = conserved && leases_clean && coalesced && ok.load() > 0;

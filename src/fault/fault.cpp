@@ -14,7 +14,8 @@ const char* kSiteNames[kNumSites] = {"h2d",    "d2h",
                                      "feed",   "shard",
                                      "worker", "checkpoint_write",
                                      "restore_read", "net_accept",
-                                     "net_read", "net_write"};
+                                     "net_read", "net_write",
+                                     "quality_feed", "quality_verdict"};
 
 std::vector<std::string> split(const std::string& text, char sep) {
   std::vector<std::string> parts;

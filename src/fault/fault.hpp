@@ -32,6 +32,11 @@
 //                 (docs/NETWORK.md): chaos runs drop fresh connections,
 //                 tear reads mid-frame and fail write flushes to prove
 //                 clients reconnect and re-adopt without stream corruption
+//   kQualityFeed / kQualityVerdict — quality::QualityScrubber
+//                 (docs/QUALITY.md): fail a scrub stream's draw (target =
+//                 stream index) or force an anomalous verdict (target =
+//                 backend registry index), so chaos runs prove escalation
+//                 fires without perturbing foreground lease streams
 
 #include <cstdint>
 #include <map>
@@ -56,8 +61,10 @@ enum class Site : int {
   kNetAccept,        ///< net::NetServer connection accept (docs/NETWORK.md)
   kNetRead,          ///< net::NetServer per-connection socket read
   kNetWrite,         ///< net::NetServer per-connection socket write flush
+  kQualityFeed,      ///< quality scrub stream draw (docs/QUALITY.md)
+  kQualityVerdict,   ///< quality scrub verdict publication
 };
-inline constexpr int kNumSites = 10;
+inline constexpr int kNumSites = 12;
 
 [[nodiscard]] const char* to_string(Site site);
 bool parse_site(const std::string& text, Site* out);

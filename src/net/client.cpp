@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <bit>
 #include <cerrno>
 #include <cstring>
 #include <thread>
@@ -590,6 +591,69 @@ bool NetClient::checkpoint(const std::string& path, std::string* error) {
   const std::string server_error = r.get_str();
   if (!ok) set_error(error, server_error);
   return ok && r.ok();
+}
+
+std::optional<quality::QualityReport> NetClient::quality(std::string* error) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!ensure_connected(error)) return std::nullopt;
+  bool timed_out = false;
+  const auto reply = roundtrip(Op::kQuality, std::string(), &timed_out);
+  if (!reply.has_value() || reply->op != Op::kQualityAck) {
+    set_error(error, "quality request failed");
+    return std::nullopt;
+  }
+  WireReader r(reply->payload);
+  if (r.get_u8() == 0) {
+    if (r.ok()) set_error(error, "no scrubber");
+    else set_error(error, "malformed quality ack");
+    return std::nullopt;
+  }
+  quality::QualityReport rep;
+  rep.backend = r.get_str();
+  rep.resting_tier = static_cast<int>(r.get_u32());
+  rep.tier = static_cast<int>(r.get_u32());
+  rep.passes = r.get_u64();
+  rep.words = r.get_u64();
+  rep.anomalies = r.get_u64();
+  rep.escalations = r.get_u64();
+  rep.feed_failures = r.get_u64();
+  rep.batteries = r.get_u64();
+  rep.anomalous = r.get_u8() != 0;
+  rep.last_battery = r.get_str();
+  rep.last_passed = static_cast<int>(r.get_u32());
+  rep.last_total = static_cast<int>(r.get_u32());
+  rep.last_ks_d = std::bit_cast<double>(r.get_u64());
+  rep.last_ks_p = std::bit_cast<double>(r.get_u64());
+  rep.last_ks_valid = r.get_u8() != 0;
+  const std::uint32_t nstreams = r.get_u32();
+  if (!r.ok() || nstreams > 65536) {
+    set_error(error, "malformed quality ack");
+    return std::nullopt;
+  }
+  rep.streams.resize(nstreams);
+  for (quality::StreamReport& s : rep.streams) {
+    s.lease_id = r.get_u64();
+    s.words = r.get_u64();
+    s.freq_p = std::bit_cast<double>(r.get_u64());
+    s.corr_p = std::bit_cast<double>(r.get_u64());
+    s.adopted = r.get_u8() != 0;
+  }
+  const std::uint32_t nhistory = r.get_u32();
+  if (!r.ok() || nhistory > 65536) {
+    set_error(error, "malformed quality ack");
+    return std::nullopt;
+  }
+  rep.history.resize(nhistory);
+  for (quality::AnomalyRecord& a : rep.history) {
+    a.pass = r.get_u64();
+    a.tier = static_cast<int>(r.get_u32());
+    a.what = r.get_str();
+  }
+  if (!r.ok()) {
+    set_error(error, "malformed quality ack");
+    return std::nullopt;
+  }
+  return rep;
 }
 
 ClientPool::ClientPool(ClientOptions opts, std::size_t size) {

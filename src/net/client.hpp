@@ -41,6 +41,7 @@
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
+#include "quality/quality.hpp"
 #include "serve/options.hpp"
 
 namespace hprng::net {
@@ -155,6 +156,11 @@ class NetClient {
   std::optional<NetStats> stat(std::string* error = nullptr);
   /// Ask the server to checkpoint itself to a server-side path.
   bool checkpoint(const std::string& path, std::string* error = nullptr);
+  /// Fetch the server's quality-scrubber report (docs/NETWORK.md §3.8).
+  /// Doubles travel as IEEE-754 bit images, so the returned report is
+  /// byte-identical to the server-side QualityScrubber::report().
+  /// nullopt with *error = "no scrubber" when none is attached.
+  std::optional<quality::QualityReport> quality(std::string* error = nullptr);
 
   struct Stats {
     std::uint64_t connects = 0;

@@ -60,13 +60,15 @@ const char* to_string(Op op) {
     case Op::kCkptAck: return "ckpt_ack";
     case Op::kAdoptables: return "adoptables";
     case Op::kAdoptablesAck: return "adoptables_ack";
+    case Op::kQuality: return "quality";
+    case Op::kQualityAck: return "quality_ack";
   }
   return "?";
 }
 
 bool known_op(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(Op::kHello) &&
-         raw <= static_cast<std::uint8_t>(Op::kAdoptablesAck);
+         raw <= static_cast<std::uint8_t>(Op::kQualityAck);
 }
 
 const char* to_string(ErrCode code) {

@@ -77,6 +77,8 @@ enum class Op : std::uint8_t {
   kCkptAck,        ///< ok flag + error text
   kAdoptables,     ///< list adoptable lease ids (orphans + restored)
   kAdoptablesAck,  ///< u32 count + ids
+  kQuality,        ///< quality-scrubber report probe (docs/NETWORK.md §3.8)
+  kQualityAck,     ///< present flag + the QualityReport fields
 };
 
 [[nodiscard]] const char* to_string(Op op);

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -646,6 +647,54 @@ void NetServer::handle_frame(const std::shared_ptr<Conn>& c,
       w.put_str(err);
       Frame reply;
       reply.op = Op::kCkptAck;
+      reply.request_id = frame.request_id;
+      reply.payload = w.take();
+      send(c, reply);
+      return;
+    }
+    case Op::kQuality: {
+      WireWriter w;
+      if (opts_.scrubber == nullptr) {
+        w.put_u8(0);
+      } else {
+        // Doubles cross the wire as their IEEE-754 bit images so the
+        // client-side report is byte-identical to the server's (the
+        // determinism contract extends across the wire).
+        const quality::QualityReport rep = opts_.scrubber->report();
+        w.put_u8(1);
+        w.put_str(rep.backend);
+        w.put_u32(static_cast<std::uint32_t>(rep.resting_tier));
+        w.put_u32(static_cast<std::uint32_t>(rep.tier));
+        w.put_u64(rep.passes);
+        w.put_u64(rep.words);
+        w.put_u64(rep.anomalies);
+        w.put_u64(rep.escalations);
+        w.put_u64(rep.feed_failures);
+        w.put_u64(rep.batteries);
+        w.put_u8(rep.anomalous ? 1 : 0);
+        w.put_str(rep.last_battery);
+        w.put_u32(static_cast<std::uint32_t>(rep.last_passed));
+        w.put_u32(static_cast<std::uint32_t>(rep.last_total));
+        w.put_u64(std::bit_cast<std::uint64_t>(rep.last_ks_d));
+        w.put_u64(std::bit_cast<std::uint64_t>(rep.last_ks_p));
+        w.put_u8(rep.last_ks_valid ? 1 : 0);
+        w.put_u32(static_cast<std::uint32_t>(rep.streams.size()));
+        for (const quality::StreamReport& s : rep.streams) {
+          w.put_u64(s.lease_id);
+          w.put_u64(s.words);
+          w.put_u64(std::bit_cast<std::uint64_t>(s.freq_p));
+          w.put_u64(std::bit_cast<std::uint64_t>(s.corr_p));
+          w.put_u8(s.adopted ? 1 : 0);
+        }
+        w.put_u32(static_cast<std::uint32_t>(rep.history.size()));
+        for (const quality::AnomalyRecord& a : rep.history) {
+          w.put_u64(a.pass);
+          w.put_u32(static_cast<std::uint32_t>(a.tier));
+          w.put_str(a.what);
+        }
+      }
+      Frame reply;
+      reply.op = Op::kQualityAck;
       reply.request_id = frame.request_id;
       reply.payload = w.take();
       send(c, reply);

@@ -44,6 +44,7 @@
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
+#include "quality/quality.hpp"
 #include "serve/service.hpp"
 
 namespace hprng::net {
@@ -73,6 +74,11 @@ struct ServerOptions {
 
   /// Optional deterministic fault injection at the net sites; not owned.
   fault::Injector* injector = nullptr;
+
+  /// Optional quality scrubber whose report the kQuality op serves; not
+  /// owned, must outlive the server. Absent → kQualityAck with present=0
+  /// (docs/NETWORK.md §3.8).
+  quality::QualityScrubber* scrubber = nullptr;
 };
 
 class NetServer {

@@ -46,6 +46,60 @@ enum class Status {
 
 [[nodiscard]] const char* to_string(Status status);
 
+/// Continuous quality scrubbing (docs/QUALITY.md). The scrubber itself is
+/// quality::QualityScrubber — a separate library layered on the service —
+/// but its knobs live here so one ServiceOptions describes the whole
+/// deployment and serve_load / serve_net can wire `--scrub-tier` through
+/// without a dependency cycle. Every field is a plain value; the scrubber
+/// reads them via RngService::options().scrub.
+struct ScrubberOptions {
+  /// Master switch — serve_load only constructs a scrubber when set.
+  bool enabled = false;
+
+  /// Resting escalation tier: 0 runs only the per-pass smoke statistics;
+  /// 1 / 2 additionally run the SmallCrush- / Crush-tier battery on every
+  /// pass (docs/QUALITY.md §3). Anomalies escalate above this floor.
+  int tier = 0;
+
+  /// Leased substreams scrubbed per pass. Each is a real service lease
+  /// drawing through the same queue/backend path as client traffic.
+  int streams = 2;
+
+  /// u64 words drawn per stream per pass for the smoke statistics.
+  std::uint64_t pass_words = 4096;
+
+  /// Scrub worker threads for the per-stream smoke draws. Report-invariant:
+  /// any worker count produces the byte-identical QualityReport.
+  int workers = 1;
+
+  /// Background-mode pacing: fraction of wall time spent scrubbing; after
+  /// each pass the scrub thread sleeps pass_time * (1 - duty) / duty, so
+  /// foreground fills keep the machine (docs/QUALITY.md §5).
+  double duty_cycle = 0.05;
+
+  /// Scales the tier-1/2 battery sample sizes (1.0 = the honest
+  /// SmallCrush-equivalent). Tests dial it down for wall-clock; production
+  /// keeps 1.0.
+  double battery_scale = 1.0;
+
+  /// Consecutive smoke-anomalous passes before escalating to tier 1.
+  int escalate_after = 3;
+
+  /// A smoke statistic below this p-value flags its pass as anomalous.
+  double smoke_p_lo = 1e-4;
+
+  /// A battery whose KS-over-p p-value falls below this (or that fails
+  /// more than a quarter of its statistics) is an anomaly.
+  double battery_ks_lo = 1e-4;
+
+  /// Shed priority of scrub sessions — deeply negative so under overload
+  /// scrub fills are always the first evicted (docs/SERVING.md §7).
+  int priority = -100;
+
+  /// Anomaly-history records retained (and checkpointed); oldest dropped.
+  std::size_t history_limit = 64;
+};
+
 /// Service configuration. Defaults serve a sharded hybrid pool sized for
 /// the tests and the serve_load bench; production knobs are the queue
 /// capacity / worker count / policy trio.
@@ -118,6 +172,13 @@ struct ServiceOptions {
   /// ejected: its leases fail over to surviving shards and it receives no
   /// further traffic. Any pass success resets the count (degraded state).
   int shard_eject_failures = 3;
+
+  // -- Continuous quality scrubbing (docs/QUALITY.md) ----------------------
+
+  /// Knobs for the attached quality::QualityScrubber, if any. Deliberately
+  /// NOT part of the snapshot OPTS section: scrub state travels in its own
+  /// QUAL section, and a restore may legitimately change the scrub policy.
+  ScrubberOptions scrub;
 };
 
 }  // namespace hprng::serve

@@ -807,6 +807,15 @@ bool load_options(state::SectionReader& r, ServiceOptions* o) {
 
 bool RngService::checkpoint(const std::string& path, std::string* error) {
   const auto wall_start = std::chrono::steady_clock::now();
+  // Sidecar first: the hook's prepare() parks the layered subsystem at a
+  // boundary where none of ITS fills are queued — it must run while the
+  // workers still drain (after pause() those fills would never complete).
+  CheckpointHook hook;
+  {
+    std::lock_guard<std::mutex> lk(hook_mu_);
+    hook = hook_;
+  }
+  if (hook.prepare) hook.prepare();
   // Quiesce: pause() returns only once every in-flight batched pass has
   // finished, and every begin/finish pair completes within a pass under
   // the shard mutex — so this IS the pass boundary: no in-flight fills,
@@ -860,9 +869,11 @@ bool RngService::checkpoint(const std::string& path, std::string* error) {
     w.put_str(shard.name());
     ok = shard.save_state(w, &err);
   }
+  if (ok && hook.save) hook.save(w);
   const std::string image = ok ? w.finish() : std::string();
   if (ok) ok = w.write_file(path, &err, opts_.injector, /*target=*/0);
   resume();
+  if (hook.release) hook.release();
 
   if (!ok) {
     if (ins_.state_checkpoint_failures != nullptr) {
@@ -904,6 +915,7 @@ std::unique_ptr<RngService> RngService::restore(const std::string& path,
   if (!load_options(r, &opts)) return fail(r.error());
   opts.injector = ro.injector;
   if (ro.num_workers > 0) opts.num_workers = ro.num_workers;
+  if (ro.scrub.has_value()) opts.scrub = *ro.scrub;
 
   auto svc = std::make_unique<RngService>(std::move(opts), ro.metrics);
   if (!svc->load_snapshot(*snap, &err)) return fail(err);
@@ -1009,10 +1021,31 @@ bool RngService::load_snapshot(const state::Snapshot& snap,
     if (!shard.load_state(r, error)) return false;
   }
 
+  // Stash whatever the service itself did not consume (QUAL and future
+  // sidecar tags) so layered subsystems can re-attach after restore. Known
+  // tags are excluded — their state already lives in this object.
+  for (const state::Section& sec : snap.sections()) {
+    if (sec.tag == kTagMeta || sec.tag == kTagOpts || sec.tag == kTagLeas ||
+        sec.tag == kTagHlth || sec.tag == kTagShrd) {
+      continue;
+    }
+    aux_sections_[sec.tag].emplace_back(sec.payload);
+  }
+
   if (ins_.active_leases != nullptr) {
     ins_.active_leases->set(static_cast<double>(leases_.active()));
   }
   return true;
+}
+
+void RngService::set_checkpoint_hook(CheckpointHook hook) {
+  std::lock_guard<std::mutex> lk(hook_mu_);
+  hook_ = std::move(hook);
+}
+
+std::vector<std::string> RngService::aux_sections(std::uint32_t tag) const {
+  const auto it = aux_sections_.find(tag);
+  return it == aux_sections_.end() ? std::vector<std::string>{} : it->second;
 }
 
 std::vector<std::uint64_t> RngService::adoptable_lease_ids() const {

@@ -27,6 +27,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -45,6 +46,7 @@
 
 namespace hprng::state {
 class Snapshot;
+class SnapshotWriter;
 }  // namespace hprng::state
 
 namespace hprng::serve {
@@ -255,6 +257,10 @@ class RngService {
     obs::MetricsRegistry* metrics = nullptr;
     fault::Injector* injector = nullptr;  ///< not owned; may be nullptr
     int num_workers = 0;                  ///< 0 = the snapshot's value
+    /// Scrub knobs for the restored deployment. The snapshot's OPTS
+    /// section deliberately omits them (docs/QUALITY.md §6: a restore may
+    /// change scrub policy); nullopt keeps the defaults (disabled).
+    std::optional<ScrubberOptions> scrub;
   };
 
   /// Reconstruct a service from a snapshot written by checkpoint().
@@ -269,6 +275,26 @@ class RngService {
                                              std::string* error = nullptr) {
     return restore(path, RestoreOptions{}, error);
   }
+
+  /// Sidecar state a layered subsystem (the quality scrubber) rides into
+  /// the service snapshot. checkpoint() calls `prepare` BEFORE quiescing —
+  /// the subsystem reaches a boundary where its own fills are out of the
+  /// queue (calling it after pause() would deadlock on those fills) —
+  /// then `save` while the service is quiesced (append whole sections to
+  /// the open writer), then `release` after the service resumes. At most
+  /// one hook; an empty hook detaches.
+  struct CheckpointHook {
+    std::function<void()> prepare;
+    std::function<void(state::SnapshotWriter&)> save;
+    std::function<void()> release;
+  };
+  void set_checkpoint_hook(CheckpointHook hook);
+
+  /// Payloads of snapshot sections restore() did not consume itself (the
+  /// QUAL section and any future sidecar tags), in file order. The layered
+  /// subsystem re-attaches by reading its tag here after restore.
+  [[nodiscard]] std::vector<std::string> aux_sections(
+      std::uint32_t tag) const;
 
   /// Leases restored from a snapshot and not yet re-claimed, in id order.
   [[nodiscard]] std::vector<std::uint64_t> adoptable_lease_ids() const;
@@ -401,6 +427,11 @@ class RngService {
   mutable std::mutex live_mu_;
   std::map<std::uint64_t, Lease> live_leases_;
   std::map<std::uint64_t, Lease> adoptable_;
+
+  // Sidecar checkpoint hook + unconsumed restored sections (QUAL et al).
+  mutable std::mutex hook_mu_;
+  CheckpointHook hook_;
+  std::map<std::uint32_t, std::vector<std::string>> aux_sections_;
 
   std::vector<std::thread> workers_;
 };

@@ -28,8 +28,13 @@ std::string BatteryReport::detail() const {
                passes(r) ? "pass" : "FAIL"});
   }
   std::string out = battery + " / " + generator + "\n" + t.to_string();
-  out += util::strf("passed %s, KS over p-values: D = %.4f (p = %.4f)\n",
-                    summary().c_str(), ks_d, ks_p);
+  if (ks_valid) {
+    out += util::strf("passed %s, KS over p-values: D = %.4f (p = %.4f)\n",
+                      summary().c_str(), ks_d, ks_p);
+  } else {
+    out += util::strf("passed %s, KS over p-values: not applicable\n",
+                      summary().c_str());
+  }
   return out;
 }
 
@@ -50,9 +55,15 @@ BatteryReport run_battery(const std::string& battery_name,
     ps.push_back(r.p);
     report.results.push_back(std::move(r));
   }
-  const TestResult ks = ks_uniform_test("ks-over-p", std::move(ps));
-  report.ks_d = ks.statistic;
-  report.ks_p = ks.p;
+  // ks_uniform_test requires a non-empty sample; an empty battery would
+  // otherwise abort here while still "reporting" a KS verdict of D=0,
+  // p=0 — meaningless either way. Report the absence explicitly instead.
+  if (!ps.empty()) {
+    const TestResult ks = ks_uniform_test("ks-over-p", std::move(ps));
+    report.ks_d = ks.statistic;
+    report.ks_p = ks.p;
+    report.ks_valid = true;
+  }
   return report;
 }
 

@@ -17,6 +17,13 @@ struct BatteryReport {
   double pass_hi = 0.99;
   double ks_d = 0.0;  // KS of the p-values against U(0,1) (Table II "D")
   double ks_p = 0.0;
+  // The KS verdict needs at least one p-value; an empty battery (or one
+  // whose every test was skipped) leaves ks_d/ks_p meaningless, and a
+  // degenerate all-equal p-value set leaves them technically defined but
+  // worthless as evidence. ks_valid distinguishes "verified uniform" from
+  // "nothing to verify" — consumers (quality scrubber, CLI reports) must
+  // not treat ks_p as a verdict when this is false.
+  bool ks_valid = false;
 
   [[nodiscard]] bool passes(const TestResult& r) const {
     return r.p > pass_lo && r.p < pass_hi;

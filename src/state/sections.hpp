@@ -29,5 +29,10 @@ inline constexpr std::uint32_t kTagShrd = fourcc("SHRD");
 /// endpoints + server options a rolling restart re-binds without having
 /// the flags repeated on the restart command line.
 inline constexpr std::uint32_t kTagNetc = fourcc("NETC");
+/// Quality-scrubber state (docs/QUALITY.md §6): scrub cursors, escalation
+/// tier and the anomaly history, so continuous scrubbing resumes exactly
+/// where the snapshot left it. Written through the service's checkpoint
+/// hook; absent when no scrubber is attached.
+inline constexpr std::uint32_t kTagQual = fourcc("QUAL");
 
 }  // namespace hprng::state

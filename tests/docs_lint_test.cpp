@@ -18,6 +18,7 @@
 
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
+#include "quality/quality.hpp"
 #include "serve/service.hpp"
 #include "util/file.hpp"
 
@@ -209,6 +210,30 @@ TEST(DocsLint, NetInstrumentsAreCatalogued) {
   // 17 server + 5 client instruments today; a small count means the
   // catalogue pre-resolution broke, not that the docs are clean.
   EXPECT_GE(checked, 22u);
+}
+
+// And for the scrubber (docs/QUALITY.md §7): quality::register_catalogue
+// pre-resolves every `hprng.quality.*` instrument the scrubber can emit,
+// so linting it against docs/OBSERVABILITY.md keeps the quality catalogue
+// complete as instruments are added.
+TEST(DocsLint, QualityInstrumentsAreCatalogued) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with -DHPRNG_ENABLE_OBS=OFF";
+  obs::MetricsRegistry metrics;
+  quality::register_catalogue(metrics);
+
+  std::string doc;
+  ASSERT_TRUE(util::read_file(
+      std::string(HPRNG_SOURCE_DIR) + "/docs/OBSERVABILITY.md", &doc));
+  std::size_t checked = 0;
+  for (const std::string& name : metrics.names()) {
+    if (name.rfind("hprng.quality.", 0) != 0) continue;
+    ++checked;
+    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+        << "registered instrument `" << name
+        << "` is not catalogued in docs/OBSERVABILITY.md";
+  }
+  // Six counters + six gauges today.
+  EXPECT_GE(checked, 12u);
 }
 
 // docs/BACKENDS.md is the normative backend spec: every backend name the

@@ -15,6 +15,7 @@
 
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "quality/quality.hpp"
 #include "serve/service.hpp"
 
 namespace hprng {
@@ -319,6 +320,48 @@ TEST(NetService, StatReflectsServiceCounters) {
   EXPECT_EQ(stats->active_leases, 1u);
   EXPECT_EQ(stats->healthy_shards, 2u);
   EXPECT_EQ(stats->connections, 1u);
+}
+
+TEST(NetService, QualityOpWithoutScrubberIsExplicitlyAbsent) {
+  serve::RngService service(small_options());
+  const std::string ep = unique_unix_endpoint();
+  net::NetServer server(service, {.listen = {ep}});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::NetClient client(client_options(ep));
+  std::string err;
+  const auto report = client.quality(&err);
+  EXPECT_FALSE(report.has_value());
+  EXPECT_EQ(err, "no scrubber");
+}
+
+TEST(NetService, QualityReportRoundTripsByteIdentical) {
+  // The wire carries doubles as IEEE-754 bit images, so the client-side
+  // report must re-serialise to the exact JSON the server-side scrubber
+  // produces (docs/NETWORK.md §3.8).
+  serve::ServiceOptions opts = small_options();
+  opts.scrub.enabled = true;
+  opts.scrub.streams = 2;
+  opts.scrub.pass_words = 256;
+  serve::RngService service(opts);
+  quality::QualityScrubber scrubber(service);
+  scrubber.run_passes(3);
+
+  const std::string ep = unique_unix_endpoint();
+  net::ServerOptions server_opts{.listen = {ep}};
+  server_opts.scrubber = &scrubber;
+  net::NetServer server(service, std::move(server_opts));
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::NetClient client(client_options(ep));
+  std::string err;
+  const auto wire_report = client.quality(&err);
+  ASSERT_TRUE(wire_report.has_value()) << err;
+  EXPECT_EQ(wire_report->to_json(), scrubber.report().to_json());
+  EXPECT_EQ(wire_report->backend, "hybrid");
+  EXPECT_EQ(wire_report->passes, 3u);
+  ASSERT_EQ(wire_report->streams.size(), 2u);
+  EXPECT_EQ(wire_report->streams[0].words, 3u * 256u);
 }
 
 TEST(NetService, MultipleClientsGetDisjointStreams) {

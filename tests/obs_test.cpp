@@ -14,6 +14,7 @@
 
 #include "core/hybrid_prng.hpp"
 #include "net/server.hpp"
+#include "quality/quality.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -407,6 +408,10 @@ class InstrumentedRunTest : public ::testing::Test {
     // catalogue the same way NetServer/NetClient do at construction so
     // the contract covers hprng.net.* without opening sockets.
     net::register_catalogue(metrics_);
+
+    // Same for the quality scrubber's catalogue (docs/QUALITY.md §7) —
+    // pre-resolved here exactly as a constructed scrubber would.
+    quality::register_catalogue(metrics_);
   }
 
   obs::Counter& busy_counter(sim::Resource r) {

@@ -24,6 +24,7 @@
 
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
+#include "quality/quality.hpp"
 #include "serve/service.hpp"
 #include "state/checkpointer.hpp"
 #include "state/sections.hpp"
@@ -578,6 +579,89 @@ TEST(HealthSections, EjectedShardSurvivesTheRoundTrip) {
   EXPECT_FALSE(restored->shard_ejected(1));
   EXPECT_EQ(restored->healthy_shards(), 1);
   std::remove(path.c_str());
+}
+
+TEST(CheckpointHook, SidecarSectionRoundTripsThroughAuxStash) {
+  // The layered-subsystem checkpoint mechanism (docs/QUALITY.md §6): the
+  // hook fires prepare BEFORE the service quiesces (a sidecar still
+  // filling must park first or its queued fill would deadlock against
+  // paused workers), save appends its section while quiesced, release
+  // fires after resume. The restored service stashes the unknown section
+  // verbatim for the sidecar to re-attach.
+  const std::string path = tmp_path("hook.snap");
+  serve::RngService service(small_options("cpu-walk"));
+  std::vector<std::string> order;
+  serve::RngService::CheckpointHook hook;
+  hook.prepare = [&order] { order.push_back("prepare"); };
+  hook.save = [&order](state::SnapshotWriter& w) {
+    order.push_back("save");
+    w.begin_section(state::kTagQual);
+    w.put_u64(0xFEEDC0DEu);
+    w.put_str("sidecar");
+  };
+  hook.release = [&order] { order.push_back("release"); };
+  service.set_checkpoint_hook(std::move(hook));
+  std::string error;
+  ASSERT_TRUE(service.checkpoint(path, &error)) << error;
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"prepare", "save", "release"}));
+
+  auto restored = serve::RngService::restore(path);
+  ASSERT_NE(restored, nullptr);
+  const std::vector<std::string> payloads =
+      restored->aux_sections(state::kTagQual);
+  ASSERT_EQ(payloads.size(), 1u);
+  const state::Section section{state::kTagQual, 1, payloads.front()};
+  state::SectionReader r(section);
+  EXPECT_EQ(r.get_u64(), 0xFEEDC0DEu);
+  EXPECT_EQ(r.get_str(), "sidecar");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(restored->aux_sections(state::kTagLeas).empty())
+      << "known sections are consumed, not stashed";
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointHook, ScrubCursorsResumeBitExactAcrossRestore) {
+  // The quality scrubber through the real hook: k passes -> checkpoint ->
+  // M passes must produce the byte-identical report to restore -> M
+  // passes (scrub cursors, tier and history all travel in QUAL).
+  const std::string path = tmp_path("scrub_resume.snap");
+  serve::ServiceOptions opts = small_options("cpu-walk");
+  opts.scrub.enabled = true;
+  opts.scrub.streams = 2;
+  opts.scrub.pass_words = 256;
+
+  std::string uninterrupted;
+  {
+    serve::RngService service(opts);
+    quality::QualityScrubber scrubber(service);
+    scrubber.run_passes(2);
+    std::string error;
+    ASSERT_TRUE(service.checkpoint(path, &error)) << error;
+    scrubber.run_passes(2);
+    uninterrupted = scrubber.report().to_json();
+  }
+
+  serve::RngService::RestoreOptions ro;
+  ro.scrub = opts.scrub;
+  std::string error;
+  auto restored = serve::RngService::restore(path, ro, &error);
+  ASSERT_NE(restored, nullptr) << error;
+  quality::QualityScrubber scrubber(*restored);
+  scrubber.run_passes(2);
+  std::string resumed = scrubber.report().to_json();
+  std::remove(path.c_str());
+
+  // The resumed report marks its streams adopted; strip that field on
+  // both sides, everything else must match to the byte.
+  const auto strip_adopted = [](std::string s) {
+    for (std::string::size_type pos;
+         (pos = s.find(",\"adopted\":")) != std::string::npos;) {
+      s.erase(pos, s.find_first_of(",}", pos + 11) - pos);
+    }
+    return s;
+  };
+  EXPECT_EQ(strip_adopted(uninterrupted), strip_adopted(resumed));
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "prng/registry.hpp"
@@ -94,6 +95,44 @@ TEST(Battery, RunsAndCounts) {
   EXPECT_NE(detail.find("always-mid"), std::string::npos);
   EXPECT_NE(detail.find("FAIL"), std::string::npos);
   EXPECT_NE(detail.find("KS over p-values"), std::string::npos);
+}
+
+TEST(Battery, EmptyBatteryReportsKsVerdictAsNotApplicable) {
+  // An empty battery has no p-values to KS-verify: run_battery must not
+  // abort (ks_uniform_test demands samples) and must not fabricate a
+  // D=0/p=0 "verdict" — ks_valid says there was nothing to verify.
+  auto g = prng::make_by_name("mt19937", 1);
+  const auto report = run_battery("empty", {}, *g);
+  EXPECT_EQ(report.num_total(), 0);
+  EXPECT_EQ(report.num_passed(), 0);
+  EXPECT_FALSE(report.ks_valid);
+  EXPECT_EQ(report.ks_d, 0.0);
+  EXPECT_EQ(report.ks_p, 0.0);
+  const std::string detail = report.detail();
+  EXPECT_NE(detail.find("not applicable"), std::string::npos);
+  EXPECT_EQ(detail.find("D ="), std::string::npos);
+}
+
+TEST(Battery, DegenerateAllEqualPValuesStayDefined) {
+  // Every statistic returning the same p is as degenerate as a KS input
+  // gets: the verdict must stay finite and valid (no NaN/abort), and an
+  // all-identical-p battery is maximally non-uniform, so the KS p is
+  // small for mid-range values and the report flags it as checkable.
+  std::vector<NamedTest> battery;
+  for (int i = 0; i < 10; ++i) {
+    battery.push_back({"same-" + std::to_string(i), [](prng::Generator&) {
+                         return TestResult{"same", 0.5, 0.0};
+                       }});
+  }
+  auto g = prng::make_by_name("mt19937", 1);
+  const auto report = run_battery("degenerate", battery, *g);
+  EXPECT_EQ(report.num_total(), 10);
+  EXPECT_EQ(report.num_passed(), 10);
+  EXPECT_TRUE(report.ks_valid);
+  EXPECT_NEAR(report.ks_d, 0.5, 1e-12);  // all mass at 0.5 vs U(0,1)
+  EXPECT_GT(report.ks_p, 0.0);
+  EXPECT_LT(report.ks_p, 0.05);
+  EXPECT_TRUE(std::isfinite(report.ks_p));
 }
 
 TEST(Battery, CustomThresholds) {
