@@ -1,0 +1,238 @@
+#pragma once
+
+// Perf-baseline diff (docs/PERFORMANCE.md §5): parse two flat BENCH_*.json
+// artifacts (the committed baseline under bench/baselines/ and a fresh run)
+// and compare a named set of higher-is-better throughput keys. The gate is
+// deliberately a collapse detector, not a noise detector: CI runs it with a
+// lenient --min-ratio so only an order-of-magnitude regression (or a key
+// vanishing from the artifact) fails the build, while the committed
+// baselines track the real trajectory for humans.
+//
+// The parser handles exactly the dialect BenchJson writes: one
+// `"key": value` field per line, string or %.17g number values, plus the
+// literal `null` that non-finite numbers degrade to (a NaN/inf regression
+// parses as a missing number and fails the gate).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace hprng::bench {
+
+/// One parsed flat-JSON artifact: ordered key -> raw value text.
+class BenchFields {
+ public:
+  /// Parse flat JSON text (the BenchJson dialect). Returns false on text
+  /// that is not one field per line / unterminated strings; fields parsed
+  /// before the offending line are kept so the caller can still report.
+  bool parse(const std::string& text) {
+    fields_.clear();
+    bool ok = true;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      std::string line = text.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (!parse_line(line, &ok)) break;
+    }
+    return ok;
+  }
+
+  /// Parse the file at `path`; false on IO or syntax errors.
+  bool parse_file(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    std::string text;
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      text.append(buf, got);
+    }
+    std::fclose(f);
+    return parse(text);
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    for (const auto& [k, v] : fields_) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+
+  /// Numeric value of `key`. False when absent, non-numeric, or `null`
+  /// (the BenchJson encoding of a non-finite measurement).
+  bool number(const std::string& key, double* out) const {
+    for (const auto& [k, v] : fields_) {
+      if (k != key) continue;
+      char* end = nullptr;
+      const double d = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || end != v.c_str() + v.size()) return false;
+      if (!std::isfinite(d)) return false;
+      *out = d;
+      return true;
+    }
+    return false;
+  }
+
+  /// String value of `key` (quotes stripped, escapes undone); empty-string
+  /// default when absent or not a string field.
+  [[nodiscard]] std::string text(const std::string& key) const {
+    for (const auto& [k, v] : fields_) {
+      if (k != key || v.size() < 2 || v.front() != '"') continue;
+      std::string out;
+      for (std::size_t i = 1; i + 1 < v.size(); ++i) {
+        if (v[i] == '\\' && i + 2 < v.size()) ++i;
+        out.push_back(v[i]);
+      }
+      return out;
+    }
+    return "";
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  fields() const {
+    return fields_;
+  }
+
+ private:
+  // One line: `{`, `}`, blank, or `"key": value[,]`.
+  bool parse_line(const std::string& line, bool* ok) {
+    std::size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) return true;
+    std::size_t e = line.find_last_not_of(" \t\r");
+    std::string body = line.substr(b, e - b + 1);
+    if (body == "{" || body == "}") return true;
+    if (body.back() == ',') body.pop_back();
+    if (body.empty() || body.front() != '"') {
+      *ok = false;
+      return false;
+    }
+    // Key: up to the next unescaped quote (BenchJson escapes " and \).
+    std::size_t kq = 1;
+    while (kq < body.size() &&
+           !(body[kq] == '"' && body[kq - 1] != '\\')) {
+      ++kq;
+    }
+    std::size_t colon = body.find(':', kq);
+    if (kq >= body.size() || colon == std::string::npos) {
+      *ok = false;
+      return false;
+    }
+    std::string key = body.substr(1, kq - 1);
+    std::size_t vb = body.find_first_not_of(" \t", colon + 1);
+    if (vb == std::string::npos) {
+      *ok = false;
+      return false;
+    }
+    fields_.emplace_back(std::move(key), body.substr(vb));
+    return true;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Verdict for one gated key (higher-is-better semantics).
+struct DiffEntry {
+  std::string key;
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;     ///< current / baseline
+  bool regressed = false; ///< ratio < min_ratio, or a value was unusable
+  std::string note;       ///< human-readable reason when regressed
+};
+
+/// Result of one artifact comparison.
+struct DiffResult {
+  std::vector<DiffEntry> entries;
+
+  [[nodiscard]] bool regressed() const {
+    for (const auto& e : entries) {
+      if (e.regressed) return true;
+    }
+    return false;
+  }
+};
+
+/// Gate `keys` (comma-free, already split) between two artifacts: each key
+/// must exist and be finite in BOTH files and satisfy
+/// current/baseline >= min_ratio. A key the baseline itself lacks is a
+/// configuration error and regresses too — a silently-skipped gate is how
+/// perf collapses sneak in.
+inline DiffResult diff_bench(const BenchFields& baseline,
+                             const BenchFields& current,
+                             const std::vector<std::string>& keys,
+                             double min_ratio) {
+  DiffResult result;
+  for (const std::string& key : keys) {
+    DiffEntry e;
+    e.key = key;
+    const bool have_base = baseline.number(key, &e.baseline);
+    const bool have_cur = current.number(key, &e.current);
+    if (!have_base) {
+      e.regressed = true;
+      e.note = "missing/non-finite in baseline";
+    } else if (!have_cur) {
+      e.regressed = true;
+      e.note = "missing/non-finite in current";
+    } else if (e.baseline <= 0.0) {
+      e.regressed = true;
+      e.note = "baseline is not a positive rate";
+    } else {
+      e.ratio = e.current / e.baseline;
+      if (e.ratio < min_ratio) {
+        e.regressed = true;
+        e.note = util::strf("ratio %.3f below threshold %.3f", e.ratio,
+                            min_ratio);
+      }
+    }
+    result.entries.push_back(std::move(e));
+  }
+  return result;
+}
+
+/// Split a `--keys=a,b,c` list; empty segments are dropped.
+inline std::vector<std::string> split_keys(const std::string& csv) {
+  std::vector<std::string> keys;
+  std::string cur;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!cur.empty()) keys.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) keys.push_back(cur);
+  return keys;
+}
+
+/// Plain-text report, one line per key — the artifact CI uploads.
+inline std::string format_report(const std::string& baseline_path,
+                                 const std::string& current_path,
+                                 const DiffResult& result,
+                                 double min_ratio) {
+  std::string out;
+  out += util::strf("bench_diff: %s vs %s (min-ratio %.3f)\n",
+                    baseline_path.c_str(), current_path.c_str(), min_ratio);
+  for (const auto& e : result.entries) {
+    if (!e.note.empty()) {
+      out += util::strf("  [FAIL] %-28s %s\n", e.key.c_str(),
+                        e.note.c_str());
+    } else {
+      out += util::strf("  [%s] %-28s baseline %.6g  current %.6g  ratio "
+                        "%.3f\n",
+                        e.regressed ? "FAIL" : " ok ", e.key.c_str(),
+                        e.baseline, e.current, e.ratio);
+    }
+  }
+  out += result.regressed() ? "verdict: REGRESSED\n" : "verdict: ok\n";
+  return out;
+}
+
+}  // namespace hprng::bench

@@ -14,6 +14,7 @@
 #include "core/hybrid_prng.hpp"
 #include "obs/metrics.hpp"
 #include "sim/device.hpp"
+#include "simd/simd.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -24,6 +25,18 @@ int main(int argc, char** argv) {
   // Paper sweeps 5M..1000M; default scale 1/16 keeps the functional
   // execution fast on one core while preserving the series shape.
   const std::uint64_t scale_div = cli.get_u64("scale-div", 32);
+  // --simd=scalar|avx2|neon forces the serve/feed fill kernels (the
+  // wall-clock rows; simulated seconds are kernel-independent by
+  // construction). Default: hardware probe, overridable via HPRNG_SIMD.
+  if (const std::string simd_name = cli.get_string("simd", "");
+      !simd_name.empty()) {
+    simd::Kernel k = simd::Kernel::kScalar;
+    if (!simd::parse_kernel(simd_name, &k) || !simd::force_kernel(k)) {
+      std::fprintf(stderr, "--simd=%s: unknown or unsupported kernel "
+                   "(want scalar|avx2|neon)\n", simd_name.c_str());
+      return 2;
+    }
+  }
 
   bench::banner("Figure 3 — generation time vs stream size",
                 "Hybrid beats Mersenne-Twister and CURAND by ~2x across "
@@ -153,6 +166,8 @@ int main(int argc, char** argv) {
     // throughput plus the per-size series, one parseable file per run.
     bench::BenchJson json;
     json.add("bench", std::string("fig3_throughput"));
+    json.add("simd_kernel", std::string(simd::kernel_name()));
+    json.add("simd_lanes", static_cast<double>(simd::lane_width_u32()));
     json.add("scale_div", static_cast<double>(scale_div));
     json.add("total_numbers", static_cast<double>(total_numbers));
     json.add("hybrid_sim_seconds", hybrid_sim_seconds);

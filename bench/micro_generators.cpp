@@ -2,13 +2,23 @@
 // cost per draw on this host for every from-scratch generator plus the
 // expander-walk step itself. These are the constants behind the host-side
 // FEED model and the Table I discussion.
+//
+// Unlike the other harnesses this one is driven by google-benchmark, so it
+// carries its own main: --bench-json=PATH is peeled off before
+// benchmark::Initialize and the items/s of every run is re-emitted as a
+// flat BENCH_micro.json field (docs/PERFORMANCE.md §5), one key per
+// benchmark. All remaining flags (--benchmark_filter, ...) pass through.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "bench/common.hpp"
 #include "core/cpu_walk_prng.hpp"
 #include "expander/bit_reader.hpp"
 #include "expander/walk.hpp"
@@ -19,6 +29,7 @@
 #include "prng/philox.hpp"
 #include "prng/splitmix64.hpp"
 #include "prng/xorwow.hpp"
+#include "simd/simd.hpp"
 
 namespace {
 
@@ -41,6 +52,40 @@ BENCHMARK(BM_Generator32<prng::Xorwow>);
 BENCHMARK(BM_Generator32<prng::Mwc>);
 BENCHMARK(BM_Generator32<prng::CudppMd5Rng>);
 BENCHMARK(BM_Generator32<prng::Philox4x32>);
+
+/// Bulk feed fills through the hprng::simd dispatch (the BitFeeder hot
+/// loop). Compare against BM_Generator32 of the same generator — the gap
+/// is the SIMD win; run with --simd=scalar for the serial-loop floor.
+template <typename G>
+void BM_FillU32(benchmark::State& state) {
+  G g(12345);
+  std::vector<std::uint32_t> buf(4096);
+  for (auto _ : state) {
+    g.fill_u32(buf);
+    benchmark::DoNotOptimize(buf.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_FillU32<prng::GlibcLcg>);
+BENCHMARK(BM_FillU32<prng::SplitMix64>);
+
+/// The serve feed stream: counter-addressed SeedSequence::derive words
+/// (word k of a walk's feed), via the hprng::simd dispatch.
+void BM_DeriveFill(benchmark::State& state) {
+  std::vector<std::uint32_t> buf(4096);
+  std::uint64_t pos = 0;
+  for (auto _ : state) {
+    simd::derive_fill_u32(0x243F6A8885A308D3ull, pos, buf.data(), buf.size());
+    benchmark::DoNotOptimize(buf.data());
+    benchmark::ClobberMemory();
+    pos += buf.size();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_DeriveFill);
 
 void BM_SplitMix64(benchmark::State& state) {
   prng::SplitMix64 g(1);
@@ -75,6 +120,33 @@ void BM_WalkStep(benchmark::State& state) {
 }
 BENCHMARK(BM_WalkStep);
 
+/// Lane-batched walk draws through the hprng::simd dispatch (the serve
+/// GENERATE hot loop: kWalkGroup walks, one draw each, fresh word-aligned
+/// readers). Items = walk draws, not steps.
+void BM_WalkDraws(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  const auto wpd = static_cast<std::uint32_t>(
+      expander::BitReader::words_needed(1, 3 * len));
+  std::vector<std::uint32_t> words(
+      static_cast<std::size_t>(simd::kWalkGroup) * wpd);
+  prng::SplitMix64 seed(7);
+  for (auto& w : words) w = seed.next_u32();
+  std::uint64_t out[simd::kWalkGroup];
+  simd::WalkLane lanes[simd::kWalkGroup];
+  for (int l = 0; l < simd::kWalkGroup; ++l) {
+    lanes[l] = simd::WalkLane{static_cast<std::uint32_t>(l + 1), 2u,
+                              words.data() + static_cast<std::size_t>(l) * wpd,
+                              &out[l]};
+  }
+  for (auto _ : state) {
+    simd::walk_draws(lanes, simd::kWalkGroup, 1, wpd, len,
+                     expander::NeighborPolicy::kMod7, false);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * simd::kWalkGroup);
+}
+BENCHMARK(BM_WalkDraws)->Arg(8)->Arg(32);
+
 /// A full hybrid draw at several walk lengths (CPU backend).
 void BM_HybridDraw(benchmark::State& state) {
   core::CpuWalkConfig cfg;
@@ -93,4 +165,72 @@ void BM_PlatformRand(benchmark::State& state) {
 }
 BENCHMARK(BM_PlatformRand);
 
+/// Console output plus a capture of every iteration run's items/s, so main
+/// can re-emit them as flat BENCH_micro.json fields.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        items.emplace_back(run.benchmark_name(),
+                           static_cast<double>(it->second));
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<std::pair<std::string, double>> items;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off our flags; everything else goes to google-benchmark.
+  std::string bench_json;
+  std::string simd_name;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--bench-json=", 0) == 0) {
+      bench_json = arg.substr(13);
+    } else if (arg.rfind("--simd=", 0) == 0) {
+      simd_name = arg.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!simd_name.empty()) {
+    simd::Kernel k = simd::Kernel::kScalar;
+    if (!simd::parse_kernel(simd_name, &k) || !simd::force_kernel(k)) {
+      std::fprintf(stderr, "--simd=%s: unknown or unsupported kernel "
+                   "(want scalar|avx2|neon)\n", simd_name.c_str());
+      return 2;
+    }
+  }
+  int filtered = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered, args.data())) return 1;
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!bench_json.empty()) {
+    bench::BenchJson json;
+    json.add("bench", std::string("micro_generators"));
+    json.add("simd_kernel", std::string(simd::kernel_name()));
+    json.add("simd_lanes", static_cast<double>(simd::lane_width_u32()));
+    for (const auto& [name, items_per_s] : reporter.items) {
+      json.add(bench::metric_slug(name) + "_items_per_s", items_per_s);
+    }
+    if (!json.write(bench_json)) {
+      std::fprintf(stderr, "bench-json: cannot write %s\n",
+                   bench_json.c_str());
+      return 1;
+    }
+    std::printf("bench-json: wrote %s\n", bench_json.c_str());
+  }
+  return 0;
+}

@@ -70,6 +70,7 @@
 #include "quality/quality.hpp"
 #include "serve/backend.hpp"
 #include "serve/service.hpp"
+#include "simd/simd.hpp"
 #include "state/checkpointer.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -133,9 +134,33 @@ void print_help() {
       "  --scrub-streams=N --scrub-workers=N\n"
       "  --scrub-scale=F         battery sample-size multiplier (default 1)\n"
       "  --quality-json=PATH     write the machine-readable QualityReport\n"
+      "execution (docs/PERFORMANCE.md §6):\n"
+      "  --simd=K            force the serve-fill SIMD kernel\n"
+      "                      (scalar|avx2|neon; default: hardware probe,\n"
+      "                      overridable via env HPRNG_SIMD)\n"
       "output:\n"
       "  --metrics-json=PATH --bench-json=PATH\n"
       "  --help              this listing\n");
+}
+
+// Apply --simd=K (or leave the HPRNG_SIMD / hardware-probe dispatch
+// alone). Returns false — after printing why — when the name is unknown
+// or the kernel is not runnable on this build/machine.
+bool apply_simd_flag(const util::Cli& cli) {
+  const std::string name = cli.get_string("simd", "");
+  if (name.empty()) return true;
+  simd::Kernel k = simd::Kernel::kScalar;
+  if (!simd::parse_kernel(name, &k)) {
+    std::fprintf(stderr, "--simd=%s: unknown kernel (want scalar|avx2|neon)\n",
+                 name.c_str());
+    return false;
+  }
+  if (!simd::force_kernel(k)) {
+    std::fprintf(stderr, "--simd=%s: not supported on this build/machine\n",
+                 name.c_str());
+    return false;
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -474,6 +499,8 @@ int run_wire(const util::Cli& cli) {
     bench::BenchJson json;
     json.add("bench", std::string("serve_load_net"));
     json.add("mode", std::string(in_process ? "listen" : "connect"));
+    json.add("simd_kernel", std::string(simd::kernel_name()));
+    json.add("simd_lanes", static_cast<double>(simd::lane_width_u32()));
     json.add("loop", std::string(open_loop ? "open" : "closed"));
     json.add("endpoint", connect_ep);
     json.add("clients", static_cast<double>(clients));
@@ -528,6 +555,7 @@ int main(int argc, char** argv) {
     print_help();
     return 0;
   }
+  if (!apply_simd_flag(cli)) return 2;
   // Wire mode is a separate harness: socket clients, client-side latency.
   if (cli.has("listen") || cli.has("connect")) return run_wire(cli);
   const int clients = static_cast<int>(cli.get_u64("clients", 32));
@@ -911,6 +939,8 @@ int main(int argc, char** argv) {
     bench::BenchJson json;
     json.add("bench", std::string("serve_load"));
     json.add("backend", opts.backend);
+    json.add("simd_kernel", std::string(simd::kernel_name()));
+    json.add("simd_lanes", static_cast<double>(simd::lane_width_u32()));
     json.add("clients", static_cast<double>(clients));
     json.add("requests_per_client", static_cast<double>(requests));
     json.add("words_per_request", static_cast<double>(words));

@@ -5,6 +5,7 @@
 #include "core/calibration.hpp"
 #include "prng/seed_seq.hpp"
 #include "prng/splitmix64.hpp"
+#include "simd/simd.hpp"
 #include "state/snapshot.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
@@ -56,6 +57,12 @@ void HybridPrng::set_metrics(obs::MetricsRegistry* registry) {
       &registry->counter("hprng.core.serve_fill_span_seconds");
   ins_.serve_pipeline_depth =
       &registry->gauge("hprng.core.serve_pipeline_depth");
+  // Info gauges, set eagerly: the dispatch decision is process-global and
+  // fixed by the time a registry is attached.
+  ins_.simd_kernel = &registry->gauge("hprng.core.simd_kernel");
+  ins_.simd_lanes = &registry->gauge("hprng.core.simd_lanes");
+  ins_.simd_kernel->set(static_cast<int>(simd::active_kernel()));
+  ins_.simd_lanes->set(simd::lane_width_u32());
   ins_.initialized_threads->set(
       static_cast<double>(initialized_threads_));
 }
@@ -404,13 +411,14 @@ bool HybridPrng::begin_fill_leased(std::span<const LeasedDraw> draws) {
         }
         std::uint32_t* bin = serve_host_bin_[slot].data();
         for (std::size_t i = 0; i < rec->fills.size(); ++i) {
-          const prng::SeedSequence seq(rec->roots[i]);
+          const std::uint64_t root = rec->roots[i];
           const std::uint64_t pos = rec->pos[i];
           std::uint32_t* out = bin + rec->offset[i];
           const std::uint64_t n = rec->offset[i + 1] - rec->offset[i];
           // Counter-addressed derive is embarrassingly parallel: word k is
           // a pure function of (root, pos + k), so any split of the index
-          // range is bit-exact; the fixed chunk grid matches BitFeeder's.
+          // range is bit-exact; the fixed chunk grid matches BitFeeder's,
+          // and simd::derive_fill_u32 vectorises each piece.
           constexpr std::uint64_t kChunk = host::BitFeeder::kChunkWords;
           if (pool != nullptr && pool->num_workers() > 0 &&
               n >= 2 * kChunk) {
@@ -418,14 +426,12 @@ bool HybridPrng::begin_fill_leased(std::span<const LeasedDraw> draws) {
             pool->parallel_for(0, chunks, [&](std::uint64_t c) {
               const std::uint64_t lo = c * kChunk;
               const std::uint64_t hi = std::min(n, lo + kChunk);
-              for (std::uint64_t k = lo; k < hi; ++k) {
-                out[k] = static_cast<std::uint32_t>(seq.derive(pos + k));
-              }
+              simd::derive_fill_u32(root, pos + lo, out + lo,
+                                    static_cast<std::size_t>(hi - lo));
             });
           } else {
-            for (std::uint64_t k = 0; k < n; ++k) {
-              out[k] = static_cast<std::uint32_t>(seq.derive(pos + k));
-            }
+            simd::derive_fill_u32(root, pos, out,
+                                  static_cast<std::size_t>(n));
           }
         }
       },
@@ -455,25 +461,39 @@ bool HybridPrng::begin_fill_leased(std::span<const LeasedDraw> draws) {
       device_ops_for_draws(static_cast<double>(max_draws)),
       static_cast<double>(wpd * max_draws) * 4.0 +
           8.0 * static_cast<double>(max_draws)};
-  const sim::OpId kernel = device_.launch(
-      compute_stream_, "Generate(serve)",
-      static_cast<std::uint64_t>(draws.size()), cost,
-      [this, rec, slot, wpd](std::uint64_t tid) {
-        const LeasedDraw& d = rec->fills[static_cast<std::size_t>(tid)];
-        WalkState* state =
-            &states_.device_span()[static_cast<std::size_t>(d.walk)];
-        auto bin = serve_device_bin_[slot].device_span().subspan(
-            static_cast<std::size_t>(rec->offset[tid]),
-            static_cast<std::size_t>(rec->offset[tid + 1] -
-                                     rec->offset[tid]));
-        for (std::size_t j = 0; j < d.out.size(); ++j) {
-          BitReader bits{bin.subspan(static_cast<std::size_t>(j * wpd),
-                                     static_cast<std::size_t>(wpd))};
-          ThreadRng rng(state, bits, &cfg_);
-          d.out[j] = rng.next();
-        }
-      },
-      {copy});
+  sim::OpId kernel;
+  if (simd::walk_vectorizable(cfg_.policy, cfg_.mode)) {
+    // Lane-batched hot path: fixed groups of kWalkGroup walks advance in
+    // vector lockstep (see serve_walk_group). Identical cost model, label
+    // and thread count — the virtual-time schedule cannot tell.
+    kernel = device_.launch_batched(
+        compute_stream_, "Generate(serve)",
+        static_cast<std::uint64_t>(draws.size()), cost, simd::kWalkGroup,
+        [this, rec, slot, wpd](std::uint64_t lo, std::uint64_t hi) {
+          serve_walk_group(*rec, slot, wpd, lo, hi);
+        },
+        {copy});
+  } else {
+    kernel = device_.launch(
+        compute_stream_, "Generate(serve)",
+        static_cast<std::uint64_t>(draws.size()), cost,
+        [this, rec, slot, wpd](std::uint64_t tid) {
+          const LeasedDraw& d = rec->fills[static_cast<std::size_t>(tid)];
+          WalkState* state =
+              &states_.device_span()[static_cast<std::size_t>(d.walk)];
+          auto bin = serve_device_bin_[slot].device_span().subspan(
+              static_cast<std::size_t>(rec->offset[tid]),
+              static_cast<std::size_t>(rec->offset[tid + 1] -
+                                       rec->offset[tid]));
+          for (std::size_t j = 0; j < d.out.size(); ++j) {
+            BitReader bits{bin.subspan(static_cast<std::size_t>(j * wpd),
+                                       static_cast<std::size_t>(wpd))};
+            ThreadRng rng(state, bits, &cfg_);
+            d.out[j] = rng.next();
+          }
+        },
+        {copy});
+  }
   serve_slot_consumer_[slot] = kernel;
 
   const int tail = (serve_inflight_head_ + serve_inflight_count_) % 2;
@@ -486,6 +506,43 @@ bool HybridPrng::begin_fill_leased(std::span<const LeasedDraw> draws) {
         static_cast<double>(serve_inflight_count_));
   }
   return true;
+}
+
+void HybridPrng::serve_walk_group(const ServeScratch& rec, int slot,
+                                  std::uint64_t wpd, std::uint64_t lo,
+                                  std::uint64_t hi) {
+  simd::WalkLane lanes[simd::kWalkGroup];
+  const int n = static_cast<int>(hi - lo);
+  const std::uint32_t* bin = serve_device_bin_[slot].device_span().data();
+  const auto states = states_.device_span();
+  // Listed walks differ in draw count; the lanes advance their common
+  // prefix in lockstep and each lane's ragged remainder finishes on the
+  // per-draw scalar path. Both paths are exact per draw, so the result is
+  // the per-tid kernel's, draw for draw.
+  std::uint64_t common = rec.fills[static_cast<std::size_t>(lo)].out.size();
+  for (int l = 0; l < n; ++l) {
+    const std::size_t i = static_cast<std::size_t>(lo) + l;
+    const LeasedDraw& d = rec.fills[i];
+    const WalkState& s = states[static_cast<std::size_t>(d.walk)];
+    lanes[l] = simd::WalkLane{s.v.x, s.v.y, bin + rec.offset[i],
+                              d.out.data()};
+    common = std::min<std::uint64_t>(common, d.out.size());
+  }
+  simd::walk_draws(lanes, n, common, static_cast<std::uint32_t>(wpd),
+                   cfg_.walk_len, cfg_.policy, cfg_.finalize_output);
+  for (int l = 0; l < n; ++l) {
+    const std::size_t i = static_cast<std::size_t>(lo) + l;
+    const LeasedDraw& d = rec.fills[i];
+    WalkState* state = &states[static_cast<std::size_t>(d.walk)];
+    state->v = Vertex{lanes[l].x, lanes[l].y};
+    for (std::size_t j = static_cast<std::size_t>(common); j < d.out.size();
+         ++j) {
+      BitReader bits{std::span<const std::uint32_t>(
+          bin + rec.offset[i] + j * wpd, static_cast<std::size_t>(wpd))};
+      ThreadRng rng(state, bits, &cfg_);
+      d.out[j] = rng.next();
+    }
+  }
 }
 
 HybridPrng::LeasedFill HybridPrng::finish_fill_leased() {
@@ -577,16 +634,47 @@ sim::OpId HybridPrng::enqueue_batch_round(std::uint64_t threads,
   const sim::KernelCost cost{
       device_ops_for_draws(1.0),
       static_cast<double>(round.words_per_thread) * 4.0 + 8.0};
-  const sim::OpId kernel = device_.launch(
-      compute_stream_,
-      round_index == 0 ? "Generate" : "Generate+",  // same 'G' mark
-      count, cost,
-      [this, round, out_span = out.device_span(), out_offset](
-          std::uint64_t tid) mutable {
-        ThreadRng rng = thread_rng(round, tid);
-        out_span[static_cast<std::size_t>(out_offset + tid)] = rng.next();
-      },
-      {round.ready});
+  sim::OpId kernel;
+  if (simd::walk_vectorizable(cfg_.policy, cfg_.mode)) {
+    kernel = device_.launch_batched(
+        compute_stream_,
+        round_index == 0 ? "Generate" : "Generate+",  // same 'G' mark
+        count, cost, simd::kWalkGroup,
+        [this, round, out_span = out.device_span(), out_offset](
+            std::uint64_t lo, std::uint64_t hi) mutable {
+          simd::WalkLane lanes[simd::kWalkGroup];
+          const int n = static_cast<int>(hi - lo);
+          const std::uint32_t* bin =
+              device_bin_[round.slot].device_span().data();
+          const auto states = states_.device_span();
+          for (int l = 0; l < n; ++l) {
+            const std::size_t tid = static_cast<std::size_t>(lo) + l;
+            const WalkState& s = states[tid];
+            lanes[l] = simd::WalkLane{
+                s.v.x, s.v.y, bin + tid * round.words_per_thread,
+                out_span.data() + static_cast<std::size_t>(out_offset) + tid};
+          }
+          simd::walk_draws(lanes, n, 1,
+                           static_cast<std::uint32_t>(round.words_per_thread),
+                           cfg_.walk_len, cfg_.policy, cfg_.finalize_output);
+          for (int l = 0; l < n; ++l) {
+            const std::size_t tid = static_cast<std::size_t>(lo) + l;
+            states[tid].v = Vertex{lanes[l].x, lanes[l].y};
+          }
+        },
+        {round.ready});
+  } else {
+    kernel = device_.launch(
+        compute_stream_,
+        round_index == 0 ? "Generate" : "Generate+",  // same 'G' mark
+        count, cost,
+        [this, round, out_span = out.device_span(), out_offset](
+            std::uint64_t tid) mutable {
+          ThreadRng rng = thread_rng(round, tid);
+          out_span[static_cast<std::size_t>(out_offset + tid)] = rng.next();
+        },
+        {round.ready});
+  }
   end_round(round, kernel);
   if (metrics_ != nullptr) {
     round_records_.push_back(

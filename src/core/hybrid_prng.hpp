@@ -348,6 +348,8 @@ class HybridPrng {
     obs::Counter* serve_overlap_seconds = nullptr;
     obs::Counter* serve_fill_span_seconds = nullptr;
     obs::Gauge* serve_pipeline_depth = nullptr;
+    obs::Gauge* simd_kernel = nullptr;  ///< simd::Kernel id (0/1/2)
+    obs::Gauge* simd_lanes = nullptr;   ///< u32 lanes of that kernel
   };
 
   /// Ops of one batched pipeline round (recorded only while a metrics
@@ -411,6 +413,14 @@ class HybridPrng {
   };
 
   std::shared_ptr<ServeScratch> acquire_serve_scratch();
+
+  /// Functional body of one serve GENERATE tid group [lo, hi): the listed
+  /// walks advance their common draw-count prefix in vector lockstep
+  /// (simd::walk_draws) and finish ragged per-walk remainders on the
+  /// scalar per-draw path — bit-identical to the per-tid kernel for every
+  /// group partition. Only used when walk_vectorizable(policy, mode).
+  void serve_walk_group(const ServeScratch& rec, int slot, std::uint64_t wpd,
+                        std::uint64_t lo, std::uint64_t hi);
 
   std::vector<std::uint32_t> serve_host_bin_[2];
   sim::Buffer<std::uint32_t> serve_device_bin_[2];

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "prng/registry.hpp"
+#include "simd/simd.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -40,11 +41,11 @@ double BitFeeder::fill(std::span<std::uint32_t> out) {
       const std::size_t hi = std::min(out.size(), lo + kChunkWords);
       const std::unique_ptr<prng::Generator> g = gen_->clone_state();
       g->discard_u32(lo);
-      for (std::size_t i = lo; i < hi; ++i) out[i] = g->next_u32();
+      g->fill_u32(out.subspan(lo, hi - lo));
     });
     gen_->discard_u32(out.size());  // the master advances past the block
   } else {
-    for (auto& w : out) w = gen_->next_u32();
+    gen_->fill_u32(out);
   }
   words_produced_ += out.size();
   if (metrics_ != nullptr) {
@@ -67,6 +68,12 @@ void BitFeeder::set_metrics(obs::MetricsRegistry* registry) {
   ins_.feed_chunks = &registry->counter("hprng.host.feed_chunks");
   ins_.buffer_occupancy_words =
       &registry->gauge("hprng.host.buffer_occupancy_words");
+  // Info gauges, set eagerly: the dispatch decision is process-global and
+  // fixed by the time a registry is attached.
+  ins_.simd_kernel = &registry->gauge("hprng.host.simd_kernel");
+  ins_.simd_lanes = &registry->gauge("hprng.host.simd_lanes");
+  ins_.simd_kernel->set(static_cast<int>(simd::active_kernel()));
+  ins_.simd_lanes->set(simd::lane_width_u32());
 }
 
 void BitFeeder::advance_to(std::uint64_t words) {

@@ -104,6 +104,8 @@ class BitFeeder {
     obs::Counter* feed_seconds = nullptr;
     obs::Counter* feed_chunks = nullptr;
     obs::Gauge* buffer_occupancy_words = nullptr;
+    obs::Gauge* simd_kernel = nullptr;  ///< simd::Kernel id (0/1/2)
+    obs::Gauge* simd_lanes = nullptr;   ///< u32 lanes of that kernel
   };
 
   std::unique_ptr<prng::Generator> gen_;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 namespace hprng::prng {
@@ -59,6 +60,15 @@ class Generator {
     while (n-- != 0) (void)next_u32();
   }
 
+  /// Fill `out` with out.size() consecutive next_u32() draws, leaving the
+  /// stream exactly where that many single draws would. The default is the
+  /// serial loop; generators with a lane-parallel formulation (SplitMix64,
+  /// GlibcLcg) override it to dispatch through hprng::simd — bit-identical
+  /// output either way.
+  virtual void fill_u32(std::span<std::uint32_t> out) {
+    for (auto& w : out) w = next_u32();
+  }
+
   /// Independent copy at the *current* stream position (unlike
   /// clone_reseeded, which restarts). nullptr when the generator cannot be
   /// duplicated; Adapter-wrapped generators always can.
@@ -101,6 +111,14 @@ class Adapter final : public Generator {
       g_.discard_u32(n);
     } else {
       Generator::discard_u32(n);
+    }
+  }
+
+  void fill_u32(std::span<std::uint32_t> out) override {
+    if constexpr (requires(G& g) { g.fill_u32(out); }) {
+      g_.fill_u32(out);
+    } else {
+      for (auto& w : out) w = g_.next_u32();
     }
   }
 

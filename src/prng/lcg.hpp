@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 namespace hprng::prng {
 
@@ -47,6 +48,10 @@ struct GlibcLcg {
     }
     state = a * state + c;
   }
+
+  /// Bulk next_u32() draws through the hprng::simd dispatch (bit-identical
+  /// to the serial loop); defined in simd_fill.cpp.
+  void fill_u32(std::span<std::uint32_t> out);
 
   std::uint32_t state;
 };

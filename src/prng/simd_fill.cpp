@@ -1,0 +1,18 @@
+// Out-of-line fill_u32 bodies for the generators with lane-parallel
+// kernels. Kept here (not in the headers) so the prng headers stay free of
+// the simd dispatch layer while hprng_prng links against hprng_simd.
+#include "prng/lcg.hpp"
+#include "prng/splitmix64.hpp"
+#include "simd/simd.hpp"
+
+namespace hprng::prng {
+
+void SplitMix64::fill_u32(std::span<std::uint32_t> out) {
+  simd::splitmix_fill_u32(&state, out.data(), out.size());
+}
+
+void GlibcLcg::fill_u32(std::span<std::uint32_t> out) {
+  simd::glibc_lcg_fill_u32(&state, out.data(), out.size());
+}
+
+}  // namespace hprng::prng

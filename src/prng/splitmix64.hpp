@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 namespace hprng::prng {
 
@@ -26,6 +27,10 @@ struct SplitMix64 {
   void discard_u32(std::uint64_t draws) {
     state += 0x9E3779B97F4A7C15ull * draws;
   }
+
+  /// Bulk next_u32() draws through the hprng::simd dispatch (bit-identical
+  /// to the serial loop); defined in simd_fill.cpp.
+  void fill_u32(std::span<std::uint32_t> out);
 
   std::uint64_t state;
 };

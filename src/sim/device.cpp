@@ -68,6 +68,37 @@ OpId Device::launch(Stream& stream, std::string label, std::uint64_t threads,
   return id;
 }
 
+OpId Device::launch_batched(Stream& stream, std::string label,
+                            std::uint64_t threads, const KernelCost& cost,
+                            std::uint64_t group,
+                            std::function<void(std::uint64_t, std::uint64_t)> body,
+                            const std::vector<OpId>& extra_deps) {
+  HPRNG_CHECK(group > 0, "launch_batched: group width must be positive");
+  if (metrics_ != nullptr) {
+    ins_.kernel_launches->add(1);
+    ins_.kernel_threads->add(static_cast<double>(threads));
+  }
+  auto deps = with_stream_dep(stream, extra_deps);
+  const double duration = kernel_seconds(threads, cost);
+  util::ThreadPool* pool = pool_;
+  const OpId id = engine_.submit(
+      Resource::kDevice, std::move(label), duration, deps,
+      [pool, threads, group, body = std::move(body)] {
+        const std::uint64_t groups = (threads + group - 1) / group;
+        const auto run_group = [&](std::uint64_t g) {
+          const std::uint64_t lo = g * group;
+          body(lo, std::min(threads, lo + group));
+        };
+        if (pool != nullptr && pool->num_workers() > 0) {
+          pool->parallel_for(0, groups, run_group);
+        } else {
+          for (std::uint64_t g = 0; g < groups; ++g) run_group(g);
+        }
+      });
+  stream.set_last(id);
+  return id;
+}
+
 OpId Device::launch_dynamic(Stream& stream, std::string label,
                             std::uint64_t threads,
                             const KernelCost& base_cost,

@@ -174,6 +174,19 @@ class Device {
               std::function<void(std::uint64_t)> body,
               const std::vector<OpId>& extra_deps = {});
 
+  /// Like launch(), but the functional body receives contiguous tid ranges:
+  /// `body(lo, hi)` covers tids [lo, hi) with hi - lo <= `group`. The
+  /// group grid is a pure function of (threads, group) — never of the
+  /// worker pool — so a lane-batched body that is bit-exact per tid
+  /// produces the identical stream for any pool size. Simulated cost,
+  /// label and thread accounting are exactly launch()'s: batching is a
+  /// host-side execution detail, invisible to the virtual-time schedule.
+  OpId launch_batched(Stream& stream, std::string label,
+                      std::uint64_t threads, const KernelCost& cost,
+                      std::uint64_t group,
+                      std::function<void(std::uint64_t, std::uint64_t)> body,
+                      const std::vector<OpId>& extra_deps = {});
+
   /// Like launch(), for kernels whose work is data dependent: `body(tid)`
   /// returns the simple-op count that thread actually executed, and the
   /// kernel's simulated duration is computed from the realised totals

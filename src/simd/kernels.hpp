@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "simd/simd.hpp"
+
+// Per-ISA kernel entry points, compiled in their own translation units so
+// the rest of the library builds without -mavx2. Declarations are
+// unconditional; simd.cpp only calls the ones whose TU is in the build
+// (HPRNG_SIMD_HAVE_AVX2 / HPRNG_SIMD_HAVE_NEON compile definitions).
+//
+// Fill kernels are pure functions of (initial state, out, n): the
+// dispatcher owns the master-state update via the generator's closed-form
+// jump, so ISA TUs never touch generator objects.
+namespace hprng::simd::detail {
+
+void derive_fill_u32_avx2(std::uint64_t root, std::uint64_t pos,
+                          std::uint32_t* out, std::size_t n);
+void splitmix_fill_u32_avx2(std::uint64_t state0, std::uint32_t* out,
+                            std::size_t n);
+void glibc_lcg_fill_u32_avx2(std::uint32_t state0, std::uint32_t* out,
+                             std::size_t n);
+/// Exactly kWalkGroup lanes, forward-only, constant 3-bit consumption.
+void walk_draws_avx2(WalkLane* lanes, std::uint64_t draws, std::uint32_t wpd,
+                     int len, bool finalize);
+
+void glibc_lcg_fill_u32_neon(std::uint32_t state0, std::uint32_t* out,
+                             std::size_t n);
+/// Exactly 4 lanes (one NEON quad); the dispatcher tiles kWalkGroup
+/// groups into quads and finishes ragged remainders on the scalar path.
+void walk_draws_neon4(WalkLane* lanes, std::uint64_t draws, std::uint32_t wpd,
+                      int len, bool finalize);
+
+}  // namespace hprng::simd::detail

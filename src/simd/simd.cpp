@@ -1,0 +1,250 @@
+#include "simd/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "expander/bit_reader.hpp"
+#include "expander/gabber_galil.hpp"
+#include "prng/lcg.hpp"
+#include "prng/seed_seq.hpp"
+#include "prng/splitmix64.hpp"
+#include "simd/kernels.hpp"
+#include "util/check.hpp"
+
+namespace hprng::simd {
+namespace {
+
+Kernel probe_best() {
+#if defined(HPRNG_SIMD_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return Kernel::kAvx2;
+#endif
+#if defined(HPRNG_SIMD_HAVE_NEON)
+  return Kernel::kNeon;
+#endif
+  return Kernel::kScalar;
+}
+
+Kernel initial_kernel() {
+  const char* env = std::getenv("HPRNG_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    Kernel k = Kernel::kScalar;
+    if (!parse_kernel(env, &k)) {
+      std::fprintf(stderr,
+                   "hprng::simd: unknown HPRNG_SIMD value \"%s\" "
+                   "(want scalar|avx2|neon); using the hardware probe\n",
+                   env);
+    } else if (!supported(k)) {
+      std::fprintf(stderr,
+                   "hprng::simd: HPRNG_SIMD=%s is not supported on this "
+                   "build/machine; using the hardware probe\n",
+                   to_string(k));
+    } else {
+      return k;
+    }
+  }
+  return probe_best();
+}
+
+std::atomic<int>& active_slot() {
+  static std::atomic<int> slot{static_cast<int>(initial_kernel())};
+  return slot;
+}
+
+// -- Scalar reference kernels ------------------------------------------------
+// These ARE the semantics: each is written in terms of the library types it
+// mirrors, and every vector kernel is pinned bit-identical to it.
+
+void derive_fill_scalar(std::uint64_t root, std::uint64_t pos,
+                        std::uint32_t* out, std::size_t n) {
+  const prng::SeedSequence seq(root);
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = static_cast<std::uint32_t>(seq.derive(pos + k));
+  }
+}
+
+void splitmix_fill_scalar(std::uint64_t state0, std::uint32_t* out,
+                          std::size_t n) {
+  prng::SplitMix64 g(state0);
+  for (std::size_t i = 0; i < n; ++i) out[i] = g.next_u32();
+}
+
+void walk_draws_scalar(WalkLane* lanes, int n_lanes, std::uint64_t draws,
+                       std::uint32_t wpd, int len,
+                       expander::NeighborPolicy policy, bool finalize) {
+  for (int l = 0; l < n_lanes; ++l) {
+    expander::WalkState s;
+    s.v = expander::Vertex{lanes[l].x, lanes[l].y};
+    for (std::uint64_t j = 0; j < draws; ++j) {
+      expander::BitReader bits({lanes[l].bits + j * wpd, wpd});
+      expander::walk(s, bits, len, policy, expander::WalkMode::kForwardOnly);
+      const std::uint64_t id = s.v.id();
+      lanes[l].out[j] = finalize ? prng::splitmix64_mix(id) : id;
+    }
+    lanes[l].x = s.v.x;
+    lanes[l].y = s.v.y;
+  }
+}
+
+}  // namespace
+
+const char* to_string(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar: return "scalar";
+    case Kernel::kAvx2: return "avx2";
+    case Kernel::kNeon: return "neon";
+  }
+  return "scalar";
+}
+
+bool parse_kernel(const std::string& name, Kernel* out) {
+  if (name == "scalar") { *out = Kernel::kScalar; return true; }
+  if (name == "avx2") { *out = Kernel::kAvx2; return true; }
+  if (name == "neon") { *out = Kernel::kNeon; return true; }
+  return false;
+}
+
+bool supported(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return true;
+    case Kernel::kAvx2:
+#if defined(HPRNG_SIMD_HAVE_AVX2)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Kernel::kNeon:
+#if defined(HPRNG_SIMD_HAVE_NEON)
+      return true;  // NEON is baseline on aarch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Kernel best_supported() { return probe_best(); }
+
+Kernel active_kernel() {
+  return static_cast<Kernel>(active_slot().load(std::memory_order_relaxed));
+}
+
+const char* kernel_name() { return to_string(active_kernel()); }
+
+int lane_width_u32(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar: return 1;
+    case Kernel::kAvx2: return 8;
+    case Kernel::kNeon: return 4;
+  }
+  return 1;
+}
+
+int lane_width_u32() { return lane_width_u32(active_kernel()); }
+
+bool force_kernel(Kernel k) {
+  if (!supported(k)) return false;
+  active_slot().store(static_cast<int>(k), std::memory_order_relaxed);
+  return true;
+}
+
+void derive_fill_u32(std::uint64_t root, std::uint64_t pos,
+                     std::uint32_t* out, std::size_t n) {
+  switch (active_kernel()) {
+#if defined(HPRNG_SIMD_HAVE_AVX2)
+    case Kernel::kAvx2:
+      detail::derive_fill_u32_avx2(root, pos, out, n);
+      return;
+#endif
+    default:
+      derive_fill_scalar(root, pos, out, n);
+      return;
+  }
+}
+
+void splitmix_fill_u32(std::uint64_t* state, std::uint32_t* out,
+                       std::size_t n) {
+  switch (active_kernel()) {
+#if defined(HPRNG_SIMD_HAVE_AVX2)
+    case Kernel::kAvx2:
+      detail::splitmix_fill_u32_avx2(*state, out, n);
+      break;
+#endif
+    default:
+      splitmix_fill_scalar(*state, out, n);
+      break;
+  }
+  // The state is a counter: n u32 draws advance it by n gamma increments,
+  // identical no matter which kernel produced the outputs.
+  *state += 0x9E3779B97F4A7C15ull * n;
+}
+
+void glibc_lcg_fill_u32(std::uint32_t* state, std::uint32_t* out,
+                        std::size_t n) {
+  switch (active_kernel()) {
+#if defined(HPRNG_SIMD_HAVE_AVX2)
+    case Kernel::kAvx2: {
+      detail::glibc_lcg_fill_u32_avx2(*state, out, n);
+      prng::GlibcLcg g(1);
+      g.state = *state;
+      g.discard_u32(n);  // closed-form affine jump over the n draws
+      *state = g.state;
+      return;
+    }
+#endif
+#if defined(HPRNG_SIMD_HAVE_NEON)
+    case Kernel::kNeon: {
+      detail::glibc_lcg_fill_u32_neon(*state, out, n);
+      prng::GlibcLcg g(1);
+      g.state = *state;
+      g.discard_u32(n);
+      *state = g.state;
+      return;
+    }
+#endif
+    default: {
+      prng::GlibcLcg g(1);
+      g.state = *state;
+      for (std::size_t i = 0; i < n; ++i) out[i] = g.next_u32();
+      *state = g.state;
+      return;
+    }
+  }
+}
+
+void walk_draws(WalkLane* lanes, int n_lanes, std::uint64_t draws,
+                std::uint32_t wpd, int len, expander::NeighborPolicy policy,
+                bool finalize) {
+  HPRNG_CHECK(walk_vectorizable(policy, expander::WalkMode::kForwardOnly),
+              "walk_draws requires a constant-consumption forward walk");
+  HPRNG_CHECK(n_lanes >= 0 && n_lanes <= kWalkGroup,
+              "walk_draws lane count exceeds the group width");
+  // In forward-only mode kMod7 (b==7 -> k=0 identity neighbor) and
+  // kSevenStays (b==7 -> stay) reach the same vertex, so a single vector
+  // path covers every vectorizable policy.
+  switch (active_kernel()) {
+#if defined(HPRNG_SIMD_HAVE_AVX2)
+    case Kernel::kAvx2:
+      if (n_lanes == kWalkGroup) {
+        detail::walk_draws_avx2(lanes, draws, wpd, len, finalize);
+        return;
+      }
+      break;  // ragged trailing group: scalar path below
+#endif
+#if defined(HPRNG_SIMD_HAVE_NEON)
+    case Kernel::kNeon:
+      while (n_lanes >= 4) {
+        detail::walk_draws_neon4(lanes, draws, wpd, len, finalize);
+        lanes += 4;
+        n_lanes -= 4;
+      }
+      break;  // <4 leftover lanes: scalar path below
+#endif
+    default:
+      break;
+  }
+  walk_draws_scalar(lanes, n_lanes, draws, wpd, len, policy, finalize);
+}
+
+}  // namespace hprng::simd

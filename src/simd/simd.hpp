@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "expander/walk.hpp"
+
+namespace hprng::simd {
+
+/// Runtime-dispatched vector kernels for the serve-fill hot paths
+/// (docs/PERFORMANCE.md §6): the counter-addressed serve feed, the
+/// cheap-generator bulk fills behind Generator::fill_u32, and the
+/// lane-batched expander-walk step. Every kernel is bit-identical to its
+/// scalar reference — the dispatch decides speed, never the stream.
+///
+/// The instruction set is probed once (CPUID on x86-64, compile-time
+/// baseline on aarch64) at first use; `HPRNG_SIMD=scalar|avx2|neon`
+/// overrides the probe for testing, and force_kernel() switches at run
+/// time (the serve_load --simd flag and the kernel-equivalence tests).
+enum class Kernel : int {
+  kScalar = 0,  ///< portable reference path, always supported
+  kAvx2 = 1,    ///< x86-64 AVX2: 8 u32 / 4 u64 lanes
+  kNeon = 2,    ///< aarch64 NEON: 4 u32 lanes
+};
+inline constexpr int kNumKernels = 3;
+
+/// Stable lower-case kernel name ("scalar", "avx2", "neon") — what the
+/// simd_kernel instruments and the bench JSONs record.
+const char* to_string(Kernel k);
+
+/// Parse a kernel name as printed by to_string(). Returns false (and
+/// leaves *out untouched) on an unknown name.
+bool parse_kernel(const std::string& name, Kernel* out);
+
+/// Whether `k` can execute on this build + machine. kScalar always can;
+/// kAvx2 needs an x86-64 build and the CPUID AVX2 bit; kNeon an aarch64
+/// build (NEON is baseline there).
+[[nodiscard]] bool supported(Kernel k);
+
+/// The widest supported kernel (avx2 > neon > scalar).
+[[nodiscard]] Kernel best_supported();
+
+/// The kernel calls dispatch to right now. First use probes the hardware
+/// and honours the HPRNG_SIMD environment override (an unsupported or
+/// unknown value warns once on stderr and falls back to the probe).
+[[nodiscard]] Kernel active_kernel();
+
+/// to_string(active_kernel()) — the observability spelling.
+[[nodiscard]] const char* kernel_name();
+
+/// u32 lanes per vector op of `k` (1 for scalar, 8 for AVX2, 4 for NEON).
+[[nodiscard]] int lane_width_u32(Kernel k);
+
+/// lane_width_u32(active_kernel()).
+[[nodiscard]] int lane_width_u32();
+
+/// Force dispatch to `k` for the rest of the process (serve_load --simd,
+/// kernel-equivalence tests). Returns false — leaving dispatch unchanged —
+/// when `k` is not supported here.
+bool force_kernel(Kernel k);
+
+// -- Counter / cheap-generator bulk fills -----------------------------------
+
+/// out[k] = low 32 bits of SeedSequence(root).derive(pos + k), for
+/// k in [0, n) — the serve-path counter feed (HybridPrng::fill_leased).
+void derive_fill_u32(std::uint64_t root, std::uint64_t pos,
+                     std::uint32_t* out, std::size_t n);
+
+/// Exactly n SplitMix64 next_u32() draws starting from *state; *state is
+/// left where n sequential draws leave it (the counter jump).
+void splitmix_fill_u32(std::uint64_t* state, std::uint32_t* out,
+                       std::size_t n);
+
+/// Exactly n GlibcLcg next_u32() draws starting from *state; *state is
+/// left where n sequential draws leave it (the affine jump). Lane l of a
+/// W-wide kernel produces outputs l, l+W, l+2W, ... seeded at its
+/// jump-ahead offset, so any lane width emits the identical stream.
+void glibc_lcg_fill_u32(std::uint32_t* state, std::uint32_t* out,
+                        std::size_t n);
+
+// -- Lane-batched expander walks --------------------------------------------
+
+/// Fixed tid-group width of the lane-batched GENERATE kernels
+/// (sim::Device::launch_batched): chosen once, independent of the active
+/// kernel, so the batching grid never depends on the dispatch decision.
+inline constexpr int kWalkGroup = 8;
+
+/// One independent forward-only walk advanced by walk_draws(): its vertex,
+/// its word-aligned feed slice (draws * wpd words) and its output slots.
+struct WalkLane {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  const std::uint32_t* bits = nullptr;  ///< draws * wpd feed words
+  std::uint64_t* out = nullptr;         ///< draws output slots
+};
+
+/// Whether walk_draws() can serve this walk configuration. Forward-only
+/// walks under a constant-consumption policy read exactly 3 bits per step
+/// at lane-invariant bit positions, which is what makes lockstep lanes
+/// possible; kRejection's variable consumption (and kAlternating's side
+/// flip) stay on the per-walk scalar path.
+[[nodiscard]] constexpr bool walk_vectorizable(
+    expander::NeighborPolicy policy, expander::WalkMode mode) {
+  return mode == expander::WalkMode::kForwardOnly &&
+         policy != expander::NeighborPolicy::kRejection;
+}
+
+/// Advance `n_lanes` (<= kWalkGroup) independent walks `draws` draws of
+/// `len` steps each, in lockstep across vector lanes where the active
+/// kernel allows. Each draw starts on a fresh word-aligned reader over its
+/// own wpd-word slice, exactly like HybridPrng::ThreadRng; outputs are the
+/// reached vertex ids (splitmix64-finalised when `finalize`). Lane
+/// vertices are updated in place. Requires walk_vectorizable(policy,
+/// kForwardOnly) — i.e. policy != kRejection (checked).
+void walk_draws(WalkLane* lanes, int n_lanes, std::uint64_t draws,
+                std::uint32_t wpd, int len, expander::NeighborPolicy policy,
+                bool finalize);
+
+}  // namespace hprng::simd

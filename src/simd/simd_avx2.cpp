@@ -1,0 +1,258 @@
+// AVX2 kernels for hprng::simd. This translation unit is compiled with
+// -mavx2 and only ever entered after the runtime CPUID probe in simd.cpp
+// confirms support, so it may use the full AVX2 instruction set.
+//
+// Every kernel here is pinned bit-identical to its scalar reference in
+// simd.cpp by tests/simd_kernel_test.cpp and the golden-vector suite.
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "prng/splitmix64.hpp"
+#include "simd/kernels.hpp"
+
+namespace hprng::simd::detail {
+namespace {
+
+constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ull;
+
+inline __m256i set1_u64(std::uint64_t v) {
+  return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+/// Low 64 bits of the lane-wise 64x64 product (AVX2 has no 64-bit mullo):
+/// lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32).
+inline __m256i mul64_lo(__m256i a, __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i c1 = _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
+  const __m256i c2 = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+  const __m256i cross = _mm256_add_epi64(c1, c2);
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// prng::splitmix64_mix on four u64 lanes (gamma add + double xorshift-mul
+/// + final xorshift), kept textually parallel to the scalar mixer.
+inline __m256i splitmix_mix4(__m256i z) {
+  z = _mm256_add_epi64(z, set1_u64(kGamma));
+  z = mul64_lo(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+               set1_u64(0xBF58476D1CE4E5B9ull));
+  z = mul64_lo(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+               set1_u64(0x94D049BB133111EBull));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+/// Pack one 32-bit dword per u64 lane of z0 (lanes 0..3) and z1 (lanes
+/// 4..7) into a single u32x8 vector. `sel` picks dwords 0,2,4,6 of each
+/// source for the low halves or 1,3,5,7 for the high halves.
+inline __m256i pack_u64_dwords(__m256i z0, __m256i z1, __m256i sel) {
+  const __m256i a = _mm256_permutevar8x32_epi32(z0, sel);
+  const __m256i b = _mm256_permutevar8x32_epi32(z1, sel);
+  return _mm256_inserti128_si256(a, _mm256_castsi256_si128(b), 1);
+}
+
+/// Shared core of the two splitmix-family streams: lane k produces
+///   mix(xor_mask ^ (add0 + k * kGamma))
+/// taking the low (kHigh=false) or high (kHigh=true) 32 bits. The counter
+/// term is strength-reduced: each 8-wide iteration adds 8*kGamma.
+template <bool kHigh>
+void mix_counter_stream(std::uint64_t add0, std::uint64_t xor_mask,
+                        std::uint32_t* out, std::size_t n) {
+  const __m256i sel = kHigh ? _mm256_setr_epi32(1, 3, 5, 7, 0, 0, 0, 0)
+                            : _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  const __m256i xm = set1_u64(xor_mask);
+  const __m256i step = set1_u64(kGamma * 8);
+  __m256i c0 = _mm256_add_epi64(
+      set1_u64(add0),
+      _mm256_setr_epi64x(0, static_cast<long long>(kGamma),
+                         static_cast<long long>(kGamma * 2),
+                         static_cast<long long>(kGamma * 3)));
+  __m256i c1 = _mm256_add_epi64(c0, set1_u64(kGamma * 4));
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i z0 = splitmix_mix4(_mm256_xor_si256(xm, c0));
+    const __m256i z1 = splitmix_mix4(_mm256_xor_si256(xm, c1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k),
+                        pack_u64_dwords(z0, z1, sel));
+    c0 = _mm256_add_epi64(c0, step);
+    c1 = _mm256_add_epi64(c1, step);
+  }
+  for (; k < n; ++k) {
+    const std::uint64_t z = prng::splitmix64_mix(xor_mask ^ (add0 + k * kGamma));
+    out[k] = static_cast<std::uint32_t>(kHigh ? (z >> 32) : z);
+  }
+}
+
+/// State of GlibcLcg after `raw` raw steps from `s` via the affine
+/// square-and-multiply jump (mirrors GlibcLcg::discard_u32; one u32 output
+/// = two raw steps).
+std::uint32_t lcg_jump_raw(std::uint32_t s, std::uint64_t raw) {
+  std::uint32_t a = 1, c = 0;
+  std::uint32_t ap = 1103515245u, cp = 12345u;
+  while (raw != 0) {
+    if ((raw & 1) != 0) {
+      c = ap * c + cp;
+      a = ap * a;
+    }
+    cp = ap * cp + cp;
+    ap = ap * ap;
+    raw >>= 1;
+  }
+  return a * s + c;
+}
+
+}  // namespace
+
+void derive_fill_u32_avx2(std::uint64_t root, std::uint64_t pos,
+                          std::uint32_t* out, std::size_t n) {
+  // SeedSequence(root).derive(i) = splitmix64_mix(root ^ (i * kGamma)),
+  // taken low 32. The counter term (pos + k) * kGamma is affine in k.
+  mix_counter_stream<false>(pos * kGamma, root, out, n);
+}
+
+void splitmix_fill_u32_avx2(std::uint64_t state0, std::uint32_t* out,
+                            std::size_t n) {
+  // SplitMix64{s0} draw k is the high 32 bits of the mix core applied to
+  // s0 + (k+1) * kGamma, i.e. splitmix64_mix(s0 + k * kGamma).
+  mix_counter_stream<true>(state0, 0, out, n);
+}
+
+void glibc_lcg_fill_u32_avx2(std::uint32_t state0, std::uint32_t* out,
+                             std::size_t n) {
+  constexpr std::uint32_t kA = 1103515245u;
+  constexpr std::uint32_t kC = 12345u;
+  constexpr std::size_t kW = 8;
+  std::size_t i = 0;
+  if (n >= kW) {
+    // Lane l is seeded 2*l raw steps (= l u32 draws) ahead, so lane l of
+    // iteration t computes output t*kW + l exactly; outputs land
+    // contiguously and the stream is identical to the serial one.
+    alignas(32) std::uint32_t s[kW];
+    s[0] = state0;
+    for (std::size_t l = 1; l < kW; ++l) s[l] = kA * (kA * s[l - 1] + kC) + kC;
+    __m256i S = _mm256_load_si256(reinterpret_cast<const __m256i*>(s));
+    // Per iteration each lane advances two raw steps in-vector and then
+    // jumps 2*(kW-1) raw steps to its next output slot; fold both into a
+    // single affine advance of 2*kW raw steps applied to s1's successor.
+    const std::uint32_t a14 = [] {
+      std::uint32_t a = 1;
+      for (int t = 0; t < 14; ++t) a *= kA;
+      return a;
+    }();
+    const std::uint32_t c14 = [] {
+      std::uint32_t a = 1, c = 0;
+      for (int t = 0; t < 14; ++t) {
+        c = kA * c + kC;
+        a *= kA;
+      }
+      return c;
+    }();
+    const __m256i vA = _mm256_set1_epi32(static_cast<int>(kA));
+    const __m256i vC = _mm256_set1_epi32(static_cast<int>(kC));
+    const __m256i vA14 = _mm256_set1_epi32(static_cast<int>(a14));
+    const __m256i vC14 = _mm256_set1_epi32(static_cast<int>(c14));
+    const __m256i m16 = _mm256_set1_epi32(0xFFFF);
+    for (; i + kW <= n; i += kW) {
+      const __m256i s1 = _mm256_add_epi32(_mm256_mullo_epi32(S, vA), vC);
+      const __m256i s2 = _mm256_add_epi32(_mm256_mullo_epi32(s1, vA), vC);
+      // next_u32 = ((s1 >> 15) & 0xFFFF) << 16 | ((s2 >> 15) & 0xFFFF)
+      // (the 31-bit mask in next_31 is subsumed by the 16-bit mask here).
+      const __m256i hi =
+          _mm256_slli_epi32(_mm256_and_si256(_mm256_srli_epi32(s1, 15), m16), 16);
+      const __m256i lo = _mm256_and_si256(_mm256_srli_epi32(s2, 15), m16);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                          _mm256_or_si256(hi, lo));
+      S = _mm256_add_epi32(_mm256_mullo_epi32(s2, vA14), vC14);
+    }
+  }
+  // Ragged tail: resume serially from the state after i u32 draws.
+  std::uint32_t st = lcg_jump_raw(state0, 2 * static_cast<std::uint64_t>(i));
+  for (; i < n; ++i) {
+    const std::uint32_t s1 = kA * st + kC;
+    const std::uint32_t s2 = kA * s1 + kC;
+    out[i] = (((s1 >> 15) & 0xFFFFu) << 16) | ((s2 >> 15) & 0xFFFFu);
+    st = s2;
+  }
+}
+
+void walk_draws_avx2(WalkLane* lanes, std::uint64_t draws, std::uint32_t wpd,
+                     int len, bool finalize) {
+  // Eight forward-only walks in lockstep, one per u32 lane. Every draw of
+  // every lane starts a fresh word-aligned reader over its own wpd-word
+  // slice and consumes a constant 3 bits per step, so the reader position
+  // is lane-invariant: one shared (avail, pos) pair drives eight 64-bit
+  // accumulators that mirror expander::BitReader::refill exactly.
+  alignas(32) std::uint32_t xs[8], ys[8], w[8];
+  for (int l = 0; l < 8; ++l) {
+    xs[l] = lanes[l].x;
+    ys[l] = lanes[l].y;
+  }
+  __m256i X = _mm256_load_si256(reinterpret_cast<const __m256i*>(xs));
+  __m256i Y = _mm256_load_si256(reinterpret_cast<const __m256i*>(ys));
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i three = _mm256_set1_epi32(3);
+  const __m256i four = _mm256_set1_epi32(4);
+  const __m256i seven = _mm256_set1_epi32(7);
+  const __m256i seven64 = set1_u64(7);
+  const __m256i sel_lo = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  for (std::uint64_t j = 0; j < draws; ++j) {
+    __m256i acc_lo = zero;  // accumulators of lanes 0..3
+    __m256i acc_hi = zero;  // accumulators of lanes 4..7
+    int avail = 0;
+    std::uint32_t pos = 0;
+    for (int step = 0; step < len; ++step) {
+      if (avail < 3) {
+        while (avail <= 32 && pos < wpd) {
+          for (int l = 0; l < 8; ++l) w[l] = lanes[l].bits[j * wpd + pos];
+          const __m256i wv =
+              _mm256_load_si256(reinterpret_cast<const __m256i*>(w));
+          const __m128i shift = _mm_cvtsi32_si128(avail);
+          acc_lo = _mm256_or_si256(
+              acc_lo, _mm256_sll_epi64(
+                          _mm256_cvtepu32_epi64(_mm256_castsi256_si128(wv)),
+                          shift));
+          acc_hi = _mm256_or_si256(
+              acc_hi, _mm256_sll_epi64(
+                          _mm256_cvtepu32_epi64(_mm256_extracti128_si256(wv, 1)),
+                          shift));
+          ++pos;
+          avail += 32;
+        }
+      }
+      const __m256i b_lo = _mm256_and_si256(acc_lo, seven64);
+      const __m256i b_hi = _mm256_and_si256(acc_hi, seven64);
+      acc_lo = _mm256_srli_epi64(acc_lo, 3);
+      acc_hi = _mm256_srli_epi64(acc_hi, 3);
+      avail -= 3;
+      const __m256i B = pack_u64_dwords(b_lo, b_hi, sel_lo);
+      // Forward Gabber-Galil neighbor, branch-free: b in 1..3 moves
+      // y += 2x + (b-1); b in 4..6 moves x += 2y + (b-4); b == 0 stays and
+      // b == 7 stays under both kMod7 (identity neighbor) and kSevenStays.
+      const __m256i move_y = _mm256_and_si256(_mm256_cmpgt_epi32(B, zero),
+                                              _mm256_cmpgt_epi32(four, B));
+      const __m256i move_x = _mm256_and_si256(_mm256_cmpgt_epi32(B, three),
+                                              _mm256_cmpgt_epi32(seven, B));
+      const __m256i dy = _mm256_and_si256(
+          _mm256_add_epi32(_mm256_slli_epi32(X, 1), _mm256_sub_epi32(B, one)),
+          move_y);
+      const __m256i dx = _mm256_and_si256(
+          _mm256_add_epi32(_mm256_slli_epi32(Y, 1), _mm256_sub_epi32(B, four)),
+          move_x);
+      Y = _mm256_add_epi32(Y, dy);
+      X = _mm256_add_epi32(X, dx);
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(xs), X);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(ys), Y);
+    for (int l = 0; l < 8; ++l) {
+      const std::uint64_t id =
+          (static_cast<std::uint64_t>(xs[l]) << 32) | ys[l];
+      lanes[l].out[j] = finalize ? prng::splitmix64_mix(id) : id;
+    }
+  }
+  for (int l = 0; l < 8; ++l) {
+    lanes[l].x = xs[l];
+    lanes[l].y = ys[l];
+  }
+}
+
+}  // namespace hprng::simd::detail

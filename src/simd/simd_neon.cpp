@@ -1,0 +1,140 @@
+// NEON kernels for hprng::simd (aarch64, where NEON is baseline). The
+// 64-bit splitmix mixer has no cheap NEON formulation (no 64-bit lane
+// multiply), so the derive/splitmix streams stay on the scalar path there;
+// NEON accelerates the 32-bit LCG fill and a 4-lane walk quad.
+#if defined(__aarch64__) || defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include <cstdint>
+
+#include "prng/splitmix64.hpp"
+#include "simd/kernels.hpp"
+
+namespace hprng::simd::detail {
+namespace {
+
+std::uint32_t lcg_jump_raw(std::uint32_t s, std::uint64_t raw) {
+  std::uint32_t a = 1, c = 0;
+  std::uint32_t ap = 1103515245u, cp = 12345u;
+  while (raw != 0) {
+    if ((raw & 1) != 0) {
+      c = ap * c + cp;
+      a = ap * a;
+    }
+    cp = ap * cp + cp;
+    ap = ap * ap;
+    raw >>= 1;
+  }
+  return a * s + c;
+}
+
+}  // namespace
+
+void glibc_lcg_fill_u32_neon(std::uint32_t state0, std::uint32_t* out,
+                             std::size_t n) {
+  constexpr std::uint32_t kA = 1103515245u;
+  constexpr std::uint32_t kC = 12345u;
+  constexpr std::size_t kW = 4;
+  std::size_t i = 0;
+  if (n >= kW) {
+    // Lane l seeded l u32 draws (2*l raw steps) ahead; outputs contiguous.
+    std::uint32_t s[kW];
+    s[0] = state0;
+    for (std::size_t l = 1; l < kW; ++l) s[l] = kA * (kA * s[l - 1] + kC) + kC;
+    uint32x4_t S = vld1q_u32(s);
+    std::uint32_t a6 = 1, c6 = 0;  // affine of 2*(kW-1) = 6 raw steps
+    for (int t = 0; t < 6; ++t) {
+      c6 = kA * c6 + kC;
+      a6 *= kA;
+    }
+    const uint32x4_t vA = vdupq_n_u32(kA);
+    const uint32x4_t vC = vdupq_n_u32(kC);
+    const uint32x4_t vA6 = vdupq_n_u32(a6);
+    const uint32x4_t vC6 = vdupq_n_u32(c6);
+    const uint32x4_t m16 = vdupq_n_u32(0xFFFFu);
+    for (; i + kW <= n; i += kW) {
+      const uint32x4_t s1 = vaddq_u32(vmulq_u32(S, vA), vC);
+      const uint32x4_t s2 = vaddq_u32(vmulq_u32(s1, vA), vC);
+      const uint32x4_t hi =
+          vshlq_n_u32(vandq_u32(vshrq_n_u32(s1, 15), m16), 16);
+      const uint32x4_t lo = vandq_u32(vshrq_n_u32(s2, 15), m16);
+      vst1q_u32(out + i, vorrq_u32(hi, lo));
+      S = vaddq_u32(vmulq_u32(s2, vA6), vC6);
+    }
+  }
+  std::uint32_t st = lcg_jump_raw(state0, 2 * static_cast<std::uint64_t>(i));
+  for (; i < n; ++i) {
+    const std::uint32_t s1 = kA * st + kC;
+    const std::uint32_t s2 = kA * s1 + kC;
+    out[i] = (((s1 >> 15) & 0xFFFFu) << 16) | ((s2 >> 15) & 0xFFFFu);
+    st = s2;
+  }
+}
+
+void walk_draws_neon4(WalkLane* lanes, std::uint64_t draws, std::uint32_t wpd,
+                      int len, bool finalize) {
+  // Four forward-only walks in lockstep — the NEON half-width sibling of
+  // walk_draws_avx2; see that kernel for the shared-reader argument.
+  std::uint32_t xs[4], ys[4], w[4];
+  for (int l = 0; l < 4; ++l) {
+    xs[l] = lanes[l].x;
+    ys[l] = lanes[l].y;
+  }
+  uint32x4_t X = vld1q_u32(xs);
+  uint32x4_t Y = vld1q_u32(ys);
+  const uint32x4_t zero = vdupq_n_u32(0);
+  const uint32x4_t one = vdupq_n_u32(1);
+  const uint32x4_t three = vdupq_n_u32(3);
+  const uint32x4_t four = vdupq_n_u32(4);
+  const uint32x4_t seven = vdupq_n_u32(7);
+  const uint64x2_t seven64 = vdupq_n_u64(7);
+  for (std::uint64_t j = 0; j < draws; ++j) {
+    uint64x2_t acc01 = vdupq_n_u64(0);  // accumulators of lanes 0..1
+    uint64x2_t acc23 = vdupq_n_u64(0);  // accumulators of lanes 2..3
+    int avail = 0;
+    std::uint32_t pos = 0;
+    for (int step = 0; step < len; ++step) {
+      if (avail < 3) {
+        while (avail <= 32 && pos < wpd) {
+          for (int l = 0; l < 4; ++l) w[l] = lanes[l].bits[j * wpd + pos];
+          const uint32x4_t wv = vld1q_u32(w);
+          const int64x2_t shift = vdupq_n_s64(avail);
+          acc01 = vorrq_u64(acc01, vshlq_u64(vmovl_u32(vget_low_u32(wv)), shift));
+          acc23 = vorrq_u64(acc23, vshlq_u64(vmovl_u32(vget_high_u32(wv)), shift));
+          ++pos;
+          avail += 32;
+        }
+      }
+      const uint32x2_t b01 = vmovn_u64(vandq_u64(acc01, seven64));
+      const uint32x2_t b23 = vmovn_u64(vandq_u64(acc23, seven64));
+      acc01 = vshrq_n_u64(acc01, 3);
+      acc23 = vshrq_n_u64(acc23, 3);
+      avail -= 3;
+      const uint32x4_t B = vcombine_u32(b01, b23);
+      const uint32x4_t move_y = vandq_u32(vcgtq_u32(B, zero), vcgtq_u32(four, B));
+      const uint32x4_t move_x = vandq_u32(vcgtq_u32(B, three), vcgtq_u32(seven, B));
+      const uint32x4_t dy =
+          vandq_u32(vaddq_u32(vshlq_n_u32(X, 1), vsubq_u32(B, one)), move_y);
+      const uint32x4_t dx =
+          vandq_u32(vaddq_u32(vshlq_n_u32(Y, 1), vsubq_u32(B, four)), move_x);
+      Y = vaddq_u32(Y, dy);
+      X = vaddq_u32(X, dx);
+    }
+    vst1q_u32(xs, X);
+    vst1q_u32(ys, Y);
+    for (int l = 0; l < 4; ++l) {
+      const std::uint64_t id =
+          (static_cast<std::uint64_t>(xs[l]) << 32) | ys[l];
+      lanes[l].out[j] = finalize ? prng::splitmix64_mix(id) : id;
+    }
+  }
+  for (int l = 0; l < 4; ++l) {
+    lanes[l].x = xs[l];
+    lanes[l].y = ys[l];
+  }
+}
+
+}  // namespace hprng::simd::detail
+
+#endif  // __aarch64__ || __ARM_NEON

@@ -16,10 +16,13 @@
 #include <string>
 #include <vector>
 
+#include "core/hybrid_prng.hpp"
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "quality/quality.hpp"
 #include "serve/service.hpp"
+#include "sim/device.hpp"
+#include "simd/simd.hpp"
 #include "util/file.hpp"
 
 #ifndef HPRNG_SOURCE_DIR
@@ -234,6 +237,37 @@ TEST(DocsLint, QualityInstrumentsAreCatalogued) {
   }
   // Six counters + six gauges today.
   EXPECT_GE(checked, 12u);
+}
+
+// The SIMD info gauges (docs/PERFORMANCE.md §6): wiring metrics into the
+// feeder and the pipeline core registers hprng.host.simd_* /
+// hprng.core.simd_* eagerly, each must be catalogued, and the kernel-id
+// gauge must carry a valid hprng::simd kernel enum value.
+TEST(DocsLint, SimdInstrumentsAreCatalogued) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with -DHPRNG_ENABLE_OBS=OFF";
+  obs::MetricsRegistry metrics;
+  sim::Device dev;
+  core::HybridPrng prng(dev);
+  prng.set_metrics(&metrics);  // wires the core AND its feeder
+
+  std::string doc;
+  ASSERT_TRUE(util::read_file(
+      std::string(HPRNG_SOURCE_DIR) + "/docs/OBSERVABILITY.md", &doc));
+  for (const char* name :
+       {"hprng.host.simd_kernel", "hprng.host.simd_lanes",
+        "hprng.core.simd_kernel", "hprng.core.simd_lanes"}) {
+    EXPECT_TRUE(metrics.has(name)) << name << " not registered eagerly";
+    EXPECT_NE(doc.find(std::string("`") + name + "`"), std::string::npos)
+        << "instrument `" << name
+        << "` is not catalogued in docs/OBSERVABILITY.md";
+  }
+  const auto kernel =
+      static_cast<simd::Kernel>(metrics.gauge("hprng.core.simd_kernel").value());
+  EXPECT_EQ(kernel, simd::active_kernel());
+  EXPECT_EQ(metrics.gauge("hprng.core.simd_lanes").value(),
+            simd::lane_width_u32());
+  EXPECT_EQ(metrics.gauge("hprng.host.simd_kernel").value(),
+            metrics.gauge("hprng.core.simd_kernel").value());
 }
 
 // docs/BACKENDS.md is the normative backend spec: every backend name the
