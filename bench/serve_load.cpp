@@ -26,6 +26,25 @@
 //                               of fresh options: restored leases are
 //                               adopted first, extra clients lease fresh
 //                               slots; service-shape flags are ignored
+//
+// Tenancy (docs/QOS.md §8): a heavy-tail tenant population over the same
+// client threads — client c maps to tenant 1..N by the inverse Zipf CDF,
+// deterministically, so the same flags always produce the same placement.
+//        --tenants=N       tenant population size (default 1: everything
+//                          rides tenant 0, the pre-QoS behaviour)
+//        --tenant-skew=S   Zipf exponent for the client→tenant map
+//                          (default 1.0; bigger = heavier head)
+//        --scenario=NAME   steady | flash-crowd | slow-leak. flash-crowd
+//                          rate-caps the Zipf-head tenant while its
+//                          clients flood; slow-leak gives it a small byte
+//                          quota and a trickling arrival pattern, so the
+//                          quota exhausts mid-run. Both must leave the
+//                          compliant tenants' service intact — the
+//                          fairness property the qos-fairness CI job and
+//                          serve_qos_chaos_test pin.
+//        --tenant-json=PATH  per-tenant results JSON (the CI fairness
+//                          artifact: per-tenant counters, latency
+//                          quantiles and the top-K offender report)
 //        --help  print the flag listing and exit
 //
 // Wire mode (docs/NETWORK.md): with --listen or --connect the same load
@@ -52,8 +71,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -119,6 +140,11 @@ void print_help() {
       "  --keep-leases       leave leases live (orphaned) on exit\n"
       "  --adopt             adopt the server's adoptable leases first\n"
       "  --max-pending-fills=N --completers=N  in-process server shape\n"
+      "tenancy (docs/QOS.md):\n"
+      "  --tenants=N         tenant population (default 1 = tenant 0 only)\n"
+      "  --tenant-skew=S     Zipf exponent for client placement (default 1)\n"
+      "  --scenario=NAME     steady|flash-crowd|slow-leak (docs/QOS.md §8)\n"
+      "  --tenant-json=PATH  per-tenant fairness report (CI artifact)\n"
       "faults (docs/FAULTS.md):\n"
       "  --fault-plan=PLAN   e.g. shard:1:fail:0:1000000\n"
       "checkpoint/restore (docs/STATE.md):\n"
@@ -141,6 +167,164 @@ void print_help() {
       "output:\n"
       "  --metrics-json=PATH --bench-json=PATH\n"
       "  --help              this listing\n");
+}
+
+// ---------------------------------------------------------------------------
+// Tenancy (docs/QOS.md §8).
+
+enum class Scenario { kSteady, kFlashCrowd, kSlowLeak };
+
+bool parse_scenario(const std::string& name, Scenario* out) {
+  if (name.empty() || name == "steady") *out = Scenario::kSteady;
+  else if (name == "flash-crowd") *out = Scenario::kFlashCrowd;
+  else if (name == "slow-leak") *out = Scenario::kSlowLeak;
+  else return false;
+  return true;
+}
+
+const char* scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kSteady: return "steady";
+    case Scenario::kFlashCrowd: return "flash-crowd";
+    case Scenario::kSlowLeak: return "slow-leak";
+  }
+  return "?";
+}
+
+// The scenarios' misbehaving tenant is always the Zipf head — the tenant
+// that naturally carries the most clients, so its misbehaviour is the
+// worst case for the compliant tail.
+constexpr std::uint64_t kNoisyTenant = 1;
+
+// Deterministic heavy-tail client→tenant placement: tenant k in [1, N]
+// carries Zipf(skew) mass 1/k^skew and client c lands by inverse CDF at
+// (c + 0.5) / clients. No RNG: same flags, same placement, so fairness
+// runs replay exactly. N <= 1 keeps everything on tenant 0 (pre-QoS).
+std::vector<std::uint64_t> assign_tenants(int clients, int tenants,
+                                          double skew) {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(clients), 0);
+  if (tenants <= 1) return out;
+  std::vector<double> cdf(static_cast<std::size_t>(tenants));
+  double total = 0.0;
+  for (int k = 0; k < tenants; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf[static_cast<std::size_t>(k)] = total;
+  }
+  for (int c = 0; c < clients; ++c) {
+    const double u =
+        (static_cast<double>(c) + 0.5) / static_cast<double>(clients) * total;
+    std::uint64_t tenant = static_cast<std::uint64_t>(tenants);
+    for (int k = 0; k < tenants; ++k) {
+      if (u <= cdf[static_cast<std::size_t>(k)]) {
+        tenant = static_cast<std::uint64_t>(k + 1);
+        break;
+      }
+    }
+    out[static_cast<std::size_t>(c)] = tenant;
+  }
+  return out;
+}
+
+// Per-tenant client-side tallies, merged across the tenant's clients
+// after the threads join (each client writes only its own slot).
+struct TenantTally {
+  std::uint64_t clients = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected_quota = 0;  ///< kRejectedQuota statuses observed
+  std::vector<double> lats;          ///< client-side seconds, unsorted
+};
+
+double tally_quantile(std::vector<double>& lats, double q) {
+  if (lats.empty()) return 0.0;
+  std::sort(lats.begin(), lats.end());
+  const std::size_t i = static_cast<std::size_t>(
+      q * static_cast<double>(lats.size() - 1));
+  return lats[i];
+}
+
+// Scenario policy overrides for the noisy tenant. `noisy_offered_words`
+// is that tenant's total offered load (its clients x requests x words) —
+// the slow-leak quota is sized at half of it so exhaustion is guaranteed
+// mid-run whatever the flag values.
+void apply_scenario(Scenario scenario, std::size_t words,
+                    std::uint64_t noisy_offered_words,
+                    serve::TenantOptions* tenants) {
+  serve::TenantPolicy p = tenants->default_policy;
+  switch (scenario) {
+    case Scenario::kSteady:
+      return;
+    case Scenario::kFlashCrowd:
+      // Rate-cap the flooding tenant at ~128 requests/s worth of words
+      // with a 16-request burst: its closed-loop flood runs orders of
+      // magnitude hotter, so the bucket rejects the excess while the
+      // compliant tenants (unlimited) proceed.
+      p.rate_words_per_s = static_cast<std::uint64_t>(words) * 128;
+      p.burst_words = static_cast<std::uint64_t>(words) * 16;
+      break;
+    case Scenario::kSlowLeak:
+      // A lifetime byte quota half the tenant's offered load: the trickle
+      // admits normally until the budget runs dry, then every further
+      // request lands kRejectedQuota.
+      p.quota_words = std::max<std::uint64_t>(words, noisy_offered_words / 2);
+      break;
+  }
+  tenants->overrides[kNoisyTenant] = p;
+}
+
+// The per-tenant fairness artifact (--tenant-json): engine-side counters
+// from TenantTable joined with the client-side latency quantiles, plus
+// the top-K offender report — the file the qos-fairness CI job asserts
+// against.
+void write_tenant_json(const std::string& path, Scenario scenario,
+                       const std::vector<serve::TenantTable::TenantStats>& ts,
+                       std::map<std::uint64_t, TenantTally>& tallies,
+                       const std::vector<serve::TenantTable::TenantStats>&
+                           offenders) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"scenario\": \"%s\",\n  \"noisy_tenant\": %llu,\n",
+               scenario_name(scenario),
+               static_cast<unsigned long long>(kNoisyTenant));
+  std::fprintf(f, "  \"tenants\": [\n");
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const auto& s = ts[i];
+    TenantTally& c = tallies[s.tenant];
+    const std::uint64_t seen = c.ok + c.failed;
+    std::fprintf(
+        f,
+        "    {\"tenant\": %llu, \"clients\": %llu, \"submitted\": %llu, "
+        "\"ok\": %llu, \"failed\": %llu, \"rejected_rate\": %llu, "
+        "\"rejected_quota\": %llu, \"words_charged\": %llu, "
+        "\"words_refunded\": %llu, \"quota_used\": %llu, "
+        "\"success_rate\": %.6f, \"latency_p50_s\": %.9f, "
+        "\"latency_p99_s\": %.9f}%s\n",
+        static_cast<unsigned long long>(s.tenant),
+        static_cast<unsigned long long>(c.clients),
+        static_cast<unsigned long long>(s.submitted),
+        static_cast<unsigned long long>(c.ok),
+        static_cast<unsigned long long>(c.failed),
+        static_cast<unsigned long long>(s.rejected_rate),
+        static_cast<unsigned long long>(s.rejected_quota),
+        static_cast<unsigned long long>(s.words_charged),
+        static_cast<unsigned long long>(s.words_refunded),
+        static_cast<unsigned long long>(s.quota_used),
+        seen > 0 ? static_cast<double>(c.ok) / static_cast<double>(seen) : 0.0,
+        tally_quantile(c.lats, 0.5), tally_quantile(c.lats, 0.99),
+        i + 1 < ts.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"top_offenders\": [");
+  for (std::size_t i = 0; i < offenders.size(); ++i) {
+    std::fprintf(f, "%s%llu", i > 0 ? ", " : "",
+                 static_cast<unsigned long long>(offenders[i].tenant));
+  }
+  std::fprintf(f, "]\n}\n");
+  std::fclose(f);
+  std::printf("tenant report: %s\n", path.c_str());
 }
 
 // Apply --simd=K (or leave the HPRNG_SIMD / hardware-probe dispatch
@@ -184,6 +368,25 @@ int run_wire(const util::Cli& cli) {
   std::string connect_ep = cli.get_string("connect", "");
   const std::string listen_ep = cli.get_string("listen", "");
   const bool in_process = connect_ep.empty();
+
+  Scenario scenario = Scenario::kSteady;
+  if (!parse_scenario(cli.get_string("scenario", ""), &scenario)) {
+    std::fprintf(stderr, "unknown --scenario=%s (steady|flash-crowd|"
+                         "slow-leak)\n",
+                 cli.get_string("scenario", "").c_str());
+    return 2;
+  }
+  const int tenants_n = static_cast<int>(cli.get_u64(
+      "tenants", scenario == Scenario::kSteady ? 1 : 4));
+  const double tenant_skew = cli.get_double("tenant-skew", 1.0);
+  const std::vector<std::uint64_t> tenant_of =
+      assign_tenants(clients, tenants_n, tenant_skew);
+  std::uint64_t noisy_offered_words = 0;
+  for (const std::uint64_t t : tenant_of) {
+    if (t == kNoisyTenant) {
+      noisy_offered_words += static_cast<std::uint64_t>(requests) * words;
+    }
+  }
 
   obs::MetricsRegistry metrics;
 
@@ -232,6 +435,7 @@ int run_wire(const util::Cli& cli) {
     opts.default_timeout =
         std::chrono::milliseconds(cli.get_u64("timeout-ms", 30000));
     opts.injector = injector.has_value() ? &*injector : nullptr;
+    apply_scenario(scenario, words, noisy_offered_words, &opts.tenants);
     service = std::make_unique<serve::RngService>(opts, &metrics);
 
     net::ServerOptions sopts;
@@ -300,6 +504,7 @@ int run_wire(const util::Cli& cli) {
     threads.emplace_back([&, c] {
       net::ClientOptions my = copts;
       my.name = util::strf("serve_load#%d", c);
+      my.tenant = tenant_of[static_cast<std::size_t>(c)];
       net::NetClient client(my);
       std::string err;
       std::uint64_t lease_id = 0;
@@ -463,6 +668,11 @@ int run_wire(const util::Cli& cli) {
     t.add_row({"server adoptable leases",
                util::strf("%llu",
                           static_cast<unsigned long long>(sstats.adoptable))});
+    if (tenants_n > 1) {
+      t.add_row({"server rejected (quota/rate)",
+                 util::strf("%llu", static_cast<unsigned long long>(
+                                        sstats.rejected_quota))});
+    }
   }
   t.add_row({"wall time (ms)", bench::ms(wall_seconds)});
   if (wall_seconds > 0.0) {
@@ -530,10 +740,13 @@ int run_wire(const util::Cli& cli) {
     bench::export_bench_json(cli, json);
   }
 
-  // Shape: without an injected fault plan, every request must land kOk;
-  // leases reclaim (or deliberately persist with --keep-leases).
+  // Shape: without an injected fault plan (or a scenario that rejects by
+  // design), every request must land kOk; leases reclaim (or deliberately
+  // persist with --keep-leases).
   const bool clean_requests =
-      plan.has_value() ? ok.load() > 0 : failed.load() == 0 && ok.load() > 0;
+      plan.has_value() || scenario != Scenario::kSteady
+          ? ok.load() > 0
+          : failed.load() == 0 && ok.load() > 0;
   const bool leases_accounted =
       !have_sstats ||
       (keep_leases ? sstats.active_leases + sstats.adoptable >= 1
@@ -563,6 +776,29 @@ int main(int argc, char** argv) {
   const std::size_t words = cli.get_u64("n", 256);
   const int inflight =
       static_cast<int>(std::max<std::uint64_t>(1, cli.get_u64("inflight", 1)));
+  const bool open_loop = cli.has("open-loop");
+  const double rate = cli.get_double("rate", 256.0);  // total req/s
+
+  // Tenancy (docs/QOS.md §8): deterministic Zipf client placement plus
+  // the scenario's policy override for the noisy (Zipf-head) tenant.
+  Scenario scenario = Scenario::kSteady;
+  if (!parse_scenario(cli.get_string("scenario", ""), &scenario)) {
+    std::fprintf(stderr, "unknown --scenario=%s (steady|flash-crowd|"
+                         "slow-leak)\n",
+                 cli.get_string("scenario", "").c_str());
+    return 2;
+  }
+  const int tenants_n = static_cast<int>(cli.get_u64(
+      "tenants", scenario == Scenario::kSteady ? 1 : 4));
+  const double tenant_skew = cli.get_double("tenant-skew", 1.0);
+  std::vector<std::uint64_t> tenant_of =
+      assign_tenants(clients, tenants_n, tenant_skew);
+  std::uint64_t noisy_offered_words = 0;
+  for (const std::uint64_t t : tenant_of) {
+    if (t == kNoisyTenant) {
+      noisy_offered_words += static_cast<std::uint64_t>(requests) * words;
+    }
+  }
 
   serve::ServiceOptions opts;
   opts.backend = cli.get_string("backend", "hybrid");
@@ -608,6 +844,7 @@ int main(int argc, char** argv) {
   }
   opts.default_timeout =
       std::chrono::milliseconds(cli.get_u64("timeout-ms", 30000));
+  apply_scenario(scenario, words, noisy_offered_words, &opts.tenants);
 
   // Optional deterministic chaos: parse the plan text and wire the injector
   // into every shard's pipeline plus the service's dispatch/worker sites.
@@ -635,6 +872,15 @@ int main(int argc, char** argv) {
                  opts.backend.c_str(), opts.num_workers, opts.queue_capacity,
                  policy_name.c_str())
           .c_str());
+  if (tenants_n > 1 || scenario != Scenario::kSteady) {
+    std::printf("tenancy: %d tenants, zipf skew %.2f, scenario %s "
+                "(noisy tenant %llu), %s loop%s\n\n",
+                tenants_n, tenant_skew, scenario_name(scenario),
+                static_cast<unsigned long long>(kNoisyTenant),
+                open_loop ? "open" : "closed",
+                open_loop ? util::strf(", %.0f req/s Poisson", rate).c_str()
+                          : "");
+  }
   if (plan.has_value()) {
     std::printf("fault plan: %s\n\n", plan->to_string().c_str());
   }
@@ -648,6 +894,9 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry metrics;
   double wall_seconds = 0.0;
   std::atomic<std::uint64_t> ok{0}, failed{0};
+  std::vector<TenantTally> client_tally(static_cast<std::size_t>(clients));
+  std::vector<serve::TenantTable::TenantStats> tenant_stats;
+  std::vector<serve::TenantTable::TenantStats> offenders;
   serve::RngService::Stats stats;
   int healthy = opts.num_shards;
   std::uint64_t checkpoints_taken = 0, checkpoints_failed = 0;
@@ -697,13 +946,21 @@ int main(int argc, char** argv) {
       }
     }
     for (int c = static_cast<int>(sessions.size()); c < clients; ++c) {
-      auto session = service.try_open_session();
+      serve::RngService::SessionSpec spec;
+      spec.tenant = tenant_of[static_cast<std::size_t>(c)];
+      auto session = service.try_open_session(spec);
       if (!session.has_value()) {
         std::fprintf(stderr,
                      "lease pool exhausted at client %d (grow --slots)\n", c);
         return 2;
       }
       sessions.push_back(*session);
+    }
+    // Adopted sessions carry the tenant the snapshot recorded, not the
+    // Zipf placement — read the authoritative tenancy back so the
+    // per-tenant tallies bill the right owner.
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      tenant_of[i] = sessions[i].tenant();
     }
 
     // Periodic background snapshots; scoped so it stops (and its last tick
@@ -731,24 +988,68 @@ int main(int argc, char** argv) {
         // (inflight == 1 degenerates to the classic closed loop). A
         // request's buffer is recycled only after its ticket settles, so
         // slot r % inflight is always free when request r is issued.
+        const std::uint64_t tenant = tenant_of[static_cast<std::size_t>(c)];
+        TenantTally& tally = client_tally[static_cast<std::size_t>(c)];
         std::vector<std::vector<std::uint64_t>> bufs(
             static_cast<std::size_t>(inflight),
             std::vector<std::uint64_t>(words));
-        std::deque<serve::Ticket> window;
+        struct Pending {
+          serve::Ticket ticket;
+          std::chrono::steady_clock::time_point t0;
+        };
+        std::deque<Pending> window;
         const auto settle_front = [&] {
-          if (window.front().wait() == serve::Status::kOk) {
+          Pending p = window.front();
+          window.pop_front();
+          const serve::Status st = p.ticket.wait();
+          tally.lats.push_back(
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            p.t0)
+                  .count());
+          if (st == serve::Status::kOk) {
+            ++tally.ok;
             ok.fetch_add(1, std::memory_order_relaxed);
           } else {
+            ++tally.failed;
+            if (st == serve::Status::kRejectedQuota) ++tally.rejected_quota;
             failed.fetch_add(1, std::memory_order_relaxed);
           }
-          window.pop_front();
         };
+        // Open loop: deterministic per-client Poisson arrivals (wire-mode
+        // convention — latency runs from the scheduled arrival). The
+        // scenarios skew the noisy tenant's pace: flash-crowd floods it
+        // at 8x, slow-leak trickles it at a quarter rate.
+        std::mt19937_64 rng(opts.seed ^
+                            (0x9E3779B97F4A7C15ull *
+                             (static_cast<std::uint64_t>(c) + 1)));
+        double client_rate = rate / static_cast<double>(clients);
+        if (tenant == kNoisyTenant) {
+          if (scenario == Scenario::kFlashCrowd) client_rate *= 8.0;
+          if (scenario == Scenario::kSlowLeak) client_rate *= 0.25;
+        }
+        std::exponential_distribution<double> gap(client_rate);
+        auto next_arrival = std::chrono::steady_clock::now();
         for (int r = 0; r < requests; ++r) {
+          if (open_loop) {
+            next_arrival += std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(gap(rng)));
+            std::this_thread::sleep_until(next_arrival);
+          } else if (scenario == Scenario::kSlowLeak &&
+                     tenant == kNoisyTenant) {
+            // Closed-loop slow leak: a small trickle instead of a flood —
+            // quota, not rate, is what runs out.
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
           if (window.size() == static_cast<std::size_t>(inflight)) {
             settle_front();
           }
-          window.push_back(sessions[c].fill_async(
-              bufs[static_cast<std::size_t>(r % inflight)]));
+          const auto t0 =
+              open_loop ? next_arrival : std::chrono::steady_clock::now();
+          window.push_back(
+              {sessions[static_cast<std::size_t>(c)].fill_async(
+                   bufs[static_cast<std::size_t>(r % inflight)]),
+               t0});
         }
         while (!window.empty()) settle_front();
       });
@@ -785,6 +1086,10 @@ int main(int argc, char** argv) {
       quality_report = scrubber->report();
       scrubber.reset();
     }
+    // Tenant ground truth at the drained fence, BEFORE the leases release
+    // (release would zero the per-tenant lease counts in the report).
+    tenant_stats = service.tenant_all_stats();
+    offenders = service.top_offenders();
     sessions.clear();  // release every lease before the final snapshot
     stats = service.stats();
     healthy = service.healthy_shards();
@@ -803,6 +1108,11 @@ int main(int argc, char** argv) {
                                 static_cast<unsigned long long>(stats.shed))});
   t.add_row({"timed out", util::strf("%llu", static_cast<unsigned long long>(
                                                  stats.timed_out))});
+  if (tenants_n > 1 || stats.rejected_quota > 0) {
+    t.add_row({"rejected (rate/quota)",
+               util::strf("%llu", static_cast<unsigned long long>(
+                                      stats.rejected_quota))});
+  }
   if (plan.has_value()) {
     t.add_row({"failed", util::strf("%llu", static_cast<unsigned long long>(
                                                 stats.failed))});
@@ -911,17 +1221,20 @@ int main(int argc, char** argv) {
   const bool conserved =
       (scrub_ran ? stats.submitted >= total : stats.submitted == total) &&
       stats.submitted == stats.completed + stats.rejected + stats.shed +
-                             stats.timed_out + stats.closed + stats.failed &&
+                             stats.timed_out + stats.closed + stats.failed +
+                             stats.rejected_quota &&
       (scrub_ran ? ok.load() <= stats.completed
                  : ok.load() == stats.completed) &&
       (scrub_ran ||
        failed.load() == stats.rejected + stats.shed + stats.timed_out +
-                            stats.closed + stats.failed);
+                            stats.closed + stats.failed +
+                            stats.rejected_quota);
   const bool leases_clean = stats.active_leases == 0 &&
                             stats.leases_granted == stats.leases_released;
   const bool coalesced = stats.batches <= stats.completed;
   std::printf("\nconservation: submitted %llu = ok %llu + rejected %llu + "
-              "shed %llu + timed_out %llu + closed %llu + failed %llu [%s]\n",
+              "shed %llu + timed_out %llu + closed %llu + failed %llu + "
+              "rejected_quota %llu [%s]\n",
               static_cast<unsigned long long>(stats.submitted),
               static_cast<unsigned long long>(stats.completed),
               static_cast<unsigned long long>(stats.rejected),
@@ -929,7 +1242,77 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.timed_out),
               static_cast<unsigned long long>(stats.closed),
               static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.rejected_quota),
               conserved ? "OK" : "MISMATCH");
+
+  // Per-tenant fairness view: engine-side TenantTable ground truth joined
+  // with each tenant's client-side latency quantiles (docs/QOS.md §7).
+  std::map<std::uint64_t, TenantTally> per_tenant;
+  for (int c = 0; c < clients; ++c) {
+    const TenantTally& src = client_tally[static_cast<std::size_t>(c)];
+    TenantTally& dst = per_tenant[tenant_of[static_cast<std::size_t>(c)]];
+    ++dst.clients;
+    dst.issued += static_cast<std::uint64_t>(requests);
+    dst.ok += src.ok;
+    dst.failed += src.failed;
+    dst.rejected_quota += src.rejected_quota;
+    dst.lats.insert(dst.lats.end(), src.lats.begin(), src.lats.end());
+  }
+  bool fairness_ok = true;
+  if (tenants_n > 1 || scenario != Scenario::kSteady) {
+    util::Table tt({"tenant", "clients", "submitted", "ok", "rej rate",
+                    "rej quota", "quota used", "p50 ms", "p99 ms",
+                    "success"});
+    for (const auto& s : tenant_stats) {
+      TenantTally& c = per_tenant[s.tenant];
+      const std::uint64_t seen = c.ok + c.failed;
+      const double success =
+          seen > 0 ? static_cast<double>(c.ok) / static_cast<double>(seen)
+                   : 0.0;
+      tt.add_row(
+          {util::strf("%llu%s", static_cast<unsigned long long>(s.tenant),
+                      s.tenant == kNoisyTenant &&
+                              scenario != Scenario::kSteady
+                          ? " (noisy)"
+                          : ""),
+           util::strf("%llu", static_cast<unsigned long long>(c.clients)),
+           util::strf("%llu", static_cast<unsigned long long>(s.submitted)),
+           util::strf("%llu", static_cast<unsigned long long>(c.ok)),
+           util::strf("%llu",
+                      static_cast<unsigned long long>(s.rejected_rate)),
+           util::strf("%llu",
+                      static_cast<unsigned long long>(s.rejected_quota)),
+           util::strf("%llu", static_cast<unsigned long long>(s.quota_used)),
+           bench::ms(tally_quantile(c.lats, 0.5)),
+           bench::ms(tally_quantile(c.lats, 0.99)),
+           util::strf("%.1f%%", success * 100.0)});
+      // Fairness: every compliant tenant must keep >= 90% of its requests
+      // landing kOk while the noisy tenant is throttled.
+      if (scenario != Scenario::kSteady && s.tenant != kNoisyTenant &&
+          seen > 0 && success < 0.9) {
+        fairness_ok = false;
+      }
+    }
+    std::printf("\n%s", tt.to_string().c_str());
+    std::printf("\ntop offenders:");
+    for (const auto& o : offenders) {
+      std::printf(" tenant %llu (%llu rejections, %llu words charged)",
+                  static_cast<unsigned long long>(o.tenant),
+                  static_cast<unsigned long long>(o.rejected_rate +
+                                                  o.rejected_quota),
+                  static_cast<unsigned long long>(o.words_charged));
+    }
+    std::printf("\n");
+    // The scenarios' contract (the qos-fairness CI gate): the injected
+    // noisy tenant must actually get throttled, and it must top the
+    // offender report.
+    if (scenario != Scenario::kSteady) {
+      if (stats.rejected_quota == 0 || offenders.empty() ||
+          offenders.front().tenant != kNoisyTenant) {
+        fairness_ok = false;
+      }
+    }
+  }
 
   bench::export_metrics_json(cli, metrics);
 
@@ -948,6 +1331,9 @@ int main(int argc, char** argv) {
     json.add("wall_seconds", wall_seconds);
     json.add("requests_ok", static_cast<double>(ok.load()));
     json.add("requests_failed", static_cast<double>(failed.load()));
+    json.add("scenario", std::string(scenario_name(scenario)));
+    json.add("tenants", static_cast<double>(tenants_n));
+    json.add("rejected_quota", static_cast<double>(stats.rejected_quota));
     json.add("backend_passes", static_cast<double>(stats.batches));
     json.add("numbers_served", static_cast<double>(stats.numbers_served));
     json.add("wall_req_per_s",
@@ -998,8 +1384,16 @@ int main(int argc, char** argv) {
     std::printf("quality report: %s\n", quality_json.c_str());
   }
 
-  const bool shape = conserved && leases_clean && coalesced && ok.load() > 0;
+  const std::string tenant_json = cli.get_string("tenant-json", "");
+  if (!tenant_json.empty()) {
+    write_tenant_json(tenant_json, scenario, tenant_stats, per_tenant,
+                      offenders);
+  }
+
+  const bool shape = conserved && leases_clean && coalesced &&
+                     ok.load() > 0 && fairness_ok;
   bench::verdict(shape, "every request reaches one terminal status, leases "
-                        "reclaim cleanly, batching coalesces requests");
+                        "reclaim cleanly, batching coalesces requests, and "
+                        "tenant QoS isolates the compliant population");
   return shape ? 0 : 1;
 }

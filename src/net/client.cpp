@@ -24,6 +24,7 @@ serve::Status status_from_wire(std::uint32_t raw) {
     case 2: return serve::Status::kShed;
     case 3: return serve::Status::kTimeout;
     case 4: return serve::Status::kClosed;
+    case 6: return serve::Status::kRejectedQuota;
     default: return serve::Status::kFailed;
   }
 }
@@ -306,6 +307,7 @@ std::optional<std::uint64_t> NetClient::lease(std::string* error) {
   WireWriter w;
   w.put_u8(0);
   w.put_u64(0);
+  w.put_u64(opts_.tenant);  // v2 lease payload (docs/NETWORK.md §3.2)
   std::lock_guard<std::mutex> lk(mu_);
   for (int attempt = 0;; ++attempt) {
     if (!ensure_connected(error)) return std::nullopt;
@@ -341,6 +343,7 @@ std::optional<std::uint64_t> NetClient::lease_on(std::uint64_t shard_key,
   WireWriter w;
   w.put_u8(1);
   w.put_u64(shard_key);
+  w.put_u64(opts_.tenant);  // v2 lease payload (docs/NETWORK.md §3.2)
   std::lock_guard<std::mutex> lk(mu_);
   if (!ensure_connected(error)) return std::nullopt;
   bool timed_out = false;
@@ -568,6 +571,8 @@ std::optional<NetStats> NetClient::stat(std::string* error) {
   s.healthy_shards = r.get_u64();
   s.adoptable = r.get_u64();
   s.connections = r.get_u64();
+  // v2 acks append the QoS rejection total; a v1 ack simply ends here.
+  if (reply->version >= 2) s.rejected_quota = r.get_u64();
   if (!r.ok()) {
     set_error(error, "malformed stat ack");
     return std::nullopt;

@@ -68,6 +68,11 @@ struct ClientOptions {
   /// Re-adopt held leases automatically after a reconnect.
   bool auto_adopt = true;
 
+  /// Tenant id sent in every lease request (docs/QOS.md §2). Leases this
+  /// client opens bill against that tenant's rate/quota policy; 0 is the
+  /// default tenant (the pre-QoS behaviour).
+  std::uint64_t tenant = 0;
+
   /// Optional `hprng.net.client.*` instruments; not owned.
   obs::MetricsRegistry* metrics = nullptr;
 };
@@ -94,6 +99,7 @@ struct NetStats {
   std::uint64_t healthy_shards = 0;
   std::uint64_t adoptable = 0;
   std::uint64_t connections = 0;
+  std::uint64_t rejected_quota = 0;  ///< v2 field; 0 from a v1 server
 };
 
 class NetClient {

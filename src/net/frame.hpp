@@ -34,11 +34,18 @@
 
 namespace hprng::net {
 
-/// The wire version this build speaks and the only one it accepts.
-/// Bump on any frame-layout or payload-schema change (docs/NETWORK.md §7:
-/// connections are short-lived operational links, not archives — there is
-/// no cross-version negotiation, the hello handshake hard-gates).
-inline constexpr std::uint8_t kWireVersion = 1;
+/// The wire version this build speaks natively. Bump on any frame-layout
+/// or payload-schema change. Servers accept the window
+/// [kMinWireVersion, kWireVersion] and parse version-gated payload fields
+/// per the frame's own version byte, so a rolling restart can upgrade
+/// servers ahead of clients one version at a time (docs/NETWORK.md §7).
+/// v2 appends the tenant id to the kLease payload and rejected_quota to
+/// the kStatAck payload (docs/QOS.md).
+inline constexpr std::uint8_t kWireVersion = 2;
+
+/// Oldest wire version still accepted — one version of back-compat, the
+/// rolling-restart window. Frames below it get kError/kVersionMismatch.
+inline constexpr std::uint8_t kMinWireVersion = 1;
 
 /// Hello payload magic ("HPRN" little-endian) — rejects non-hprng peers
 /// that happen to produce a CRC-valid frame.

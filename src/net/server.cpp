@@ -404,10 +404,12 @@ void NetServer::send_error(const std::shared_ptr<Conn>& c,
 
 void NetServer::handle_frame(const std::shared_ptr<Conn>& c,
                              const Frame& frame) {
-  if (frame.version != kWireVersion) {
+  if (frame.version < kMinWireVersion || frame.version > kWireVersion) {
     send_error(c, frame.request_id, ErrCode::kVersionMismatch,
                "wire version " + std::to_string(frame.version) +
-                   ", this server speaks " + std::to_string(kWireVersion));
+                   ", this server speaks " +
+                   std::to_string(kMinWireVersion) + ".." +
+                   std::to_string(kWireVersion));
     return;
   }
   if (!known_op(static_cast<std::uint8_t>(frame.op))) {
@@ -430,16 +432,19 @@ void NetServer::handle_frame(const std::shared_ptr<Conn>& c,
         send_error(c, frame.request_id, ErrCode::kBadRequest, "bad hello");
         return;
       }
-      if (proto != kWireVersion) {
+      if (proto < kMinWireVersion || proto > kWireVersion) {
         send_error(c, frame.request_id, ErrCode::kVersionMismatch,
                    "hello proto " + std::to_string(proto) +
                        ", this server speaks " +
+                       std::to_string(kMinWireVersion) + ".." +
                        std::to_string(kWireVersion));
         return;
       }
       c->hello_done = true;
       WireWriter w;
-      w.put_u32(kWireVersion);
+      // Echo the client's (accepted) proto: within the window the client
+      // keeps speaking its own version and the server parses per-frame.
+      w.put_u32(proto);
       w.put_str(service_.options().backend);
       w.put_u32(static_cast<std::uint32_t>(service_.num_shards()));
       w.put_u64(static_cast<std::uint64_t>(opts_.max_fill_words));
@@ -453,12 +458,17 @@ void NetServer::handle_frame(const std::shared_ptr<Conn>& c,
     case Op::kLease: {
       const std::uint8_t has_key = r.get_u8();
       const std::uint64_t key = r.get_u64();
+      // v2 appends the tenant id; v1 peers land on the default tenant 0
+      // (docs/NETWORK.md §3.2, docs/QOS.md §2).
+      const std::uint64_t tenant = frame.version >= 2 ? r.get_u64() : 0;
       if (!r.ok()) {
         send_error(c, frame.request_id, ErrCode::kBadRequest, "bad lease");
         return;
       }
-      auto session = has_key != 0 ? service_.try_open_session(key)
-                                  : service_.try_open_session();
+      serve::RngService::SessionSpec spec;
+      spec.tenant = tenant;
+      if (has_key != 0) spec.shard_key = key;
+      auto session = service_.try_open_session(spec);
       if (!session.has_value()) {
         send_error(c, frame.request_id, ErrCode::kLeaseExhausted,
                    "lease pool exhausted");
@@ -620,7 +630,11 @@ void NetServer::handle_frame(const std::shared_ptr<Conn>& c,
       w.put_u64(static_cast<std::uint64_t>(
           service_.adoptable_lease_ids().size() + orphans_.size()));
       w.put_u64(static_cast<std::uint64_t>(conns_.size()));
+      // v2 appends the QoS rejection total; the ack mirrors the request's
+      // version so a v1 peer sees exactly the v1 payload shape.
+      if (frame.version >= 2) w.put_u64(s.rejected_quota);
       Frame reply;
+      reply.version = frame.version;
       reply.op = Op::kStatAck;
       reply.request_id = frame.request_id;
       reply.payload = w.take();

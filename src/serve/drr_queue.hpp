@@ -1,0 +1,319 @@
+#pragma once
+
+// Tenant-aware bounded MPMC request queue for hprng::serve — the
+// weighted-fair successor of BoundedQueue (docs/QOS.md §5).
+//
+// Items land in per-tenant sub-queues (FIFO within a tenant); consumers
+// drain across tenants by deficit round-robin: each scheduler visit
+// grants the ring-front tenant `quantum * weight(tenant)` words of
+// deficit, the tenant serves head items while the deficit covers their
+// cost, and rotates to the ring back otherwise (deficit preserved, so
+// large requests eventually accumulate enough credit). Long-run service
+// shares under saturation are proportional to weight; one tenant's
+// backlog can delay another by at most one max-cost item per round.
+//
+// Determinism contract (docs/QOS.md §5): every pop is serialised under
+// the queue mutex and the schedule depends only on (arrival order,
+// costs, weights, quantum) — never on consumer count or timing. For a
+// trace fully enqueued before draining begins, the pop order observed by
+// the pop listener is byte-identical for ANY number of workers — the
+// property serve_qos_test pins across 0/1/3/8 workers.
+//
+// The admission surface (capacity, gate, close/wake, requeue_front,
+// eviction sweeps, size listener) matches BoundedQueue so RngService's
+// policies work unchanged.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hprng::serve {
+
+template <typename T>
+class DrrQueue {
+ public:
+  enum class PushResult { kOk, kFull, kTimeout, kClosed };
+
+  /// Classifier / cost accessors are intrinsic to the item type; the
+  /// weight function is consulted at every scheduler visit (so policy
+  /// changes apply to already-queued work). All three are called under
+  /// the queue mutex and must not touch the queue re-entrantly.
+  /// @param capacity maximum queued items (all tenants) before kFull.
+  /// @param gate optional pause flag, as in BoundedQueue.
+  /// @param quantum_words base DRR quantum (deficit per visit is
+  ///        quantum * weight; must be >= 1).
+  DrrQueue(std::size_t capacity, const std::atomic<bool>* gate,
+           std::function<std::uint64_t(const T&)> tenant_of,
+           std::function<std::uint64_t(const T&)> cost_of,
+           std::function<std::uint64_t(std::uint64_t)> weight_of,
+           std::uint64_t quantum_words)
+      : capacity_(capacity),
+        gate_(gate),
+        tenant_of_(std::move(tenant_of)),
+        cost_of_(std::move(cost_of)),
+        weight_of_(std::move(weight_of)),
+        quantum_(quantum_words == 0 ? 1 : quantum_words) {}
+
+  PushResult try_push(T item) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (total_ >= capacity_) return PushResult::kFull;
+    enqueue_locked(std::move(item));
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  PushResult push_until(T item,
+                        std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!not_full_.wait_until(lk, deadline, [&] {
+          return closed_ || total_ < capacity_;
+        })) {
+      return PushResult::kTimeout;
+    }
+    if (closed_) return PushResult::kClosed;
+    enqueue_locked(std::move(item));
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// DRR-scheduled batch pop; the scheduling state (ring position,
+  /// deficits) persists across calls, so consecutive batches continue
+  /// one global schedule no matter which worker takes them.
+  std::size_t pop_batch(std::vector<T>* out, std::size_t max,
+                        std::atomic<int>* in_flight = nullptr) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || (!gated() && total_ > 0); });
+    const std::size_t n = std::min(max, total_);
+    for (std::size_t i = 0; i < n; ++i) out->push_back(pop_one_locked());
+    if (n > 0) {
+      if (in_flight != nullptr) {
+        in_flight->fetch_add(1, std::memory_order_acq_rel);
+      }
+      if (on_size_change_) on_size_change_(total_);
+      not_full_.notify_all();
+    }
+    return n;
+  }
+
+  /// Head-of-line requeue for the retry/failover path: the item returns
+  /// to the FRONT of its tenant's sub-queue and the tenant moves to the
+  /// ring front, so an already-admitted, already-scheduled request is
+  /// the next thing any worker sees. Ignores capacity and closed, as in
+  /// BoundedQueue (the item passed admission once).
+  void requeue_front(T item) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t tenant = tenant_of_(item);
+    Sub& sub = subs_[tenant];
+    sub.items.push_front(std::move(item));
+    ++total_;
+    ring_remove(tenant);
+    ring_.push_front(tenant);
+    // Requeued work is served on arrears, not fresh credit: keep the
+    // deficit as-is but force a visit so the grant covers the head.
+    sub.visited = false;
+    if (on_size_change_) on_size_change_(total_);
+    not_empty_.notify_one();
+  }
+
+  /// Evict the single queued item with the smallest key strictly below
+  /// `limit` — the cross-tenant shed sweep (BoundedQueue semantics).
+  template <typename KeyFn>
+  std::optional<T> evict_min_below(KeyFn key, int limit) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Sub* best_sub = nullptr;
+    std::uint64_t best_tenant = 0;
+    std::size_t best_index = 0;
+    int best_key = limit;
+    for (auto& [tenant, sub] : subs_) {
+      for (std::size_t i = 0; i < sub.items.size(); ++i) {
+        const int k = key(sub.items[i]);
+        if (k < best_key) {
+          best_sub = &sub;
+          best_tenant = tenant;
+          best_index = i;
+          best_key = k;
+        }
+      }
+    }
+    if (best_sub == nullptr) return std::nullopt;
+    T out = std::move(best_sub->items[best_index]);
+    best_sub->items.erase(best_sub->items.begin() +
+                          static_cast<std::ptrdiff_t>(best_index));
+    --total_;
+    if (best_sub->items.empty()) drop_tenant(best_tenant);
+    if (on_size_change_) on_size_change_(total_);
+    not_full_.notify_all();
+    return out;
+  }
+
+  /// Evict every queued item matching `pred`, across all tenants.
+  template <typename Pred>
+  std::vector<T> evict_if(Pred pred) {
+    std::vector<T> evicted;
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::uint64_t> emptied;
+    for (auto& [tenant, sub] : subs_) {
+      for (auto it = sub.items.begin(); it != sub.items.end();) {
+        if (pred(*it)) {
+          evicted.push_back(std::move(*it));
+          it = sub.items.erase(it);
+          --total_;
+        } else {
+          ++it;
+        }
+      }
+      if (sub.items.empty()) emptied.push_back(tenant);
+    }
+    for (const std::uint64_t tenant : emptied) drop_tenant(tenant);
+    if (!evicted.empty()) {
+      if (on_size_change_) on_size_change_(total_);
+      not_full_.notify_all();
+    }
+    return evicted;
+  }
+
+  /// As BoundedQueue: invoked with the new total size under the lock.
+  void set_size_listener(std::function<void(std::size_t)> fn) {
+    std::lock_guard<std::mutex> lk(mu_);
+    on_size_change_ = std::move(fn);
+  }
+
+  /// Observer of every scheduled pop, invoked under the queue mutex with
+  /// (tenant, item) in exact service order — the determinism probe.
+  void set_pop_listener(std::function<void(std::uint64_t, const T&)> fn) {
+    std::lock_guard<std::mutex> lk(mu_);
+    on_pop_ = std::move(fn);
+  }
+
+  /// Invoked under the lock once per scheduler visit (deficit grant) —
+  /// feeds the hprng.serve.tenant.drr_rounds counter.
+  void set_round_listener(std::function<void()> fn) {
+    std::lock_guard<std::mutex> lk(mu_);
+    on_round_ = std::move(fn);
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  void wake() {
+    std::lock_guard<std::mutex> lk(mu_);
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return total_;
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  /// Scheduler visits so far (exact at quiescent fences).
+  [[nodiscard]] std::uint64_t rounds() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return rounds_;
+  }
+
+ private:
+  struct Sub {
+    std::deque<T> items;
+    std::uint64_t deficit = 0;
+    bool visited = false;  ///< deficit granted for the current ring visit
+  };
+
+  [[nodiscard]] bool gated() const {
+    return gate_ != nullptr && gate_->load(std::memory_order_acquire);
+  }
+
+  void enqueue_locked(T item) {
+    const std::uint64_t tenant = tenant_of_(item);
+    Sub& sub = subs_[tenant];
+    if (sub.items.empty()) ring_.push_back(tenant);
+    sub.items.push_back(std::move(item));
+    ++total_;
+    if (on_size_change_) on_size_change_(total_);
+  }
+
+  /// The DRR core. Invariants: a tenant is in `ring_` iff its sub-queue
+  /// is non-empty; `total_` > 0 on entry. Terminates because a rotation
+  /// preserves the deficit and every revisit grants >= quantum_ more.
+  T pop_one_locked() {
+    for (;;) {
+      const std::uint64_t tenant = ring_.front();
+      Sub& sub = subs_[tenant];
+      if (!sub.visited) {
+        sub.visited = true;
+        std::uint64_t w = weight_of_ ? weight_of_(tenant) : 1;
+        if (w == 0) w = 1;
+        sub.deficit += quantum_ * w;
+        ++rounds_;
+        if (on_round_) on_round_();
+      }
+      std::uint64_t cost = cost_of_(sub.items.front());
+      if (cost == 0) cost = 1;
+      if (cost <= sub.deficit) {
+        T item = std::move(sub.items.front());
+        sub.items.pop_front();
+        sub.deficit -= cost;
+        --total_;
+        if (on_pop_) on_pop_(tenant, item);
+        if (sub.items.empty()) drop_tenant(tenant);
+        return item;
+      }
+      sub.visited = false;
+      ring_.pop_front();
+      ring_.push_back(tenant);
+    }
+  }
+
+  void drop_tenant(std::uint64_t tenant) {
+    subs_.erase(tenant);
+    ring_remove(tenant);
+  }
+
+  void ring_remove(std::uint64_t tenant) {
+    for (auto it = ring_.begin(); it != ring_.end(); ++it) {
+      if (*it == tenant) {
+        ring_.erase(it);
+        return;
+      }
+    }
+  }
+
+  const std::size_t capacity_;
+  const std::atomic<bool>* gate_;
+  const std::function<std::uint64_t(const T&)> tenant_of_;
+  const std::function<std::uint64_t(const T&)> cost_of_;
+  const std::function<std::uint64_t(std::uint64_t)> weight_of_;
+  const std::uint64_t quantum_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::unordered_map<std::uint64_t, Sub> subs_;
+  std::deque<std::uint64_t> ring_;  ///< active tenants, visit order
+  std::size_t total_ = 0;
+  std::uint64_t rounds_ = 0;
+  std::function<void(std::size_t)> on_size_change_;
+  std::function<void(std::uint64_t, const T&)> on_pop_;
+  std::function<void()> on_round_;
+  bool closed_ = false;
+};
+
+}  // namespace hprng::serve

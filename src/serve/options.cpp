@@ -41,6 +41,8 @@ const char* to_string(Status status) {
       return "closed";
     case Status::kFailed:
       return "failed";
+    case Status::kRejectedQuota:
+      return "rejected-quota";
   }
   return "?";
 }

@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <string>
 
 namespace hprng::fault {
@@ -42,6 +43,11 @@ enum class Status {
   kClosed,    ///< the service stopped before the request was admitted
   kFailed,    ///< every fill attempt failed and no healthy shard could
               ///< take over the lease (docs/SERVING.md §7)
+  // Appended (not inserted): Status values travel on the wire and inside
+  // snapshots, so existing numeric values are frozen (docs/NETWORK.md §6).
+  kRejectedQuota,  ///< refused at admission by the session's tenant QoS
+                   ///< policy — token-bucket rate limit or byte quota
+                   ///< exhausted (docs/QOS.md §3)
 };
 
 [[nodiscard]] const char* to_string(Status status);
@@ -98,6 +104,55 @@ struct ScrubberOptions {
 
   /// Anomaly-history records retained (and checkpointed); oldest dropped.
   std::size_t history_limit = 64;
+};
+
+/// Per-tenant QoS policy (docs/QOS.md §2). One policy row answers three
+/// questions about a tenant: how much of the pool it deserves when
+/// everyone is busy (weight), how fast it may submit (token bucket), and
+/// how much it may draw in total (byte quota).
+struct TenantPolicy {
+  /// Deficit-round-robin weight: each scheduler visit grants the tenant
+  /// `drr_quantum_words * weight` words of deficit, so long-run service
+  /// shares under saturation are proportional to weight. Must be >= 1.
+  std::uint64_t weight = 1;
+
+  /// Token-bucket refill rate in u64 words per second; 0 = unlimited
+  /// (no rate gate). Admission takes `out.size()` tokens per request and
+  /// refuses with kRejectedQuota when the bucket cannot cover it.
+  std::uint64_t rate_words_per_s = 0;
+
+  /// Token-bucket capacity in words — the largest instantaneous burst a
+  /// rate-limited tenant may submit. Ignored when rate_words_per_s == 0.
+  std::uint64_t burst_words = 1 << 16;
+
+  /// Lifetime byte quota in u64 words; 0 = unlimited. Words are charged
+  /// at admission and refunded when the request terminates non-kOk, so at
+  /// any quiescent fence the charge equals words actually served
+  /// (docs/QOS.md §4).
+  std::uint64_t quota_words = 0;
+};
+
+/// Multi-tenant QoS configuration (docs/QOS.md). Tenants are u64 ids
+/// chosen by clients; unknown ids get `default_policy` on first use.
+struct TenantOptions {
+  /// Policy applied to any tenant without an explicit override.
+  TenantPolicy default_policy;
+
+  /// Per-tenant policy overrides, by tenant id.
+  std::map<std::uint64_t, TenantPolicy> overrides;
+
+  /// Base DRR quantum in words: deficit granted per scheduler visit is
+  /// quantum * weight. Larger values lower scheduling overhead but
+  /// coarsen fairness granularity (docs/QOS.md §5).
+  std::uint64_t drr_quantum_words = 1024;
+
+  /// Tenants named in the top-K offender report (stats / serve_load).
+  std::size_t top_k = 3;
+
+  [[nodiscard]] const TenantPolicy& policy_for(std::uint64_t tenant) const {
+    const auto it = overrides.find(tenant);
+    return it == overrides.end() ? default_policy : it->second;
+  }
 };
 
 /// Service configuration. Defaults serve a sharded hybrid pool sized for
@@ -179,6 +234,15 @@ struct ServiceOptions {
   /// NOT part of the snapshot OPTS section: scrub state travels in its own
   /// QUAL section, and a restore may legitimately change the scrub policy.
   ScrubberOptions scrub;
+
+  // -- Multi-tenant QoS (docs/QOS.md) --------------------------------------
+
+  /// Tenant admission / fairness policies. Like `scrub`, NOT part of the
+  /// OPTS snapshot section: tenant state (policies in force, bucket
+  /// levels, quota charges) travels in its own TENQ section, so old
+  /// snapshots restore with default tenancy and a restore may tighten or
+  /// relax policy (docs/QOS.md §6).
+  TenantOptions tenants;
 };
 
 }  // namespace hprng::serve

@@ -31,6 +31,14 @@ constexpr std::uint64_t kLeaseSeedDomain = ~std::uint64_t{0};
 /// lease and shard domains above).
 constexpr std::uint64_t kBackoffJitterDomain = ~std::uint64_t{0} - 1;
 
+/// Monotonic nanoseconds for the tenant admission clock (token-bucket
+/// refill timestamps; docs/QOS.md §3).
+std::int64_t to_ns(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 namespace detail {
@@ -44,11 +52,21 @@ SessionState::~SessionState() {
 RngService::RngService(ServiceOptions opts, obs::MetricsRegistry* metrics)
     : opts_(std::move(opts)),
       metrics_(metrics),
+      tenants_(opts_.tenants),
       leases_(opts_.num_shards, opts_.max_leases_per_shard,
               prng::SeedSequence(opts_.seed).split(kLeaseSeedDomain).root()),
       backoff_seq_(
           prng::SeedSequence(opts_.seed).split(kBackoffJitterDomain).root()),
-      queue_(opts_.queue_capacity, &paused_) {
+      queue_(
+          opts_.queue_capacity, &paused_,
+          [](const RequestPtr& r) { return r->tenant; },
+          [](const RequestPtr& r) {
+            return static_cast<std::uint64_t>(r->out.size());
+          },
+          // Weights come from the live table (not the construction-time
+          // options) so a TENQ restore's policies drive scheduling too.
+          [this](std::uint64_t tenant) { return tenants_.weight(tenant); },
+          opts_.tenants.drr_quantum_words) {
   HPRNG_CHECK(opts_.queue_capacity > 0, "RngService: queue_capacity >= 1");
   HPRNG_CHECK(opts_.max_coalesce > 0, "RngService: max_coalesce >= 1");
   HPRNG_CHECK(opts_.max_fill_retries >= 0,
@@ -101,6 +119,20 @@ RngService::RngService(ServiceOptions opts, obs::MetricsRegistry* metrics)
         &metrics_->counter("hprng.serve.backend.detaches");
     metrics_->counter("hprng.serve.backend.counter_blocks");
     metrics_->counter("hprng.serve.backend.counter_jumps");
+    // hprng.serve.tenant.* — multi-tenant QoS (docs/QOS.md §7).
+    ins_.tenant_rejected_rate =
+        &metrics_->counter("hprng.serve.tenant.rejected_rate");
+    ins_.tenant_rejected_quota =
+        &metrics_->counter("hprng.serve.tenant.rejected_quota");
+    ins_.tenant_quota_words_charged =
+        &metrics_->counter("hprng.serve.tenant.quota_words_charged");
+    ins_.tenant_quota_words_refunded =
+        &metrics_->counter("hprng.serve.tenant.quota_words_refunded");
+    ins_.tenant_drr_rounds =
+        &metrics_->counter("hprng.serve.tenant.drr_rounds");
+    ins_.tenant_active = &metrics_->gauge("hprng.serve.tenant.active");
+    // Incremented under the queue lock, once per scheduler visit.
+    queue_.set_round_listener([this] { ins_.tenant_drr_rounds->add(); });
     // hprng.state.* — checkpoint/restore (docs/STATE.md).
     ins_.state_checkpoints = &metrics_->counter("hprng.state.checkpoints");
     ins_.state_checkpoint_failures =
@@ -156,15 +188,26 @@ RngService::~RngService() {
 }
 
 std::optional<Session> RngService::try_open_session() {
-  return open_with(
-      leases_.grant_if([this](int s) { return !shard_ejected(s); }));
+  return try_open_session(SessionSpec{});
 }
 
 std::optional<Session> RngService::try_open_session(std::uint64_t shard_key) {
-  const int s = static_cast<int>(
-      shard_key % static_cast<std::uint64_t>(num_shards()));
-  if (shard_ejected(s)) return std::nullopt;  // pinned shard is gone
-  return open_with(leases_.grant_on(shard_key));
+  SessionSpec spec;
+  spec.shard_key = shard_key;
+  return try_open_session(spec);
+}
+
+std::optional<Session> RngService::try_open_session(const SessionSpec& spec) {
+  if (spec.shard_key.has_value()) {
+    const int s = static_cast<int>(
+        *spec.shard_key % static_cast<std::uint64_t>(num_shards()));
+    if (shard_ejected(s)) return std::nullopt;  // pinned shard is gone
+    return open_with(leases_.grant_on(*spec.shard_key), spec.tenant,
+                     spec.priority);
+  }
+  return open_with(
+      leases_.grant_if([this](int s) { return !shard_ejected(s); }),
+      spec.tenant, spec.priority);
 }
 
 Session RngService::open_session() {
@@ -174,17 +217,21 @@ Session RngService::open_session() {
   return *std::move(session);
 }
 
-std::optional<Session> RngService::open_with(std::optional<Lease> lease) {
+std::optional<Session> RngService::open_with(std::optional<Lease> lease,
+                                             std::uint64_t tenant,
+                                             int priority) {
   if (!lease.has_value()) return std::nullopt;
   {
     ShardBackend& shard = *shards_[static_cast<std::size_t>(lease->shard)];
     std::lock_guard<std::mutex> lk(shard.mu);
     shard.attach(lease->slot, lease->seed);
   }
+  tenants_.add_lease(tenant, lease->id);
   if (ins_.leases_granted != nullptr) {
     ins_.leases_granted->add();
     ins_.backend_attaches->add();
     ins_.active_leases->set(static_cast<double>(leases_.active()));
+    ins_.tenant_active->set(static_cast<double>(tenants_.active()));
   }
   {
     std::lock_guard<std::mutex> lk(live_mu_);
@@ -193,6 +240,8 @@ std::optional<Session> RngService::open_with(std::optional<Lease> lease) {
   auto state = std::make_shared<detail::SessionState>();
   state->service = this;
   state->lease = *lease;
+  state->tenant = tenant;
+  state->priority.store(priority, std::memory_order_relaxed);
   return Session(std::move(state));
 }
 
@@ -202,6 +251,7 @@ void RngService::release_lease(const Lease& lease) {
     std::lock_guard<std::mutex> lk(shard.mu);
     shard.detach(lease.slot);
   }
+  tenants_.remove_lease(tenants_.tenant_of_lease(lease.id), lease.id);
   leases_.release(lease);
   {
     std::lock_guard<std::mutex> lk(live_mu_);
@@ -229,6 +279,7 @@ RngService::RequestPtr RngService::submit(
   req->deadline =
       req->submit_time + (timeout.count() > 0 ? timeout : opts_.default_timeout);
   req->priority = session->priority.load(std::memory_order_relaxed);
+  req->tenant = session->tenant;
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (ins_.requests_submitted != nullptr) ins_.requests_submitted->add();
 
@@ -241,7 +292,37 @@ RngService::RequestPtr RngService::submit(
     return req;
   }
 
-  using PushResult = BoundedQueue<RequestPtr>::PushResult;
+  // Tenant QoS admission (docs/QOS.md §3): the rate gate and the quota
+  // charge run BEFORE the queue — an over-limit tenant is refused without
+  // ever occupying queue capacity. The charge uses the same clock sample
+  // as the deadline, so bucket refill is a pure function of the trace.
+  switch (tenants_.admit(req->tenant, out.size(),
+                         to_ns(req->submit_time))) {
+    case Admission::kAdmit:
+      req->quota_charged = true;
+      if (ins_.tenant_quota_words_charged != nullptr) {
+        ins_.tenant_quota_words_charged->add(
+            static_cast<double>(out.size()));
+        ins_.tenant_active->set(static_cast<double>(tenants_.active()));
+      }
+      break;
+    case Admission::kRejectedRate:
+      if (ins_.tenant_rejected_rate != nullptr) {
+        ins_.tenant_rejected_rate->add();
+        ins_.tenant_active->set(static_cast<double>(tenants_.active()));
+      }
+      settle(req, Status::kRejectedQuota);
+      return req;
+    case Admission::kRejectedQuota:
+      if (ins_.tenant_rejected_quota != nullptr) {
+        ins_.tenant_rejected_quota->add();
+        ins_.tenant_active->set(static_cast<double>(tenants_.active()));
+      }
+      settle(req, Status::kRejectedQuota);
+      return req;
+  }
+
+  using PushResult = DrrQueue<RequestPtr>::PushResult;
   PushResult result = PushResult::kFull;
   switch (opts_.policy) {
     case BackpressurePolicy::kBlock:
@@ -330,6 +411,18 @@ void RngService::settle(const RequestPtr& req, Status status) {
   if (req->done) return;  // exactly-once terminal transition
   req->status = status;
 
+  // Quota conservation (docs/QOS.md §4): any charged request that fails
+  // to serve its words returns them, exactly once (the `done` guard above
+  // makes this the unique terminal transition). kOk keeps the charge —
+  // at a quiescent fence quota_used equals words actually served.
+  if (status != Status::kOk && req->quota_charged) {
+    const auto words = static_cast<std::uint64_t>(req->out.size());
+    tenants_.refund(req->tenant, words);
+    if (ins_.tenant_quota_words_refunded != nullptr) {
+      ins_.tenant_quota_words_refunded->add(static_cast<double>(words));
+    }
+  }
+
   // Account BEFORE publishing `done`: a waiter returning from fill() must
   // observe the terminal status already reflected in stats()/metrics.
   switch (status) {
@@ -359,6 +452,11 @@ void RngService::settle(const RequestPtr& req, Status status) {
     case Status::kFailed:
       failed_.fetch_add(1, std::memory_order_relaxed);
       if (ins_.requests_failed != nullptr) ins_.requests_failed->add();
+      break;
+    case Status::kRejectedQuota:
+      // The per-cause tenant instruments were counted at the admission
+      // site (where rate vs. quota is known); this is the engine total.
+      rejected_quota_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
 
@@ -657,6 +755,9 @@ bool RngService::failover_session(
     live_leases_.erase(old.id);
     live_leases_[fresh->id] = *fresh;
   }
+  // The tenant keeps billing through the replacement lease id.
+  tenants_.remove_lease(state->tenant, old.id);
+  tenants_.add_lease(state->tenant, fresh->id);
   state->lease = *fresh;
   failovers_.fetch_add(1, std::memory_order_relaxed);
   if (ins_.retry_failovers != nullptr) {
@@ -726,6 +827,7 @@ RngService::Stats RngService::stats() const {
   s.timed_out = timed_out_.load(std::memory_order_relaxed);
   s.closed = closed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.rejected_quota = rejected_quota_.load(std::memory_order_relaxed);
   s.numbers_served = numbers_served_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);
@@ -737,6 +839,32 @@ RngService::Stats RngService::stats() const {
   s.leases_granted = leases_.granted_total();
   s.leases_released = leases_.released_total();
   return s;
+}
+
+TenantTable::TenantStats RngService::tenant_stats(
+    std::uint64_t tenant) const {
+  return tenants_.stats(tenant);
+}
+
+std::vector<TenantTable::TenantStats> RngService::tenant_all_stats() const {
+  return tenants_.all_stats();
+}
+
+std::vector<TenantTable::TenantStats> RngService::top_offenders(
+    std::size_t k) const {
+  return tenants_.top_offenders(k == 0 ? tenants_.options().top_k : k);
+}
+
+void RngService::set_drr_observer(
+    std::function<void(std::uint64_t, std::size_t)> fn) {
+  if (!fn) {
+    queue_.set_pop_listener(nullptr);
+    return;
+  }
+  queue_.set_pop_listener(
+      [fn = std::move(fn)](std::uint64_t tenant, const RequestPtr& r) {
+        fn(tenant, r->out.size());
+      });
 }
 
 int RngService::healthy_shards() const {
@@ -757,6 +885,7 @@ using state::kTagLeas;
 using state::kTagMeta;
 using state::kTagOpts;
 using state::kTagShrd;
+using state::kTagTenq;
 
 void save_options(state::SnapshotWriter& w, const ServiceOptions& o) {
   w.put_str(o.backend);
@@ -858,6 +987,12 @@ bool RngService::checkpoint(const std::string& path, std::string* error) {
     w.put_u32(static_cast<std::uint32_t>(
         health_[s].consecutive_failures.load(std::memory_order_acquire)));
   }
+
+  // Tenant QoS state (docs/QOS.md §6): every bucket settled to this
+  // instant, so the saved level is the complete rate-limit state and a
+  // restore resumes refill from its own clock without drift.
+  w.begin_section(kTagTenq);
+  tenants_.save_state(w, to_ns(std::chrono::steady_clock::now()));
 
   bool ok = true;
   std::string err;
@@ -989,6 +1124,20 @@ bool RngService::load_snapshot(const state::Snapshot& snap,
     }
   }
 
+  // TENQ is optional — snapshots predating the QoS layer restore with the
+  // constructor's (default) tenancy; when present it replaces policies,
+  // bucket levels, quota charges and the lease→tenant map wholesale.
+  if (const state::Section* tenq = snap.find(kTagTenq); tenq != nullptr) {
+    state::SectionReader r(*tenq);
+    if (!tenants_.load_state(r, to_ns(std::chrono::steady_clock::now()),
+                             error)) {
+      return false;
+    }
+    if (ins_.tenant_active != nullptr) {
+      ins_.tenant_active->set(static_cast<double>(tenants_.active()));
+    }
+  }
+
   const std::vector<const state::Section*> shard_secs =
       snap.find_all(kTagShrd);
   if (shard_secs.size() != shards_.size()) {
@@ -1026,7 +1175,7 @@ bool RngService::load_snapshot(const state::Snapshot& snap,
   // tags are excluded — their state already lives in this object.
   for (const state::Section& sec : snap.sections()) {
     if (sec.tag == kTagMeta || sec.tag == kTagOpts || sec.tag == kTagLeas ||
-        sec.tag == kTagHlth || sec.tag == kTagShrd) {
+        sec.tag == kTagHlth || sec.tag == kTagShrd || sec.tag == kTagTenq) {
       continue;
     }
     aux_sections_[sec.tag].emplace_back(sec.payload);
@@ -1068,9 +1217,12 @@ std::optional<Session> RngService::adopt_session(std::uint64_t lease_id) {
   // No attach(): the backend slot was restored mid-stream and an attach
   // would reset it. The SessionState releases the lease normally, so an
   // adopted session's lifecycle is indistinguishable from an opened one.
+  // The TENQ lease→tenant map re-binds the adopter to the tenant that
+  // opened the lease (0 for pre-QoS snapshots).
   auto state = std::make_shared<detail::SessionState>();
   state->service = this;
   state->lease = lease;
+  state->tenant = tenants_.tenant_of_lease(lease.id);
   return Session(std::move(state));
 }
 
@@ -1110,6 +1262,11 @@ void Session::set_priority(int priority) {
 int Session::priority() const {
   HPRNG_CHECK(valid(), "Session::priority: empty session");
   return state_->priority.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Session::tenant() const {
+  HPRNG_CHECK(valid(), "Session::tenant: empty session");
+  return state_->tenant;
 }
 
 Status Ticket::wait() {

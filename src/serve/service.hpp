@@ -40,9 +40,10 @@
 #include "obs/metrics.hpp"
 #include "prng/seed_seq.hpp"
 #include "serve/backend.hpp"
+#include "serve/drr_queue.hpp"
 #include "serve/lease.hpp"
 #include "serve/options.hpp"
-#include "serve/queue.hpp"
+#include "serve/tenant.hpp"
 
 namespace hprng::state {
 class Snapshot;
@@ -71,6 +72,9 @@ struct Request {
   std::chrono::steady_clock::time_point submit_time;
   std::chrono::steady_clock::time_point deadline;
   int priority = 0;  ///< session priority at submit time (shed order)
+  std::uint64_t tenant = 0;   ///< owning tenant (DRR classification)
+  bool quota_charged = false; ///< admission charged out.size() words; a
+                              ///< non-kOk terminal refunds exactly once
 
   std::atomic<int> phase{kPending};
 
@@ -89,6 +93,7 @@ struct SessionState {
   std::mutex mu;
   Lease lease;                   ///< guarded by mu
   std::atomic<int> priority{0};  ///< shed order; higher survives longer
+  std::uint64_t tenant = 0;      ///< immutable after open/adopt
   ~SessionState();
 };
 
@@ -145,6 +150,9 @@ class Session {
   void set_priority(int priority);
   [[nodiscard]] int priority() const;
 
+  /// Tenant this session bills against (immutable; docs/QOS.md §2).
+  [[nodiscard]] std::uint64_t tenant() const;
+
  private:
   friend class RngService;
   explicit Session(std::shared_ptr<detail::SessionState> state)
@@ -175,6 +183,16 @@ class RngService {
   /// nullopt when that shard is full.
   std::optional<Session> try_open_session(std::uint64_t shard_key);
 
+  /// Full-control session open (docs/QOS.md §2). The one-argument
+  /// overloads above are equivalent to a spec with tenant 0 — the
+  /// default tenant every pre-QoS caller lands on.
+  struct SessionSpec {
+    std::uint64_t tenant = 0;              ///< QoS billing identity
+    std::optional<std::uint64_t> shard_key;  ///< affinity pin (optional)
+    int priority = 0;                        ///< initial shed priority
+  };
+  std::optional<Session> try_open_session(const SessionSpec& spec);
+
   /// try_open_session() that aborts on pool exhaustion — for callers that
   /// sized the pool to their client count.
   Session open_session();
@@ -189,6 +207,7 @@ class RngService {
     std::uint64_t timed_out = 0;
     std::uint64_t closed = 0;
     std::uint64_t failed = 0;  ///< kFailed (no healthy shard left)
+    std::uint64_t rejected_quota = 0;  ///< kRejectedQuota (rate or quota)
     std::uint64_t numbers_served = 0;
     std::uint64_t batches = 0;       ///< backend fill passes (successful)
     std::uint64_t retries = 0;       ///< extra fill attempts after failures
@@ -200,6 +219,29 @@ class RngService {
     std::uint64_t leases_released = 0;
   };
   [[nodiscard]] Stats stats() const;
+
+  // -- Tenant QoS introspection (docs/QOS.md §7) ---------------------------
+
+  /// One tenant's ground-truth QoS counters (zeros when unknown).
+  [[nodiscard]] TenantTable::TenantStats tenant_stats(
+      std::uint64_t tenant) const;
+
+  /// Every materialised tenant's counters, by tenant id.
+  [[nodiscard]] std::vector<TenantTable::TenantStats> tenant_all_stats()
+      const;
+
+  /// Tenants ranked by admission rejections (the offender report);
+  /// `k` == 0 uses the configured TenantOptions::top_k.
+  [[nodiscard]] std::vector<TenantTable::TenantStats> top_offenders(
+      std::size_t k = 0) const;
+
+  /// Audit observer of the DRR schedule (docs/QOS.md §5): invoked under
+  /// the queue lock with (tenant, request words) at every scheduled pop,
+  /// in exact service order — the trace whose worker-count independence
+  /// serve_qos_test pins. Install before submitting load (or while
+  /// paused); the callback must not call back into the service.
+  void set_drr_observer(
+      std::function<void(std::uint64_t tenant, std::size_t words)> fn);
 
   /// Shards currently accepting traffic (total minus ejected).
   [[nodiscard]] int healthy_shards() const;
@@ -337,6 +379,13 @@ class RngService {
     // `hprng.serve.backend.*` — backend slot churn (docs/BACKENDS.md §6).
     obs::Counter* backend_attaches = nullptr;
     obs::Counter* backend_detaches = nullptr;
+    // `hprng.serve.tenant.*` — multi-tenant QoS (docs/QOS.md §7).
+    obs::Counter* tenant_rejected_rate = nullptr;
+    obs::Counter* tenant_rejected_quota = nullptr;
+    obs::Counter* tenant_quota_words_charged = nullptr;
+    obs::Counter* tenant_quota_words_refunded = nullptr;
+    obs::Counter* tenant_drr_rounds = nullptr;
+    obs::Gauge* tenant_active = nullptr;
     obs::Gauge* shards_healthy = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* active_leases = nullptr;
@@ -361,7 +410,8 @@ class RngService {
     std::atomic<bool> ejected{false};
   };
 
-  std::optional<Session> open_with(std::optional<Lease> lease);
+  std::optional<Session> open_with(std::optional<Lease> lease,
+                                   std::uint64_t tenant, int priority);
   RequestPtr submit(const std::shared_ptr<detail::SessionState>& session,
                     std::span<std::uint64_t> out,
                     std::chrono::nanoseconds timeout);
@@ -392,6 +442,7 @@ class RngService {
   ServiceOptions opts_;
   obs::MetricsRegistry* metrics_;
   Instruments ins_;
+  TenantTable tenants_;  ///< before queue_: its weights feed the DRR
   LeaseManager leases_;
   std::vector<std::unique_ptr<ShardBackend>> shards_;
   std::unique_ptr<ShardHealth[]> health_;  ///< one per shard
@@ -401,7 +452,7 @@ class RngService {
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> paused_{false};
-  BoundedQueue<RequestPtr> queue_;
+  DrrQueue<RequestPtr> queue_;  ///< weighted-fair across tenants (QOS.md §5)
 
   // Engine accounting (ground truth for Stats).
   std::atomic<std::uint64_t> submitted_{0};
@@ -411,6 +462,7 @@ class RngService {
   std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> closed_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> rejected_quota_{0};
   std::atomic<std::uint64_t> numbers_served_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> retries_{0};

@@ -1,0 +1,301 @@
+#include "serve/tenant.hpp"
+
+#include <algorithm>
+
+#include "state/snapshot.hpp"
+
+namespace hprng::serve {
+
+// -- TokenBucket -------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kNsPerSecond = 1'000'000'000ull;
+
+/// Words << 32, saturating (burst_words near 2^32 must not wrap).
+std::uint64_t words_x32(std::uint64_t words) {
+  return words >= (std::uint64_t{1} << 32) ? ~std::uint64_t{0}
+                                           : words << 32;
+}
+
+}  // namespace
+
+void TokenBucket::configure(const TenantPolicy& policy, std::int64_t now_ns) {
+  rate_words_per_s_ = policy.rate_words_per_s;
+  burst_words_ = policy.burst_words;
+  tokens_x32_ = words_x32(burst_words_);  // start full: bursts admit cold
+  last_refill_ns_ = now_ns;
+}
+
+void TokenBucket::refill(std::int64_t now_ns) {
+  if (now_ns <= last_refill_ns_) return;  // monotonic guard
+  const auto delta_ns =
+      static_cast<std::uint64_t>(now_ns - last_refill_ns_);
+  last_refill_ns_ = now_ns;
+  // 128-bit intermediate: rate (words/s) in 32.32 times elapsed ns never
+  // truncates below the 2^-32-word granularity the level is stored at.
+  const unsigned __int128 add =
+      static_cast<unsigned __int128>(rate_words_per_s_) *
+      (static_cast<unsigned __int128>(delta_ns) << 32) / kNsPerSecond;
+  const std::uint64_t cap = words_x32(burst_words_);
+  const auto add64 =
+      add > static_cast<unsigned __int128>(cap) ? cap
+          : static_cast<std::uint64_t>(add);
+  tokens_x32_ = tokens_x32_ + add64 < tokens_x32_  // overflow => clamp
+                    ? cap
+                    : std::min(cap, tokens_x32_ + add64);
+}
+
+bool TokenBucket::try_take(std::uint64_t words, std::int64_t now_ns) {
+  if (unlimited()) return true;
+  refill(now_ns);
+  const std::uint64_t need = words_x32(words);
+  if (tokens_x32_ < need) return false;
+  tokens_x32_ -= need;
+  return true;
+}
+
+void TokenBucket::settle(std::int64_t now_ns) {
+  if (unlimited()) return;
+  refill(now_ns);
+}
+
+void TokenBucket::restore_level(std::uint64_t tokens_x32,
+                                std::int64_t now_ns) {
+  tokens_x32_ = std::min(tokens_x32, words_x32(burst_words_));
+  last_refill_ns_ = now_ns;
+}
+
+// -- TenantTable -------------------------------------------------------------
+
+TenantTable::Tenant& TenantTable::ensure(std::uint64_t tenant,
+                                         std::int64_t now_ns) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) {
+    it->second.policy = opts_.policy_for(tenant);
+    if (it->second.policy.weight == 0) it->second.policy.weight = 1;
+    it->second.bucket.configure(it->second.policy, now_ns);
+  }
+  return it->second;
+}
+
+Admission TenantTable::admit(std::uint64_t tenant, std::uint64_t words,
+                             std::int64_t now_ns) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Tenant& t = ensure(tenant, now_ns);
+  ++t.submitted;
+  // Rate gate first: a tenant over its rate is refused before any quota
+  // charge, so bursts past the bucket never consume lifetime budget.
+  if (!t.bucket.try_take(words, now_ns)) {
+    ++t.rejected_rate;
+    return Admission::kRejectedRate;
+  }
+  if (t.policy.quota_words != 0 &&
+      words > t.policy.quota_words - t.quota_used) {
+    ++t.rejected_quota;
+    return Admission::kRejectedQuota;
+  }
+  t.quota_used += words;
+  t.words_charged += words;
+  return Admission::kAdmit;
+}
+
+void TenantTable::refund(std::uint64_t tenant, std::uint64_t words) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  Tenant& t = it->second;
+  t.quota_used -= std::min(words, t.quota_used);
+  t.words_refunded += words;
+}
+
+void TenantTable::add_lease(std::uint64_t tenant, std::uint64_t lease_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Lease opens need a bucket anchor too; 0 is fine — the first admit()
+  // refill is monotonic-guarded, never negative.
+  ensure(tenant, 0).lease_ids.insert(lease_id);
+  lease_tenant_[lease_id] = tenant;
+}
+
+void TenantTable::remove_lease(std::uint64_t tenant, std::uint64_t lease_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) it->second.lease_ids.erase(lease_id);
+  lease_tenant_.erase(lease_id);
+}
+
+std::uint64_t TenantTable::tenant_of_lease(std::uint64_t lease_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = lease_tenant_.find(lease_id);
+  return it == lease_tenant_.end() ? 0 : it->second;
+}
+
+std::uint64_t TenantTable::weight(std::uint64_t tenant) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = tenants_.find(tenant);
+  const std::uint64_t w = it != tenants_.end()
+                              ? it->second.policy.weight
+                              : opts_.policy_for(tenant).weight;
+  return w == 0 ? 1 : w;
+}
+
+std::size_t TenantTable::active() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tenants_.size();
+}
+
+TenantTable::TenantStats TenantTable::stats_locked(std::uint64_t id,
+                                                   const Tenant& t) const {
+  TenantStats s;
+  s.tenant = id;
+  s.submitted = t.submitted;
+  s.rejected_rate = t.rejected_rate;
+  s.rejected_quota = t.rejected_quota;
+  s.words_charged = t.words_charged;
+  s.words_refunded = t.words_refunded;
+  s.quota_used = t.quota_used;
+  s.leases = t.lease_ids.size();
+  return s;
+}
+
+TenantTable::TenantStats TenantTable::stats(std::uint64_t tenant) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    TenantStats s;
+    s.tenant = tenant;
+    return s;
+  }
+  return stats_locked(tenant, it->second);
+}
+
+std::vector<TenantTable::TenantStats> TenantTable::all_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, t] : tenants_) out.push_back(stats_locked(id, t));
+  std::sort(out.begin(), out.end(),
+            [](const TenantStats& a, const TenantStats& b) {
+              return a.tenant < b.tenant;
+            });
+  return out;
+}
+
+std::vector<TenantTable::TenantStats> TenantTable::top_offenders(
+    std::size_t k) const {
+  std::vector<TenantStats> all = all_stats();
+  std::sort(all.begin(), all.end(),
+            [](const TenantStats& a, const TenantStats& b) {
+              const std::uint64_t ra = a.rejected_rate + a.rejected_quota;
+              const std::uint64_t rb = b.rejected_rate + b.rejected_quota;
+              if (ra != rb) return ra > rb;
+              if (a.words_charged != b.words_charged) {
+                return a.words_charged > b.words_charged;
+              }
+              return a.tenant < b.tenant;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+// TENQ payload layout (docs/QOS.md §6). Fully self-contained: the knobs
+// in force ride along, so a restored service enforces the policies the
+// snapshot was taken under even when constructed with defaults.
+void TenantTable::save_state(state::SnapshotWriter& w,
+                             std::int64_t now_ns) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto put_policy = [&](const TenantPolicy& p) {
+    w.put_u64(p.weight);
+    w.put_u64(p.rate_words_per_s);
+    w.put_u64(p.burst_words);
+    w.put_u64(p.quota_words);
+  };
+  w.put_u64(opts_.drr_quantum_words);
+  w.put_u64(opts_.top_k);
+  put_policy(opts_.default_policy);
+  w.put_u64(tenants_.size());
+  // map iteration order is unordered_map's — serialise sorted so the
+  // snapshot bytes are deterministic for identical state.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(tenants_.size());
+  for (const auto& [id, t] : tenants_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint64_t id : ids) {
+    const Tenant& t = tenants_.at(id);
+    // settle() is non-const; compute the settled level on a copy — the
+    // live bucket keeps its own refill anchor.
+    TokenBucket settled = t.bucket;
+    settled.settle(now_ns);
+    w.put_u64(id);
+    put_policy(t.policy);
+    w.put_u64(t.quota_used);
+    w.put_u64(settled.tokens_x32());
+    w.put_u64(t.submitted);
+    w.put_u64(t.rejected_rate);
+    w.put_u64(t.rejected_quota);
+    w.put_u64(t.words_charged);
+    w.put_u64(t.words_refunded);
+    w.put_u64(t.lease_ids.size());
+    for (const std::uint64_t lease : t.lease_ids) w.put_u64(lease);
+  }
+}
+
+bool TenantTable::load_state(state::SectionReader& r, std::int64_t now_ns,
+                             std::string* error) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto get_policy = [&](TenantPolicy* p) {
+    p->weight = r.get_u64();
+    p->rate_words_per_s = r.get_u64();
+    p->burst_words = r.get_u64();
+    p->quota_words = r.get_u64();
+  };
+  TenantOptions opts;
+  opts.drr_quantum_words = r.get_u64();
+  opts.top_k = static_cast<std::size_t>(r.get_u64());
+  get_policy(&opts.default_policy);
+  const std::uint64_t count = r.get_u64();
+  if (r.ok() && opts.drr_quantum_words == 0) {
+    r.fail("implausible tenant options (zero DRR quantum)");
+  }
+  std::unordered_map<std::uint64_t, Tenant> tenants;
+  std::unordered_map<std::uint64_t, std::uint64_t> lease_tenant;
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    const std::uint64_t id = r.get_u64();
+    Tenant t;
+    get_policy(&t.policy);
+    if (r.ok() && t.policy.weight == 0) {
+      r.fail("tenant record with zero weight");
+      break;
+    }
+    t.quota_used = r.get_u64();
+    const std::uint64_t tokens = r.get_u64();
+    t.submitted = r.get_u64();
+    t.rejected_rate = r.get_u64();
+    t.rejected_quota = r.get_u64();
+    t.words_charged = r.get_u64();
+    t.words_refunded = r.get_u64();
+    t.bucket.configure(t.policy, now_ns);
+    t.bucket.restore_level(tokens, now_ns);
+    const std::uint64_t leases = r.get_u64();
+    for (std::uint64_t j = 0; j < leases && r.ok(); ++j) {
+      const std::uint64_t lease = r.get_u64();
+      t.lease_ids.insert(lease);
+      lease_tenant[lease] = id;
+    }
+    if (r.ok() && tenants.count(id) != 0) r.fail("repeated tenant id");
+    tenants[id] = std::move(t);
+    // Snapshot policy wins over constructor config for known tenants:
+    // opts_.overrides keeps serving NEW tenants materialised post-restore.
+    opts.overrides[id] = tenants[id].policy;
+  }
+  if (!r.ok()) {
+    if (error != nullptr) *error = r.error();
+    return false;
+  }
+  opts_ = std::move(opts);
+  tenants_ = std::move(tenants);
+  lease_tenant_ = std::move(lease_tenant);
+  return true;
+}
+
+}  // namespace hprng::serve

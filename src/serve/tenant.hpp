@@ -1,0 +1,176 @@
+#pragma once
+
+// Multi-tenant QoS state for hprng::serve (docs/QOS.md).
+//
+// TokenBucket is the admission rate gate: deterministic integer
+// fixed-point arithmetic (no floats, no wall-clock reads of its own), so
+// a bucket's level is a pure function of its policy and the caller's
+// timestamp sequence — the property that makes mid-refill
+// checkpoint/restore bit-exact (docs/QOS.md §6).
+//
+// TenantTable is the hierarchical control-plane index: per-tenant records
+// (policy in force, bucket, quota charge, counters) each owning the set
+// of that tenant's lease ids, so tenant lookup, shedding decisions and
+// checkpoint cost are O(1) / O(tenant) rather than O(total leases) —
+// sublinear in tenant count exactly where a million-tenant deployment
+// needs it (docs/QOS.md §2).
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/options.hpp"
+
+namespace hprng::state {
+class SectionReader;
+class SnapshotWriter;
+}  // namespace hprng::state
+
+namespace hprng::serve {
+
+/// Deterministic token bucket over u64 words. Token levels are stored in
+/// 32.32 fixed point (`tokens_x32` = words << 32) and refilled with
+/// 128-bit intermediate math, so refill never loses precision and the
+/// level after any timestamp sequence is exactly reproducible — the
+/// contract the TENQ snapshot round-trip test pins. Timestamps are
+/// caller-supplied monotonic nanoseconds; the bucket never reads a clock.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+
+  /// Arm with `policy` starting full (burst_words of credit) at `now_ns`.
+  /// rate_words_per_s == 0 disarms the bucket: try_take always succeeds.
+  void configure(const TenantPolicy& policy, std::int64_t now_ns);
+
+  /// Refill to `now_ns`, then take `words` tokens if the level covers
+  /// them. False (taking nothing) when it does not — the kRejectedQuota
+  /// rate path. Unlimited buckets always return true.
+  bool try_take(std::uint64_t words, std::int64_t now_ns);
+
+  /// Settle the refill to `now_ns` without taking anything — the
+  /// checkpoint boundary: after settling, `tokens_x32()` is the complete
+  /// bucket state (the snapshot stores it verbatim).
+  void settle(std::int64_t now_ns);
+
+  /// Raw 32.32 fixed-point level (valid relative to the last settle/take).
+  [[nodiscard]] std::uint64_t tokens_x32() const { return tokens_x32_; }
+
+  /// Restore a snapshot level: the saved fixed-point value, re-anchored
+  /// at the restoring process's `now_ns`.
+  void restore_level(std::uint64_t tokens_x32, std::int64_t now_ns);
+
+  [[nodiscard]] bool unlimited() const { return rate_words_per_s_ == 0; }
+
+ private:
+  void refill(std::int64_t now_ns);
+
+  std::uint64_t rate_words_per_s_ = 0;  ///< 0 = unlimited
+  std::uint64_t burst_words_ = 0;
+  std::uint64_t tokens_x32_ = 0;   ///< current level, words << 32
+  std::int64_t last_refill_ns_ = 0;
+};
+
+/// Outcome of TenantTable::admit() — what the QoS layer decided before
+/// the request ever reaches the queue (docs/QOS.md §3).
+enum class Admission {
+  kAdmit,         ///< charged; proceed to the queue
+  kRejectedRate,  ///< token bucket could not cover the request
+  kRejectedQuota, ///< byte quota exhausted
+};
+
+/// Hierarchical per-tenant QoS state. All mutation is under one internal
+/// mutex — admission is a few integer ops, far cheaper than the queue
+/// push it precedes. Tenants materialise lazily on first use and persist
+/// for the service's lifetime (their quota charge IS the durable state).
+class TenantTable {
+ public:
+  explicit TenantTable(const TenantOptions& opts) : opts_(opts) {}
+
+  /// Per-tenant ground-truth counters (exact at quiescent fences).
+  struct TenantStats {
+    std::uint64_t tenant = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected_rate = 0;
+    std::uint64_t rejected_quota = 0;
+    std::uint64_t words_charged = 0;   ///< cumulative admission charges
+    std::uint64_t words_refunded = 0;  ///< cumulative non-kOk refunds
+    std::uint64_t quota_used = 0;      ///< charged minus refunded
+    std::uint64_t leases = 0;
+  };
+
+  /// Admission decision for a `words`-sized request from `tenant` at
+  /// `now_ns`: rate gate first (a tenant over rate never burns quota),
+  /// then quota charge. kAdmit means `words` have been charged; exactly
+  /// one refund() is owed if the request terminates non-kOk.
+  Admission admit(std::uint64_t tenant, std::uint64_t words,
+                  std::int64_t now_ns);
+
+  /// Return an admission charge (the request terminated without serving
+  /// its words: rejected downstream, shed, timed out, closed or failed).
+  void refund(std::uint64_t tenant, std::uint64_t words);
+
+  /// Track lease ownership (the per-tenant → per-lease hierarchy).
+  void add_lease(std::uint64_t tenant, std::uint64_t lease_id);
+  void remove_lease(std::uint64_t tenant, std::uint64_t lease_id);
+
+  /// Tenant owning `lease_id`, or 0 (the default tenant) when unknown —
+  /// the restore-time adoption lookup.
+  [[nodiscard]] std::uint64_t tenant_of_lease(std::uint64_t lease_id) const;
+
+  /// DRR weight for `tenant` (>= 1; the scheduler's weight_fn).
+  [[nodiscard]] std::uint64_t weight(std::uint64_t tenant) const;
+
+  /// Number of materialised tenants (the hprng.serve.tenant.active gauge).
+  [[nodiscard]] std::size_t active() const;
+
+  /// Snapshot of one tenant's counters (zero record when unknown).
+  [[nodiscard]] TenantStats stats(std::uint64_t tenant) const;
+
+  /// All tenants' counters, by tenant id.
+  [[nodiscard]] std::vector<TenantStats> all_stats() const;
+
+  /// The top-K offender report: tenants ranked by admission rejections
+  /// (rate + quota), ties broken by words charged then by id — the
+  /// tenants most aggressively pushing past their policy (docs/QOS.md §7).
+  [[nodiscard]] std::vector<TenantStats> top_offenders(std::size_t k) const;
+
+  /// Serialise every tenant record into an open TENQ section, with each
+  /// bucket settled to `now_ns` first (docs/QOS.md §6 layout).
+  void save_state(state::SnapshotWriter& w, std::int64_t now_ns) const;
+
+  /// Rebuild the table from a TENQ section payload, re-anchoring bucket
+  /// refill clocks at `now_ns`. False (with reader-failed diagnostics)
+  /// on malformed payloads. Replaces `opts_` with the snapshot's knobs.
+  bool load_state(state::SectionReader& r, std::int64_t now_ns,
+                  std::string* error);
+
+  [[nodiscard]] const TenantOptions& options() const { return opts_; }
+
+ private:
+  struct Tenant {
+    TenantPolicy policy;
+    TokenBucket bucket;
+    std::uint64_t quota_used = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected_rate = 0;
+    std::uint64_t rejected_quota = 0;
+    std::uint64_t words_charged = 0;
+    std::uint64_t words_refunded = 0;
+    std::set<std::uint64_t> lease_ids;
+  };
+
+  /// Materialise (or fetch) `tenant`'s record; caller holds mu_.
+  Tenant& ensure(std::uint64_t tenant, std::int64_t now_ns);
+  [[nodiscard]] TenantStats stats_locked(std::uint64_t id,
+                                         const Tenant& t) const;
+
+  TenantOptions opts_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Tenant> tenants_;
+  std::unordered_map<std::uint64_t, std::uint64_t> lease_tenant_;
+};
+
+}  // namespace hprng::serve

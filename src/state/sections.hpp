@@ -34,5 +34,12 @@ inline constexpr std::uint32_t kTagNetc = fourcc("NETC");
 /// where the snapshot left it. Written through the service's checkpoint
 /// hook; absent when no scrubber is attached.
 inline constexpr std::uint32_t kTagQual = fourcc("QUAL");
+/// Tenant QoS state (docs/QOS.md §6): the quantum/top-K knobs, the
+/// default policy, and one record per known tenant — effective policy,
+/// settled token-bucket level, quota charge, per-tenant counters and the
+/// tenant's lease ids — so rate limits and quotas survive
+/// checkpoint/restore bit-exactly. Self-contained: snapshots without a
+/// TENQ section restore with default tenancy.
+inline constexpr std::uint32_t kTagTenq = fourcc("TENQ");
 
 }  // namespace hprng::state

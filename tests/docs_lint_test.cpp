@@ -185,8 +185,9 @@ TEST(DocsLint, ServeAndStateInstrumentsAreCatalogued) {
         << "` is not catalogued in docs/OBSERVABILITY.md";
   }
   // The serve catalogue alone is > a dozen instruments; the state
-  // catalogue adds six more. A tiny count means pre-resolution broke.
-  EXPECT_GE(checked, 18u);
+  // catalogue adds six more and the tenant QoS layer another six. A tiny
+  // count means pre-resolution broke.
+  EXPECT_GE(checked, 24u);
 }
 
 // Same contract for the wire layer (docs/NETWORK.md §10): every
@@ -289,15 +290,8 @@ TEST(DocsLint, RegisteredBackendsAreSpecified) {
   }
 }
 
-// Every snapshot section FourCC documented in BACKENDS.md (the `| `TAG` |`
-// rows of its checkpoint-layout table) must resolve to a fourcc("TAG")
-// constant under src/state/ — the docs cannot describe sections the
-// format does not define, and renamed tags must update the spec.
-TEST(DocsLint, DocumentedSectionTagsExistInState) {
-  std::string doc;
-  ASSERT_TRUE(util::read_file(
-      std::string(HPRNG_SOURCE_DIR) + "/docs/BACKENDS.md", &doc));
-  std::set<std::string> tags;
+/// Collects the `| `TAG` |` section-tag table rows of one markdown file.
+void collect_section_tags(const std::string& doc, std::set<std::string>* tags) {
   std::size_t pos = 0;
   while (pos < doc.size()) {
     std::size_t eol = doc.find('\n', pos);
@@ -309,13 +303,31 @@ TEST(DocsLint, DocumentedSectionTagsExistInState) {
       if (std::all_of(tag.begin(), tag.end(), [](const char c) {
             return std::isupper(static_cast<unsigned char>(c)) != 0;
           })) {
-        tags.insert(tag);
+        tags->insert(tag);
       }
     }
     pos = eol + 1;
   }
-  ASSERT_GE(tags.size(), 5u) << "tag extractor broke (META/OPTS/LEAS/"
-                                "HLTH/SHRD should all be documented)";
+}
+
+// Every snapshot section FourCC documented in BACKENDS.md, STATE.md or
+// QOS.md (the `| `TAG` |` rows of their checkpoint-layout tables) must
+// resolve to a fourcc("TAG") constant under src/state/ — the docs cannot
+// describe sections the format does not define, and renamed tags must
+// update the specs.
+TEST(DocsLint, DocumentedSectionTagsExistInState) {
+  std::set<std::string> tags;
+  for (const char* name : {"BACKENDS.md", "STATE.md", "QOS.md"}) {
+    std::string doc;
+    ASSERT_TRUE(util::read_file(
+        std::string(HPRNG_SOURCE_DIR) + "/docs/" + name, &doc))
+        << name;
+    collect_section_tags(doc, &tags);
+  }
+  ASSERT_GE(tags.size(), 6u) << "tag extractor broke (META/OPTS/LEAS/"
+                                "HLTH/SHRD/TENQ should all be documented)";
+  EXPECT_NE(tags.count("TENQ"), 0u)
+      << "docs/QOS.md must document the TENQ snapshot section";
 
   std::string corpus;
   const fs::path state_dir = fs::path(HPRNG_SOURCE_DIR) / "src" / "state";
@@ -398,6 +410,48 @@ TEST(DocsLint, DocumentedCliFlagsExistInSources) {
         corpus.find("--" + flag) != std::string::npos;
     EXPECT_TRUE(found) << "docs mention `--" << flag
                        << "` but no source parses it";
+  }
+}
+
+// docs/QOS.md is the normative multi-tenant spec: it must document every
+// tenancy flag serve_load parses (and serve_load must actually parse
+// them), name all six tenant instruments, and be reachable from both the
+// architecture map and the README so the spec cannot drift out of the
+// entry-point docs.
+TEST(DocsLint, QosSpecCoversFlagsInstrumentsAndEntryPoints) {
+  std::string qos;
+  ASSERT_TRUE(util::read_file(
+      std::string(HPRNG_SOURCE_DIR) + "/docs/QOS.md", &qos));
+
+  std::string serve_load;
+  ASSERT_TRUE(util::read_file(
+      std::string(HPRNG_SOURCE_DIR) + "/bench/serve_load.cpp", &serve_load));
+  for (const char* flag :
+       {"--tenants", "--tenant-skew", "--scenario", "--tenant-json"}) {
+    EXPECT_NE(qos.find(flag), std::string::npos)
+        << "docs/QOS.md does not document `" << flag << "`";
+    EXPECT_NE(serve_load.find(std::string("\"") + (flag + 2) + "\""),
+              std::string::npos)
+        << "bench/serve_load.cpp does not parse `" << flag << "`";
+  }
+  for (const char* instrument :
+       {"hprng.serve.tenant.active", "hprng.serve.tenant.rejected_rate",
+        "hprng.serve.tenant.rejected_quota",
+        "hprng.serve.tenant.quota_words_charged",
+        "hprng.serve.tenant.quota_words_refunded",
+        "hprng.serve.tenant.drr_rounds"}) {
+    EXPECT_NE(qos.find(std::string("`") + instrument + "`"),
+              std::string::npos)
+        << "docs/QOS.md does not name instrument `" << instrument << "`";
+  }
+
+  for (const char* entry : {"docs/ARCHITECTURE.md", "README.md"}) {
+    std::string text;
+    ASSERT_TRUE(util::read_file(
+        std::string(HPRNG_SOURCE_DIR) + "/" + entry, &text))
+        << entry;
+    EXPECT_NE(text.find("QOS.md"), std::string::npos)
+        << entry << " does not link docs/QOS.md";
   }
 }
 

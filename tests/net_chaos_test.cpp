@@ -89,6 +89,7 @@ TEST(NetChaos, TornFrameReassembles) {
     net::WireWriter w;
     w.put_u8(0);
     w.put_u64(0);
+    w.put_u64(0);  // v2 lease payload carries the tenant id
     net::Frame f;
     f.op = net::Op::kLease;
     f.request_id = 2;

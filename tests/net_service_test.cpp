@@ -392,6 +392,130 @@ TEST(NetService, MultipleClientsGetDisjointStreams) {
   }
 }
 
+// v2 tenancy over the wire (docs/QOS.md §2, docs/NETWORK.md §3.2): the
+// client's configured tenant rides every kLease, the server bills that
+// tenant's policy, and QoS rejections surface as kRejectedQuota statuses
+// plus the v2 kStatAck rejected_quota counter.
+TEST(NetService, TenantRidesTheLeaseOpAndQuotaRejectsOverTheWire) {
+  serve::ServiceOptions sopts = small_options();
+  serve::TenantPolicy capped;
+  capped.quota_words = 100;
+  sopts.tenants.overrides[6] = capped;
+  serve::RngService service(sopts);
+  const std::string ep = unique_unix_endpoint();
+  net::NetServer server(service, {.listen = {ep}});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  net::ClientOptions copts = client_options(ep);
+  copts.tenant = 6;
+  net::NetClient client(copts);
+  std::string err;
+  const auto lease = client.lease(&err);
+  ASSERT_TRUE(lease.has_value()) << err;
+  EXPECT_EQ(service.tenant_stats(6).leases, 1u);
+
+  std::vector<std::uint64_t> out(60);
+  EXPECT_EQ(client.fill(*lease, out, &err), serve::Status::kOk) << err;
+  // 60 of 100 words consumed: the next 60-word fill breaches the quota.
+  EXPECT_EQ(client.fill(*lease, out, &err), serve::Status::kRejectedQuota);
+
+  const auto stats = client.stat(&err);
+  ASSERT_TRUE(stats.has_value()) << err;
+  EXPECT_EQ(stats->rejected_quota, 1u);
+  EXPECT_EQ(service.tenant_stats(6).quota_used, 60u);
+}
+
+// Rolling-restart compatibility: a v1 peer (hello proto 1, frames
+// version 1) still gets service — its leases land on the default tenant
+// 0 and its kStatAck carries exactly the v1 payload shape, with no
+// rejected_quota field appended (docs/NETWORK.md §7).
+TEST(NetService, V1PeerLandsOnDefaultTenantAndGetsV1StatShape) {
+  serve::RngService service(small_options());
+  const std::string ep = unique_unix_endpoint();
+  net::NetServer server(service, {.listen = {ep}});
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  const auto parsed = net::Endpoint::parse(ep);
+  ASSERT_TRUE(parsed.has_value());
+  const int fd = net::dial(*parsed);
+  ASSERT_GE(fd, 0);
+
+  std::string rbuf;
+  const auto roundtrip = [&](net::Frame frame) {
+    frame.version = 1;
+    const std::string wire = net::encode(frame);
+    EXPECT_EQ(write(fd, wire.data(), wire.size()),
+              static_cast<ssize_t>(wire.size()));
+    net::Frame reply;
+    std::size_t consumed = 0;
+    std::string derr;
+    for (;;) {
+      const net::Decode d = net::decode(rbuf, &reply, &consumed, &derr);
+      if (d == net::Decode::kFrame) {
+        rbuf.erase(0, consumed);
+        return reply;
+      }
+      EXPECT_EQ(d, net::Decode::kNeedMore) << derr;
+      char tmp[4096];
+      const ssize_t n = read(fd, tmp, sizeof(tmp));
+      if (n <= 0) {
+        ADD_FAILURE() << "server closed on a v1 frame";
+        return reply;
+      }
+      rbuf.append(tmp, static_cast<std::size_t>(n));
+    }
+  };
+
+  net::Frame hello;
+  hello.op = net::Op::kHello;
+  hello.request_id = 1;
+  {
+    net::WireWriter w;
+    w.put_u32(net::kHelloMagic);
+    w.put_u32(1);  // v1 peer
+    w.put_str("v1-client");
+    hello.payload = w.take();
+  }
+  const net::Frame hello_ack = roundtrip(hello);
+  ASSERT_EQ(hello_ack.op, net::Op::kHelloAck);
+  {
+    net::WireReader r(hello_ack.payload);
+    EXPECT_EQ(r.get_u32(), 1u) << "ack must echo the negotiated proto";
+  }
+
+  net::Frame lease;
+  lease.op = net::Op::kLease;
+  lease.request_id = 2;
+  {
+    net::WireWriter w;
+    w.put_u8(0);    // no shard key
+    w.put_u64(0);
+    lease.payload = w.take();  // v1 schema: no tenant field
+  }
+  const net::Frame lease_ack = roundtrip(lease);
+  ASSERT_EQ(lease_ack.op, net::Op::kLeaseAck);
+  std::uint64_t lease_id = 0;
+  {
+    net::WireReader r(lease_ack.payload);
+    lease_id = r.get_u64();
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_EQ(service.tenant_stats(0).leases, 1u)
+      << "a v1 lease must land on the default tenant";
+
+  net::Frame stat;
+  stat.op = net::Op::kStat;
+  stat.request_id = 3;
+  const net::Frame stat_ack = roundtrip(stat);
+  ASSERT_EQ(stat_ack.op, net::Op::kStatAck);
+  EXPECT_EQ(stat_ack.version, 1u);
+  // Exactly the 12 v1 u64 fields — nothing appended.
+  EXPECT_EQ(stat_ack.payload.size(), 12u * 8u);
+
+  (void)lease_id;
+  net::close_fd(fd);
+}
+
 TEST(NetService, TcpTransportWhenSandboxAllows) {
   serve::RngService service(small_options());
   net::NetServer server(service, {.listen = {"tcp:127.0.0.1:0"}});

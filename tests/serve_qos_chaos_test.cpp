@@ -1,0 +1,210 @@
+// QoS fairness chaos tests (docs/QOS.md §8): a misbehaving tenant —
+// flash-crowd flood against a rate cap, or a slow leak past a byte
+// quota — must not degrade the compliant tenants riding the same
+// service. The compliant population's success rate and p99 fill latency
+// are pinned against generous bounds; the load shape (request sizes,
+// per-thread interleaving) derives from a seed the CI chaos job rotates
+// via HPRNG_CHAOS_SEED, and any failure names the seed for replay.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/service.hpp"
+
+namespace hprng {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::uint64_t chaos_seed() {
+  std::uint64_t seed = 0x9050FA1;
+  if (const char* env = std::getenv("HPRNG_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 0);
+  }
+  return seed;
+}
+
+serve::ServiceOptions qos_chaos_options() {
+  serve::ServiceOptions opts;
+  opts.num_shards = 2;
+  opts.max_leases_per_shard = 16;
+  opts.num_workers = 3;
+  opts.queue_capacity = 256;
+  opts.max_coalesce = 4;
+  opts.seed = 0x5EED;
+  return opts;
+}
+
+struct ClientResult {
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::vector<double> lats;  ///< seconds per settled request
+};
+
+/// One closed-loop client: `requests` fills with seed-derived sizes.
+void run_client(serve::Session session, int requests, std::uint64_t seed,
+                ClientResult* out) {
+  std::mt19937_64 rng(seed);
+  for (int r = 0; r < requests; ++r) {
+    std::vector<std::uint64_t> buf(16 + rng() % 48);
+    const auto t0 = std::chrono::steady_clock::now();
+    const serve::Status st = session.fill(buf);
+    out->lats.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    if (st == serve::Status::kOk) {
+      ++out->ok;
+    } else {
+      ++out->failed;
+    }
+  }
+}
+
+double p99(std::vector<double>& lats) {
+  if (lats.empty()) return 0.0;
+  std::sort(lats.begin(), lats.end());
+  return lats[static_cast<std::size_t>(0.99 *
+                                       static_cast<double>(lats.size() - 1))];
+}
+
+void verify_conserved(const serve::RngService::Stats& s) {
+  EXPECT_EQ(s.submitted, s.completed + s.rejected + s.shed + s.timed_out +
+                             s.closed + s.failed + s.rejected_quota);
+}
+
+// A rate-capped tenant flooding flat out must get throttled at admission
+// while every compliant tenant keeps (nearly) perfect service: success
+// rate >= 99% and p99 fill latency under a generous half-second pin.
+TEST(ServeQosChaos, FlashCrowdDoesNotStarveCompliantTenants) {
+  const std::uint64_t seed = chaos_seed();
+  SCOPED_TRACE("HPRNG_CHAOS_SEED=" + std::to_string(seed));
+
+  serve::ServiceOptions opts = qos_chaos_options();
+  serve::TenantPolicy capped;
+  capped.rate_words_per_s = 2000;  // far below the flood's offered load
+  capped.burst_words = 256;
+  opts.tenants.overrides[1] = capped;
+  serve::RngService service(opts);
+
+  constexpr int kNoisyClients = 4;
+  constexpr int kCompliantClients = 6;
+  constexpr int kRequests = 60;
+  std::vector<ClientResult> noisy(kNoisyClients);
+  std::vector<ClientResult> compliant(kCompliantClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kNoisyClients; ++c) {
+    serve::RngService::SessionSpec spec;
+    spec.tenant = 1;
+    auto session = service.try_open_session(spec);
+    ASSERT_TRUE(session.has_value());
+    threads.emplace_back(run_client, *session, kRequests,
+                         seed ^ (0x9E3779B97F4A7C15ull * (c + 1)),
+                         &noisy[c]);
+  }
+  for (int c = 0; c < kCompliantClients; ++c) {
+    serve::RngService::SessionSpec spec;
+    spec.tenant = 2 + static_cast<std::uint64_t>(c % 3);
+    auto session = service.try_open_session(spec);
+    ASSERT_TRUE(session.has_value());
+    threads.emplace_back(run_client, *session, kRequests,
+                         seed ^ (0xD1B54A32D192ED03ull * (c + 1)),
+                         &compliant[c]);
+  }
+  for (std::thread& t : threads) t.join();
+  service.drain();
+
+  // The flood got throttled (not served at full blast)...
+  const auto noisy_stats = service.tenant_stats(1);
+  EXPECT_GT(noisy_stats.rejected_rate, 0u)
+      << "flood was never rate-limited — the cap did not engage";
+  const auto offenders = service.top_offenders();
+  ASSERT_FALSE(offenders.empty());
+  EXPECT_EQ(offenders.front().tenant, 1u);
+
+  // ...and the compliant tenants never noticed. Pinned bounds: >= 99%
+  // success, p99 under 500ms (generous for a request that takes well
+  // under a millisecond unloaded — only starvation could breach it).
+  std::uint64_t ok = 0, failed = 0;
+  std::vector<double> lats;
+  for (ClientResult& r : compliant) {
+    ok += r.ok;
+    failed += r.failed;
+    lats.insert(lats.end(), r.lats.begin(), r.lats.end());
+  }
+  EXPECT_GE(static_cast<double>(ok),
+            0.99 * static_cast<double>(ok + failed));
+  EXPECT_LT(p99(lats), 0.5);
+  verify_conserved(service.stats());
+}
+
+// A tenant leaking past its lifetime byte quota is cut off at admission —
+// its own later requests land kRejectedQuota — while the compliant
+// tenants' service stays perfect and the conservation ledger still adds
+// up (every rejected request refunds nothing it never charged).
+TEST(ServeQosChaos, SlowLeakQuotaExhaustionIsIsolated) {
+  const std::uint64_t seed = chaos_seed();
+  SCOPED_TRACE("HPRNG_CHAOS_SEED=" + std::to_string(seed));
+
+  serve::ServiceOptions opts = qos_chaos_options();
+  serve::TenantPolicy leak;
+  leak.quota_words = 2048;  // exhausts mid-run: offered load is ~3x this
+  opts.tenants.overrides[1] = leak;
+  serve::RngService service(opts);
+
+  constexpr int kLeakClients = 2;
+  constexpr int kCompliantClients = 4;
+  constexpr int kRequests = 80;
+  std::vector<ClientResult> leaky(kLeakClients);
+  std::vector<ClientResult> compliant(kCompliantClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kLeakClients; ++c) {
+    serve::RngService::SessionSpec spec;
+    spec.tenant = 1;
+    auto session = service.try_open_session(spec);
+    ASSERT_TRUE(session.has_value());
+    threads.emplace_back(run_client, *session, kRequests,
+                         seed ^ (0x9E3779B97F4A7C15ull * (c + 1)),
+                         &leaky[c]);
+  }
+  for (int c = 0; c < kCompliantClients; ++c) {
+    serve::RngService::SessionSpec spec;
+    spec.tenant = 2 + static_cast<std::uint64_t>(c % 2);
+    auto session = service.try_open_session(spec);
+    ASSERT_TRUE(session.has_value());
+    threads.emplace_back(run_client, *session, kRequests,
+                         seed ^ (0xD1B54A32D192ED03ull * (c + 1)),
+                         &compliant[c]);
+  }
+  for (std::thread& t : threads) t.join();
+  service.drain();
+
+  const auto leak_stats = service.tenant_stats(1);
+  EXPECT_GT(leak_stats.rejected_quota, 0u)
+      << "quota never exhausted — raise the offered load";
+  EXPECT_LE(leak_stats.quota_used, 2048u);
+  const auto offenders = service.top_offenders();
+  ASSERT_FALSE(offenders.empty());
+  EXPECT_EQ(offenders.front().tenant, 1u);
+
+  std::uint64_t ok = 0, failed = 0;
+  for (ClientResult& r : compliant) {
+    ok += r.ok;
+    failed += r.failed;
+  }
+  EXPECT_EQ(failed, 0u) << "compliant tenants must be untouched by the leak";
+  EXPECT_EQ(ok, static_cast<std::uint64_t>(kCompliantClients * kRequests));
+  verify_conserved(service.stats());
+}
+
+}  // namespace
+}  // namespace hprng
